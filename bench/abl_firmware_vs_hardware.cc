@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Methodology validation (Fig. 8): the paper evaluates the *hardware*
+ * ECC monitor design with a *firmware* framework — a spare hardware
+ * thread driving the L1-bypass targeted test of Fig. 7 against the
+ * designated line and reading the machine-check telemetry.
+ *
+ * This bench regulates the same domain with both feedback sources and
+ * shows they settle at the same voltage band with the error rate in
+ * the same target window — i.e. the firmware proof-of-concept is a
+ * faithful stand-in for the hardware unit, which is what makes the
+ * paper's real-machine evaluation meaningful.
+ */
+
+#include <cmath>
+#include <functional>
+
+#include "bench_util.hh"
+
+using namespace vspec;
+using namespace vspec_bench;
+
+namespace
+{
+
+struct Outcome
+{
+    Millivolt settled = 0.0;
+    double rate = 0.0;
+    std::uint64_t accesses = 0;
+};
+
+Outcome
+regulate(ErrorFeedbackSource &source, VoltageRegulator &reg,
+         std::function<void(Seconds, Millivolt, Rng &)> drive, Rng &rng)
+{
+    ControlPolicy policy;
+    policy.maxVdd = 800.0;
+    DomainController controller(reg, source, policy);
+
+    const Seconds tick = 0.005;
+    for (Seconds t = 0.0; t < 40.0; t += tick) {
+        drive(tick, reg.output(), rng);
+        controller.tick(tick);
+        reg.advance(tick);
+    }
+
+    Outcome outcome;
+    outcome.settled = reg.setpoint();
+    source.readAndResetCounters();
+    drive(2.0, reg.output(), rng);
+    outcome.rate = source.errorRate();
+    outcome.accesses = source.accessCount();
+    return outcome;
+}
+
+} // namespace
+
+int
+main()
+{
+    setInformEnabled(false);
+    banner("Methodology", "firmware self-test framework vs hardware "
+                          "ECC monitor (Fig. 8)");
+
+    Chip chip = makeLowChip();
+    Core &core = chip.core(0);
+
+    // The designated line: core 0's weakest L2I line.
+    const WeakLineInfo line = core.l2iArray().weakestLine();
+    Rng rng = chip.rng().fork(0xF1F8);
+
+    // (a) Hardware monitor: direct set/way probes from idle cycles.
+    Outcome hw;
+    {
+        VoltageRegulator reg(800.0);
+        EccMonitor monitor;
+        monitor.activate(core.l2iArray(), line.set, line.way);
+        hw = regulate(
+            monitor, reg,
+            [&](Seconds dt, Millivolt v, Rng &r) {
+                monitor.runProbes(dt, v, r);
+            },
+            rng);
+        monitor.deactivate();
+    }
+
+    // (b) Firmware self-test on the spare thread: Fig. 7 targeted
+    //     tests through the real L1/L2 hierarchy.
+    Outcome fw;
+    {
+        VoltageRegulator reg(800.0);
+        FirmwareSelfTest self_test(core.iSide(), line.set, line.way);
+        fw = regulate(
+            self_test, reg,
+            [&](Seconds dt, Millivolt v, Rng &r) {
+                self_test.runTests(dt, v, r);
+            },
+            rng);
+    }
+
+    std::printf("designated line: L2I set %llu way %u (Vc %.1f mV)\n\n",
+                (unsigned long long)line.set, line.way, line.weakestVc);
+    std::printf("%-26s %-14s %-14s %-12s\n", "feedback source",
+                "settled (mV)", "error rate", "probes");
+    std::printf("%-26s %-14.1f %-14.3f %llu/s\n", "hardware ECC monitor",
+                hw.settled, hw.rate,
+                (unsigned long long)(hw.accesses / 2));
+    std::printf("%-26s %-14.1f %-14.3f %llu/s\n",
+                "firmware targeted test", fw.settled, fw.rate,
+                (unsigned long long)(fw.accesses / 2));
+
+    std::printf("\nsettled voltages agree within %.0f mV — the firmware "
+                "framework the paper\nused on real hardware regulates "
+                "like the proposed hardware unit.\n",
+                std::abs(hw.settled - fw.settled));
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction binaries: standard
+ * chip construction, fixed seeds, and small table-printing utilities.
+ *
+ * Every binary prints the rows/series of one artifact of the paper's
+ * evaluation. Absolute numbers come from the calibrated simulation
+ * substrate (see DESIGN.md); the shapes are what reproduce the paper.
+ */
+
+#ifndef VSPEC_BENCH_BENCH_UTIL_HH
+#define VSPEC_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "vspec/vspec.hh"
+
+namespace vspec_bench
+{
+
+/** The seed used for the "evaluation platform" chip in every bench. */
+constexpr std::uint64_t evalSeed = 42;
+
+/** Build the standard 8-core evaluation chip at the low point. */
+inline vspec::Chip
+makeLowChip()
+{
+    vspec::ChipConfig cfg;
+    cfg.seed = evalSeed;
+    return vspec::Chip(cfg);
+}
+
+/** Build the evaluation chip at the high (2.53 GHz) point. */
+inline vspec::Chip
+makeHighChip()
+{
+    vspec::ChipConfig cfg;
+    cfg.seed = evalSeed;
+    cfg.operatingPoint = vspec::OperatingPoint::high();
+    return vspec::Chip(cfg);
+}
+
+/** The four evaluation suites of Section V. */
+inline const std::vector<vspec::Suite> &
+evalSuites()
+{
+    static const std::vector<vspec::Suite> suites = {
+        vspec::Suite::coreMark,
+        vspec::Suite::specJbb2005,
+        vspec::Suite::specInt2000,
+        vspec::Suite::specFp2000,
+    };
+    return suites;
+}
+
+/** Print a banner naming the reproduced artifact. */
+inline void
+banner(const char *artifact, const char *caption)
+{
+    std::printf("==========================================================="
+                "=====\n");
+    std::printf("%s — %s\n", artifact, caption);
+    std::printf("Reproduction of Bacha & Teodorescu, \"Using ECC Feedback "
+                "to Guide\nVoltage Speculation in Low-Voltage Processors\" "
+                "(MICRO 2014)\n");
+    std::printf("==========================================================="
+                "=====\n");
+}
+
+/** Simple fixed-width row printing. */
+inline void
+row(const std::string &label, const std::vector<std::string> &cells)
+{
+    std::printf("%-24s", label.c_str());
+    for (const auto &cell : cells)
+        std::printf(" %12s", cell.c_str());
+    std::printf("\n");
+}
+
+inline std::string
+fmt(const char *format, double value)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), format, value);
+    return buffer;
+}
+
+} // namespace vspec_bench
+
+#endif // VSPEC_BENCH_BENCH_UTIL_HH

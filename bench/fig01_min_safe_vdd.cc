@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fig. 1: lowest safe Vdd for each core at both the high (2.53 GHz)
+ * and low (340 MHz) frequency points, relative to the respective
+ * nominal supplies.
+ *
+ * Paper shape to reproduce: at high frequency the minimum safe Vdd is
+ * ~10% below the 1.1 V nominal with little core-to-core spread; at
+ * 340 MHz it is far deeper (~600-660 mV, ~23% below the 800 mV
+ * nominal) with much larger core-to-core variation.
+ */
+
+#include "bench_util.hh"
+
+using namespace vspec;
+using namespace vspec_bench;
+
+int
+main()
+{
+    setInformEnabled(false);
+    banner("Figure 1", "lowest safe Vdd per core, high and low "
+                       "frequency");
+
+    struct Point
+    {
+        const char *label;
+        Chip chip;
+    };
+    Point points[] = {{"2.53 GHz", makeHighChip()},
+                      {"340 MHz", makeLowChip()}};
+
+    std::printf("%-8s %-10s %-14s %-14s %-12s\n", "core", "regime",
+                "min safe (mV)", "nominal (mV)", "relative");
+
+    for (auto &point : points) {
+        auto stress = benchmarks::suiteSequence(Suite::stress, 5.0);
+        const Millivolt nominal =
+            point.chip.config().operatingPoint.nominalVdd;
+        RunningStats rel;
+        for (unsigned c = 0; c < point.chip.numCores(); ++c) {
+            const auto result = experiments::measureMargins(
+                point.chip, c, stress, /*hold=*/2.0, /*step=*/5.0);
+            const double fraction = result.minSafeVdd / nominal;
+            rel.add(fraction);
+            std::printf("Core %-3u %-10s %-14.0f %-14.0f %.3f\n", c,
+                        point.label, result.minSafeVdd, nominal,
+                        fraction);
+        }
+        std::printf("  -> %s: mean %.1f%% below nominal, spread "
+                    "%.1f%% of nominal\n\n",
+                    point.label, 100.0 * (1.0 - rel.mean()),
+                    100.0 * (rel.max() - rel.min()));
+    }
+    return 0;
+}

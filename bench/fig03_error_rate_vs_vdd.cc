@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Fig. 3: average correctable errors (across still-alive cores) as a
+ * function of speculation depth below nominal, at both frequency
+ * points.
+ *
+ * Paper shape to reproduce: an error-free window exceeding 100 mV
+ * below nominal in both regimes; beyond it the error rate ramps up as
+ * Vdd drops; the low-Vdd regime produces far more errors (thousands
+ * vs hundreds per 5-minute interval) over a much wider range.
+ */
+
+#include "bench_util.hh"
+
+using namespace vspec;
+using namespace vspec_bench;
+
+namespace
+{
+
+void
+sweepRegime(const char *label, Chip &chip)
+{
+    const Millivolt nominal = chip.config().operatingPoint.nominalVdd;
+    const Seconds window = 3.0;          // Simulated seconds per step.
+    const double to_five_min = 300.0 / window;
+
+    harness::assignSuite(chip, Suite::stress, 5.0);
+
+    std::printf("\n%s (nominal %.0f mV)\n", label, nominal);
+    std::printf("%-18s %-12s %-14s %-12s\n", "depth below nom",
+                "Vdd (mV)", "avg errors/5min", "cores alive");
+
+    std::vector<bool> dead(chip.numCores(), false);
+    Simulator sim(chip, 0.005);
+    std::vector<std::uint64_t> prev(chip.numCores(), 0);
+
+    for (Millivolt depth = 0.0; depth <= 260.0; depth += 10.0) {
+        const Millivolt v = nominal - depth;
+        for (unsigned d = 0; d < chip.numDomains(); ++d) {
+            chip.domain(d).regulator().request(v);
+            chip.domain(d).regulator().advance(1.0);
+        }
+
+        sim.run(window);
+
+        RunningStats errors;
+        unsigned alive = 0;
+        for (unsigned c = 0; c < chip.numCores(); ++c) {
+            const std::uint64_t now = sim.coreCorrectableEvents(c);
+            const std::uint64_t delta = now - prev[c];
+            prev[c] = now;
+            if (dead[c])
+                continue;
+            if (chip.core(c).crashed()) {
+                dead[c] = true;
+                // A crashed core idles (firmware takes it offline).
+                chip.core(c).setWorkload(
+                    std::make_shared<IdleWorkload>());
+                continue;
+            }
+            ++alive;
+            errors.add(double(delta) * to_five_min);
+        }
+
+        std::printf("%-18.0f %-12.0f %-14.0f %-12u\n", depth, v,
+                    errors.mean(), alive);
+        if (alive == 0)
+            break;
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    setInformEnabled(false);
+    banner("Figure 3", "average correctable errors vs speculation "
+                       "depth");
+
+    {
+        Chip high = makeHighChip();
+        sweepRegime("2.53 GHz", high);
+    }
+    {
+        Chip low = makeLowChip();
+        sweepRegime("340 MHz", low);
+    }
+    return 0;
+}

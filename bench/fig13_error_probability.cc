@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Fig. 13: probability of a single-bit error of the targeted cache
+ * line as a function of supply voltage, for four cores with different
+ * error-distribution profiles.
+ *
+ * Paper shape to reproduce: smooth S-curves with ramp-up ranges
+ * (0 -> 100%) spanning roughly 20 mV to over 50 mV depending on the
+ * core, giving the 5 mV-step controller plenty of resolution, with
+ * margins remaining above the 5% ceiling before the minimum safe
+ * voltage is reached.
+ */
+
+#include <cmath>
+
+#include "bench_util.hh"
+
+using namespace vspec;
+using namespace vspec_bench;
+
+int
+main()
+{
+    setInformEnabled(false);
+    banner("Figure 13", "P(single-bit error) vs supply voltage, "
+                        "four cores");
+
+    Chip chip = makeLowChip();
+    const unsigned cores[] = {0, 2, 4, 6};  // A, B, C, D.
+
+    std::printf("%-10s", "Vdd (mV)");
+    for (unsigned c : cores)
+        std::printf("  core %u  ", c);
+    std::printf("\n");
+
+    // Common sweep grid around each core's own weak line.
+    struct Curve
+    {
+        std::vector<std::pair<Millivolt, double>> points;
+        Millivolt rampLow = 0.0, rampHigh = 0.0;
+    };
+    std::vector<Curve> curves;
+    Millivolt grid_hi = 0.0, grid_lo = 1e9;
+    for (unsigned c : cores) {
+        auto [array, line] = experiments::weakestL2Line(chip.core(c));
+        Curve curve;
+        curve.points = experiments::errorProbabilityCurve(
+            chip, c, line.weakestVc + 60.0, line.weakestVc - 60.0, 5.0,
+            20000);
+        for (const auto &[v, p] : curve.points) {
+            grid_hi = std::max(grid_hi, v);
+            grid_lo = std::min(grid_lo, v);
+        }
+        // Ramp range: from first >1% down to first >99%.
+        for (const auto &[v, p] : curve.points) {
+            if (p > 0.01 && curve.rampHigh == 0.0)
+                curve.rampHigh = v;
+            if (p > 0.99 && curve.rampLow == 0.0)
+                curve.rampLow = v;
+        }
+        curves.push_back(std::move(curve));
+    }
+
+    for (Millivolt v = grid_hi; v >= grid_lo; v -= 5.0) {
+        std::printf("%-10.0f", v);
+        for (const auto &curve : curves) {
+            double p = -1.0;
+            for (const auto &[pv, pp] : curve.points) {
+                if (std::abs(pv - v) < 0.5) {
+                    p = pp;
+                    break;
+                }
+            }
+            if (p < 0.0)
+                std::printf("  %-8s", "-");
+            else
+                std::printf("  %-8.3f", p);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nramp-up ranges (1%% -> 99%%):");
+    for (std::size_t i = 0; i < curves.size(); ++i) {
+        std::printf(" core %u: %.0f mV;", cores[i],
+                    curves[i].rampHigh - curves[i].rampLow);
+    }
+    std::printf("\n(paper: 20 mV to over 50 mV)\n");
+    return 0;
+}

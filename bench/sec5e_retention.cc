@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Section V-E: characterizing the source of errors at low voltage.
+ *
+ * Procedure (as in the paper): raise Vdd 80 mV above nominal, write
+ * the line under test, drop to a voltage where an *access* to the
+ * line errs ~10% of the time and leave the core spinning (no accesses
+ * to the line) for one minute, then raise the voltage back and read.
+ *
+ * Paper result to reproduce: no correctable errors on the readback —
+ * the errors are access (timing / read-disturb) failures, not
+ * retention failures. A control experiment accessing the line *at*
+ * the low voltage shows the expected ~10% error rate.
+ */
+
+#include "bench_util.hh"
+
+using namespace vspec;
+using namespace vspec_bench;
+
+int
+main()
+{
+    setInformEnabled(false);
+    banner("Section V-E", "retention vs access error characterization");
+
+    Chip chip = makeLowChip();
+    Core &core = chip.core(0);
+    auto [array, line] = experiments::weakestL2Line(core);
+    Rng rng = chip.rng().fork(0x5E);
+
+    // Find the voltage with ~10% per-access error probability.
+    Millivolt v10 = line.weakestVc;
+    for (Millivolt v = line.weakestVc + 40.0; v > line.weakestVc - 40.0;
+         v -= 1.0) {
+        double pc = 0.0, pu = 0.0;
+        array->lineEventProbabilities(line.set, line.way, v, pc, pu);
+        if (pc >= 0.10) {
+            v10 = v;
+            break;
+        }
+    }
+
+    const Millivolt v_high = 880.0;  // Nominal + 80 mV.
+    std::printf("line under test: %s set %llu way %u (weakest Vc "
+                "%.1f mV)\n",
+                array->geometry().name.c_str(),
+                (unsigned long long)line.set, line.way, line.weakestVc);
+    std::printf("write/read voltage: %.0f mV; soak voltage (10%% "
+                "access-error level): %.0f mV\n\n",
+                v_high, v10);
+
+    // Experiment repeated as in the paper.
+    const int repeats = 10;
+    std::uint64_t retention_errors = 0;
+    for (int r = 0; r < repeats; ++r) {
+        array->writePattern(line.set, line.way, 0xA5A5A5A5A5A5A5A5ULL);
+        // One minute of spinning at v10 with NO accesses to the line:
+        // in this model (and on the paper's hardware) idle cells do
+        // not lose state, so there is nothing to simulate but time.
+        const auto read =
+            array->readLine(line.set, line.way, v_high, rng);
+        retention_errors += read.events.size();
+        if (read.data[0] != 0xA5A5A5A5A5A5A5A5ULL)
+            fatal("retention experiment corrupted data");
+    }
+
+    // Control: the same line accessed *at* the soak voltage.
+    ProbeStats control =
+        array->probeLine(line.set, line.way, v10, 20000, rng);
+
+    std::printf("%-44s %llu (expected 0)\n",
+                "retention errors after soak-and-readback:",
+                (unsigned long long)retention_errors);
+    std::printf("%-44s %.1f%% (expected ~10%%)\n",
+                "control: access error rate at soak voltage:",
+                100.0 * control.errorRate());
+    std::printf("\n=> errors are timing/read-disturb failures on "
+                "access, not retention failures\n");
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The paper's motivating scenario: a power-constrained handheld-class
+ * part running mobile kernels (CoreMark) at the low-voltage operating
+ * point, where a conventional guardband would cost ~20% of the supply.
+ *
+ * This example compares three policies on the same die:
+ *   1. guardbanded  — run at the 800 mV nominal (the guardband),
+ *   2. static       — shave a fixed, chip-wide margin chosen offline
+ *                     from the worst core (what a vendor could ship),
+ *   3. speculative  — the paper's per-domain ECC-guided adaptation.
+ *
+ * It prints the battery-life multiplier each policy earns.
+ */
+
+#include <cstdio>
+
+#include "vspec/vspec.hh"
+
+using namespace vspec;
+
+namespace
+{
+
+/** Run CoreMark on every core for a minute; return core-rail energy. */
+double
+measureEnergy(Chip &chip, VoltageControlSystem *control)
+{
+    harness::assignSuite(chip, Suite::coreMark);
+    Simulator sim(chip, 0.002);
+    if (control)
+        sim.attachControlSystem(control);
+    sim.run(60.0);
+    if (sim.anyCrashed())
+        fatal("crash — policy was not safe");
+
+    double energy = 0.0;
+    for (unsigned c = 0; c < chip.numCores(); ++c)
+        energy += sim.coreEnergy(c).energy();
+    return energy;
+}
+
+} // namespace
+
+int
+main()
+{
+    setInformEnabled(false);
+    ChipConfig config;
+    config.seed = 77;
+
+    // Policy 1: guardbanded nominal.
+    Chip guarded(config);
+    const double guarded_energy = measureEnergy(guarded, nullptr);
+
+    // Policy 2: static chip-wide undervolt. The vendor characterizes
+    // the worst domain's first-error voltage and ships everything a
+    // safety margin above it.
+    Chip static_chip(config);
+    HardwareSpeculationSetup probe = harness::armHardware(static_chip);
+    Millivolt worst_first_error = 0.0;
+    for (const auto &target : probe.targets)
+        worst_first_error =
+            std::max(worst_first_error, target.firstErrorVdd);
+    const Millivolt static_v = worst_first_error + 20.0;
+    for (unsigned d = 0; d < static_chip.numDomains(); ++d) {
+        static_chip.domain(d).regulator().request(static_v);
+        static_chip.domain(d).regulator().advance(1.0);
+    }
+    // Freeze there: no controller attached.
+    const double static_energy = measureEnergy(static_chip, nullptr);
+
+    // Policy 3: full per-domain ECC-guided speculation.
+    Chip spec_chip(config);
+    HardwareSpeculationSetup setup = harness::armHardware(spec_chip);
+    const double spec_energy =
+        measureEnergy(spec_chip, setup.control.get());
+
+    std::printf("CoreMark on all 8 cores, 60 s, same die:\n\n");
+    std::printf("%-22s %-14s %-14s %-12s\n", "policy", "Vdd (mV)",
+                "energy (J)", "battery x");
+    std::printf("%-22s %-14.0f %-14.1f %.2f\n", "guardbanded nominal",
+                800.0, guarded_energy, 1.0);
+    std::printf("%-22s %-14.0f %-14.1f %.2f\n", "static undervolt",
+                static_v, static_energy,
+                guarded_energy / static_energy);
+    double mean_v = 0.0;
+    for (unsigned d = 0; d < spec_chip.numDomains(); ++d)
+        mean_v += spec_chip.domain(d).regulator().setpoint();
+    mean_v /= spec_chip.numDomains();
+    std::printf("%-22s %-14.0f %-14.1f %.2f\n", "ECC-guided (paper)",
+                mean_v, spec_energy, guarded_energy / spec_energy);
+
+    std::printf("\nper-domain adaptation beats the one-size-fits-all "
+                "undervolt because each\nrail settles at its own "
+                "cores' margin instead of the worst core's.\n");
+    return 0;
+}

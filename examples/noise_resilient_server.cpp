@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Noise resilience (Sections IV-B, V-D): a server consolidates a
+ * latency-critical service with a hostile co-runner — a voltage virus
+ * tuned to the PDN resonance — on the same power rail, while the
+ * ECC-guided speculation system keeps undervolting safely.
+ *
+ * The example shows:
+ *  - the monitored line's error rate spiking when the virus arrives,
+ *  - the emergency path stepping the rail back up within milliseconds,
+ *  - zero crashes and zero data corruption across the whole run.
+ */
+
+#include <cstdio>
+
+#include "vspec/vspec.hh"
+
+using namespace vspec;
+
+int
+main()
+{
+    setInformEnabled(false);
+    ChipConfig config;
+    config.seed = 1234;
+    Chip chip(config);
+
+    HardwareSpeculationSetup setup = harness::armHardware(chip);
+    harness::assignIdle(chip);
+
+    // The service on core 0, quiet for the first 30 s...
+    chip.core(0).setWorkload(
+        benchmarks::suiteSequence(Suite::specJbb2005, 30.0));
+
+    Simulator sim(chip, 0.001);
+    sim.attachControlSystem(setup.control.get());
+    sim.enableTrace(1.0);
+
+    std::printf("phase 1: service alone (30 s)...\n");
+    sim.run(30.0);
+    const Millivolt v_quiet = chip.domain(0).regulator().setpoint();
+
+    // ...then the resonant NOP-8 virus lands on the sibling core.
+    std::printf("phase 2: NOP-8 voltage virus on the sibling core "
+                "(30 s)...\n");
+    chip.core(1).setWorkload(std::make_shared<VoltageVirusWorkload>(8),
+                             sim.now());
+    sim.run(30.0);
+    const Millivolt v_virus = chip.domain(0).regulator().setpoint();
+
+    // And leaves again.
+    std::printf("phase 3: virus gone (30 s)...\n");
+    chip.core(1).setWorkload(std::make_shared<IdleWorkload>(),
+                             sim.now());
+    sim.run(30.0);
+    const Millivolt v_after = chip.domain(0).regulator().setpoint();
+
+    std::printf("\nrail 0 setpoint: quiet %.0f mV -> under virus "
+                "%.0f mV -> after %.0f mV\n",
+                v_quiet, v_virus, v_after);
+    std::printf("emergency interrupts serviced: %llu\n",
+                (unsigned long long)setup.control->domain(0)
+                    .emergencies());
+    std::printf("crashed: %s; uncorrectable events: %llu\n",
+                sim.anyCrashed() ? "YES" : "no",
+                (unsigned long long)sim.eventLog().uncorrectableCount());
+
+    if (sim.anyCrashed() || sim.eventLog().uncorrectableCount() > 0)
+        return 1;
+    std::printf("\nthe monitored weak line felt the resonant droop "
+                "before any real data\ndid — the system traded a few "
+                "mV of margin for continued safe operation.\n");
+    return 0;
+}

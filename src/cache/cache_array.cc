@@ -1,0 +1,267 @@
+#include "cache/cache_array.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace vspec
+{
+
+CacheArray::CacheArray(const CacheGeometry &geometry,
+                       const VcDistribution &dist, Millivolt v_floor,
+                       Rng &rng)
+    : geo(geometry), eccCodec(geometry.eccDataBits),
+      cells(geometry.name, geometry.totalCells(), dist, v_floor,
+            /*aging_headroom=*/0.5 * dist.sigmaRandom, rng),
+      store(geometry.numLines() * geometry.wordsPerLine()),
+      deconfigured(geometry.numLines(), false)
+{
+    geo.validate();
+    // Initialize every line with an encoded zero word so reads of
+    // untouched lines decode cleanly.
+    const Codeword zero = eccCodec.encode(0);
+    std::fill(store.begin(), store.end(), zero);
+}
+
+std::uint64_t
+CacheArray::lineIndex(std::uint64_t set, unsigned way) const
+{
+    return set * geo.associativity + way;
+}
+
+void
+CacheArray::checkLocation(std::uint64_t set, unsigned way) const
+{
+    if (set >= geo.numSets() || way >= geo.associativity)
+        panic("cache '", geo.name, "': location (set ", set, ", way ", way,
+              ") out of range");
+}
+
+std::uint64_t
+CacheArray::lineCellBase(std::uint64_t set, unsigned way) const
+{
+    checkLocation(set, way);
+    return lineIndex(set, way) * geo.cellsPerLine();
+}
+
+void
+CacheArray::writeLine(std::uint64_t set, unsigned way,
+                      const std::vector<std::uint64_t> &words)
+{
+    checkLocation(set, way);
+    if (words.size() != geo.wordsPerLine())
+        panic("cache '", geo.name, "': writeLine expects ",
+              geo.wordsPerLine(), " words, got ", words.size());
+    const std::uint64_t base = lineIndex(set, way) * geo.wordsPerLine();
+    for (unsigned w = 0; w < geo.wordsPerLine(); ++w)
+        store[base + w] = encodeCached(words[w]);
+}
+
+const Codeword &
+CacheArray::encodeCached(std::uint64_t data) const
+{
+    auto it = encodeMemo.find(data);
+    if (it != encodeMemo.end())
+        return it->second;
+    if (encodeMemo.size() > 1u << 16)
+        encodeMemo.clear();
+    return encodeMemo.emplace(data, eccCodec.encode(data)).first->second;
+}
+
+void
+CacheArray::writePattern(std::uint64_t set, unsigned way,
+                         std::uint64_t pattern)
+{
+    writeLine(set, way,
+              std::vector<std::uint64_t>(geo.wordsPerLine(), pattern));
+}
+
+std::vector<WeakCell>
+CacheArray::lineWeakCells(std::uint64_t set, unsigned way) const
+{
+    const std::uint64_t base = lineCellBase(set, way);
+    auto weak = cells.weakCellsInRange(base, base + geo.cellsPerLine());
+    for (auto &cell : weak)
+        cell.cellIndex -= base;
+    return weak;
+}
+
+LineReadResult
+CacheArray::readLine(std::uint64_t set, unsigned way, Millivolt v_eff,
+                     Rng &rng) const
+{
+    checkLocation(set, way);
+    LineReadResult result;
+    result.data.resize(geo.wordsPerLine());
+
+    const std::uint64_t cell_base = lineCellBase(set, way);
+    const auto flips = cells.sampleAccessFlips(
+        cell_base, cell_base + geo.cellsPerLine(), v_eff, rng);
+
+    // Group flipped cell offsets by codeword.
+    const unsigned cw_bits = eccCodec.codewordBits();
+    std::map<unsigned, std::vector<unsigned>> flips_by_word;
+    for (std::uint64_t offset : flips)
+        flips_by_word[unsigned(offset / cw_bits)].push_back(
+            unsigned(offset % cw_bits));
+
+    const std::uint64_t word_base = lineIndex(set, way) * geo.wordsPerLine();
+    for (unsigned w = 0; w < geo.wordsPerLine(); ++w) {
+        Codeword observed = store[word_base + w];
+        auto it = flips_by_word.find(w);
+        if (it != flips_by_word.end()) {
+            for (unsigned bit : it->second)
+                observed.flipBit(bit);
+        }
+
+        const DecodeResult decoded = eccCodec.decode(observed);
+        result.data[w] = decoded.data;
+
+        if (decoded.status != EccStatus::ok) {
+            EccEvent event;
+            event.cacheName = geo.name;
+            event.set = set;
+            event.way = way;
+            event.word = w;
+            event.status = decoded.status;
+            result.events.push_back(event);
+            if (decoded.status == EccStatus::uncorrectable)
+                result.uncorrectable = true;
+        }
+    }
+    return result;
+}
+
+void
+CacheArray::lineEventProbabilities(std::uint64_t set, unsigned way,
+                                   Millivolt v_eff, double &p_correctable,
+                                   double &p_uncorrectable) const
+{
+    // Per-word: probability of exactly one flip (correctable event) and
+    // of two-or-more flips (uncorrectable event). Weak cells arrive in
+    // ascending index order, so cells of the same codeword are
+    // adjacent — the per-word statistics fold incrementally with no
+    // allocation (this runs per tick per weak line).
+    const unsigned cw_bits = eccCodec.codewordBits();
+    const std::uint64_t base = lineCellBase(set, way);
+
+    double e_corr = 0.0;        // Expected correctable events/access.
+    double p_no_uncorr = 1.0;   // P(no word raises an uncorrectable).
+
+    std::uint64_t cur_word = ~std::uint64_t(0);
+    // Running per-word state: product of (1-pi) and sum of
+    // pi * prod_{j != i} (1 - pj), updated cell by cell.
+    double none = 1.0, exactly_one = 0.0;
+
+    auto fold_word = [&]() {
+        if (cur_word == ~std::uint64_t(0))
+            return;
+        const double multi =
+            std::max(0.0, 1.0 - none - exactly_one);
+        e_corr += exactly_one;
+        p_no_uncorr *= (1.0 - multi);
+    };
+
+    cells.forEachWeakCellInRange(
+        base, base + geo.cellsPerLine(), [&](const WeakCell &cell) {
+            const double p = cells.failureProbability(cell, v_eff);
+            if (p <= 0.0)
+                return;
+            const std::uint64_t word =
+                (cell.cellIndex - base) / cw_bits;
+            if (word != cur_word) {
+                fold_word();
+                cur_word = word;
+                none = 1.0;
+                exactly_one = 0.0;
+            }
+            exactly_one = exactly_one * (1.0 - p) + p * none;
+            none *= (1.0 - p);
+        });
+    fold_word();
+
+    // Event counters tick once per word per access; using the expected
+    // per-access correctable count keeps multi-word lines exact.
+    p_correctable = e_corr;
+    p_uncorrectable = 1.0 - p_no_uncorr;
+}
+
+ProbeStats
+CacheArray::probeLine(std::uint64_t set, unsigned way, Millivolt v_eff,
+                      std::uint64_t n_accesses, Rng &rng) const
+{
+    ProbeStats stats;
+    stats.accesses = n_accesses;
+
+    double p_corr = 0.0, p_uncorr = 0.0;
+    lineEventProbabilities(set, way, v_eff, p_corr, p_uncorr);
+
+    // p_corr is an expected event count per access; it can slightly
+    // exceed 1 for lines with several weak words. Split into whole
+    // events plus a binomial remainder.
+    const std::uint64_t whole = std::uint64_t(p_corr);
+    const double frac = p_corr - double(whole);
+    stats.correctableEvents =
+        whole * n_accesses + rng.binomial(n_accesses, frac);
+    stats.uncorrectableEvents = rng.binomial(n_accesses, p_uncorr);
+    return stats;
+}
+
+std::vector<WeakLineInfo>
+CacheArray::weakLines() const
+{
+    std::map<std::uint64_t, WeakLineInfo> lines;
+    for (const auto &cell : cells.weakCells()) {
+        const std::uint64_t line = cell.cellIndex / geo.cellsPerLine();
+        auto &info = lines[line];
+        if (info.weakCellCount == 0) {
+            info.set = line / geo.associativity;
+            info.way = unsigned(line % geo.associativity);
+            info.weakestVc = cell.vc;
+        } else {
+            info.weakestVc = std::max(info.weakestVc, cell.vc);
+        }
+        ++info.weakCellCount;
+    }
+
+    std::vector<WeakLineInfo> result;
+    result.reserve(lines.size());
+    for (const auto &[line, info] : lines)
+        result.push_back(info);
+    std::sort(result.begin(), result.end(),
+              [](const WeakLineInfo &a, const WeakLineInfo &b) {
+                  return a.weakestVc > b.weakestVc;
+              });
+    return result;
+}
+
+void
+CacheArray::deconfigureLine(std::uint64_t set, unsigned way)
+{
+    checkLocation(set, way);
+    deconfigured[lineIndex(set, way)] = true;
+}
+
+bool
+CacheArray::isDeconfigured(std::uint64_t set, unsigned way) const
+{
+    checkLocation(set, way);
+    return deconfigured[lineIndex(set, way)];
+}
+
+void
+CacheArray::reconfigureLine(std::uint64_t set, unsigned way)
+{
+    checkLocation(set, way);
+    deconfigured[lineIndex(set, way)] = false;
+}
+
+WeakLineInfo
+CacheArray::weakestLine() const
+{
+    const auto lines = weakLines();
+    return lines.empty() ? WeakLineInfo{} : lines.front();
+}
+
+} // namespace vspec

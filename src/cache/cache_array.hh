@@ -1,0 +1,145 @@
+/**
+ * @file
+ * ECC-protected cache data array.
+ *
+ * CacheArray owns the stored codewords and the statistical SRAM model
+ * of the bit cells. Reads come in two flavors:
+ *
+ *  - readLine(): bit-accurate — samples individual cell failures,
+ *    applies them to the stored codeword, and runs the real SECDED
+ *    decoder. Used by the functional cache paths and the sweep engines.
+ *
+ *  - probeLine(): aggregate — computes per-word single/multi flip
+ *    probabilities analytically from the line's weak cells and samples
+ *    event *counts* binomially. Used by the hardware ECC monitor, which
+ *    issues tens of thousands of probes per control interval.
+ *
+ * Both paths are driven by the same weak-cell population, so they agree
+ * statistically (a property test pins this).
+ */
+
+#ifndef VSPEC_CACHE_CACHE_ARRAY_HH
+#define VSPEC_CACHE_CACHE_ARRAY_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/ecc_event.hh"
+#include "cache/geometry.hh"
+#include "common/rng.hh"
+#include "common/units.hh"
+#include "ecc/secded.hh"
+#include "sram/sram_array.hh"
+
+namespace vspec
+{
+
+/** A weak line summary: where it is and how weak. */
+struct WeakLineInfo
+{
+    std::uint64_t set = 0;
+    unsigned way = 0;
+    /** Critical voltage of the line's weakest cell (mV). */
+    Millivolt weakestVc = 0.0;
+    /** Number of materialized weak cells in the line. */
+    unsigned weakCellCount = 0;
+};
+
+/** Result of a bit-accurate line read. */
+struct LineReadResult
+{
+    std::vector<std::uint64_t> data;
+    std::vector<EccEvent> events;
+    bool uncorrectable = false;
+};
+
+class CacheArray
+{
+  public:
+    /**
+     * @param geometry cache shape (validated)
+     * @param dist critical-voltage distribution of the data array cells
+     * @param v_floor lowest supply the experiments will apply (mV)
+     * @param rng generator for the weak-cell draw
+     */
+    CacheArray(const CacheGeometry &geometry, const VcDistribution &dist,
+               Millivolt v_floor, Rng &rng);
+
+    const CacheGeometry &geometry() const { return geo; }
+    const SramArray &sram() const { return cells; }
+    SramArray &sram() { return cells; }
+    const SecdedCodec &codec() const { return eccCodec; }
+
+    /** Store a full line of data words (encodes each word). */
+    void writeLine(std::uint64_t set, unsigned way,
+                   const std::vector<std::uint64_t> &words);
+
+    /** Store a repeating test pattern into the line. */
+    void writePattern(std::uint64_t set, unsigned way,
+                      std::uint64_t pattern);
+
+    /** Bit-accurate read of a full line at effective supply v_eff. */
+    LineReadResult readLine(std::uint64_t set, unsigned way,
+                            Millivolt v_eff, Rng &rng) const;
+
+    /** Aggregate probe of one line: n_accesses full-line reads. */
+    ProbeStats probeLine(std::uint64_t set, unsigned way, Millivolt v_eff,
+                         std::uint64_t n_accesses, Rng &rng) const;
+
+    /**
+     * Expected per-access probability that a read of this line raises
+     * at least one correctable event (and, separately, an uncorrectable
+     * one) at v_eff. Exposed for calibration and the fast probe path.
+     */
+    void lineEventProbabilities(std::uint64_t set, unsigned way,
+                                Millivolt v_eff, double &p_correctable,
+                                double &p_uncorrectable) const;
+
+    /** Weak cells of one line (positions relative to the line). */
+    std::vector<WeakCell> lineWeakCells(std::uint64_t set,
+                                        unsigned way) const;
+
+    /** All lines containing at least one weak cell, weakest first. */
+    std::vector<WeakLineInfo> weakLines() const;
+
+    /** The single weakest line, or a default WeakLineInfo if none. */
+    WeakLineInfo weakestLine() const;
+
+    /** Flat cell index of the first cell of a line. */
+    std::uint64_t lineCellBase(std::uint64_t set, unsigned way) const;
+
+    /**
+     * Take a line out of normal service (the monitor's designated line
+     * stores no program data, Section III-C). Deconfigured lines are
+     * skipped by replacement and by the workload traffic model, but the
+     * monitor can still write/probe them.
+     */
+    void deconfigureLine(std::uint64_t set, unsigned way);
+    bool isDeconfigured(std::uint64_t set, unsigned way) const;
+    void reconfigureLine(std::uint64_t set, unsigned way);
+
+  private:
+    CacheGeometry geo;
+    SecdedCodec eccCodec;
+    SramArray cells;
+    /** Stored codewords, wordsPerLine() per line. */
+    std::vector<Codeword> store;
+    /** Per-line deconfiguration flags. */
+    std::vector<bool> deconfigured;
+    /**
+     * Encode memo: calibration sweeps rewrite the same march patterns
+     * and template words millions of times; caching the encodings
+     * keeps the sweep cost proportional to line count, not bit count.
+     */
+    mutable std::unordered_map<std::uint64_t, Codeword> encodeMemo;
+
+    const Codeword &encodeCached(std::uint64_t data) const;
+
+    std::uint64_t lineIndex(std::uint64_t set, unsigned way) const;
+    void checkLocation(std::uint64_t set, unsigned way) const;
+};
+
+} // namespace vspec
+
+#endif // VSPEC_CACHE_CACHE_ARRAY_HH

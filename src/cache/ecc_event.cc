@@ -1,0 +1,27 @@
+#include "cache/ecc_event.hh"
+
+namespace vspec
+{
+
+void
+EccEventLog::record(const EccEvent &event)
+{
+    if (event.status == EccStatus::correctedSingle) {
+        ++correctable;
+        ++perLine[{event.set, event.way}];
+        ++perCache[event.cacheName];
+    } else if (event.status == EccStatus::uncorrectable) {
+        ++uncorrectable;
+    }
+}
+
+void
+EccEventLog::reset()
+{
+    correctable = 0;
+    uncorrectable = 0;
+    perLine.clear();
+    perCache.clear();
+}
+
+} // namespace vspec

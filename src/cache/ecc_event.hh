@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Correctable/uncorrectable error event records — the machine-check
+ * telemetry the voltage speculation system consumes.
+ */
+
+#ifndef VSPEC_CACHE_ECC_EVENT_HH
+#define VSPEC_CACHE_ECC_EVENT_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+#include "ecc/secded.hh"
+
+namespace vspec
+{
+
+/** One ECC event reported by a cache controller. */
+struct EccEvent
+{
+    std::string cacheName;
+    std::uint64_t set = 0;
+    unsigned way = 0;
+    /** Codeword index within the line. */
+    unsigned word = 0;
+    EccStatus status = EccStatus::ok;
+    Seconds time = 0.0;
+};
+
+/** Aggregate result of a burst of probe accesses to one line. */
+struct ProbeStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t correctableEvents = 0;
+    std::uint64_t uncorrectableEvents = 0;
+
+    /** Correctable error rate (events per access). */
+    double errorRate() const
+    {
+        return accesses == 0
+                   ? 0.0
+                   : double(correctableEvents) / double(accesses);
+    }
+
+    ProbeStats &
+    operator+=(const ProbeStats &other)
+    {
+        accesses += other.accesses;
+        correctableEvents += other.correctableEvents;
+        uncorrectableEvents += other.uncorrectableEvents;
+        return *this;
+    }
+};
+
+/**
+ * Per-line ECC event counters keyed by (set, way) — the log the paper's
+ * firmware hooks record to characterize each core's error profile.
+ */
+class EccEventLog
+{
+  public:
+    void record(const EccEvent &event);
+
+    std::uint64_t correctableCount() const { return correctable; }
+    std::uint64_t uncorrectableCount() const { return uncorrectable; }
+
+    /** Correctable counts per (set, way). */
+    const std::map<std::pair<std::uint64_t, unsigned>, std::uint64_t> &
+    perLineCorrectable() const
+    {
+        return perLine;
+    }
+
+    /** Correctable counts per cache name ("L2I", "L2D", "RF", ...). */
+    const std::map<std::string, std::uint64_t> &
+    perCacheCorrectable() const
+    {
+        return perCache;
+    }
+
+    void reset();
+
+  private:
+    std::uint64_t correctable = 0;
+    std::uint64_t uncorrectable = 0;
+    std::map<std::pair<std::uint64_t, unsigned>, std::uint64_t> perLine;
+    std::map<std::string, std::uint64_t> perCache;
+};
+
+} // namespace vspec
+
+#endif // VSPEC_CACHE_ECC_EVENT_HH

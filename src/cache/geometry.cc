@@ -1,0 +1,123 @@
+#include "cache/geometry.hh"
+
+#include "common/logging.hh"
+#include "ecc/secded.hh"
+
+namespace vspec
+{
+
+std::uint64_t
+CacheGeometry::numLines() const
+{
+    return sizeBytes / lineBytes;
+}
+
+std::uint64_t
+CacheGeometry::numSets() const
+{
+    return numLines() / associativity;
+}
+
+unsigned
+CacheGeometry::wordsPerLine() const
+{
+    return lineBytes * 8 / eccDataBits;
+}
+
+std::uint64_t
+CacheGeometry::cellsPerLine() const
+{
+    const SecdedCodec codec(eccDataBits);
+    return std::uint64_t(wordsPerLine()) * codec.codewordBits();
+}
+
+std::uint64_t
+CacheGeometry::totalCells() const
+{
+    return numLines() * cellsPerLine();
+}
+
+void
+CacheGeometry::validate() const
+{
+    if (sizeBytes == 0 || lineBytes == 0 || associativity == 0)
+        fatal("cache '", name, "': size, line size and associativity "
+              "must be positive");
+    if (sizeBytes % lineBytes != 0)
+        fatal("cache '", name, "': size not a multiple of the line size");
+    if (numLines() % associativity != 0)
+        fatal("cache '", name, "': line count not divisible by the "
+              "associativity");
+    if (eccDataBits == 0 || eccDataBits > 64 ||
+        (lineBytes * 8) % eccDataBits != 0)
+        fatal("cache '", name, "': line must hold a whole number of ECC "
+              "words of ", eccDataBits, " bits");
+}
+
+namespace itanium9560
+{
+
+CacheGeometry
+l1Data()
+{
+    CacheGeometry g;
+    g.name = "L1D";
+    g.sizeBytes = 16 * 1024;
+    g.associativity = 4;
+    g.lineBytes = 64;
+    g.latencyCycles = 1;
+    g.cellClass = CellClass::robustL1;
+    g.validate();
+    return g;
+}
+
+CacheGeometry
+l1Instruction()
+{
+    CacheGeometry g = l1Data();
+    g.name = "L1I";
+    g.validate();
+    return g;
+}
+
+CacheGeometry
+l2Data()
+{
+    CacheGeometry g;
+    g.name = "L2D";
+    g.sizeBytes = 256 * 1024;
+    g.associativity = 8;
+    g.lineBytes = 128;
+    g.latencyCycles = 9;
+    g.cellClass = CellClass::denseL2;
+    g.validate();
+    return g;
+}
+
+CacheGeometry
+l2Instruction()
+{
+    CacheGeometry g = l2Data();
+    g.name = "L2I";
+    g.sizeBytes = 512 * 1024;
+    g.validate();
+    return g;
+}
+
+CacheGeometry
+l3Unified()
+{
+    CacheGeometry g;
+    g.name = "L3";
+    g.sizeBytes = 32ull * 1024 * 1024;
+    g.associativity = 32;
+    g.lineBytes = 128;
+    g.latencyCycles = 50;
+    g.cellClass = CellClass::denseL2;
+    g.validate();
+    return g;
+}
+
+} // namespace itanium9560
+
+} // namespace vspec

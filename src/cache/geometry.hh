@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Cache geometry descriptions and the Itanium 9560 presets of Table I.
+ */
+
+#ifndef VSPEC_CACHE_GEOMETRY_HH
+#define VSPEC_CACHE_GEOMETRY_HH
+
+#include <cstdint>
+#include <string>
+
+#include "variation/process_variation.hh"
+
+namespace vspec
+{
+
+/**
+ * Static shape of one cache: size, associativity, line size, ECC word
+ * width, access latency, and the SRAM cell class it is built from.
+ */
+struct CacheGeometry
+{
+    std::string name;
+    std::uint64_t sizeBytes = 0;
+    unsigned associativity = 0;
+    unsigned lineBytes = 0;
+    /** ECC data word width in bits (one codeword per word). */
+    unsigned eccDataBits = 64;
+    /** Load-to-use latency in cycles (documentation/bench only). */
+    unsigned latencyCycles = 1;
+    /** Cell sizing class of the data array. */
+    CellClass cellClass = CellClass::denseL2;
+
+    std::uint64_t numLines() const;
+    std::uint64_t numSets() const;
+    unsigned wordsPerLine() const;
+    /** Data + check cells per line (what the SRAM array stores). */
+    std::uint64_t cellsPerLine() const;
+    /** Total SRAM cells in the data array, including check bits. */
+    std::uint64_t totalCells() const;
+
+    /** Abort with fatal() if the shape is inconsistent. */
+    void validate() const;
+};
+
+namespace itanium9560
+{
+
+/** 4-way 16 KB, 1-cycle L1 data cache (robust cells). */
+CacheGeometry l1Data();
+/** 4-way 16 KB, 1-cycle L1 instruction cache (robust cells). */
+CacheGeometry l1Instruction();
+/** 8-way 256 KB, 9-cycle L2 data cache (dense cells). */
+CacheGeometry l2Data();
+/** 8-way 512 KB, 9-cycle L2 instruction cache (dense cells). */
+CacheGeometry l2Instruction();
+/** 32-way 32 MB unified L3 (uncore voltage domain). */
+CacheGeometry l3Unified();
+
+} // namespace itanium9560
+
+} // namespace vspec
+
+#endif // VSPEC_CACHE_GEOMETRY_HH

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Two-level private cache hierarchy (L1 over L2) plus the firmware
+ * targeted-line test of Fig. 7.
+ *
+ * Firmware cannot address a specific L2 way directly, so the paper's
+ * proof-of-concept reaches a designated L2 line in three steps:
+ *
+ *   1. fetch 8 lines that fill every way of the target L2 set (they all
+ *      map to one L1 set too),
+ *   2. fetch 4 more lines that map to the same L1 set but a *different*
+ *      L2 set — evicting step 1's lines from the 4-way L1,
+ *   3. re-access the original 8 lines: every access now misses L1 and
+ *      hits the resident L2 ways, exercising the line under test.
+ *
+ * TargetedLineTest reproduces exactly that address arithmetic and
+ * verifies the hit/miss pattern.
+ */
+
+#ifndef VSPEC_CACHE_HIERARCHY_HH
+#define VSPEC_CACHE_HIERARCHY_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/cache.hh"
+
+namespace vspec
+{
+
+/** Which level serviced an access. */
+enum class HitLevel
+{
+    l1,
+    l2,
+    memory,
+};
+
+/** Outcome of one hierarchy access. */
+struct HierarchyAccess
+{
+    HitLevel level = HitLevel::memory;
+    std::vector<EccEvent> events;
+    bool uncorrectable = false;
+};
+
+/**
+ * A private L1 + L2 pair (one instance each for the instruction and
+ * data sides of a core).
+ */
+class CacheHierarchy
+{
+  public:
+    CacheHierarchy(std::unique_ptr<Cache> l1_cache,
+                   std::unique_ptr<Cache> l2_cache);
+
+    Cache &l1() { return *l1Cache; }
+    Cache &l2() { return *l2Cache; }
+    const Cache &l1() const { return *l1Cache; }
+    const Cache &l2() const { return *l2Cache; }
+
+    /** Access through the hierarchy, filling upper levels on miss. */
+    HierarchyAccess access(std::uint64_t addr, Millivolt v_eff, Rng &rng);
+
+    /** Drop all cached state in both levels. */
+    void invalidateAll();
+
+  private:
+    std::unique_ptr<Cache> l1Cache;
+    std::unique_ptr<Cache> l2Cache;
+};
+
+/** Statistics from one targeted-test iteration set. */
+struct TargetedTestResult
+{
+    /** Accesses in step 3 that hit in the L2 (should be all). */
+    std::uint64_t l2Hits = 0;
+    /** Accesses in step 3 that missed the L2 (should be none). */
+    std::uint64_t l2Misses = 0;
+    /** ECC events raised across all steps. */
+    std::vector<EccEvent> events;
+    bool uncorrectable = false;
+};
+
+/**
+ * The firmware self-test of Fig. 7, parameterized by the L2 set under
+ * test.
+ */
+class TargetedLineTest
+{
+  public:
+    /**
+     * @param hierarchy the cache pair to drive
+     * @param l2_set the L2 set containing the line under test
+     */
+    TargetedLineTest(CacheHierarchy &hierarchy, std::uint64_t l2_set);
+
+    /**
+     * Run @p iterations of the three-step sequence at effective supply
+     * v_eff.
+     */
+    TargetedTestResult run(std::uint64_t iterations, Millivolt v_eff,
+                           Rng &rng);
+
+    /** Step-1/3 addresses (one per L2 way). */
+    const std::vector<std::uint64_t> &targetAddresses() const
+    {
+        return targets;
+    }
+    /** Step-2 eviction addresses (one per L1 way). */
+    const std::vector<std::uint64_t> &evictAddresses() const
+    {
+        return evictors;
+    }
+
+  private:
+    CacheHierarchy &caches;
+    std::uint64_t targetSet;
+    std::vector<std::uint64_t> targets;
+    std::vector<std::uint64_t> evictors;
+};
+
+} // namespace vspec
+
+#endif // VSPEC_CACHE_HIERARCHY_HH

@@ -1,0 +1,127 @@
+#include "cache/sweep.hh"
+
+#include "common/logging.hh"
+
+namespace vspec
+{
+
+std::pair<std::uint64_t, unsigned>
+SweepResult::worstLine() const
+{
+    std::pair<std::uint64_t, unsigned> worst{0, 0};
+    std::uint64_t best_count = 0;
+    for (const auto &[line, count] : correctablePerLine) {
+        if (count > best_count) {
+            best_count = count;
+            worst = line;
+        }
+    }
+    return worst;
+}
+
+InstructionTemplate::InstructionTemplate(unsigned words_per_line)
+{
+    if (words_per_line < 2)
+        fatal("InstructionTemplate needs at least two words per line");
+
+    // Fill the line with the ADD/SUB/CMP filler sequence and terminate
+    // with the conditional branch to the next replica (Fig. 6). The
+    // final word carries the exit branch encoding in its upper half so
+    // every replica can return to the caller.
+    for (unsigned w = 0; w + 1 < words_per_line; ++w) {
+        switch (w % 3) {
+          case 0:
+            encoded.push_back(opAdd | w);
+            break;
+          case 1:
+            encoded.push_back(opSub | w);
+            break;
+          default:
+            encoded.push_back(opCmp | w);
+            break;
+        }
+    }
+    encoded.push_back(opBnz | (opBrExit >> 32));
+}
+
+namespace sweep
+{
+
+namespace
+{
+
+/**
+ * Shared sweep core: for every (set, way), run the writer callback and
+ * then read the line the requested number of times, accumulating ECC
+ * events. Uses the aggregate probe path for the repeated reads (the
+ * write has already placed deterministic content).
+ */
+template <typename WriteLine>
+SweepResult
+sweepAllLines(CacheArray &array, Millivolt v_eff, std::uint64_t reads,
+              Rng &rng, WriteLine &&write_line)
+{
+    SweepResult result;
+    const auto &geo = array.geometry();
+
+    for (std::uint64_t set = 0; set < geo.numSets(); ++set) {
+        for (unsigned way = 0; way < geo.associativity; ++way) {
+            // Cell failures are content-independent, so lines with no
+            // materialized weak cell cannot err; skip the (simulated)
+            // write/read work for them.
+            if (array.lineWeakCells(set, way).empty()) {
+                ++result.linesTested;
+                continue;
+            }
+            write_line(set, way);
+            const ProbeStats stats =
+                array.probeLine(set, way, v_eff, reads, rng);
+            if (stats.correctableEvents > 0) {
+                result.correctablePerLine[{set, way}] +=
+                    stats.correctableEvents;
+                result.totalCorrectable += stats.correctableEvents;
+            }
+            if (stats.uncorrectableEvents > 0)
+                result.uncorrectable = true;
+            ++result.linesTested;
+        }
+    }
+    return result;
+}
+
+} // namespace
+
+SweepResult
+dataSweep(CacheArray &array, Millivolt v_eff,
+          std::uint64_t reads_per_pattern, Rng &rng)
+{
+    SweepResult total;
+    for (std::uint64_t pattern : dataPatterns) {
+        SweepResult pass = sweepAllLines(
+            array, v_eff, reads_per_pattern, rng,
+            [&](std::uint64_t set, unsigned way) {
+                array.writePattern(set, way, pattern);
+            });
+        for (const auto &[line, count] : pass.correctablePerLine)
+            total.correctablePerLine[line] += count;
+        total.totalCorrectable += pass.totalCorrectable;
+        total.uncorrectable = total.uncorrectable || pass.uncorrectable;
+        total.linesTested = pass.linesTested;
+    }
+    return total;
+}
+
+SweepResult
+instructionSweep(CacheArray &array, Millivolt v_eff,
+                 std::uint64_t reads_per_line, Rng &rng)
+{
+    const InstructionTemplate tmpl(array.geometry().wordsPerLine());
+    return sweepAllLines(array, v_eff, reads_per_line, rng,
+                         [&](std::uint64_t set, unsigned way) {
+                             array.writeLine(set, way, tmpl.words());
+                         });
+}
+
+} // namespace sweep
+
+} // namespace vspec

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Status and error reporting helpers, following the gem5 conventions:
+ * panic() for internal invariant violations (aborts), fatal() for user
+ * errors (clean exit), warn()/inform() for status messages.
+ */
+
+#ifndef VSPEC_COMMON_LOGGING_HH
+#define VSPEC_COMMON_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace vspec
+{
+
+namespace detail
+{
+
+/** Compose a message from streamable parts. */
+template <typename... Args>
+std::string
+composeMessage(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+/** Emit a message with the given severity tag, then optionally die. */
+[[noreturn]] void panicImpl(const std::string &msg);
+[[noreturn]] void fatalImpl(const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/**
+ * Report an internal simulator bug and abort. Use for conditions that
+ * should never happen regardless of user input.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::panicImpl(detail::composeMessage(std::forward<Args>(args)...));
+}
+
+/**
+ * Report an unrecoverable user/configuration error and exit(1).
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::fatalImpl(detail::composeMessage(std::forward<Args>(args)...));
+}
+
+/** Report a suspicious but non-fatal condition. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::composeMessage(std::forward<Args>(args)...));
+}
+
+/** Report normal operating status. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::composeMessage(std::forward<Args>(args)...));
+}
+
+/** Enable/disable inform() output (benchmarks silence it). */
+void setInformEnabled(bool enabled);
+
+/** Whether inform() output is currently enabled. */
+bool informEnabled();
+
+} // namespace vspec
+
+#endif // VSPEC_COMMON_LOGGING_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Small numerical helpers: the standard normal CDF and its inverse,
+ * used to convert per-cell critical-voltage margins into failure
+ * probabilities and back during calibration.
+ */
+
+#ifndef VSPEC_COMMON_MATHUTIL_HH
+#define VSPEC_COMMON_MATHUTIL_HH
+
+namespace vspec
+{
+
+namespace math
+{
+
+constexpr double pi = 3.14159265358979323846;
+
+/** Standard normal cumulative distribution function Phi(x). */
+double normalCdf(double x);
+
+/**
+ * Inverse standard normal CDF (Acklam's rational approximation,
+ * refined with one Halley step; accurate to ~1e-9 over (0, 1)).
+ */
+double normalQuantile(double p);
+
+/** Clamp a value into [lo, hi]. */
+double clamp(double x, double lo, double hi);
+
+/** Linear interpolation between a and b by t in [0, 1]. */
+double lerp(double a, double b, double t);
+
+} // namespace math
+
+} // namespace vspec
+
+#endif // VSPEC_COMMON_MATHUTIL_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the simulator.
+ *
+ * All stochastic behaviour in the simulator flows through Rng so that
+ * every experiment is exactly reproducible from a seed. The generator is
+ * xoshiro256** seeded via splitmix64; distribution helpers cover the
+ * needs of the statistical SRAM model (Gaussian critical voltages,
+ * Bernoulli/binomial/Poisson error draws).
+ */
+
+#ifndef VSPEC_COMMON_RNG_HH
+#define VSPEC_COMMON_RNG_HH
+
+#include <array>
+#include <cstdint>
+
+namespace vspec
+{
+
+/**
+ * Stateless 64-bit mixing function (splitmix64 finalizer). Used both for
+ * seeding and for deriving per-object child seeds.
+ */
+std::uint64_t mix64(std::uint64_t x);
+
+/**
+ * xoshiro256** generator with distribution helpers.
+ */
+class Rng
+{
+  public:
+    /** Construct from a seed; identical seeds yield identical streams. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Derive an independent child generator (for per-core streams). */
+    Rng fork(std::uint64_t stream_id);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    std::uint64_t uniformInt(std::uint64_t n);
+
+    /** Standard normal variate (Box-Muller with caching). */
+    double gaussian();
+
+    /** Normal variate with the given mean and standard deviation. */
+    double gaussian(double mean, double sigma);
+
+    /** Bernoulli trial with success probability p. */
+    bool bernoulli(double p);
+
+    /**
+     * Number of successes in n Bernoulli(p) trials.
+     *
+     * Uses exact inversion for small n*p, a Poisson approximation for
+     * rare events and a normal approximation for large counts, so it is
+     * cheap even for the millions of probe accesses per tick.
+     */
+    std::uint64_t binomial(std::uint64_t n, double p);
+
+    /** Poisson variate with the given mean. */
+    std::uint64_t poisson(double mean);
+
+  private:
+    std::array<std::uint64_t, 4> state;
+    double cachedGaussian;
+    bool hasCachedGaussian;
+};
+
+} // namespace vspec
+
+#endif // VSPEC_COMMON_RNG_HH

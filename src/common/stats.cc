@@ -1,0 +1,171 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace vspec
+{
+
+RunningStats::RunningStats()
+{
+    reset();
+}
+
+void
+RunningStats::add(double x)
+{
+    ++n;
+    const double delta = x - runningMean;
+    runningMean += delta / double(n);
+    m2 += delta * (x - runningMean);
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+    total += x;
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        *this = other;
+        return;
+    }
+    const double delta = other.runningMean - runningMean;
+    const std::uint64_t combined = n + other.n;
+    m2 += other.m2 +
+          delta * delta * double(n) * double(other.n) / double(combined);
+    runningMean += delta * double(other.n) / double(combined);
+    n = combined;
+    lo = std::min(lo, other.lo);
+    hi = std::max(hi, other.hi);
+    total += other.total;
+}
+
+void
+RunningStats::reset()
+{
+    n = 0;
+    runningMean = 0.0;
+    m2 = 0.0;
+    lo = std::numeric_limits<double>::infinity();
+    hi = -std::numeric_limits<double>::infinity();
+    total = 0.0;
+}
+
+double
+RunningStats::mean() const
+{
+    return n == 0 ? 0.0 : runningMean;
+}
+
+double
+RunningStats::variance() const
+{
+    return n < 2 ? 0.0 : m2 / double(n - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStats::min() const
+{
+    return n == 0 ? 0.0 : lo;
+}
+
+double
+RunningStats::max() const
+{
+    return n == 0 ? 0.0 : hi;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : rangeLo(lo), rangeHi(hi), counts(bins, 0), total(0)
+{
+    if (bins == 0)
+        panic("Histogram requires at least one bin");
+    if (!(hi > lo))
+        panic("Histogram requires hi > lo, got [", lo, ", ", hi, ")");
+    binWidth = (hi - lo) / double(bins);
+}
+
+void
+Histogram::add(double x)
+{
+    std::size_t idx;
+    if (x < rangeLo) {
+        idx = 0;
+    } else if (x >= rangeHi) {
+        idx = counts.size() - 1;
+    } else {
+        idx = std::size_t((x - rangeLo) / binWidth);
+        idx = std::min(idx, counts.size() - 1);
+    }
+    ++counts[idx];
+    ++total;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts.begin(), counts.end(), 0);
+    total = 0;
+}
+
+double
+Histogram::binLow(std::size_t i) const
+{
+    return rangeLo + binWidth * double(i);
+}
+
+double
+Histogram::binHigh(std::size_t i) const
+{
+    return rangeLo + binWidth * double(i + 1);
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (total == 0)
+        return rangeLo;
+    q = std::clamp(q, 0.0, 1.0);
+    const double target = q * double(total);
+    double cum = 0.0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        cum += double(counts[i]);
+        if (cum >= target)
+            return binLow(i) + binWidth * 0.5;
+    }
+    return rangeHi;
+}
+
+std::string
+Histogram::render(std::size_t width) const
+{
+    std::uint64_t peak = 0;
+    for (auto c : counts)
+        peak = std::max(peak, c);
+
+    std::ostringstream os;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        const std::size_t bar =
+            peak == 0 ? 0
+                      : std::size_t(double(counts[i]) / double(peak) *
+                                    double(width));
+        os << "[" << binLow(i) << ", " << binHigh(i) << ") "
+           << std::string(bar, '#') << " " << counts[i] << "\n";
+    }
+    return os.str();
+}
+
+} // namespace vspec

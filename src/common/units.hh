@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Basic physical unit aliases and conversion helpers used throughout the
+ * simulator.
+ *
+ * Conventions:
+ *  - Voltages are carried in millivolts (double) so that the paper's
+ *    numbers (5 mV steps, 800 mV nominal, ...) are directly readable.
+ *  - Times are carried in seconds (double).
+ *  - Frequencies are carried in megahertz (double).
+ */
+
+#ifndef VSPEC_COMMON_UNITS_HH
+#define VSPEC_COMMON_UNITS_HH
+
+namespace vspec
+{
+
+/** Supply/threshold voltage in millivolts. */
+using Millivolt = double;
+
+/** Wall-clock / simulated time in seconds. */
+using Seconds = double;
+
+/** Clock frequency in megahertz. */
+using Megahertz = double;
+
+/** Power in watts. */
+using Watt = double;
+
+/** Energy in joules. */
+using Joule = double;
+
+/** Temperature in degrees Celsius. */
+using Celsius = double;
+
+/** Convert millivolts to volts. */
+constexpr double
+mvToVolt(Millivolt mv)
+{
+    return mv * 1e-3;
+}
+
+/** Convert volts to millivolts. */
+constexpr Millivolt
+voltToMv(double v)
+{
+    return v * 1e3;
+}
+
+/** Convert megahertz to hertz. */
+constexpr double
+mhzToHz(Megahertz mhz)
+{
+    return mhz * 1e6;
+}
+
+/** Clock period in seconds for a frequency in megahertz. */
+constexpr Seconds
+periodOf(Megahertz mhz)
+{
+    return 1.0 / mhzToHz(mhz);
+}
+
+namespace units
+{
+
+constexpr Seconds microsecond = 1e-6;
+constexpr Seconds millisecond = 1e-3;
+constexpr Seconds second = 1.0;
+constexpr Seconds minute = 60.0;
+
+} // namespace units
+
+} // namespace vspec
+
+#endif // VSPEC_COMMON_UNITS_HH

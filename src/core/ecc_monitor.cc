@@ -1,0 +1,106 @@
+#include "core/ecc_monitor.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace vspec
+{
+
+EccMonitor::EccMonitor() : EccMonitor(Config()) {}
+
+EccMonitor::EccMonitor(Config config)
+    : cfg(config)
+{
+    if (cfg.probesPerSecond <= 0.0)
+        fatal("EccMonitor probe rate must be positive");
+    if (cfg.emergencyCeiling <= 0.0 || cfg.emergencyCeiling > 1.0)
+        fatal("EccMonitor emergency ceiling must be in (0, 1]");
+}
+
+void
+EccMonitor::activate(CacheArray &array, std::uint64_t set, unsigned way)
+{
+    if (active())
+        deactivate();
+    targetArray = &array;
+    set_ = set;
+    way_ = way;
+    array.deconfigureLine(set, way);
+    array.writePattern(set, way, sweep::dataPatterns[0]);
+    accesses = 0;
+    errors = 0;
+    uncorrectable = false;
+    probeCarry = 0.0;
+    patternIndex = 0;
+}
+
+void
+EccMonitor::deactivate()
+{
+    if (!active())
+        return;
+    targetArray->reconfigureLine(set_, way_);
+    targetArray = nullptr;
+}
+
+const std::string &
+EccMonitor::targetCacheName() const
+{
+    if (!active())
+        panic("EccMonitor::targetCacheName on an inactive monitor");
+    return targetArray->geometry().name;
+}
+
+ProbeStats
+EccMonitor::runProbes(Seconds dt, Millivolt v_eff, Rng &rng)
+{
+    ProbeStats stats;
+    if (!active() || dt <= 0.0)
+        return stats;
+
+    const double budget = cfg.probesPerSecond * dt + probeCarry;
+    const std::uint64_t n = std::uint64_t(budget);
+    probeCarry = budget - double(n);
+    if (n == 0)
+        return stats;
+
+    if (cfg.cyclePatterns) {
+        patternIndex = (patternIndex + 1) % sweep::dataPatterns.size();
+        targetArray->writePattern(set_, way_,
+                                  sweep::dataPatterns[patternIndex]);
+    }
+
+    stats = targetArray->probeLine(set_, way_, v_eff, n, rng);
+    accesses += stats.accesses;
+    errors += stats.correctableEvents;
+    uncorrectable = uncorrectable || stats.uncorrectableEvents > 0;
+    return stats;
+}
+
+double
+EccMonitor::errorRate() const
+{
+    return accesses == 0 ? 0.0 : double(errors) / double(accesses);
+}
+
+ProbeStats
+EccMonitor::readAndResetCounters()
+{
+    ProbeStats stats;
+    stats.accesses = accesses;
+    stats.correctableEvents = errors;
+    stats.uncorrectableEvents = uncorrectable ? 1 : 0;
+    accesses = 0;
+    errors = 0;
+    return stats;
+}
+
+bool
+EccMonitor::emergencyPending() const
+{
+    return accesses >= cfg.emergencyMinSamples &&
+           errorRate() > cfg.emergencyCeiling;
+}
+
+} // namespace vspec

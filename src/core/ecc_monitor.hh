@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The hardware ECC monitor (Section III-A) — the paper's key mechanism.
+ *
+ * An ECC monitor is a lightweight hardware unit built into every cache
+ * controller. When activated it continuously probes one designated
+ * (deconfigured) cache line: it writes a test bit pattern, reads the
+ * line back, and counts both accesses and correctable-error reports
+ * from the existing SECDED logic. The ratio of the two counters is the
+ * line's correctable error rate — the signal the voltage control
+ * system regulates. Probes are issued during idle cache cycles, so the
+ * runtime overhead is negligible (unlike the firmware baseline).
+ *
+ * Each monitor also implements the emergency path: if the error rate
+ * since the last counter reset exceeds an emergency ceiling, an
+ * interrupt is flagged so the voltage controller can apply a large
+ * corrective step without waiting for the next control interval.
+ */
+
+#ifndef VSPEC_CORE_ECC_MONITOR_HH
+#define VSPEC_CORE_ECC_MONITOR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "cache/cache_array.hh"
+#include "cache/sweep.hh"
+#include "common/rng.hh"
+#include "common/units.hh"
+#include "core/feedback_source.hh"
+
+namespace vspec
+{
+
+class EccMonitor : public ErrorFeedbackSource
+{
+  public:
+    struct Config
+    {
+        /** Probe rate sustained from idle cache cycles (per second). */
+        double probesPerSecond = 50000.0;
+        /** Error rate that triggers the emergency interrupt. */
+        double emergencyCeiling = 0.08;
+        /** Minimum accesses before the emergency check can fire. */
+        std::uint64_t emergencyMinSamples = 200;
+        /** Cycle through the march test patterns on rewrite. */
+        bool cyclePatterns = true;
+    };
+
+    EccMonitor();
+    explicit EccMonitor(Config config);
+
+    /**
+     * Point the monitor at a line and start probing. The line is
+     * deconfigured so it never holds program data.
+     */
+    void activate(CacheArray &array, std::uint64_t set, unsigned way);
+
+    /** Stop probing and return the line to service. */
+    void deactivate();
+
+    bool active() const { return targetArray != nullptr; }
+
+    /** Target coordinates (valid only while active). */
+    const std::string &targetCacheName() const;
+    std::uint64_t targetSet() const { return set_; }
+    unsigned targetWay() const { return way_; }
+
+    /**
+     * Issue the probes for one tick of wall-clock time dt at effective
+     * supply v_eff. Returns the stats of this burst and accumulates
+     * them into the running counters.
+     */
+    ProbeStats runProbes(Seconds dt, Millivolt v_eff, Rng &rng);
+
+    /** Counters since the last reset. */
+    std::uint64_t accessCount() const override { return accesses; }
+    std::uint64_t errorCount() const { return errors; }
+    double errorRate() const override;
+
+    /** Read-and-reset, as the voltage control system does. */
+    ProbeStats readAndResetCounters() override;
+
+    /** Emergency interrupt line (cleared by readAndResetCounters). */
+    bool emergencyPending() const override;
+
+    /** True if any probe burst saw an uncorrectable error. */
+    bool sawUncorrectable() const override { return uncorrectable; }
+
+    const Config &config() const { return cfg; }
+
+  private:
+    Config cfg;
+    CacheArray *targetArray = nullptr;
+    std::uint64_t set_ = 0;
+    unsigned way_ = 0;
+
+    std::uint64_t accesses = 0;
+    std::uint64_t errors = 0;
+    bool uncorrectable = false;
+
+    /** Fractional probe budget carried between ticks. */
+    double probeCarry = 0.0;
+    unsigned patternIndex = 0;
+};
+
+} // namespace vspec
+
+#endif // VSPEC_CORE_ECC_MONITOR_HH

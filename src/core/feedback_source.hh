@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Interface between the voltage control system and whatever produces
+ * its correctable-error-rate feedback.
+ *
+ * The paper describes a *hardware* ECC monitor (EccMonitor) but
+ * evaluates it with a *firmware* framework that approximates it on a
+ * spare hardware thread (FirmwareSelfTest, Fig. 8). Both feed the same
+ * control algorithm, so the controller only depends on this interface.
+ */
+
+#ifndef VSPEC_CORE_FEEDBACK_SOURCE_HH
+#define VSPEC_CORE_FEEDBACK_SOURCE_HH
+
+#include <cstdint>
+
+#include "cache/ecc_event.hh"
+
+namespace vspec
+{
+
+class ErrorFeedbackSource
+{
+  public:
+    virtual ~ErrorFeedbackSource() = default;
+
+    /** Counters since the last reset, then reset. */
+    virtual ProbeStats readAndResetCounters() = 0;
+
+    /** Asynchronous emergency interrupt line. */
+    virtual bool emergencyPending() const = 0;
+
+    /** True if any probe ever saw an uncorrectable error. */
+    virtual bool sawUncorrectable() const = 0;
+
+    /** Current running error rate (events per access). */
+    virtual double errorRate() const = 0;
+
+    /** Accesses since the last reset. */
+    virtual std::uint64_t accessCount() const = 0;
+};
+
+} // namespace vspec
+
+#endif // VSPEC_CORE_FEEDBACK_SOURCE_HH

@@ -1,0 +1,84 @@
+#include "core/firmware_monitor.hh"
+
+#include "common/logging.hh"
+
+namespace vspec
+{
+
+FirmwareSelfTest::FirmwareSelfTest(CacheHierarchy &side,
+                                   std::uint64_t l2_set, unsigned way)
+    : FirmwareSelfTest(side, l2_set, way, Config())
+{
+}
+
+FirmwareSelfTest::FirmwareSelfTest(CacheHierarchy &side,
+                                   std::uint64_t l2_set, unsigned way,
+                                   Config config)
+    : cfg(config), caches(&side), targetSet(l2_set), targetWay(way)
+{
+    if (cfg.testsPerSecond <= 0.0)
+        fatal("FirmwareSelfTest needs a positive test rate");
+    test = std::make_unique<TargetedLineTest>(side, l2_set);
+}
+
+ProbeStats
+FirmwareSelfTest::runTests(Seconds dt, Millivolt v_eff, Rng &rng)
+{
+    ProbeStats stats;
+    if (dt <= 0.0)
+        return stats;
+
+    const double budget = cfg.testsPerSecond * dt + testCarry;
+    const std::uint64_t n = std::uint64_t(budget);
+    testCarry = budget - double(n);
+    if (n == 0)
+        return stats;
+
+    const TargetedTestResult result = test->run(n, v_eff, rng);
+
+    // Each iteration's step 3 touches the designated way exactly once
+    // (all ways of the set are re-read; only the designated way's
+    // machine-check reports count toward the monitored rate).
+    stats.accesses = n;
+    for (const auto &event : result.events) {
+        if (event.set != targetSet || event.way != targetWay)
+            continue;
+        if (event.status == EccStatus::correctedSingle)
+            ++stats.correctableEvents;
+        else if (event.status == EccStatus::uncorrectable)
+            ++stats.uncorrectableEvents;
+    }
+
+    accesses += stats.accesses;
+    errors += stats.correctableEvents;
+    uncorrectable = uncorrectable || stats.uncorrectableEvents > 0 ||
+                    result.uncorrectable;
+    return stats;
+}
+
+ProbeStats
+FirmwareSelfTest::readAndResetCounters()
+{
+    ProbeStats stats;
+    stats.accesses = accesses;
+    stats.correctableEvents = errors;
+    stats.uncorrectableEvents = uncorrectable ? 1 : 0;
+    accesses = 0;
+    errors = 0;
+    return stats;
+}
+
+double
+FirmwareSelfTest::errorRate() const
+{
+    return accesses == 0 ? 0.0 : double(errors) / double(accesses);
+}
+
+bool
+FirmwareSelfTest::emergencyPending() const
+{
+    return accesses >= cfg.emergencyMinSamples &&
+           errorRate() > cfg.emergencyCeiling;
+}
+
+} // namespace vspec

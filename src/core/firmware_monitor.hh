@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The firmware self-test framework of Section IV-A / Fig. 8 — the
+ * vehicle the paper actually used to evaluate the hardware design on
+ * a real machine.
+ *
+ * Firmware running on each core's spare hardware thread cannot address
+ * an L2 way directly, so it reaches the designated line with the
+ * targeted test of Fig. 7: populate every way of the target L2 set,
+ * evict the L1 set with conflicting lines, then re-access — every
+ * re-access hits the L2 and exercises the line under test. Correctable
+ * errors reported by the machine-check telemetry on that set are
+ * counted against the accesses.
+ *
+ * Differences from the hardware EccMonitor it approximates:
+ *  - the probe reaches all ways of the set, so accesses to the *other*
+ *    (non-designated) ways dilute the measured error rate by ~1/assoc;
+ *    the firmware compensates by scaling its thresholds (or, as here,
+ *    by counting only the designated way's events);
+ *  - the test rate is limited by the thread's execution (thousands of
+ *    line tests per second rather than tens of thousands of probes);
+ *  - each test costs a little execution time on the spare thread.
+ */
+
+#ifndef VSPEC_CORE_FIRMWARE_MONITOR_HH
+#define VSPEC_CORE_FIRMWARE_MONITOR_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "cache/hierarchy.hh"
+#include "common/rng.hh"
+#include "core/feedback_source.hh"
+
+namespace vspec
+{
+
+class FirmwareSelfTest : public ErrorFeedbackSource
+{
+  public:
+    struct Config
+    {
+        /** Full targeted-test iterations per second. */
+        double testsPerSecond = 2000.0;
+        /** Error rate that triggers the emergency path. */
+        double emergencyCeiling = 0.08;
+        /** Minimum designated-way accesses before emergencies fire. */
+        std::uint64_t emergencyMinSamples = 50;
+    };
+
+    /**
+     * @param side the cache hierarchy (I or D side) owning the line
+     * @param l2_set target L2 set
+     * @param way designated way within the set (whose events count)
+     */
+    FirmwareSelfTest(CacheHierarchy &side, std::uint64_t l2_set,
+                     unsigned way);
+    FirmwareSelfTest(CacheHierarchy &side, std::uint64_t l2_set,
+                     unsigned way, Config config);
+
+    /** Run the self-tests for one tick at effective supply v_eff. */
+    ProbeStats runTests(Seconds dt, Millivolt v_eff, Rng &rng);
+
+    ProbeStats readAndResetCounters() override;
+    bool emergencyPending() const override;
+    bool sawUncorrectable() const override { return uncorrectable; }
+    double errorRate() const override;
+    std::uint64_t accessCount() const override { return accesses; }
+
+    const Config &config() const { return cfg; }
+
+  private:
+    Config cfg;
+    CacheHierarchy *caches;
+    std::uint64_t targetSet;
+    unsigned targetWay;
+    std::unique_ptr<TargetedLineTest> test;
+
+    std::uint64_t accesses = 0;
+    std::uint64_t errors = 0;
+    bool uncorrectable = false;
+    double testCarry = 0.0;
+};
+
+} // namespace vspec
+
+#endif // VSPEC_CORE_FIRMWARE_MONITOR_HH

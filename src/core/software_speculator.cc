@@ -1,0 +1,63 @@
+#include "core/software_speculator.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace vspec
+{
+
+SoftwareSpeculator::SoftwareSpeculator(VoltageRegulator &regulator,
+                                       const Policy &policy)
+    : reg(&regulator), swPolicy(policy)
+{
+    if (policy.stepMv <= 0.0 || policy.lowerInterval <= 0.0 ||
+        policy.holdAfterError <= 0.0)
+        fatal("SoftwareSpeculator: step, hold and lower interval must be "
+              "positive");
+}
+
+void
+SoftwareSpeculator::tick(Seconds dt, std::uint64_t correctable_events)
+{
+    if (correctable_events > 0) {
+        // Firmware trap per error.
+        handled += correctable_events;
+        const Seconds cost =
+            double(correctable_events) * swPolicy.errorCostSeconds;
+        overheadPending += cost;
+        overheadTotal += cost;
+
+        // Back off above the erring level and hold.
+        reg->request(std::min(swPolicy.maxVdd,
+                              reg->setpoint() + swPolicy.backoffMv));
+        holdRemaining = swPolicy.holdAfterError;
+        sinceLower = 0.0;
+        return;
+    }
+
+    if (holdRemaining > 0.0) {
+        holdRemaining = std::max(0.0, holdRemaining - dt);
+        return;
+    }
+
+    sinceLower += dt;
+    if (sinceLower >= swPolicy.lowerInterval) {
+        sinceLower = 0.0;
+        const Millivolt lowered = reg->setpoint() - swPolicy.stepMv;
+        if (lowered >= swPolicy.floorVdd)
+            reg->request(std::min(swPolicy.maxVdd, lowered));
+    }
+}
+
+double
+SoftwareSpeculator::consumeOverheadFraction(Seconds dt)
+{
+    if (dt <= 0.0)
+        return 0.0;
+    const double fraction = overheadPending / dt;
+    overheadPending = 0.0;
+    return fraction;
+}
+
+} // namespace vspec

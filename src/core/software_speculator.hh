@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The firmware-based voltage speculation baseline of the authors' prior
+ * work [4] (Bacha & Teodorescu, HPCA 2013), reimplemented for the
+ * comparison in Section V-F.
+ *
+ * Differences from the hardware scheme, and why it saves less energy:
+ *
+ *  - No probing hardware: the only feedback is correctable errors the
+ *    *running workload* happens to trigger on sensitive lines. Whether
+ *    a weak line gets exercised depends on the working set, so the
+ *    algorithm has to be conservative: any error raises the voltage
+ *    and starts a hold-off period; lowering resumes only after a long
+ *    error-free window.
+ *
+ *  - Every correctable error is handled by a firmware trap that costs
+ *    real time (errorCostSeconds). At aggressive voltages the error
+ *    rate — and therefore the runtime overhead and energy — ramps up
+ *    quickly (Fig. 18).
+ */
+
+#ifndef VSPEC_CORE_SOFTWARE_SPECULATOR_HH
+#define VSPEC_CORE_SOFTWARE_SPECULATOR_HH
+
+#include <cstdint>
+
+#include "common/units.hh"
+#include "pdn/regulator.hh"
+
+namespace vspec
+{
+
+class SoftwareSpeculator
+{
+  public:
+    struct Policy
+    {
+        /** Adjustment step (mV). */
+        Millivolt stepMv = 5.0;
+        /** Hold-off after an error before lowering resumes (s). */
+        Seconds holdAfterError = 10.0;
+        /** Error-free time required per downward step (s). */
+        Seconds lowerInterval = 1.0;
+        /** Firmware handling cost per correctable error (s). */
+        Seconds errorCostSeconds = 300e-6;
+        /** Never raise above the domain nominal (mV). */
+        Millivolt maxVdd = 800.0;
+        /**
+         * Extra safety margin: after an error, settle this much above
+         * the erring level.
+         */
+        Millivolt backoffMv = 10.0;
+        /**
+         * Offline-characterization floor (mV): the prior work parks
+         * cores at safe voltage levels determined during off-line
+         * calibration — roughly the first-correctable-error level plus
+         * a margin — and never speculates below it. 0 disables the
+         * floor (used by the forced-sweep experiment of Fig. 18).
+         */
+        Millivolt floorVdd = 0.0;
+    };
+
+    SoftwareSpeculator(VoltageRegulator &regulator, const Policy &policy);
+
+    /**
+     * Advance by dt, reacting to the correctable errors the workload
+     * raised during this tick.
+     */
+    void tick(Seconds dt, std::uint64_t correctable_events);
+
+    /**
+     * Runtime overhead fraction accrued and not yet consumed; reading
+     * resets the accumulator (feed it to EnergyAccount::addSample).
+     */
+    double consumeOverheadFraction(Seconds dt);
+
+    /** Total firmware time spent handling errors so far (s). */
+    Seconds totalOverhead() const { return overheadTotal; }
+
+    std::uint64_t errorsHandled() const { return handled; }
+
+    const Policy &policy() const { return swPolicy; }
+
+  private:
+    VoltageRegulator *reg;
+    Policy swPolicy;
+
+    Seconds holdRemaining = 0.0;
+    Seconds sinceLower = 0.0;
+    Seconds overheadPending = 0.0;
+    Seconds overheadTotal = 0.0;
+    std::uint64_t handled = 0;
+};
+
+} // namespace vspec
+
+#endif // VSPEC_CORE_SOFTWARE_SPECULATOR_HH

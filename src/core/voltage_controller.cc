@@ -1,0 +1,79 @@
+#include "core/voltage_controller.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace vspec
+{
+
+DomainController::DomainController(VoltageRegulator &regulator,
+                                   ErrorFeedbackSource &monitor,
+                                   const ControlPolicy &policy)
+    : reg(&regulator), mon(&monitor), ctrlPolicy(policy)
+{
+    if (policy.floorRate >= policy.ceilingRate)
+        fatal("ControlPolicy: floor rate must be below the ceiling rate");
+    if (policy.stepMv <= 0.0 || policy.emergencyStepMv < policy.stepMv)
+        fatal("ControlPolicy: steps must be positive and the emergency "
+              "step at least the regular step");
+    if (policy.controlInterval <= 0.0)
+        fatal("ControlPolicy: control interval must be positive");
+}
+
+void
+DomainController::requestClamped(Millivolt setpoint)
+{
+    reg->request(std::min(setpoint, ctrlPolicy.maxVdd));
+}
+
+void
+DomainController::tick(Seconds dt)
+{
+    // Emergency interrupt path: serviced immediately.
+    if (mon->emergencyPending()) {
+        requestClamped(reg->setpoint() + ctrlPolicy.emergencyStepMv);
+        mon->readAndResetCounters();
+        ++emergencyCount;
+        sinceControl = 0.0;
+        return;
+    }
+
+    sinceControl += dt;
+    // Epsilon absorbs floating-point drift when dt divides the interval.
+    if (sinceControl < ctrlPolicy.controlInterval - 1e-12)
+        return;
+    sinceControl = 0.0;
+
+    const ProbeStats stats = mon->readAndResetCounters();
+    if (stats.accesses < ctrlPolicy.minSamples)
+        return;
+
+    const double rate = stats.errorRate();
+    if (rate > ctrlPolicy.ceilingRate) {
+        requestClamped(reg->setpoint() + ctrlPolicy.stepMv);
+        ++upSteps;
+    } else if (rate < ctrlPolicy.floorRate) {
+        requestClamped(reg->setpoint() - ctrlPolicy.stepMv);
+        ++downSteps;
+    } else {
+        ++holdCount;
+    }
+}
+
+void
+VoltageControlSystem::addDomain(VoltageRegulator &regulator,
+                                ErrorFeedbackSource &monitor,
+                                const ControlPolicy &policy)
+{
+    controllers.emplace_back(regulator, monitor, policy);
+}
+
+void
+VoltageControlSystem::tick(Seconds dt)
+{
+    for (auto &controller : controllers)
+        controller.tick(dt);
+}
+
+} // namespace vspec

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The centralized voltage control system (Section III-B).
+ *
+ * The control system runs on the service microcontroller. It
+ * periodically reads the error counters of every active ECC monitor
+ * and steers each voltage domain so the monitored line's correctable
+ * error rate stays between a floor and a ceiling:
+ *
+ *   rate > ceiling  -> raise Vdd by one step (5 mV)
+ *   rate < floor    -> lower Vdd by one step
+ *   otherwise       -> hold
+ *
+ * An emergency interrupt from a monitor (rate above the emergency
+ * ceiling) is serviced immediately with a larger step, outside the
+ * regular control interval.
+ */
+
+#ifndef VSPEC_CORE_VOLTAGE_CONTROLLER_HH
+#define VSPEC_CORE_VOLTAGE_CONTROLLER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hh"
+#include "core/feedback_source.hh"
+#include "pdn/regulator.hh"
+
+namespace vspec
+{
+
+/** Control thresholds and cadence for one voltage domain. */
+struct ControlPolicy
+{
+    /** Lower bound of the target error-rate band. */
+    double floorRate = 0.01;
+    /** Upper bound of the target error-rate band. */
+    double ceilingRate = 0.05;
+    /** Regular adjustment step (mV); matches the regulator quantum. */
+    Millivolt stepMv = 5.0;
+    /** Emergency adjustment step (mV). */
+    Millivolt emergencyStepMv = 25.0;
+    /** Control interval (s). */
+    Seconds controlInterval = 0.1;
+    /** Minimum monitor accesses needed to act on an interval. */
+    std::uint64_t minSamples = 100;
+    /** Never raise the setpoint above this (the domain nominal). */
+    Millivolt maxVdd = 800.0;
+};
+
+/**
+ * Controller instance for one voltage domain: one regulator, one
+ * active ECC monitor (the domain's weakest line).
+ */
+class DomainController
+{
+  public:
+    DomainController(VoltageRegulator &regulator,
+                     ErrorFeedbackSource &monitor,
+                     const ControlPolicy &policy);
+
+    /**
+     * Advance control time by dt; on interval boundaries read the
+     * monitor and adjust the regulator. Emergency interrupts are
+     * handled every call.
+     */
+    void tick(Seconds dt);
+
+    const ControlPolicy &policy() const { return ctrlPolicy; }
+    VoltageRegulator &regulator() { return *reg; }
+    ErrorFeedbackSource &monitor() { return *mon; }
+
+    /** Decision statistics. */
+    std::uint64_t stepsUp() const { return upSteps; }
+    std::uint64_t stepsDown() const { return downSteps; }
+    std::uint64_t emergencies() const { return emergencyCount; }
+    std::uint64_t holds() const { return holdCount; }
+
+  private:
+    VoltageRegulator *reg;
+    ErrorFeedbackSource *mon;
+    ControlPolicy ctrlPolicy;
+
+    Seconds sinceControl = 0.0;
+    std::uint64_t upSteps = 0;
+    std::uint64_t downSteps = 0;
+    std::uint64_t emergencyCount = 0;
+    std::uint64_t holdCount = 0;
+
+    void requestClamped(Millivolt setpoint);
+};
+
+/**
+ * The whole-chip control system: one DomainController per core voltage
+ * domain, serviced round-robin by the microcontroller.
+ */
+class VoltageControlSystem
+{
+  public:
+    void addDomain(VoltageRegulator &regulator,
+                   ErrorFeedbackSource &monitor,
+                   const ControlPolicy &policy);
+
+    void tick(Seconds dt);
+
+    std::size_t numDomains() const { return controllers.size(); }
+    DomainController &domain(std::size_t i) { return controllers.at(i); }
+
+  private:
+    std::vector<DomainController> controllers;
+};
+
+} // namespace vspec
+
+#endif // VSPEC_CORE_VOLTAGE_CONTROLLER_HH

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * In-order core model.
+ *
+ * A Core owns the per-core structures of the Itanium 9560: split L1
+ * instruction/data caches over private L2 instruction/data caches, an
+ * ECC-protected register file, and two hardware threads (the paper's
+ * firmware framework claims thread 1 of each core for the self-test
+ * while the OS schedules applications on thread 0).
+ *
+ * The core is not cycle-accurate. Per simulation tick it converts the
+ * assigned workload's demands into (a) rail activity and (b) Poisson-
+ * sampled ECC events on the weak lines its traffic touches, and it
+ * detects the two crash conditions: an uncorrectable (double-bit) cache
+ * error, or the effective supply dropping below the core logic's
+ * critical voltage.
+ */
+
+#ifndef VSPEC_CPU_CORE_MODEL_HH
+#define VSPEC_CPU_CORE_MODEL_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "common/rng.hh"
+#include "cpu/operating_point.hh"
+#include "variation/process_variation.hh"
+#include "workload/workload.hh"
+
+namespace vspec
+{
+
+/** Why a core stopped operating correctly. */
+enum class CrashReason
+{
+    none,
+    /** Double-bit ECC error (data corruption). */
+    uncorrectableError,
+    /** Core logic below its critical voltage. */
+    logicFailure,
+};
+
+/** Result of advancing one core by one tick. */
+struct CoreTickResult
+{
+    std::uint64_t correctableEvents = 0;
+    CrashReason crash = CrashReason::none;
+    /** Rail demand this tick. */
+    ActivityProfile activity;
+};
+
+class Core
+{
+  public:
+    struct Config
+    {
+        unsigned coreId = 0;
+        OperatingPoint operatingPoint = OperatingPoint::low();
+        Celsius temperature = 60.0;
+        /**
+         * Materialization floor in sigmas above each array's mean Vc;
+         * lower values model deeper sweeps at higher memory cost.
+         */
+        double materializeZ = 3.25;
+        /** Register file capacity (Table I: 1.38 KB int + 1.25 KB fp). */
+        std::uint64_t registerFileBytes = 2692;
+        /**
+         * Fraction of register reads that can sensitize a weak RF bit:
+         * an RF correctable error needs the read to target the weak
+         * register while it holds a sensitizing data pattern, so the
+         * effective event rate is far below the raw operand-read rate.
+         */
+        double rfAccessSensitization = 3e-5;
+    };
+
+    Core(const Config &config, const VariationModel &variation, Rng &rng);
+
+    unsigned id() const { return cfg.coreId; }
+    const Config &config() const { return cfg; }
+    const OperatingPoint &operatingPoint() const
+    {
+        return cfg.operatingPoint;
+    }
+
+    /** Instruction-side L1+L2 pair. */
+    CacheHierarchy &iSide() { return *instructionSide; }
+    /** Data-side L1+L2 pair. */
+    CacheHierarchy &dSide() { return *dataSide; }
+    const CacheHierarchy &iSide() const { return *instructionSide; }
+    const CacheHierarchy &dSide() const { return *dataSide; }
+
+    CacheArray &l2iArray() { return instructionSide->l2().dataArray(); }
+    CacheArray &l2dArray() { return dataSide->l2().dataArray(); }
+    CacheArray &rfArray() { return *registerFile; }
+    const CacheArray &l2iArray() const
+    {
+        return instructionSide->l2().dataArray();
+    }
+    const CacheArray &l2dArray() const
+    {
+        return dataSide->l2().dataArray();
+    }
+    const CacheArray &rfArray() const { return *registerFile; }
+
+    /** Crash floor of this core's logic at its operating point (mV). */
+    Millivolt logicFloor() const { return logicFloorMv; }
+
+    /** Assign the application running on hardware thread 0. */
+    void setWorkload(std::shared_ptr<Workload> workload,
+                     Seconds start_time = 0.0);
+    const Workload &workload() const;
+    bool hasWorkload() const { return bool(appWorkload); }
+
+    /** Workload demands at absolute simulation time t. */
+    WorkloadSample workloadSampleAt(Seconds t) const;
+
+    /**
+     * Advance the core by one tick at effective supply v_eff:
+     * Poisson-samples correctable/uncorrectable ECC events from the
+     * workload's L2 and register-file traffic and checks the logic
+     * floor. Events are appended to @p log if non-null.
+     */
+    CoreTickResult tick(Seconds t, Seconds dt, Millivolt v_eff, Rng &rng,
+                        EccEventLog *log = nullptr);
+
+    bool crashed() const { return crashReason != CrashReason::none; }
+    CrashReason crashReason_() const { return crashReason; }
+    /** Clear the crash latch (used between sweep steps). */
+    void clearCrash() { crashReason = CrashReason::none; }
+
+    /**
+     * Refresh the cached weak-line lists (call after aging shifts the
+     * arrays under the model's feet).
+     */
+    void refreshWeakLines();
+
+    /** Sorted (weakest-first) weak lines of each monitored array. */
+    const std::vector<WeakLineInfo> &weakLinesOf(
+        const CacheArray &array) const;
+
+  private:
+    Config cfg;
+    Millivolt logicFloorMv;
+
+    std::unique_ptr<CacheHierarchy> instructionSide;
+    std::unique_ptr<CacheHierarchy> dataSide;
+    std::unique_ptr<CacheArray> registerFile;
+
+    std::shared_ptr<Workload> appWorkload;
+    Seconds workloadStart = 0.0;
+
+    CrashReason crashReason = CrashReason::none;
+
+    /** Cached weak lines, parallel to {l2i, l2d, rf}. */
+    std::array<std::vector<WeakLineInfo>, 3> weakLines;
+
+    /**
+     * Per-array memo of the workload's line touch weights (the weight
+     * is deterministic per workload x line but costs a string hash to
+     * compute); cleared when the workload changes.
+     */
+    mutable std::array<std::unordered_map<std::uint64_t, double>, 3>
+        touchWeightCache;
+
+    unsigned arraySlot(const CacheArray &array) const;
+
+    /**
+     * Sample ECC events from traffic on one array.
+     * @return number of correctable events; sets uncorrectable flag.
+     */
+    std::uint64_t sampleTraffic(CacheArray &array,
+                                const std::vector<WeakLineInfo> &lines,
+                                double accesses, Millivolt v_eff,
+                                Seconds t, Rng &rng, EccEventLog *log,
+                                bool &uncorrectable);
+
+    static CacheGeometry registerFileGeometry(std::uint64_t bytes);
+};
+
+} // namespace vspec
+
+#endif // VSPEC_CPU_CORE_MODEL_HH

@@ -1,0 +1,18 @@
+#include "cpu/operating_point.hh"
+
+namespace vspec
+{
+
+OperatingPoint
+OperatingPoint::high()
+{
+    return {"high-2.53GHz", 2530.0, 1100.0};
+}
+
+OperatingPoint
+OperatingPoint::low()
+{
+    return {"low-340MHz", 340.0, 800.0};
+}
+
+} // namespace vspec

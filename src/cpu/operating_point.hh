@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Chip operating points: the (frequency, nominal Vdd) pairs of Table I.
+ *
+ * The high point is the Itanium 9560's shipping configuration
+ * (2.53 GHz @ 1.1 V). The low point is the lowest supported frequency
+ * (340 MHz); its 800 mV nominal is reconstructed the way the paper
+ * does — the 100 mV guardband measured at the high point, added to the
+ * voltage of the first correctable error at the low frequency
+ * (Section IV).
+ */
+
+#ifndef VSPEC_CPU_OPERATING_POINT_HH
+#define VSPEC_CPU_OPERATING_POINT_HH
+
+#include <string>
+
+#include "common/units.hh"
+
+namespace vspec
+{
+
+struct OperatingPoint
+{
+    std::string name;
+    Megahertz frequency = 0.0;
+    Millivolt nominalVdd = 0.0;
+
+    /** 2.53 GHz @ 1100 mV — nominal shipping configuration. */
+    static OperatingPoint high();
+    /** 340 MHz @ 800 mV — the low-voltage environment. */
+    static OperatingPoint low();
+};
+
+} // namespace vspec
+
+#endif // VSPEC_CPU_OPERATING_POINT_HH

@@ -1,0 +1,201 @@
+#include "ecc/secded.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace vspec
+{
+
+bool
+Codeword::bit(unsigned idx) const
+{
+    if (idx >= 128)
+        panic("Codeword bit index out of range: ", idx);
+    return (words[idx >> 6] >> (idx & 63)) & 1;
+}
+
+void
+Codeword::setBit(unsigned idx, bool value)
+{
+    if (idx >= 128)
+        panic("Codeword bit index out of range: ", idx);
+    const std::uint64_t mask = std::uint64_t(1) << (idx & 63);
+    if (value)
+        words[idx >> 6] |= mask;
+    else
+        words[idx >> 6] &= ~mask;
+}
+
+void
+Codeword::flipBit(unsigned idx)
+{
+    if (idx >= 128)
+        panic("Codeword bit index out of range: ", idx);
+    words[idx >> 6] ^= std::uint64_t(1) << (idx & 63);
+}
+
+unsigned
+Codeword::popcount() const
+{
+    return std::popcount(words[0]) + std::popcount(words[1]);
+}
+
+namespace
+{
+
+bool
+isPowerOfTwo(unsigned x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+} // namespace
+
+SecdedCodec::SecdedCodec(unsigned data_bits)
+    : numDataBits(data_bits)
+{
+    if (data_bits == 0 || data_bits > 64)
+        fatal("SECDED data width must be in [1, 64], got ", data_bits);
+
+    // Find the number of Hamming check bits r with 2^r >= m + r + 1.
+    unsigned r = 0;
+    while ((1u << r) < data_bits + r + 1)
+        ++r;
+
+    // Hamming positions run 1..(m + r); position 0 holds the overall
+    // parity bit of the extended code.
+    const unsigned hamming_len = data_bits + r;
+    numCheckBits = r + 1;
+    numTotalBits = hamming_len + 1;
+
+    for (unsigned pos = 1; pos <= hamming_len; ++pos) {
+        if (isPowerOfTwo(pos))
+            checkPositions.push_back(pos);
+        else
+            dataPositions.push_back(pos);
+    }
+    if (dataPositions.size() != data_bits)
+        panic("SECDED construction mismatch: ", dataPositions.size(),
+              " data positions for ", data_bits, " data bits");
+}
+
+Codeword
+SecdedCodec::encode(std::uint64_t data) const
+{
+    Codeword word;
+
+    // Place data bits at their Hamming positions.
+    for (unsigned i = 0; i < numDataBits; ++i)
+        word.setBit(dataPositions[i], (data >> i) & 1);
+
+    // Compute each Hamming check bit: parity over covered positions.
+    for (unsigned check : checkPositions) {
+        bool parity = false;
+        for (unsigned pos = 1; pos < numTotalBits; ++pos) {
+            if ((pos & check) && !isPowerOfTwo(pos))
+                parity ^= word.bit(pos);
+        }
+        word.setBit(check, parity);
+    }
+
+    // Overall parity over every other bit of the codeword.
+    bool overall = false;
+    for (unsigned pos = 1; pos < numTotalBits; ++pos)
+        overall ^= word.bit(pos);
+    word.setBit(0, overall);
+
+    return word;
+}
+
+unsigned
+SecdedCodec::computeSyndrome(const Codeword &word) const
+{
+    unsigned syndrome = 0;
+    for (unsigned check : checkPositions) {
+        bool parity = false;
+        for (unsigned pos = 1; pos < numTotalBits; ++pos) {
+            if (pos & check)
+                parity ^= word.bit(pos);
+        }
+        if (parity)
+            syndrome |= check;
+    }
+    return syndrome;
+}
+
+std::uint64_t
+SecdedCodec::extractData(const Codeword &word) const
+{
+    std::uint64_t data = 0;
+    for (unsigned i = 0; i < numDataBits; ++i) {
+        if (word.bit(dataPositions[i]))
+            data |= std::uint64_t(1) << i;
+    }
+    return data;
+}
+
+DecodeResult
+SecdedCodec::decode(const Codeword &word) const
+{
+    const unsigned syndrome = computeSyndrome(word);
+
+    bool overall = false;
+    for (unsigned pos = 0; pos < numTotalBits; ++pos)
+        overall ^= word.bit(pos);
+    const bool parity_error = overall;  // Even parity expected.
+
+    DecodeResult result;
+
+    if (syndrome == 0 && !parity_error) {
+        result.status = EccStatus::ok;
+        result.data = extractData(word);
+        return result;
+    }
+
+    if (syndrome == 0 && parity_error) {
+        // The overall parity bit itself flipped; data is intact.
+        result.status = EccStatus::correctedSingle;
+        result.correctedBit = 0;
+        result.data = extractData(word);
+        return result;
+    }
+
+    if (parity_error) {
+        // Odd number of flipped bits with a nonzero syndrome: a single
+        // error at the syndrome position (if it names a valid position).
+        if (syndrome < numTotalBits) {
+            Codeword fixed = word;
+            fixed.flipBit(syndrome);
+            result.status = EccStatus::correctedSingle;
+            result.correctedBit = syndrome;
+            result.data = extractData(fixed);
+            return result;
+        }
+        // Syndrome points outside the codeword: >= 3 bit errors.
+        result.status = EccStatus::uncorrectable;
+        result.data = extractData(word);
+        return result;
+    }
+
+    // Nonzero syndrome with even parity: double-bit error.
+    result.status = EccStatus::uncorrectable;
+    result.data = extractData(word);
+    return result;
+}
+
+const SecdedCodec &
+secded72()
+{
+    static const SecdedCodec codec(64);
+    return codec;
+}
+
+const SecdedCodec &
+secded39()
+{
+    static const SecdedCodec codec(32);
+    return codec;
+}
+
+} // namespace vspec

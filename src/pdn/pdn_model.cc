@@ -1,0 +1,59 @@
+#include "pdn/pdn_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace vspec
+{
+
+ActivityProfile
+ActivityProfile::combinedWith(const ActivityProfile &other) const
+{
+    ActivityProfile combined;
+    // Mean activities of co-resident loads add (saturating); the
+    // oscillating component is dominated by whichever load swings
+    // harder — two unsynchronized oscillators do not coherently add.
+    combined.meanActivity =
+        std::min(1.0, meanActivity + other.meanActivity);
+    if (other.swingAmplitude > swingAmplitude) {
+        combined.swingAmplitude = other.swingAmplitude;
+        combined.oscillationFreq = other.oscillationFreq;
+    } else {
+        combined.swingAmplitude = swingAmplitude;
+        combined.oscillationFreq = oscillationFreq;
+    }
+    return combined;
+}
+
+PdnModel::PdnModel() : PdnModel(Params()) {}
+
+PdnModel::PdnModel(const Params &params)
+    : pdnParams(params)
+{
+    if (params.resonanceFreq <= 0.0 || params.qFactor <= 0.0)
+        fatal("PdnModel resonance frequency and Q must be positive");
+}
+
+double
+PdnModel::resonantGain(Megahertz f) const
+{
+    if (f <= 0.0)
+        return 0.0;
+    const double ratio = f / pdnParams.resonanceFreq;
+    const double detune = pdnParams.qFactor * (ratio - 1.0 / ratio);
+    return 1.0 / std::sqrt(1.0 + detune * detune);
+}
+
+Millivolt
+PdnModel::droop(const ActivityProfile &activity) const
+{
+    const Millivolt ir = pdnParams.irDroopMv * activity.meanActivity;
+    const Millivolt resonant = pdnParams.resonantDroopMv *
+                               activity.swingAmplitude *
+                               resonantGain(activity.oscillationFreq);
+    return ir + resonant;
+}
+
+} // namespace vspec

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Power delivery network noise model.
+ *
+ * The effective supply seen by the SRAM arrays is the regulator output
+ * minus load-dependent droop. Two droop components are modeled:
+ *
+ *  - a resistive (IR) term proportional to the rail's mean activity,
+ *  - a resonant term: workloads whose power demand oscillates near the
+ *    PDN's RLC resonance excite amplified droop (the di/dt "voltage
+ *    virus" effect of Section IV-B; cf. Kim et al.). The transfer
+ *    magnitude is a second-order band-pass around the resonance
+ *    frequency, so a virus tuned to resonance (NOP-8 in the paper's
+ *    sweep) droops *more* than a higher-power untuned one (NOP-0) —
+ *    the key signature of Figs. 15/16.
+ */
+
+#ifndef VSPEC_PDN_PDN_MODEL_HH
+#define VSPEC_PDN_PDN_MODEL_HH
+
+#include "common/units.hh"
+
+namespace vspec
+{
+
+/**
+ * Aggregate activity of one voltage rail over a control interval.
+ */
+struct ActivityProfile
+{
+    /** Mean switching activity in [0, 1] (0 = idle, 1 = power virus). */
+    double meanActivity = 0.0;
+    /**
+     * Amplitude of periodic activity oscillation in [0, 1]
+     * (4 * duty * (1 - duty) for a square wave of the given duty).
+     */
+    double swingAmplitude = 0.0;
+    /** Oscillation frequency of the activity pattern (MHz; 0 = none). */
+    Megahertz oscillationFreq = 0.0;
+
+    /** Combine two co-resident loads on one rail. */
+    ActivityProfile combinedWith(const ActivityProfile &other) const;
+};
+
+class PdnModel
+{
+  public:
+    struct Params
+    {
+        /** IR droop at full activity (mV). */
+        Millivolt irDroopMv = 15.0;
+        /** Peak resonant droop at full swing on resonance (mV). */
+        Millivolt resonantDroopMv = 25.0;
+        /** PDN resonance frequency (MHz). */
+        Megahertz resonanceFreq = 21.25;
+        /** Quality factor of the resonance. */
+        double qFactor = 3.5;
+    };
+
+    PdnModel();
+    explicit PdnModel(const Params &params);
+
+    /** Band-pass transfer magnitude in [0, 1] at frequency f. */
+    double resonantGain(Megahertz f) const;
+
+    /** Total droop for the rail under the given activity (mV). */
+    Millivolt droop(const ActivityProfile &activity) const;
+
+    const Params &params() const { return pdnParams; }
+
+  private:
+    Params pdnParams;
+};
+
+} // namespace vspec
+
+#endif // VSPEC_PDN_PDN_MODEL_HH

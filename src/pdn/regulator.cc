@@ -1,0 +1,59 @@
+#include "pdn/regulator.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/mathutil.hh"
+
+namespace vspec
+{
+
+VoltageRegulator::VoltageRegulator(Millivolt initial)
+    : VoltageRegulator(initial, Params())
+{
+}
+
+VoltageRegulator::VoltageRegulator(Millivolt initial, const Params &params)
+    : regParams(params)
+{
+    if (params.stepMv <= 0.0 || params.slewMvPerUs <= 0.0)
+        fatal("VoltageRegulator step and slew must be positive");
+    if (params.minMv >= params.maxMv)
+        fatal("VoltageRegulator requires minMv < maxMv");
+    target = quantize(initial);
+    current = target;
+}
+
+Millivolt
+VoltageRegulator::quantize(Millivolt v) const
+{
+    const Millivolt clamped =
+        math::clamp(v, regParams.minMv, regParams.maxMv);
+    return std::round(clamped / regParams.stepMv) * regParams.stepMv;
+}
+
+void
+VoltageRegulator::request(Millivolt setpoint)
+{
+    target = quantize(setpoint);
+}
+
+void
+VoltageRegulator::step(int steps)
+{
+    request(target + double(steps) * regParams.stepMv);
+}
+
+void
+VoltageRegulator::advance(Seconds dt)
+{
+    const Millivolt max_move =
+        regParams.slewMvPerUs * (dt / units::microsecond);
+    const Millivolt delta = target - current;
+    if (std::abs(delta) <= max_move)
+        current = target;
+    else
+        current += (delta > 0 ? max_move : -max_move);
+}
+
+} // namespace vspec

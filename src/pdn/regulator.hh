@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Per-rail voltage regulator model.
+ *
+ * Each pair of cores in the Itanium 9560 shares one power delivery line
+ * whose supply can be independently modulated (Section IV-A.4). The
+ * regulator model quantizes requests to the hardware step size (the
+ * paper adjusts in 5 mV increments), slews toward the setpoint at a
+ * finite rate, and clamps to the rail's safe range.
+ */
+
+#ifndef VSPEC_PDN_REGULATOR_HH
+#define VSPEC_PDN_REGULATOR_HH
+
+#include "common/units.hh"
+
+namespace vspec
+{
+
+class VoltageRegulator
+{
+  public:
+    struct Params
+    {
+        /** Adjustment quantum (mV). */
+        Millivolt stepMv = 5.0;
+        /** Slew rate toward the setpoint (mV per microsecond). */
+        double slewMvPerUs = 10.0;
+        /** Rail bounds (mV). */
+        Millivolt minMv = 400.0;
+        Millivolt maxMv = 1300.0;
+    };
+
+    explicit VoltageRegulator(Millivolt initial);
+    VoltageRegulator(Millivolt initial, const Params &params);
+
+    /** Request a new setpoint; quantized to the step grid and clamped. */
+    void request(Millivolt setpoint);
+
+    /** Nudge the setpoint by a signed number of steps. */
+    void step(int steps);
+
+    /** Advance time; the output slews toward the setpoint. */
+    void advance(Seconds dt);
+
+    /** Current regulated output voltage (mV). */
+    Millivolt output() const { return current; }
+
+    /** Current setpoint (mV). */
+    Millivolt setpoint() const { return target; }
+
+    const Params &params() const { return regParams; }
+
+  private:
+    Params regParams;
+    Millivolt target;
+    Millivolt current;
+
+    Millivolt quantize(Millivolt v) const;
+};
+
+} // namespace vspec
+
+#endif // VSPEC_PDN_REGULATOR_HH

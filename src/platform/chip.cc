@@ -1,0 +1,116 @@
+#include "platform/chip.hh"
+
+#include "common/logging.hh"
+
+namespace vspec
+{
+
+VoltageDomain::VoltageDomain(unsigned id, Millivolt nominal,
+                             const VoltageRegulator::Params &params)
+    : domainId(id), reg(nominal, params)
+{
+}
+
+Millivolt
+VoltageDomain::effectiveVoltage(const PdnModel &pdn) const
+{
+    return reg.output() - pdn.droop(lastActivity);
+}
+
+Chip::Chip(const ChipConfig &config)
+    : cfg(config), variationModel(config.seed, config.variation),
+      pdnModel(config.pdn), powerModel(config.power),
+      chipRng(mix64(config.seed ^ 0x5EEDC0DEULL))
+{
+    if (cfg.numCores == 0 || cfg.coresPerDomain == 0 ||
+        cfg.numCores % cfg.coresPerDomain != 0)
+        fatal("ChipConfig: numCores must be a positive multiple of "
+              "coresPerDomain");
+
+    for (unsigned i = 0; i < cfg.numCores; ++i) {
+        Core::Config core_cfg;
+        core_cfg.coreId = i;
+        core_cfg.operatingPoint = cfg.operatingPoint;
+        core_cfg.temperature = cfg.temperature;
+        core_cfg.materializeZ = cfg.materializeZ;
+
+        Rng core_rng = chipRng.fork(0x1000 + i);
+        cores_.push_back(
+            std::make_unique<Core>(core_cfg, variationModel, core_rng));
+
+        monitors_.push_back(std::make_unique<EccMonitor>(cfg.monitor));
+        monitors_.push_back(std::make_unique<EccMonitor>(cfg.monitor));
+    }
+
+    const unsigned num_domains = cfg.numCores / cfg.coresPerDomain;
+    domains_.reserve(num_domains);
+    for (unsigned d = 0; d < num_domains; ++d) {
+        domains_.emplace_back(d, cfg.operatingPoint.nominalVdd,
+                              cfg.regulator);
+        for (unsigned j = 0; j < cfg.coresPerDomain; ++j)
+            domains_.back().addCore(
+                cores_[d * cfg.coresPerDomain + j].get());
+    }
+}
+
+unsigned
+Chip::domainIndexOf(unsigned core_id) const
+{
+    if (core_id >= cfg.numCores)
+        panic("domainIndexOf: core ", core_id, " out of range");
+    return core_id / cfg.coresPerDomain;
+}
+
+VoltageDomain &
+Chip::domainOf(unsigned core_id)
+{
+    return domains_.at(domainIndexOf(core_id));
+}
+
+EccMonitor &
+Chip::l2iMonitor(unsigned core_id)
+{
+    return *monitors_.at(std::size_t(core_id) * 2);
+}
+
+EccMonitor &
+Chip::l2dMonitor(unsigned core_id)
+{
+    return *monitors_.at(std::size_t(core_id) * 2 + 1);
+}
+
+EccMonitor &
+Chip::monitorFor(const CacheArray &array)
+{
+    for (unsigned i = 0; i < numCores(); ++i) {
+        if (&array == &cores_[i]->l2iArray())
+            return l2iMonitor(i);
+        if (&array == &cores_[i]->l2dArray())
+            return l2dMonitor(i);
+    }
+    panic("monitorFor: array '", array.geometry().name,
+          "' is not an L2 array of this chip");
+}
+
+Watt
+Chip::corePower(unsigned core_id, Seconds t) const
+{
+    const Core &c = core(core_id);
+    const VoltageDomain &dom = domains_.at(domainIndexOf(core_id));
+    const WorkloadSample sample = c.workloadSampleAt(t);
+    return powerModel.corePower(dom.regulator().output(),
+                                cfg.operatingPoint.frequency,
+                                sample.activity.meanActivity,
+                                cfg.temperature);
+}
+
+Watt
+Chip::totalPower(Seconds t) const
+{
+    Watt total = powerModel.uncorePower();
+    for (unsigned i = 0; i < numCores(); ++i)
+        total += corePower(i, t);
+    return total;
+}
+
+} // namespace vspec

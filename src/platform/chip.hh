@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The chip multiprocessor model (Fig. 5): eight cores, a voltage
+ * domain per core pair with an independently adjustable rail, an
+ * uncore domain (L3 + memory controllers) left at nominal, ECC
+ * monitors built into every L2 cache controller, and the shared
+ * variation/PDN/power models.
+ */
+
+#ifndef VSPEC_PLATFORM_CHIP_HH
+#define VSPEC_PLATFORM_CHIP_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hh"
+#include "core/ecc_monitor.hh"
+#include "cpu/core_model.hh"
+#include "pdn/pdn_model.hh"
+#include "pdn/regulator.hh"
+#include "power/power_model.hh"
+#include "variation/process_variation.hh"
+
+namespace vspec
+{
+
+struct ChipConfig
+{
+    unsigned numCores = 8;
+    /** Cores sharing one power delivery line (Section IV-A.4). */
+    unsigned coresPerDomain = 2;
+    OperatingPoint operatingPoint = OperatingPoint::low();
+    std::uint64_t seed = 0xC0FFEE;
+    Celsius temperature = 60.0;
+    double materializeZ = 3.25;
+    VariationParams variation;
+    PdnModel::Params pdn;
+    PowerModel::Params power;
+    VoltageRegulator::Params regulator;
+    EccMonitor::Config monitor;
+};
+
+/** One core-pair power rail with its regulator and activity state. */
+class VoltageDomain
+{
+  public:
+    VoltageDomain(unsigned id, Millivolt nominal,
+                  const VoltageRegulator::Params &params);
+
+    unsigned id() const { return domainId; }
+    VoltageRegulator &regulator() { return reg; }
+    const VoltageRegulator &regulator() const { return reg; }
+
+    const std::vector<Core *> &cores() const { return domainCores; }
+    void addCore(Core *core) { domainCores.push_back(core); }
+
+    /** Rail load observed during the last simulation tick. */
+    const ActivityProfile &activity() const { return lastActivity; }
+    void setActivity(const ActivityProfile &a) { lastActivity = a; }
+
+    /** Effective supply at the arrays: regulator output minus droop. */
+    Millivolt effectiveVoltage(const PdnModel &pdn) const;
+
+  private:
+    unsigned domainId;
+    VoltageRegulator reg;
+    std::vector<Core *> domainCores;
+    ActivityProfile lastActivity;
+};
+
+class Chip
+{
+  public:
+    explicit Chip(const ChipConfig &config);
+
+    const ChipConfig &config() const { return cfg; }
+    const VariationModel &variation() const { return variationModel; }
+    const PdnModel &pdn() const { return pdnModel; }
+    const PowerModel &power() const { return powerModel; }
+
+    unsigned numCores() const { return unsigned(cores_.size()); }
+    Core &core(unsigned i) { return *cores_.at(i); }
+    const Core &core(unsigned i) const { return *cores_.at(i); }
+
+    unsigned numDomains() const { return unsigned(domains_.size()); }
+    VoltageDomain &domain(unsigned i) { return domains_.at(i); }
+    const VoltageDomain &domain(unsigned i) const
+    {
+        return domains_.at(i);
+    }
+    /** Domain index that powers the given core. */
+    unsigned domainIndexOf(unsigned core_id) const;
+    VoltageDomain &domainOf(unsigned core_id);
+
+    /**
+     * ECC monitors: one per L2 cache controller (2 per core), indexed
+     * by (core, side). Inactive until calibration designates a target.
+     */
+    EccMonitor &l2iMonitor(unsigned core_id);
+    EccMonitor &l2dMonitor(unsigned core_id);
+    /** Monitor owning the given array; panic if not an L2 array. */
+    EccMonitor &monitorFor(const CacheArray &array);
+
+    /** Deterministic chip-level RNG stream (forked per use). */
+    Rng &rng() { return chipRng; }
+
+    /** Total chip power right now (cores at their rail voltages). */
+    Watt totalPower(Seconds t) const;
+    /** One core's power right now. */
+    Watt corePower(unsigned core_id, Seconds t) const;
+
+  private:
+    ChipConfig cfg;
+    VariationModel variationModel;
+    PdnModel pdnModel;
+    PowerModel powerModel;
+    Rng chipRng;
+
+    std::vector<std::unique_ptr<Core>> cores_;
+    std::vector<VoltageDomain> domains_;
+    /** 2 monitors per core: [2*i] = L2I, [2*i + 1] = L2D. */
+    std::vector<std::unique_ptr<EccMonitor>> monitors_;
+};
+
+} // namespace vspec
+
+#endif // VSPEC_PLATFORM_CHIP_HH

@@ -1,0 +1,187 @@
+#include "platform/harness.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace vspec
+{
+
+namespace harness
+{
+
+HardwareSpeculationSetup
+armHardware(Chip &chip, ControlPolicy base_policy,
+            Calibrator::Config calibration)
+{
+    HardwareSpeculationSetup setup;
+    setup.control = std::make_unique<VoltageControlSystem>();
+    base_policy.maxVdd = chip.config().operatingPoint.nominalVdd;
+
+    const Calibrator calibrator(calibration);
+    Rng rng = chip.rng().fork(0xCA11B007ULL);
+
+    for (unsigned d = 0; d < chip.numDomains(); ++d) {
+        auto &dom = chip.domain(d);
+        std::vector<Core *> cores(dom.cores().begin(), dom.cores().end());
+
+        auto target = calibrator.calibrateDomain(
+            cores, chip.config().operatingPoint.nominalVdd, rng);
+        if (!target) {
+            fatal("calibration found no weak line in domain ", d,
+                  " within the sweep depth — variation model "
+                  "misconfigured");
+        }
+
+        EccMonitor &monitor = chip.monitorFor(*target->array);
+        monitor.activate(*target->array, target->set, target->way);
+
+        setup.control->addDomain(dom.regulator(), monitor, base_policy);
+        setup.targets.push_back(*target);
+
+        inform("domain ", d, ": monitoring ", target->cacheName,
+               " line (set ", target->set, ", way ", target->way,
+               ") of core ", target->coreId, ", first error at ",
+               target->firstErrorVdd, " mV");
+    }
+    return setup;
+}
+
+std::vector<std::unique_ptr<SoftwareSpeculator>>
+armSoftware(Chip &chip,
+            const std::vector<Millivolt> &first_error_per_domain,
+            SoftwareSpeculator::Policy policy)
+{
+    policy.maxVdd = chip.config().operatingPoint.nominalVdd;
+    std::vector<std::unique_ptr<SoftwareSpeculator>> specs;
+    for (unsigned d = 0; d < chip.numDomains(); ++d) {
+        SoftwareSpeculator::Policy domain_policy = policy;
+        if (!first_error_per_domain.empty())
+            domain_policy.floorVdd = first_error_per_domain.at(d);
+        specs.push_back(std::make_unique<SoftwareSpeculator>(
+            chip.domain(d).regulator(), domain_policy));
+    }
+    return specs;
+}
+
+void
+assignSuite(Chip &chip, Suite suite, Seconds per_benchmark)
+{
+    for (unsigned i = 0; i < chip.numCores(); ++i) {
+        chip.core(i).setWorkload(
+            benchmarks::suiteSequence(suite, per_benchmark),
+            /*start_time=*/0.0);
+    }
+}
+
+void
+assignIdle(Chip &chip)
+{
+    for (unsigned i = 0; i < chip.numCores(); ++i)
+        chip.core(i).setWorkload(std::make_shared<IdleWorkload>());
+}
+
+} // namespace harness
+
+namespace experiments
+{
+
+std::pair<CacheArray *, WeakLineInfo>
+weakestL2Line(Core &core)
+{
+    const WeakLineInfo l2i = core.l2iArray().weakestLine();
+    const WeakLineInfo l2d = core.l2dArray().weakestLine();
+    if (l2i.weakCellCount == 0 && l2d.weakCellCount == 0)
+        fatal("core ", core.id(), " has no materialized weak L2 line");
+    if (l2d.weakCellCount == 0 || l2i.weakestVc >= l2d.weakestVc)
+        return {&core.l2iArray(), l2i};
+    return {&core.l2dArray(), l2d};
+}
+
+MarginResult
+measureMargins(Chip &chip, unsigned core_id,
+               std::shared_ptr<Workload> workload, Seconds hold_per_step,
+               Millivolt step_mv, Seconds tick)
+{
+    if (core_id >= chip.numCores())
+        fatal("measureMargins: core ", core_id, " out of range");
+
+    const Millivolt nominal = chip.config().operatingPoint.nominalVdd;
+
+    // Siblings idle in firmware spin-loops so the core under test is
+    // measured in isolation (Section IV-A.4).
+    harness::assignIdle(chip);
+    chip.core(core_id).setWorkload(std::move(workload));
+
+    MarginResult result;
+    result.coreId = core_id;
+
+    VoltageDomain &dom = chip.domainOf(core_id);
+    Simulator sim(chip, tick);
+
+    Millivolt v = nominal;
+    std::uint64_t prev_events = 0;
+    Millivolt last_safe = nominal;
+    std::uint64_t errors_at_last_safe = 0;
+
+    while (v >= dom.regulator().params().minMv + step_mv) {
+        dom.regulator().request(v);
+        dom.regulator().advance(1.0);  // Settle instantly between steps.
+        chip.core(core_id).clearCrash();
+
+        sim.run(hold_per_step);
+
+        const std::uint64_t events = sim.coreCorrectableEvents(core_id);
+        const std::uint64_t delta = events - prev_events;
+        prev_events = events;
+
+        if (chip.core(core_id).crashed())
+            break;
+
+        last_safe = v;
+        errors_at_last_safe = delta;
+        if (delta > 0 && result.firstErrorVdd == 0.0)
+            result.firstErrorVdd = v;
+
+        v -= step_mv;
+    }
+
+    result.minSafeVdd = last_safe;
+    result.errorsAtMinSafe = errors_at_last_safe;
+
+    // Restore chip state.
+    chip.core(core_id).clearCrash();
+    dom.regulator().request(nominal);
+    dom.regulator().advance(1.0);
+    harness::assignIdle(chip);
+    return result;
+}
+
+std::vector<std::pair<Millivolt, double>>
+errorProbabilityCurve(Chip &chip, unsigned core_id, Millivolt from_mv,
+                      Millivolt to_mv, Millivolt step_mv,
+                      std::uint64_t probes_per_point)
+{
+    if (step_mv <= 0.0 || from_mv < to_mv)
+        fatal("errorProbabilityCurve expects a downward sweep");
+
+    auto [array, line] = weakestL2Line(chip.core(core_id));
+    Rng rng = chip.rng().fork(0xF16013ULL + core_id);
+
+    std::vector<std::pair<Millivolt, double>> curve;
+    for (Millivolt v = from_mv; v >= to_mv; v -= step_mv) {
+        const ProbeStats stats =
+            array->probeLine(line.set, line.way, v, probes_per_point,
+                             rng);
+        // Probability of at least one corrected bit per access.
+        const double p =
+            std::min(1.0, double(stats.correctableEvents) /
+                              double(stats.accesses));
+        curve.emplace_back(v, p);
+    }
+    return curve;
+}
+
+} // namespace experiments
+
+} // namespace vspec

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Experiment harness: the reusable procedures behind the paper's
+ * evaluation — arming the hardware speculation system (calibrate each
+ * domain, activate the designated monitors, build the control system),
+ * arming the software baseline, and the characterization sweeps used
+ * by Figs. 1-4 and 13.
+ */
+
+#ifndef VSPEC_PLATFORM_HARNESS_HH
+#define VSPEC_PLATFORM_HARNESS_HH
+
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/calibrator.hh"
+#include "core/software_speculator.hh"
+#include "core/voltage_controller.hh"
+#include "platform/chip.hh"
+#include "platform/simulator.hh"
+#include "workload/benchmarks.hh"
+
+namespace vspec
+{
+
+/** Everything created when the hardware speculation system is armed. */
+struct HardwareSpeculationSetup
+{
+    /** The designated weakest line of every voltage domain. */
+    std::vector<WeakLineTarget> targets;
+    /** Control system wired to those domains' monitors. */
+    std::unique_ptr<VoltageControlSystem> control;
+};
+
+namespace harness
+{
+
+/**
+ * Calibrate every core voltage domain of the chip (Section III-C),
+ * activate one ECC monitor per domain pointed at the domain's weakest
+ * line, and build the voltage control system. The per-domain policy is
+ * @p base_policy with maxVdd set to the chip nominal.
+ */
+HardwareSpeculationSetup
+armHardware(Chip &chip, ControlPolicy base_policy = ControlPolicy(),
+            Calibrator::Config calibration = Calibrator::Config());
+
+/**
+ * Build one SoftwareSpeculator per domain (the firmware baseline);
+ * attach them to a Simulator with attachSoftwareSpeculator().
+ *
+ * @param first_error_per_domain per-domain first-correctable-error
+ *        voltages from offline characterization; each speculator's
+ *        floor is set to that level (the prior work parks cores at
+ *        safe levels found offline). Pass an empty vector to disable
+ *        the floors (forced-sweep experiments).
+ */
+std::vector<std::unique_ptr<SoftwareSpeculator>>
+armSoftware(Chip &chip,
+            const std::vector<Millivolt> &first_error_per_domain = {},
+            SoftwareSpeculator::Policy policy =
+                SoftwareSpeculator::Policy());
+
+/** Assign a fresh copy of the suite's benchmark loop to every core. */
+void assignSuite(Chip &chip, Suite suite, Seconds per_benchmark = 60.0);
+
+/** Assign idle workloads to every core. */
+void assignIdle(Chip &chip);
+
+} // namespace harness
+
+namespace experiments
+{
+
+/** Outcome of a margin characterization sweep on one core. */
+struct MarginResult
+{
+    unsigned coreId = 0;
+    /** Highest Vdd at which correctable errors appeared (mV). */
+    Millivolt firstErrorVdd = 0.0;
+    /** Lowest Vdd with no crash or data corruption (mV). */
+    Millivolt minSafeVdd = 0.0;
+    /** Correctable events observed during the hold at minSafeVdd. */
+    std::uint64_t errorsAtMinSafe = 0;
+};
+
+/**
+ * Characterize one core's voltage margins (the Section II study):
+ * run @p workload on the core (siblings idle in firmware spin-loops),
+ * lower the rail in stepMv steps holding each for hold_per_step, and
+ * record where correctable errors start and where the core crashes.
+ * Chip state (regulators, crash latches) is restored afterwards.
+ */
+MarginResult measureMargins(Chip &chip, unsigned core_id,
+                            std::shared_ptr<Workload> workload,
+                            Seconds hold_per_step = 10.0,
+                            Millivolt step_mv = 5.0,
+                            Seconds tick = 1e-2);
+
+/**
+ * The Fig. 13 experiment: probability of a single-bit error of the
+ * core's weakest line as a function of supply voltage, measured with
+ * the targeted self-test.
+ */
+std::vector<std::pair<Millivolt, double>>
+errorProbabilityCurve(Chip &chip, unsigned core_id, Millivolt from_mv,
+                      Millivolt to_mv, Millivolt step_mv,
+                      std::uint64_t probes_per_point);
+
+/** The core's weakest L2 line (instrumentation shortcut). */
+std::pair<CacheArray *, WeakLineInfo> weakestL2Line(Core &core);
+
+} // namespace experiments
+
+} // namespace vspec
+
+#endif // VSPEC_PLATFORM_HARNESS_HH

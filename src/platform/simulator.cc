@@ -1,0 +1,169 @@
+#include "platform/simulator.hh"
+
+#include "common/logging.hh"
+
+namespace vspec
+{
+
+Simulator::Simulator(Chip &chip, Seconds tick)
+    : chip_(&chip), tick_(tick),
+      coreEnergy_(chip.numCores()),
+      coreEvents(chip.numCores(), 0),
+      traceProbeAccum(chip.numDomains()),
+      simRng(chip.rng().fork(0x51B7ULL))
+{
+    if (tick <= 0.0)
+        fatal("Simulator tick must be positive");
+    softwareSpecs.resize(chip.numDomains(), nullptr);
+}
+
+void
+Simulator::attachControlSystem(VoltageControlSystem *system)
+{
+    controlSystem = system;
+}
+
+void
+Simulator::attachSoftwareSpeculator(unsigned domain,
+                                    SoftwareSpeculator *speculator)
+{
+    softwareSpecs.at(domain) = speculator;
+}
+
+void
+Simulator::enableTrace(Seconds interval)
+{
+    if (interval <= 0.0)
+        fatal("trace interval must be positive");
+    traceInterval = interval;
+    sinceTraceSample = 0.0;
+}
+
+bool
+Simulator::anyCrashed() const
+{
+    for (unsigned i = 0; i < chip_->numCores(); ++i) {
+        if (chip_->core(i).crashed())
+            return true;
+    }
+    return false;
+}
+
+void
+Simulator::recordTraceSample()
+{
+    TraceSample sample;
+    sample.time = currentTime;
+
+    for (unsigned d = 0; d < chip_->numDomains(); ++d) {
+        const auto &dom = chip_->domain(d);
+        sample.domainSetpoint.push_back(dom.regulator().setpoint());
+        sample.domainEffective.push_back(
+            dom.effectiveVoltage(chip_->pdn()));
+        sample.domainErrorRate.push_back(traceProbeAccum[d].errorRate());
+        sample.domainErrors.push_back(
+            traceProbeAccum[d].correctableEvents);
+        traceProbeAccum[d] = ProbeStats{};
+    }
+
+    sample.chipPower = chip_->totalPower(currentTime);
+    for (unsigned c = 0; c < chip_->numCores(); ++c)
+        sample.corePower.push_back(chip_->corePower(c, currentTime));
+
+    sample.workloadErrors = traceWorkloadErrors;
+    traceWorkloadErrors = 0;
+
+    trace_.add(std::move(sample));
+}
+
+void
+Simulator::step(Seconds dt)
+{
+    const Seconds t = currentTime;
+
+    // 1. Rail activity per domain from the resident workloads.
+    for (unsigned d = 0; d < chip_->numDomains(); ++d) {
+        auto &dom = chip_->domain(d);
+        ActivityProfile combined;
+        for (Core *core : dom.cores()) {
+            combined =
+                combined.combinedWith(core->workloadSampleAt(t).activity);
+        }
+        dom.setActivity(combined);
+    }
+
+    // 2-3. Effective voltage and core advancement.
+    std::vector<std::uint64_t> domainEvents(chip_->numDomains(), 0);
+    for (unsigned d = 0; d < chip_->numDomains(); ++d) {
+        auto &dom = chip_->domain(d);
+        const Millivolt v_eff = dom.effectiveVoltage(chip_->pdn());
+
+        for (Core *core : dom.cores()) {
+            const CoreTickResult result =
+                core->tick(t, dt, v_eff, simRng, &log);
+            coreEvents[core->id()] += result.correctableEvents;
+            domainEvents[d] += result.correctableEvents;
+            traceWorkloadErrors += result.correctableEvents;
+        }
+
+        // 4. Monitor probe bursts for this domain's monitors.
+        for (Core *core : dom.cores()) {
+            for (EccMonitor *mon :
+                 {&chip_->l2iMonitor(core->id()),
+                  &chip_->l2dMonitor(core->id())}) {
+                if (!mon->active())
+                    continue;
+                const ProbeStats stats =
+                    mon->runProbes(dt, v_eff, simRng);
+                traceProbeAccum[d] += stats;
+            }
+        }
+    }
+
+    // 5. Controllers and hooks.
+    if (controlSystem)
+        controlSystem->tick(dt);
+    for (unsigned d = 0; d < chip_->numDomains(); ++d) {
+        if (softwareSpecs[d])
+            softwareSpecs[d]->tick(dt, domainEvents[d]);
+    }
+    for (auto &hook : hooks)
+        hook(t, dt);
+
+    // 6. Regulator slew, energy accounting, telemetry.
+    for (unsigned d = 0; d < chip_->numDomains(); ++d) {
+        auto &dom = chip_->domain(d);
+        dom.regulator().advance(dt);
+
+        const double overhead =
+            softwareSpecs[d]
+                ? softwareSpecs[d]->consumeOverheadFraction(dt)
+                : 0.0;
+        for (Core *core : dom.cores()) {
+            coreEnergy_[core->id()].addSample(
+                chip_->corePower(core->id(), t), dt, overhead);
+        }
+    }
+    chipEnergy_.addSample(chip_->totalPower(t), dt);
+
+    currentTime += dt;
+
+    if (traceInterval > 0.0) {
+        sinceTraceSample += dt;
+        if (sinceTraceSample >= traceInterval - 1e-12) {
+            sinceTraceSample = 0.0;
+            recordTraceSample();
+        }
+    }
+}
+
+void
+Simulator::run(Seconds duration)
+{
+    const std::uint64_t steps =
+        std::uint64_t(duration / tick_ + 0.5);
+    for (std::uint64_t i = 0; i < steps; ++i)
+        step(tick_);
+}
+
+} // namespace vspec

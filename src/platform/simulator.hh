@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Discrete-tick whole-chip simulator.
+ *
+ * Per tick:
+ *  1. sample every core's workload -> per-domain rail activity,
+ *  2. compute each domain's effective voltage (regulator - droop),
+ *  3. advance every core (workload-induced ECC events, crash checks),
+ *  4. run the active ECC monitors' probe bursts,
+ *  5. run attached controllers (hardware control system and/or the
+ *     software speculators) and user hooks,
+ *  6. slew the regulators, account energy, and sample telemetry.
+ */
+
+#ifndef VSPEC_PLATFORM_SIMULATOR_HH
+#define VSPEC_PLATFORM_SIMULATOR_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cache/ecc_event.hh"
+#include "core/software_speculator.hh"
+#include "core/voltage_controller.hh"
+#include "platform/chip.hh"
+#include "platform/trace.hh"
+#include "power/energy.hh"
+
+namespace vspec
+{
+
+class Simulator
+{
+  public:
+    explicit Simulator(Chip &chip, Seconds tick = 1e-3);
+
+    Chip &chip() { return *chip_; }
+    Seconds now() const { return currentTime; }
+    Seconds tickSize() const { return tick_; }
+
+    /** Attach the hardware voltage control system (owned elsewhere). */
+    void attachControlSystem(VoltageControlSystem *system);
+
+    /**
+     * Attach a software speculator for one domain (the firmware
+     * baseline); it receives that domain's workload error counts and
+     * charges its handling overhead to the domain's cores' energy.
+     */
+    void attachSoftwareSpeculator(unsigned domain,
+                                  SoftwareSpeculator *speculator);
+
+    /** Arbitrary per-tick hook, run after controllers. */
+    using Hook = std::function<void(Seconds t, Seconds dt)>;
+    void addHook(Hook hook) { hooks.push_back(std::move(hook)); }
+
+    /** Start recording telemetry every @p interval seconds. */
+    void enableTrace(Seconds interval);
+    const Trace &trace() const { return trace_; }
+
+    /** Advance the simulation. */
+    void run(Seconds duration);
+
+    /** Workload-induced ECC events (monitor probes not included). */
+    const EccEventLog &eventLog() const { return log; }
+    EccEventLog &eventLog() { return log; }
+
+    /** Per-core accumulated energy. */
+    const EnergyAccount &coreEnergy(unsigned core) const
+    {
+        return coreEnergy_.at(core);
+    }
+    /** Whole-chip accumulated energy (includes uncore). */
+    const EnergyAccount &chipEnergy() const { return chipEnergy_; }
+
+    /** True if any core has crashed. */
+    bool anyCrashed() const;
+
+    /** Cumulative correctable events per core from workload traffic. */
+    std::uint64_t coreCorrectableEvents(unsigned core) const
+    {
+        return coreEvents.at(core);
+    }
+
+  private:
+    Chip *chip_;
+    Seconds tick_;
+    Seconds currentTime = 0.0;
+
+    VoltageControlSystem *controlSystem = nullptr;
+    std::vector<SoftwareSpeculator *> softwareSpecs;
+    std::vector<Hook> hooks;
+
+    EccEventLog log;
+    std::vector<EnergyAccount> coreEnergy_;
+    EnergyAccount chipEnergy_;
+    std::vector<std::uint64_t> coreEvents;
+
+    /** Monitor probe stats per domain, accumulated per trace interval. */
+    std::vector<ProbeStats> traceProbeAccum;
+    std::uint64_t traceWorkloadErrors = 0;
+    Seconds traceInterval = 0.0;
+    Seconds sinceTraceSample = 0.0;
+    Trace trace_;
+
+    Rng simRng;
+
+    void step(Seconds dt);
+    void recordTraceSample();
+};
+
+} // namespace vspec
+
+#endif // VSPEC_PLATFORM_SIMULATOR_HH

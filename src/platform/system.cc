@@ -1,0 +1,40 @@
+#include "platform/system.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace vspec
+{
+
+System::System(const SystemConfig &config)
+    : cfg(config)
+{
+    if (cfg.numSockets == 0)
+        fatal("System needs at least one socket");
+    for (unsigned s = 0; s < cfg.numSockets; ++s) {
+        ChipConfig socket_cfg = cfg.socket;
+        // Each socket is a different die from the same population.
+        socket_cfg.seed = mix64(cfg.socket.seed ^ mix64(s + 0x50CCE7ULL));
+        sockets.push_back(std::make_unique<Chip>(socket_cfg));
+    }
+}
+
+unsigned
+System::totalCores() const
+{
+    unsigned total = 0;
+    for (const auto &chip : sockets)
+        total += chip->numCores();
+    return total;
+}
+
+Watt
+System::totalPower(Seconds t) const
+{
+    Watt total = 0.0;
+    for (const auto &chip : sockets)
+        total += chip->totalPower(t);
+    return total;
+}
+
+} // namespace vspec

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Multi-socket system model: the paper's BL860c-i4 Integrity server
+ * carries *two* Itanium 9560 processors. A System is a set of Chips
+ * (one per socket) sharing nothing but the enclosure: each socket has
+ * its own rails, monitors and control system, exactly as the paper's
+ * firmware treats them.
+ */
+
+#ifndef VSPEC_PLATFORM_SYSTEM_HH
+#define VSPEC_PLATFORM_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "platform/chip.hh"
+
+namespace vspec
+{
+
+struct SystemConfig
+{
+    /** Sockets in the enclosure (Table I: 2). */
+    unsigned numSockets = 2;
+    /** Per-socket configuration; seeds are derived per socket. */
+    ChipConfig socket;
+};
+
+class System
+{
+  public:
+    explicit System(const SystemConfig &config);
+
+    unsigned numSockets() const { return unsigned(sockets.size()); }
+    Chip &socket(unsigned i) { return *sockets.at(i); }
+    const Chip &socket(unsigned i) const { return *sockets.at(i); }
+
+    unsigned totalCores() const;
+
+    /** Total enclosure power right now (all sockets). */
+    Watt totalPower(Seconds t) const;
+
+    const SystemConfig &config() const { return cfg; }
+
+  private:
+    SystemConfig cfg;
+    std::vector<std::unique_ptr<Chip>> sockets;
+};
+
+} // namespace vspec
+
+#endif // VSPEC_PLATFORM_SYSTEM_HH

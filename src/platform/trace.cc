@@ -1,0 +1,78 @@
+#include "platform/trace.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace vspec
+{
+
+Millivolt
+Trace::meanDomainSetpoint(unsigned domain) const
+{
+    if (samples_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &s : samples_)
+        sum += s.domainSetpoint.at(domain);
+    return sum / double(samples_.size());
+}
+
+Watt
+Trace::meanChipPower() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &s : samples_)
+        sum += s.chipPower;
+    return sum / double(samples_.size());
+}
+
+Watt
+Trace::meanCorePower(unsigned core) const
+{
+    if (samples_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &s : samples_)
+        sum += s.corePower.at(core);
+    return sum / double(samples_.size());
+}
+
+double
+Trace::meanDomainErrorRate(unsigned domain) const
+{
+    if (samples_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &s : samples_)
+        sum += s.domainErrorRate.at(domain);
+    return sum / double(samples_.size());
+}
+
+std::string
+Trace::toTsv() const
+{
+    std::ostringstream os;
+    if (samples_.empty())
+        return "";
+
+    const auto &first = samples_.front();
+    os << "time";
+    for (std::size_t d = 0; d < first.domainSetpoint.size(); ++d)
+        os << "\tV_set_d" << d << "\tV_eff_d" << d << "\terr_rate_d" << d;
+    os << "\tchip_power_w\tworkload_errors\n";
+
+    for (const auto &s : samples_) {
+        os << s.time;
+        for (std::size_t d = 0; d < s.domainSetpoint.size(); ++d) {
+            os << "\t" << s.domainSetpoint[d] << "\t"
+               << s.domainEffective[d] << "\t" << s.domainErrorRate[d];
+        }
+        os << "\t" << s.chipPower << "\t" << s.workloadErrors << "\n";
+    }
+    return os.str();
+}
+
+} // namespace vspec

@@ -1,0 +1,33 @@
+#include "power/energy.hh"
+
+#include "common/logging.hh"
+
+namespace vspec
+{
+
+void
+EnergyAccount::addSample(Watt power, Seconds dt, double overhead_fraction)
+{
+    if (dt < 0.0)
+        panic("EnergyAccount: negative sample duration");
+    if (overhead_fraction < 0.0)
+        panic("EnergyAccount: negative overhead fraction");
+    const Seconds stretched = dt * (1.0 + overhead_fraction);
+    totalEnergy += power * stretched;
+    totalTime += stretched;
+}
+
+Watt
+EnergyAccount::meanPower() const
+{
+    return totalTime <= 0.0 ? 0.0 : totalEnergy / totalTime;
+}
+
+void
+EnergyAccount::reset()
+{
+    totalEnergy = 0.0;
+    totalTime = 0.0;
+}
+
+} // namespace vspec

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Energy accounting: integrates sampled power over time per rail and
+ * per core, with support for the performance-overhead-adjusted energy
+ * the software-speculation comparison needs (Fig. 18): handling
+ * correctable errors in firmware stretches runtime, so the effective
+ * energy of the software technique is P * T * (1 + overhead).
+ */
+
+#ifndef VSPEC_POWER_ENERGY_HH
+#define VSPEC_POWER_ENERGY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace vspec
+{
+
+/**
+ * Accumulates energy from (power, dt) samples.
+ */
+class EnergyAccount
+{
+  public:
+    EnergyAccount() = default;
+
+    /** Add a sample: power held for dt, with optional runtime stretch. */
+    void addSample(Watt power, Seconds dt, double overhead_fraction = 0.0);
+
+    /** Total accumulated energy (J). */
+    Joule energy() const { return totalEnergy; }
+
+    /** Total accounted (stretched) time (s). */
+    Seconds elapsed() const { return totalTime; }
+
+    /** Mean power over the accounted time (W). */
+    Watt meanPower() const;
+
+    void reset();
+
+  private:
+    Joule totalEnergy = 0.0;
+    Seconds totalTime = 0.0;
+};
+
+} // namespace vspec
+
+#endif // VSPEC_POWER_ENERGY_HH

@@ -1,0 +1,46 @@
+#include "power/power_model.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace vspec
+{
+
+PowerModel::PowerModel() : PowerModel(Params()) {}
+
+PowerModel::PowerModel(const Params &params)
+    : modelParams(params)
+{
+    if (params.cdynWPerV2GHz <= 0.0 || params.leakExpMv <= 0.0 ||
+        params.nominalMv <= 0.0)
+        fatal("PowerModel parameters must be positive");
+}
+
+Watt
+PowerModel::dynamicPower(Millivolt v, Megahertz f, double activity) const
+{
+    const double volts = mvToVolt(v);
+    const double ghz = f / 1000.0;
+    return modelParams.cdynWPerV2GHz * activity * volts * volts * ghz;
+}
+
+Watt
+PowerModel::leakagePower(Millivolt v, Celsius temp) const
+{
+    const auto &p = modelParams;
+    const double vscale = v / p.nominalMv;
+    const double escale = std::exp((v - p.nominalMv) / p.leakExpMv);
+    const double tscale =
+        1.0 + p.leakTempCoeff * (temp - p.referenceTemp);
+    return p.leakAtNominal * vscale * escale * tscale;
+}
+
+Watt
+PowerModel::corePower(Millivolt v, Megahertz f, double activity,
+                      Celsius temp) const
+{
+    return dynamicPower(v, f, activity) + leakagePower(v, temp);
+}
+
+} // namespace vspec

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Analytic processor power model.
+ *
+ * Per core:
+ *   P_dyn  = cdyn * activity * V^2 * f
+ *   P_leak = leakNominal * (V / Vnom) * exp((V - Vnom) / leakExpMv)
+ *
+ * The model is calibrated against the Itanium 9560's 170 W TDP split
+ * across 8 cores and the uncore (Table I). The observable the paper
+ * reports — ~33% power reduction for an ~18% supply reduction at fixed
+ * frequency — is dominated by the quadratic dynamic term, with the
+ * super-linear leakage term adding a little extra.
+ */
+
+#ifndef VSPEC_POWER_POWER_MODEL_HH
+#define VSPEC_POWER_POWER_MODEL_HH
+
+#include "common/units.hh"
+
+namespace vspec
+{
+
+class PowerModel
+{
+  public:
+    struct Params
+    {
+        /** Effective switched capacitance term (W per V^2 per GHz). */
+        double cdynWPerV2GHz = 3.9;
+        /** Core leakage at the nominal high-Vdd point (W). */
+        Watt leakAtNominal = 3.0;
+        /** Nominal voltage the leakage figure refers to (mV). */
+        Millivolt nominalMv = 1100.0;
+        /** Exponential leakage voltage scale (mV). */
+        Millivolt leakExpMv = 650.0;
+        /** Leakage temperature coefficient (fraction per degree C). */
+        double leakTempCoeff = 0.01;
+        Celsius referenceTemp = 60.0;
+        /** Fixed uncore power at nominal (W per chip). */
+        Watt uncorePower = 12.0;
+    };
+
+    PowerModel();
+    explicit PowerModel(const Params &params);
+
+    /** Dynamic power of one core (W). */
+    Watt dynamicPower(Millivolt v, Megahertz f, double activity) const;
+
+    /** Leakage power of one core (W). */
+    Watt leakagePower(Millivolt v, Celsius temp) const;
+
+    /** Total power of one core (W). */
+    Watt corePower(Millivolt v, Megahertz f, double activity,
+                   Celsius temp) const;
+
+    /** Uncore power (fixed rail). */
+    Watt uncorePower() const { return modelParams.uncorePower; }
+
+    const Params &params() const { return modelParams; }
+
+  private:
+    Params modelParams;
+};
+
+} // namespace vspec
+
+#endif // VSPEC_POWER_POWER_MODEL_HH

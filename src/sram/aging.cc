@@ -1,0 +1,40 @@
+#include "sram/aging.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "sram/sram_array.hh"
+
+namespace vspec
+{
+
+AgingModel::AgingModel() : AgingModel(Params()) {}
+
+AgingModel::AgingModel(const Params &params)
+    : agingParams(params)
+{
+    if (params.tau <= 0.0)
+        fatal("AgingModel tau must be positive");
+    if (params.randomFraction < 0.0)
+        fatal("AgingModel randomFraction must be non-negative");
+}
+
+Millivolt
+AgingModel::totalShift(Seconds t) const
+{
+    if (t <= 0.0)
+        return 0.0;
+    return agingParams.ratePerDecade * std::log10(1.0 + t / agingParams.tau);
+}
+
+void
+AgingModel::advance(SramArray &array, Seconds t0, Seconds t1,
+                    Rng &rng) const
+{
+    if (t1 <= t0)
+        return;
+    const Millivolt delta = totalShift(t1) - totalShift(t0);
+    array.applyAgingShift(delta, delta * agingParams.randomFraction, rng);
+}
+
+} // namespace vspec

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Device aging model (NBTI/PBTI-style threshold drift).
+ *
+ * Section III-D of the paper notes that the weakest cache line can
+ * change over the lifetime of the part, which is why the speculation
+ * system recalibrates periodically. We model aging as a slow, logarithmic
+ * upward drift of cell critical voltages with per-cell randomness, which
+ * is enough to (a) reorder which line is the weakest and (b) raise the
+ * error rate of a stale operating point — both of which the
+ * recalibration tests exercise.
+ */
+
+#ifndef VSPEC_SRAM_AGING_HH
+#define VSPEC_SRAM_AGING_HH
+
+#include "common/rng.hh"
+#include "common/units.hh"
+
+namespace vspec
+{
+
+class SramArray;
+
+/**
+ * Logarithmic-in-time aging: total mean Vc shift after stress time t is
+ *   shift(t) = rate * log10(1 + t / tau)
+ * with per-cell randomness of randomFraction * shift applied on each
+ * step.
+ */
+class AgingModel
+{
+  public:
+    struct Params
+    {
+        /** Mean shift per decade of stress time (mV). */
+        Millivolt ratePerDecade = 6.0;
+        /** Time constant of the log law (seconds). */
+        Seconds tau = 30.0 * 24.0 * 3600.0;
+        /** Per-cell random spread as a fraction of the mean shift. */
+        double randomFraction = 0.5;
+    };
+
+    AgingModel();
+    explicit AgingModel(const Params &params);
+
+    /** Cumulative mean shift after total stress time t. */
+    Millivolt totalShift(Seconds t) const;
+
+    /**
+     * Advance an array from stress age t0 to t1, applying the
+     * incremental shift to every materialized cell.
+     */
+    void advance(SramArray &array, Seconds t0, Seconds t1, Rng &rng) const;
+
+    const Params &params() const { return agingParams; }
+
+  private:
+    Params agingParams;
+};
+
+} // namespace vspec
+
+#endif // VSPEC_SRAM_AGING_HH

@@ -1,0 +1,89 @@
+#include "sram/sram_array.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+#include "common/mathutil.hh"
+
+namespace vspec
+{
+
+SramArray::SramArray(std::string name, std::uint64_t n_cells,
+                     const VcDistribution &dist, Millivolt v_floor,
+                     Millivolt aging_headroom, Rng &rng)
+    : arrayName(std::move(name)), cellCount(n_cells), cellDist(dist),
+      floorMv(v_floor - aging_headroom)
+{
+    if (n_cells == 0)
+        fatal("SramArray '", arrayName, "' must have at least one cell");
+    if (dist.sigmaDynamic <= 0.0)
+        fatal("SramArray '", arrayName, "' needs a positive sigmaDynamic");
+
+    cells = tail_sampler::sample(rng, n_cells, dist, floorMv);
+    std::sort(cells.begin(), cells.end(),
+              [](const WeakCell &a, const WeakCell &b) {
+                  return a.cellIndex < b.cellIndex;
+              });
+}
+
+std::vector<WeakCell>
+SramArray::weakCellsInRange(std::uint64_t lo, std::uint64_t hi) const
+{
+    auto first = std::lower_bound(
+        cells.begin(), cells.end(), lo,
+        [](const WeakCell &c, std::uint64_t v) { return c.cellIndex < v; });
+    std::vector<WeakCell> result;
+    for (auto it = first; it != cells.end() && it->cellIndex < hi; ++it)
+        result.push_back(*it);
+    return result;
+}
+
+Millivolt
+SramArray::weakestVcInRange(std::uint64_t lo, std::uint64_t hi) const
+{
+    Millivolt best = -std::numeric_limits<double>::infinity();
+    for (const auto &cell : weakCellsInRange(lo, hi))
+        best = std::max(best, cell.vc);
+    return best;
+}
+
+Millivolt
+SramArray::weakestVc() const
+{
+    Millivolt best = -std::numeric_limits<double>::infinity();
+    for (const auto &cell : cells)
+        best = std::max(best, cell.vc);
+    return best;
+}
+
+double
+SramArray::failureProbability(const WeakCell &cell, Millivolt v_eff) const
+{
+    return math::normalCdf((cell.vc - v_eff) / cellDist.sigmaDynamic);
+}
+
+std::vector<std::uint64_t>
+SramArray::sampleAccessFlips(std::uint64_t lo, std::uint64_t hi,
+                             Millivolt v_eff, Rng &rng) const
+{
+    std::vector<std::uint64_t> flips;
+    for (const auto &cell : weakCellsInRange(lo, hi)) {
+        if (rng.bernoulli(failureProbability(cell, v_eff)))
+            flips.push_back(cell.cellIndex - lo);
+    }
+    return flips;
+}
+
+void
+SramArray::applyAgingShift(Millivolt mean_shift, Millivolt sigma_shift,
+                           Rng &rng)
+{
+    for (auto &cell : cells) {
+        const Millivolt shift =
+            std::max(0.0, rng.gaussian(mean_shift, sigma_shift));
+        cell.vc += shift;
+    }
+}
+
+} // namespace vspec

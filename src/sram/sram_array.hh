@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Statistical SRAM array model.
+ *
+ * An SramArray represents the bit cells of one cache/register array.
+ * Cells are Gaussian in critical voltage; only the distribution's upper
+ * tail (the cells that can fail within the simulated voltage window) is
+ * materialized explicitly via the tail sampler. An access to a cell with
+ * critical voltage Vc at effective supply V fails with probability
+ * Phi((Vc - V) / sigmaDynamic) — a per-access *timing/read-disturb*
+ * failure, not a retention failure: idle cells never lose data, which
+ * is exactly the §V-E characterization result.
+ */
+
+#ifndef VSPEC_SRAM_SRAM_ARRAY_HH
+#define VSPEC_SRAM_SRAM_ARRAY_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/units.hh"
+#include "variation/process_variation.hh"
+#include "variation/tail_sampler.hh"
+
+namespace vspec
+{
+
+/**
+ * One SRAM bit array with statistically materialized weak cells.
+ */
+class SramArray
+{
+  public:
+    /**
+     * @param name human-readable array name (for logs)
+     * @param n_cells total number of bit cells
+     * @param dist critical-voltage distribution of the population
+     * @param v_floor lowest supply voltage the experiments will apply;
+     *        cells with Vc below (v_floor - headroom) stay implicit
+     * @param aging_headroom extra materialization margin so future
+     *        aging shifts can promote latent cells (mV)
+     * @param rng generator used to draw the weak-cell population
+     */
+    SramArray(std::string name, std::uint64_t n_cells,
+              const VcDistribution &dist, Millivolt v_floor,
+              Millivolt aging_headroom, Rng &rng);
+
+    const std::string &name() const { return arrayName; }
+    std::uint64_t numCells() const { return cellCount; }
+    const VcDistribution &distribution() const { return cellDist; }
+    Millivolt materializationFloor() const { return floorMv; }
+
+    /** All materialized weak cells, sorted by ascending cell index. */
+    const std::vector<WeakCell> &weakCells() const { return cells; }
+
+    /** Weak cells whose index falls in [lo, hi). */
+    std::vector<WeakCell> weakCellsInRange(std::uint64_t lo,
+                                           std::uint64_t hi) const;
+
+    /**
+     * Allocation-free visit of the weak cells in [lo, hi), in ascending
+     * index order — the hot path for per-tick traffic sampling.
+     */
+    template <typename Fn>
+    void
+    forEachWeakCellInRange(std::uint64_t lo, std::uint64_t hi,
+                           Fn &&fn) const
+    {
+        auto first = std::lower_bound(
+            cells.begin(), cells.end(), lo,
+            [](const WeakCell &c, std::uint64_t v) {
+                return c.cellIndex < v;
+            });
+        for (auto it = first; it != cells.end() && it->cellIndex < hi;
+             ++it)
+            fn(*it);
+    }
+
+    /** Highest critical voltage in [lo, hi); -inf if none weak. */
+    Millivolt weakestVcInRange(std::uint64_t lo, std::uint64_t hi) const;
+
+    /** Highest critical voltage in the whole array. */
+    Millivolt weakestVc() const;
+
+    /**
+     * Per-access failure probability of one cell at effective supply
+     * v_eff.
+     */
+    double failureProbability(const WeakCell &cell, Millivolt v_eff) const;
+
+    /**
+     * Sample which cells in [lo, hi) flip during a single access at
+     * v_eff. Returns indices relative to lo.
+     */
+    std::vector<std::uint64_t> sampleAccessFlips(std::uint64_t lo,
+                                                 std::uint64_t hi,
+                                                 Millivolt v_eff,
+                                                 Rng &rng) const;
+
+    /**
+     * Shift every materialized cell's critical voltage by an
+     * independent draw from N(mean_shift, sigma_shift) — the aging hook
+     * (cells only degrade; negative draws are clamped to zero).
+     */
+    void applyAgingShift(Millivolt mean_shift, Millivolt sigma_shift,
+                         Rng &rng);
+
+  private:
+    std::string arrayName;
+    std::uint64_t cellCount;
+    VcDistribution cellDist;
+    Millivolt floorMv;
+    /** Sorted by ascending cellIndex. */
+    std::vector<WeakCell> cells;
+};
+
+} // namespace vspec
+
+#endif // VSPEC_SRAM_SRAM_ARRAY_HH

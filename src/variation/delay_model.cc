@@ -1,0 +1,86 @@
+#include "variation/delay_model.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace vspec
+{
+
+AlphaPowerModel::AlphaPowerModel(double alpha, Millivolt vth_mv,
+                                 double k_delay)
+    : alphaExp(alpha), vthMv(vth_mv), kDelay(k_delay)
+{
+    if (alpha <= 0.0 || vth_mv <= 0.0 || k_delay <= 0.0)
+        fatal("AlphaPowerModel parameters must be positive");
+}
+
+Seconds
+AlphaPowerModel::delayAt(Millivolt v) const
+{
+    if (v <= vthMv)
+        return std::numeric_limits<double>::infinity();
+    return kDelay * v / std::pow(v - vthMv, alphaExp);
+}
+
+Millivolt
+AlphaPowerModel::criticalVoltage(Megahertz freq) const
+{
+    const Seconds period = periodOf(freq);
+
+    // delayAt is strictly decreasing above Vth in the region of
+    // interest, so bisection between Vth and a generous upper bound
+    // converges unconditionally.
+    Millivolt lo = vthMv + 1e-6;
+    Millivolt hi = vthMv + 5000.0;
+    if (delayAt(hi) > period)
+        fatal("criticalVoltage: frequency ", freq,
+              " MHz unreachable even at ", hi, " mV");
+
+    for (int iter = 0; iter < 200; ++iter) {
+        const Millivolt mid = 0.5 * (lo + hi);
+        if (delayAt(mid) > period)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+AlphaPowerModel
+AlphaPowerModel::fitTwoPoints(double alpha, Megahertz f1, Millivolt v1,
+                              Megahertz f2, Millivolt v2)
+{
+    if (v1 <= v2 || f1 <= f2)
+        fatal("fitTwoPoints expects (f1, v1) to be the faster, higher-"
+              "voltage anchor");
+
+    // At each anchor: k * v / (v - vth)^alpha = 1/f. Taking the ratio
+    // eliminates k; solve the resulting monotone equation for vth by
+    // bisection over (0, v2).
+    const double target = (f1 / f2);  // period2 / period1
+    auto ratio_at = [&](double vth) {
+        const double d1 = v1 / std::pow(v1 - vth, alpha);
+        const double d2 = v2 / std::pow(v2 - vth, alpha);
+        return d2 / d1;
+    };
+
+    double lo = 1e-3, hi = v2 - 1e-3;
+    if (ratio_at(lo) > target || ratio_at(hi) < target)
+        fatal("fitTwoPoints: anchors (", f1, " MHz, ", v1, " mV) / (", f2,
+              " MHz, ", v2, " mV) not representable with alpha ", alpha);
+
+    for (int iter = 0; iter < 200; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        if (ratio_at(mid) < target)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    const double vth = 0.5 * (lo + hi);
+    const double k = periodOf(f1) * std::pow(v1 - vth, alpha) / v1;
+    return AlphaPowerModel(alpha, vth, k);
+}
+
+} // namespace vspec

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Alpha-power-law gate/SRAM-access delay model.
+ *
+ * delay(V) = k * V / (V - Vth)^alpha
+ *
+ * with V in millivolts. The model captures the super-linear slowdown of
+ * transistors as the supply approaches the threshold voltage, which is
+ * why the same clock frequency requires a much higher supply margin from
+ * a slow (high-Vth) cell than from a typical one, and why that margin
+ * blows up in the near-threshold regime the paper exploits.
+ */
+
+#ifndef VSPEC_VARIATION_DELAY_MODEL_HH
+#define VSPEC_VARIATION_DELAY_MODEL_HH
+
+#include "common/units.hh"
+
+namespace vspec
+{
+
+/**
+ * Sakurai-Newton alpha-power delay model for one timing path or SRAM
+ * access.
+ */
+class AlphaPowerModel
+{
+  public:
+    /**
+     * @param alpha velocity-saturation exponent (~1.3 for modern nodes)
+     * @param vth_mv effective threshold voltage in millivolts
+     * @param k_delay delay coefficient (seconds * mV^(alpha-1))
+     */
+    AlphaPowerModel(double alpha, Millivolt vth_mv, double k_delay);
+
+    /** Path delay at the given supply voltage; infinite at/below Vth. */
+    Seconds delayAt(Millivolt v) const;
+
+    /**
+     * Lowest supply voltage at which the path meets the clock period of
+     * the given frequency (bisection solve of delayAt(V) == 1/f).
+     */
+    Millivolt criticalVoltage(Megahertz freq) const;
+
+    double alpha() const { return alphaExp; }
+    Millivolt vth() const { return vthMv; }
+
+    /**
+     * Fit a model through two (frequency, critical-voltage) anchor
+     * points with the given alpha: solves for Vth and k such that the
+     * path exactly meets timing at both anchors. Used to calibrate each
+     * cell class against the paper's measured operating points.
+     */
+    static AlphaPowerModel fitTwoPoints(double alpha,
+                                        Megahertz f1, Millivolt v1,
+                                        Megahertz f2, Millivolt v2);
+
+  private:
+    double alphaExp;
+    Millivolt vthMv;
+    double kDelay;
+};
+
+} // namespace vspec
+
+#endif // VSPEC_VARIATION_DELAY_MODEL_HH

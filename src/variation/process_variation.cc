@@ -1,0 +1,156 @@
+#include "variation/process_variation.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/mathutil.hh"
+#include "common/rng.hh"
+
+namespace vspec
+{
+
+VariationModel::VariationModel(std::uint64_t chip_seed,
+                               const VariationParams &params)
+    : seed(chip_seed), variationParams(params)
+{
+    if (params.lowVddAmplification < 1.0)
+        fatal("lowVddAmplification must be >= 1.0");
+    if (params.highFreq <= params.lowFreq)
+        fatal("highFreq must exceed lowFreq");
+}
+
+double
+VariationModel::amplification(Megahertz freq) const
+{
+    const auto &p = variationParams;
+    // Log-frequency interpolation between the two measured anchors,
+    // clamped outside the anchor range.
+    const double t = (std::log(p.highFreq) - std::log(freq)) /
+                     (std::log(p.highFreq) - std::log(p.lowFreq));
+    const double tc = math::clamp(t, 0.0, 1.0);
+    return math::lerp(1.0, p.lowVddAmplification, tc);
+}
+
+AlphaPowerModel
+VariationModel::modelFor(CellClass cls) const
+{
+    const auto &p = variationParams;
+    Millivolt v_high = 0.0, v_low = 0.0;
+    switch (cls) {
+      case CellClass::denseL2:
+        v_high = p.denseL2MeanHigh;
+        v_low = p.denseL2MeanLow;
+        break;
+      case CellClass::robustL1:
+        v_high = p.robustL1MeanHigh;
+        v_low = p.robustL1MeanLow;
+        break;
+      case CellClass::registerFile:
+        v_high = p.registerFileMeanHigh;
+        v_low = p.registerFileMeanLow;
+        break;
+      case CellClass::coreLogic:
+        v_high = p.coreLogicMeanHigh;
+        v_low = p.coreLogicMeanLow;
+        break;
+    }
+    return AlphaPowerModel::fitTwoPoints(p.alpha, p.highFreq, v_high,
+                                         p.lowFreq, v_low);
+}
+
+Millivolt
+VariationModel::classMean(CellClass cls, Megahertz freq) const
+{
+    return modelFor(cls).criticalVoltage(freq);
+}
+
+double
+VariationModel::unitNormal(std::uint64_t tag, unsigned core_id) const
+{
+    Rng rng(mix64(seed ^ mix64(tag)) ^ mix64(core_id + 0x1234));
+    return rng.gaussian();
+}
+
+double
+VariationModel::unitUniform(std::uint64_t tag, unsigned core_id) const
+{
+    Rng rng(mix64(seed ^ mix64(tag)) ^ mix64(core_id + 0x9876));
+    return rng.uniform();
+}
+
+Millivolt
+VariationModel::systematicOffset(unsigned core_id, Megahertz freq) const
+{
+    const Millivolt sigma =
+        variationParams.systematicSigmaHigh * amplification(freq);
+    return sigma * unitNormal(0xC0DECAFEULL, core_id);
+}
+
+VcDistribution
+VariationModel::cellDistribution(CellClass cls, Megahertz freq,
+                                 unsigned core_id, Celsius temp) const
+{
+    const auto &p = variationParams;
+    const double amp = amplification(freq);
+
+    Millivolt sigma_high = 0.0;
+    switch (cls) {
+      case CellClass::denseL2:
+        sigma_high = p.denseL2SigmaHigh;
+        break;
+      case CellClass::robustL1:
+        sigma_high = p.robustL1SigmaHigh;
+        break;
+      case CellClass::registerFile:
+        sigma_high = p.registerFileSigmaHigh;
+        break;
+      case CellClass::coreLogic:
+        sigma_high = p.coreLogicSigmaHigh;
+        break;
+    }
+
+    VcDistribution dist;
+    dist.mean = classMean(cls, freq) + systematicOffset(core_id, freq) +
+                p.tempCoeffMvPerC * (temp - p.referenceTemp);
+    dist.sigmaRandom = sigma_high * amp;
+    dist.sigmaDynamic = dynamicSigma(core_id, freq);
+    return dist;
+}
+
+Millivolt
+VariationModel::dynamicSigma(unsigned core_id, Megahertz freq) const
+{
+    const auto &p = variationParams;
+    // Per-core draw in [min, max] at the low anchor, scaled down by the
+    // amplification ratio at higher frequencies.
+    const double u = unitUniform(0xD1DAC711ULL, core_id);
+    const Millivolt at_low =
+        math::lerp(p.dynamicSigmaLowMin, p.dynamicSigmaLowMax, u);
+    return at_low * amplification(freq) / p.lowVddAmplification;
+}
+
+Millivolt
+VariationModel::logicFloor(unsigned core_id, Megahertz freq) const
+{
+    // The logic floor is defined as a frequency-interpolated gap above
+    // the dense-cell mean rather than through its own alpha-power fit:
+    // two independently fitted curves with different effective Vth
+    // cross at intermediate frequencies, which would put the crash
+    // floor above the cache feedback margin there. Interpolating the
+    // *gap* keeps the floor a consistent distance below the cache
+    // error band at every operating point, and is exact at both
+    // calibrated anchors.
+    const auto &p = variationParams;
+    const double t = (amplification(freq) - 1.0) /
+                     (p.lowVddAmplification - 1.0);
+    const Millivolt gap_high = p.coreLogicMeanHigh - p.denseL2MeanHigh;
+    const Millivolt gap_low = p.coreLogicMeanLow - p.denseL2MeanLow;
+    const Millivolt mean = classMean(CellClass::denseL2, freq) +
+                           math::lerp(gap_high, gap_low, t);
+    const Millivolt sigma =
+        p.coreLogicSigmaHigh * amplification(freq);
+    return mean + sigma * unitNormal(0xF100DULL, core_id) +
+           systematicOffset(core_id, freq);
+}
+
+} // namespace vspec

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Process-variation model for the simulated chip.
+ *
+ * Every SRAM cell on the chip has a *critical voltage* Vc: the lowest
+ * supply at which an access to it completes correctly at the configured
+ * clock frequency. Vc is decomposed as
+ *
+ *   Vc(cell) = mean(class, f) + systematic(core, f) + random(cell, f)
+ *
+ * where mean() comes from an alpha-power delay model fit per cell class
+ * (dense L2 cells, robust L1 cells, register file, core logic) and the
+ * systematic/random components model die-to-die and within-die process
+ * variation.
+ *
+ * The key empirical property the paper measures (Section II) is that
+ * variation effects on voltage margins are ~4x larger in the
+ * low-voltage regime than at nominal voltage. We reproduce that with a
+ * frequency-dependent amplification factor applied to both the static
+ * spread (sigmaRandom, systematic) and the per-access dynamic spread
+ * (sigmaDynamic, which sets the width of the error-probability S-curve
+ * of Fig. 13).
+ */
+
+#ifndef VSPEC_VARIATION_PROCESS_VARIATION_HH
+#define VSPEC_VARIATION_PROCESS_VARIATION_HH
+
+#include <cstdint>
+
+#include "common/units.hh"
+#include "variation/delay_model.hh"
+
+namespace vspec
+{
+
+/** SRAM/logic device classes with distinct sizing and robustness. */
+enum class CellClass
+{
+    /** Smallest, densest cells (L2/L3 arrays) — most vulnerable. */
+    denseL2,
+    /** Larger cells used in the L1 arrays — never fail in-range. */
+    robustL1,
+    /** Register-file cells — fail only near nominal-Vdd margins. */
+    registerFile,
+    /** Core combinational logic paths (sets the hard crash floor). */
+    coreLogic,
+};
+
+/** Number of distinct CellClass values. */
+constexpr unsigned numCellClasses = 4;
+
+/** Gaussian description of per-cell critical voltages for one array. */
+struct VcDistribution
+{
+    /** Mean critical voltage of the population (mV). */
+    Millivolt mean = 0.0;
+    /** Static per-cell spread (mV). */
+    Millivolt sigmaRandom = 0.0;
+    /**
+     * Dynamic per-access spread (mV): an access to a cell with critical
+     * voltage Vc at effective supply V fails with probability
+     * Phi((Vc - V) / sigmaDynamic).
+     */
+    Millivolt sigmaDynamic = 0.0;
+};
+
+/**
+ * Calibration constants. Defaults are tuned so that the emergent
+ * chip-level measurements land inside the paper's reported bands
+ * (see DESIGN.md section 3 and tests/calibration_test.cc).
+ */
+struct VariationParams
+{
+    double alpha = 1.3;
+
+    /** Anchor operating points (Table I). */
+    Megahertz highFreq = 2530.0;
+    Megahertz lowFreq = 340.0;
+
+    /** Mean critical voltage anchors per cell class, high/low regime. */
+    Millivolt denseL2MeanHigh = 905.0;
+    Millivolt denseL2MeanLow = 300.0;
+    Millivolt robustL1MeanHigh = 870.0;
+    Millivolt robustL1MeanLow = 260.0;
+    Millivolt registerFileMeanHigh = 930.0;
+    Millivolt registerFileMeanLow = 280.0;
+    Millivolt coreLogicMeanHigh = 935.0;
+    Millivolt coreLogicMeanLow = 558.0;
+
+    /** Static random spread at the high-frequency anchor (mV). */
+    Millivolt denseL2SigmaHigh = 13.75;
+    Millivolt robustL1SigmaHigh = 6.0;
+    Millivolt registerFileSigmaHigh = 14.0;
+    Millivolt coreLogicSigmaHigh = 3.0;
+
+    /**
+     * Variation amplification at the low-frequency anchor relative to
+     * the high anchor (the paper's ~4x observation).
+     */
+    double lowVddAmplification = 4.0;
+
+    /** Core-to-core systematic spread at the high anchor (mV). */
+    Millivolt systematicSigmaHigh = 7.0;
+
+    /** Per-core dynamic-sigma band at the low anchor (Fig. 13). */
+    Millivolt dynamicSigmaLowMin = 7.0;
+    Millivolt dynamicSigmaLowMax = 14.0;
+
+    /** Temperature coefficient of Vc (mV per degree C; tiny, so that
+     * +/-20 C has no measurable effect, per Section III-D). */
+    double tempCoeffMvPerC = 0.02;
+    Celsius referenceTemp = 60.0;
+};
+
+/**
+ * Deterministic per-chip variation model. All randomness is derived
+ * from the chip seed, so the same chip always has the same weak cells —
+ * the determinism the paper's whole mechanism rests on (Section II-D).
+ */
+class VariationModel
+{
+  public:
+    VariationModel(std::uint64_t chip_seed,
+                   const VariationParams &params = VariationParams());
+
+    const VariationParams &params() const { return variationParams; }
+
+    /**
+     * Variation amplification factor at the given frequency:
+     * 1.0 at the high anchor, params.lowVddAmplification at the low
+     * anchor, log-frequency interpolation in between.
+     */
+    double amplification(Megahertz freq) const;
+
+    /** Mean critical voltage for a cell class at a frequency. */
+    Millivolt classMean(CellClass cls, Megahertz freq) const;
+
+    /** Systematic (per-core) critical-voltage offset. */
+    Millivolt systematicOffset(unsigned core_id, Megahertz freq) const;
+
+    /**
+     * Full critical-voltage distribution of one array, combining class
+     * mean, core systematic offset, and temperature shift.
+     */
+    VcDistribution cellDistribution(CellClass cls, Megahertz freq,
+                                    unsigned core_id,
+                                    Celsius temp) const;
+
+    /** Per-core dynamic sigma (S-curve width) at a frequency. */
+    Millivolt dynamicSigma(unsigned core_id, Megahertz freq) const;
+
+    /**
+     * Crash floor of the core's combinational logic at a frequency:
+     * below this effective voltage the core fails outright regardless
+     * of cache state.
+     */
+    Millivolt logicFloor(unsigned core_id, Megahertz freq) const;
+
+    std::uint64_t chipSeed() const { return seed; }
+
+  private:
+    std::uint64_t seed;
+    VariationParams variationParams;
+
+    AlphaPowerModel modelFor(CellClass cls) const;
+
+    /** Deterministic unit normal derived from (seed, tag, core). */
+    double unitNormal(std::uint64_t tag, unsigned core_id) const;
+    /** Deterministic uniform in [0,1) derived from (seed, tag, core). */
+    double unitUniform(std::uint64_t tag, unsigned core_id) const;
+};
+
+} // namespace vspec
+
+#endif // VSPEC_VARIATION_PROCESS_VARIATION_HH

@@ -1,0 +1,70 @@
+#include "variation/tail_sampler.hh"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.hh"
+#include "common/mathutil.hh"
+
+namespace vspec
+{
+
+namespace tail_sampler
+{
+
+double
+tailProbability(const VcDistribution &dist, Millivolt v_floor)
+{
+    if (dist.sigmaRandom <= 0.0)
+        return v_floor < dist.mean ? 1.0 : 0.0;
+    const double z = (v_floor - dist.mean) / dist.sigmaRandom;
+    return 1.0 - math::normalCdf(z);
+}
+
+std::vector<WeakCell>
+sample(Rng &rng, std::uint64_t n_cells, const VcDistribution &dist,
+       Millivolt v_floor)
+{
+    const double q = tailProbability(dist, v_floor);
+    if (q * double(n_cells) > 1e6)
+        fatal("tail sampler asked to materialize ~", q * double(n_cells),
+              " cells; raise the floor (floor=", v_floor, " mV, mean=",
+              dist.mean, " mV)");
+
+    const std::uint64_t count = rng.binomial(n_cells, q);
+
+    std::vector<WeakCell> cells;
+    cells.reserve(count);
+
+    std::unordered_set<std::uint64_t> used;
+    used.reserve(count * 2);
+
+    for (std::uint64_t i = 0; i < count; ++i) {
+        // Conditional tail draw: u ~ U(0, 1), Vc at quantile 1 - u*q.
+        const double u = rng.uniform();
+        const double p = 1.0 - u * q;
+        const double z = math::normalQuantile(p);
+
+        WeakCell cell;
+        cell.vc = dist.mean + dist.sigmaRandom * z;
+
+        // Unique position (collisions vanishingly rare; retry).
+        std::uint64_t pos;
+        do {
+            pos = rng.uniformInt(n_cells);
+        } while (!used.insert(pos).second);
+        cell.cellIndex = pos;
+
+        cells.push_back(cell);
+    }
+
+    std::sort(cells.begin(), cells.end(),
+              [](const WeakCell &a, const WeakCell &b) {
+                  return a.vc > b.vc;
+              });
+    return cells;
+}
+
+} // namespace tail_sampler
+
+} // namespace vspec

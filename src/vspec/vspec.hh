@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Umbrella header for the vspec library: ECC-feedback-guided voltage
+ * speculation for low-voltage processors (Bacha & Teodorescu,
+ * MICRO 2014) plus the simulated Itanium-class substrate it runs on.
+ *
+ * Typical use (see examples/quickstart.cpp):
+ *
+ *   vspec::ChipConfig cfg;                      // 8-core, 340 MHz point
+ *   vspec::Chip chip(cfg);
+ *   auto setup = vspec::harness::armHardware(chip);   // calibrate + arm
+ *   vspec::harness::assignSuite(chip, vspec::Suite::coreMark);
+ *   vspec::Simulator sim(chip);
+ *   sim.attachControlSystem(setup.control.get());
+ *   sim.run(60.0);
+ */
+
+#ifndef VSPEC_VSPEC_HH
+#define VSPEC_VSPEC_HH
+
+#include "cache/cache.hh"
+#include "cache/cache_array.hh"
+#include "cache/ecc_event.hh"
+#include "cache/geometry.hh"
+#include "cache/hierarchy.hh"
+#include "cache/sweep.hh"
+#include "common/logging.hh"
+#include "common/mathutil.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/units.hh"
+#include "core/calibrator.hh"
+#include "core/ecc_monitor.hh"
+#include "core/firmware_monitor.hh"
+#include "core/software_speculator.hh"
+#include "core/voltage_controller.hh"
+#include "cpu/core_model.hh"
+#include "cpu/operating_point.hh"
+#include "ecc/secded.hh"
+#include "pdn/pdn_model.hh"
+#include "pdn/regulator.hh"
+#include "platform/chip.hh"
+#include "platform/harness.hh"
+#include "platform/simulator.hh"
+#include "platform/system.hh"
+#include "platform/trace.hh"
+#include "power/energy.hh"
+#include "power/power_model.hh"
+#include "sram/aging.hh"
+#include "sram/sram_array.hh"
+#include "variation/delay_model.hh"
+#include "variation/process_variation.hh"
+#include "variation/tail_sampler.hh"
+#include "workload/benchmarks.hh"
+#include "workload/virus.hh"
+#include "workload/workload.hh"
+
+#endif // VSPEC_VSPEC_HH

@@ -1,0 +1,56 @@
+#include "workload/virus.hh"
+
+#include <string>
+
+#include "common/logging.hh"
+
+namespace vspec
+{
+
+VoltageVirusWorkload::VoltageVirusWorkload(unsigned nop_count,
+                                           Megahertz core_freq,
+                                           unsigned fma_count)
+    : nops(nop_count), fmas(fma_count), coreFreq(core_freq)
+{
+    if (fma_count == 0)
+        fatal("voltage virus needs at least one high-power instruction");
+    if (core_freq <= 0.0)
+        fatal("voltage virus needs a positive core frequency");
+    virusName = "virus.nop-" + std::to_string(nop_count);
+}
+
+Megahertz
+VoltageVirusWorkload::oscillationFrequency() const
+{
+    // One loop iteration retires (fmas + nops) instructions at one per
+    // cycle; the power waveform repeats once per iteration.
+    return coreFreq / double(fmas + nops);
+}
+
+double
+VoltageVirusWorkload::dutyCycle() const
+{
+    return double(fmas) / double(fmas + nops);
+}
+
+WorkloadSample
+VoltageVirusWorkload::sampleAt(Seconds) const
+{
+    WorkloadSample sample;
+    const double duty = dutyCycle();
+
+    // FMA phases switch nearly the full datapath; NOP phases almost
+    // nothing. Mean activity follows the duty cycle; the square-wave
+    // fundamental has amplitude 4 * duty * (1 - duty).
+    sample.activity.meanActivity = 0.15 + 0.8 * duty;
+    sample.activity.swingAmplitude = 4.0 * duty * (1.0 - duty);
+    sample.activity.oscillationFreq = oscillationFrequency();
+
+    sample.ipc = 1.0;
+    // Tight loop: negligible cache traffic beyond the L1.
+    sample.l2dAccessesPerSec = 1.0e4;
+    sample.l2iAccessesPerSec = 1.0e4;
+    return sample;
+}
+
+} // namespace vspec

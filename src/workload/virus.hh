@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The voltage virus of Section IV-B.
+ *
+ * A loop of high-power FMA instructions interleaved with N NOPs at a
+ * 50% duty cycle. Varying the NOP count sweeps the frequency of the
+ * high/low-power oscillation; when it matches the PDN resonance the
+ * rail droops far more than the virus's average power alone would
+ * cause. The paper finds the 8-NOP variant sits on the resonance.
+ */
+
+#ifndef VSPEC_WORKLOAD_VIRUS_HH
+#define VSPEC_WORKLOAD_VIRUS_HH
+
+#include "workload/workload.hh"
+
+namespace vspec
+{
+
+class VoltageVirusWorkload : public Workload
+{
+  public:
+    /**
+     * @param nop_count NOPs per loop iteration
+     * @param core_freq core clock (MHz) — sets the oscillation period
+     * @param fma_count high-power instructions per iteration
+     */
+    explicit VoltageVirusWorkload(unsigned nop_count,
+                                  Megahertz core_freq = 340.0,
+                                  unsigned fma_count = 8);
+
+    const std::string &name() const override { return virusName; }
+    Suite suite() const override { return Suite::synthetic; }
+    WorkloadSample sampleAt(Seconds t) const override;
+
+    unsigned nopCount() const { return nops; }
+
+    /** Activity oscillation frequency of this variant (MHz). */
+    Megahertz oscillationFrequency() const;
+
+    /** Duty cycle of the high-power phase. */
+    double dutyCycle() const;
+
+  private:
+    std::string virusName;
+    unsigned nops;
+    unsigned fmas;
+    Megahertz coreFreq;
+};
+
+} // namespace vspec
+
+#endif // VSPEC_WORKLOAD_VIRUS_HH

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Workload abstraction.
+ *
+ * The speculation system observes a workload through exactly two
+ * channels: the load it puts on the power rail (activity -> droop) and
+ * the cache traffic it generates (which lines it touches, how often).
+ * A Workload therefore exposes a time-varying WorkloadSample with both,
+ * plus a deterministic per-line touch weight that models which cache
+ * lines sit in the benchmark's working set — the source of the large
+ * core-to-core error-count variability of Fig. 4.
+ */
+
+#ifndef VSPEC_WORKLOAD_WORKLOAD_HH
+#define VSPEC_WORKLOAD_WORKLOAD_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/units.hh"
+#include "pdn/pdn_model.hh"
+
+namespace vspec
+{
+
+/** Benchmark suites used in the evaluation (Table II). */
+enum class Suite
+{
+    coreMark,
+    specJbb2005,
+    specInt2000,
+    specFp2000,
+    stress,
+    synthetic,
+};
+
+/** Human-readable suite name. */
+const char *suiteName(Suite suite);
+
+/** Instantaneous demands of a workload. */
+struct WorkloadSample
+{
+    /** Rail loading. */
+    ActivityProfile activity;
+    /** Committed instructions per cycle (performance accounting). */
+    double ipc = 1.0;
+    /** L2 instruction-side accesses per second. */
+    double l2iAccessesPerSec = 0.0;
+    /** L2 data-side accesses per second. */
+    double l2dAccessesPerSec = 0.0;
+};
+
+/**
+ * Base class for everything the cores can run.
+ */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    virtual const std::string &name() const = 0;
+    virtual Suite suite() const = 0;
+
+    /** Demands at elapsed time t since the workload started. */
+    virtual WorkloadSample sampleAt(Seconds t) const = 0;
+
+    /**
+     * Relative probability that one L2 access of this workload touches
+     * the given line. Deterministic in (workload, cache, set, way):
+     * the same benchmark always exercises the same lines, which is what
+     * makes the paper's correctable errors repeatable run to run.
+     *
+     * The default combines a uniform 1/num_lines base with a hashed
+     * hotness factor and a working-set coverage gate.
+     */
+    virtual double lineTouchWeight(const std::string &cache_name,
+                                   std::uint64_t set, unsigned way,
+                                   std::uint64_t num_lines) const;
+
+  protected:
+    /** Fraction of lines inside this workload's working set. */
+    virtual double workingSetCoverage() const { return 0.7; }
+};
+
+/** An idle core: no traffic, minimal rail load. */
+class IdleWorkload : public Workload
+{
+  public:
+    const std::string &name() const override;
+    Suite suite() const override { return Suite::synthetic; }
+    WorkloadSample sampleAt(Seconds t) const override;
+};
+
+/**
+ * Back-to-back sequence of workloads (the evaluation runs benchmarks
+ * back to back to exercise context-switch behaviour, Section IV-C).
+ * The sequence loops.
+ */
+class SequenceWorkload : public Workload
+{
+  public:
+    SequenceWorkload(std::string name,
+                     std::vector<std::pair<std::shared_ptr<Workload>,
+                                           Seconds>> phases);
+
+    const std::string &name() const override { return seqName; }
+    Suite suite() const override;
+    WorkloadSample sampleAt(Seconds t) const override;
+    double lineTouchWeight(const std::string &cache_name,
+                           std::uint64_t set, unsigned way,
+                           std::uint64_t num_lines) const override;
+
+    /** The phase active at time t (index into the constructor list). */
+    std::size_t phaseIndexAt(Seconds t) const;
+    const Workload &phaseAt(Seconds t) const;
+
+  private:
+    std::string seqName;
+    std::vector<std::pair<std::shared_ptr<Workload>, Seconds>> phases;
+    Seconds totalDuration;
+};
+
+/**
+ * The stress kernel of Section V-D.1: runs a high-power kernel for
+ * onSeconds, then idles (firmware spin-loop) for offSeconds, repeating.
+ * Used on the auxiliary core to induce abrupt load swings on the
+ * shared rail.
+ */
+class StressKernelWorkload : public Workload
+{
+  public:
+    StressKernelWorkload(Seconds on_seconds = 30.0,
+                         Seconds off_seconds = 30.0);
+
+    const std::string &name() const override;
+    Suite suite() const override { return Suite::stress; }
+    WorkloadSample sampleAt(Seconds t) const override;
+
+  private:
+    Seconds onSeconds;
+    Seconds offSeconds;
+};
+
+/** Deterministic hash of a string and indices onto [0, 1). */
+double hash01(const std::string &key, std::uint64_t a, std::uint64_t b,
+              std::uint64_t c);
+
+} // namespace vspec
+
+#endif // VSPEC_WORKLOAD_WORKLOAD_HH

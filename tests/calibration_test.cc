@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Paper-band calibration tests: these pin the *emergent* chip-level
+ * measurements to the bands reported in the paper (see DESIGN.md §3).
+ * If a model constant changes, these tests say whether the reproduced
+ * system still behaves like the measured Itanium.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+#include "common/logging.hh"
+#include "platform/harness.hh"
+#include "workload/benchmarks.hh"
+
+namespace vspec
+{
+namespace
+{
+
+class CalibrationBands : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        setInformEnabled(false);
+    }
+
+    static Chip &
+    lowChip()
+    {
+        static ChipConfig cfg = [] {
+            ChipConfig c;
+            c.seed = 42;
+            return c;
+        }();
+        static Chip chip(cfg);
+        return chip;
+    }
+
+    static Chip &
+    highChip()
+    {
+        static ChipConfig cfg = [] {
+            ChipConfig c;
+            c.seed = 42;
+            c.operatingPoint = OperatingPoint::high();
+            return c;
+        }();
+        static Chip chip(cfg);
+        return chip;
+    }
+
+    struct Margins
+    {
+        RunningStats first_error;
+        RunningStats min_safe;
+    };
+
+    static Margins
+    measure(Chip &chip, unsigned cores)
+    {
+        Margins m;
+        auto stress = benchmarks::suiteSequence(Suite::stress, 5.0);
+        for (unsigned c = 0; c < cores; ++c) {
+            const auto r = experiments::measureMargins(
+                chip, c, stress, /*hold=*/2.0, /*step=*/5.0);
+            if (r.firstErrorVdd > 0.0)
+                m.first_error.add(r.firstErrorVdd);
+            m.min_safe.add(r.minSafeVdd);
+        }
+        return m;
+    }
+};
+
+TEST_F(CalibrationBands, LowVddMarginsMatchPaper)
+{
+    const Margins m = measure(lowChip(), 4);
+
+    // Fig. 1 / Section II-A: minimum safe Vdd roughly 600-660 mV,
+    // i.e. ~23% below the 800 mV low nominal.
+    EXPECT_GT(m.min_safe.mean(), 560.0);
+    EXPECT_LT(m.min_safe.mean(), 680.0);
+
+    // Fig. 3: an error-free range exceeding 100 mV below nominal.
+    EXPECT_LT(m.first_error.max(), 800.0 - 100.0);
+
+    // Correctable-error range (first error -> crash) of tens of mV.
+    const double range = m.first_error.mean() - m.min_safe.mean();
+    EXPECT_GT(range, 20.0);
+    EXPECT_LT(range, 110.0);
+}
+
+TEST_F(CalibrationBands, HighVddMarginsMatchPaper)
+{
+    const Margins m = measure(highChip(), 4);
+
+    // Fig. 1: min safe Vdd ~10% below the 1100 mV nominal.
+    EXPECT_GT(m.min_safe.mean(), 1100.0 * 0.86);
+    EXPECT_LT(m.min_safe.mean(), 1100.0 * 0.95);
+
+    // Guardband story: first errors ~100 mV below nominal.
+    EXPECT_LT(m.first_error.mean(), 1100.0 - 60.0);
+    EXPECT_GT(m.first_error.mean(), 1100.0 - 150.0);
+
+    // Error range is small at high Vdd (~10-15 mV in the paper).
+    const double range = m.first_error.mean() - m.min_safe.mean();
+    EXPECT_GT(range, 2.0);
+    EXPECT_LT(range, 30.0);
+}
+
+TEST_F(CalibrationBands, LowVddRangesRoughlyFourTimesLarger)
+{
+    // Section II-B: the correctable-error range at low Vdd is ~4x the
+    // high-Vdd range. Accept anywhere in 2-10x (it is a noisy ratio of
+    // small numbers).
+    const Margins low = measure(lowChip(), 4);
+    const Margins high = measure(highChip(), 4);
+    const double low_range = low.first_error.mean() - low.min_safe.mean();
+    const double high_range =
+        high.first_error.mean() - high.min_safe.mean();
+    ASSERT_GT(high_range, 0.0);
+    EXPECT_GT(low_range / high_range, 2.0);
+    EXPECT_LT(low_range / high_range, 12.0);
+}
+
+TEST_F(CalibrationBands, CoreVariationAmplifiedAtLowVdd)
+{
+    // Section II-A: core-to-core variation in min safe Vdd is ~4x
+    // larger at low Vdd (>10% of nominal across cores).
+    const Margins low = measure(lowChip(), 8);
+    const Margins high = measure(highChip(), 8);
+    const double low_spread = low.min_safe.max() - low.min_safe.min();
+    const double high_spread = high.min_safe.max() - high.min_safe.min();
+    EXPECT_GT(low_spread, 1.5 * high_spread);
+    EXPECT_GT(low_spread, 30.0);
+}
+
+TEST_F(CalibrationBands, SpeculationReachesPaperVoltageReduction)
+{
+    // Fig. 10: 13-23% average Vdd reduction, ~18% mean.
+    ChipConfig cfg;
+    cfg.seed = 42;
+    Chip chip(cfg);
+    auto setup = harness::armHardware(chip);
+    harness::assignSuite(chip, Suite::coreMark, 20.0);
+    Simulator sim(chip, 0.001);
+    sim.attachControlSystem(setup.control.get());
+    sim.run(60.0);
+    ASSERT_FALSE(sim.anyCrashed());
+
+    RunningStats reduction;
+    for (unsigned d = 0; d < chip.numDomains(); ++d) {
+        reduction.add(100.0 *
+                      (800.0 - chip.domain(d).regulator().setpoint()) /
+                      800.0);
+    }
+    EXPECT_GT(reduction.mean(), 11.0);
+    EXPECT_LT(reduction.mean(), 24.0);
+    EXPECT_GT(reduction.max(), reduction.min());
+}
+
+TEST_F(CalibrationBands, PowerSavingsNearOneThird)
+{
+    // Fig. 11: ~33% power reduction on the core rails.
+    ChipConfig cfg;
+    cfg.seed = 42;
+    Chip chip(cfg);
+    harness::assignSuite(chip, Suite::coreMark, 20.0);
+
+    auto coreRailPower = [&](Seconds t) {
+        Watt p = 0.0;
+        for (unsigned c = 0; c < chip.numCores(); ++c)
+            p += chip.corePower(c, t);
+        return p;
+    };
+
+    const Watt before = coreRailPower(1.0);
+    auto setup = harness::armHardware(chip);
+    Simulator sim(chip, 0.001);
+    sim.attachControlSystem(setup.control.get());
+    sim.run(60.0);
+    const Watt after = coreRailPower(sim.now());
+
+    const double savings = 100.0 * (before - after) / before;
+    EXPECT_GT(savings, 20.0);
+    EXPECT_LT(savings, 45.0);
+}
+
+} // namespace
+} // namespace vspec

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Tests for the common substrate: RNG determinism and distribution
+ * moments, the normal CDF/quantile pair, and the statistics
+ * accumulators.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/mathutil.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+
+namespace vspec
+{
+namespace
+{
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(12345), b(12345);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIndependentStreams)
+{
+    Rng parent(42);
+    Rng c1 = parent.fork(1);
+    Rng c2 = parent.fork(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (c1.next() == c2.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIntUnbiasedBounds)
+{
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_LT(rng.uniformInt(7), 7u);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(13);
+    double sum = 0.0, sq = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, BernoulliEdges)
+{
+    Rng rng(17);
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-1.0));
+    EXPECT_TRUE(rng.bernoulli(2.0));
+}
+
+/** Binomial sampler matches the analytic mean across regimes. */
+class RngBinomial
+    : public ::testing::TestWithParam<std::pair<std::uint64_t, double>>
+{
+};
+
+TEST_P(RngBinomial, MeanMatches)
+{
+    const auto [n, p] = GetParam();
+    Rng rng(n * 1000 + std::uint64_t(p * 1e6));
+    const int trials = 3000;
+    double sum = 0.0;
+    for (int i = 0; i < trials; ++i) {
+        const std::uint64_t k = rng.binomial(n, p);
+        ASSERT_LE(k, n);
+        sum += double(k);
+    }
+    const double mean = double(n) * p;
+    const double sigma = std::sqrt(mean * (1.0 - p));
+    // Mean of `trials` samples should be within ~5 standard errors.
+    EXPECT_NEAR(sum / trials, mean,
+                5.0 * sigma / std::sqrt(double(trials)) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, RngBinomial,
+    ::testing::Values(std::pair<std::uint64_t, double>{10, 0.3},
+                      std::pair<std::uint64_t, double>{100, 0.001},
+                      std::pair<std::uint64_t, double>{100000, 1e-5},
+                      std::pair<std::uint64_t, double>{100000, 0.4},
+                      std::pair<std::uint64_t, double>{500, 0.9},
+                      std::pair<std::uint64_t, double>{64, 0.5}));
+
+TEST(Rng, PoissonMean)
+{
+    Rng rng(23);
+    for (double mean : {0.1, 3.0, 50.0}) {
+        double sum = 0.0;
+        const int n = 20000;
+        for (int i = 0; i < n; ++i)
+            sum += double(rng.poisson(mean));
+        EXPECT_NEAR(sum / n, mean, 5.0 * std::sqrt(mean / n) + 0.01);
+    }
+}
+
+TEST(MathUtil, NormalCdfKnownValues)
+{
+    EXPECT_NEAR(math::normalCdf(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(math::normalCdf(1.0), 0.8413447, 1e-6);
+    EXPECT_NEAR(math::normalCdf(-1.96), 0.0249979, 1e-6);
+    EXPECT_NEAR(math::normalCdf(6.0), 1.0, 1e-8);
+}
+
+TEST(MathUtil, QuantileRoundTrip)
+{
+    for (double p : {1e-9, 1e-6, 0.001, 0.01, 0.3, 0.5, 0.9, 0.999,
+                     1.0 - 1e-7}) {
+        const double x = math::normalQuantile(p);
+        EXPECT_NEAR(math::normalCdf(x), p, 1e-9 + p * 1e-6);
+    }
+}
+
+TEST(MathUtil, ClampAndLerp)
+{
+    EXPECT_EQ(math::clamp(5.0, 0.0, 1.0), 1.0);
+    EXPECT_EQ(math::clamp(-5.0, 0.0, 1.0), 0.0);
+    EXPECT_EQ(math::clamp(0.5, 0.0, 1.0), 0.5);
+    EXPECT_EQ(math::lerp(10.0, 20.0, 0.5), 15.0);
+    EXPECT_EQ(math::lerp(10.0, 20.0, 0.0), 10.0);
+    EXPECT_EQ(math::lerp(10.0, 20.0, 1.0), 20.0);
+}
+
+TEST(Stats, RunningStatsExact)
+{
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+    EXPECT_EQ(s.min(), 2.0);
+    EXPECT_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Stats, MergeEqualsCombined)
+{
+    Rng rng(31);
+    RunningStats a, b, all;
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.gaussian(3.0, 2.0);
+        (i % 2 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_EQ(a.min(), all.min());
+    EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(Stats, HistogramBinningAndQuantile)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 100; ++i)
+        h.add(double(i % 10) + 0.5);
+    EXPECT_EQ(h.totalCount(), 100u);
+    for (std::size_t b = 0; b < 10; ++b)
+        EXPECT_EQ(h.binCount(b), 10u);
+    EXPECT_NEAR(h.quantile(0.5), 4.5, 1.1);
+    // Saturating edge bins.
+    h.add(-100.0);
+    h.add(1000.0);
+    EXPECT_EQ(h.binCount(0), 11u);
+    EXPECT_EQ(h.binCount(9), 11u);
+}
+
+} // namespace
+} // namespace vspec

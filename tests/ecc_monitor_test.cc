@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for the hardware ECC monitor (Section III-A).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/geometry.hh"
+#include "common/rng.hh"
+#include "core/ecc_monitor.hh"
+
+namespace vspec
+{
+namespace
+{
+
+VcDistribution
+noisyDist()
+{
+    VcDistribution d;
+    d.mean = 300.0;
+    d.sigmaRandom = 55.0;
+    d.sigmaDynamic = 10.0;
+    return d;
+}
+
+class EccMonitorTest : public ::testing::Test
+{
+  protected:
+    EccMonitorTest()
+        : rng(1), array(itanium9560::l2Data(), noisyDist(), 465.0, rng),
+          weakest(array.weakestLine())
+    {
+    }
+
+    Rng rng;
+    CacheArray array;
+    WeakLineInfo weakest;
+};
+
+TEST_F(EccMonitorTest, ActivationDeconfiguresLine)
+{
+    EccMonitor monitor;
+    EXPECT_FALSE(monitor.active());
+    monitor.activate(array, weakest.set, weakest.way);
+    EXPECT_TRUE(monitor.active());
+    EXPECT_TRUE(array.isDeconfigured(weakest.set, weakest.way));
+    EXPECT_EQ(monitor.targetSet(), weakest.set);
+    EXPECT_EQ(monitor.targetWay(), weakest.way);
+    EXPECT_EQ(monitor.targetCacheName(), "L2D");
+
+    monitor.deactivate();
+    EXPECT_FALSE(monitor.active());
+    EXPECT_FALSE(array.isDeconfigured(weakest.set, weakest.way));
+}
+
+TEST_F(EccMonitorTest, ProbeBudgetFollowsRate)
+{
+    EccMonitor::Config cfg;
+    cfg.probesPerSecond = 50000.0;
+    EccMonitor monitor(cfg);
+    monitor.activate(array, weakest.set, weakest.way);
+
+    Rng draw(2);
+    const ProbeStats stats =
+        monitor.runProbes(0.01, weakest.weakestVc + 100.0, draw);
+    EXPECT_EQ(stats.accesses, 500u);
+    EXPECT_EQ(stats.correctableEvents, 0u);
+    EXPECT_EQ(monitor.accessCount(), 500u);
+}
+
+TEST_F(EccMonitorTest, FractionalBudgetCarriesOver)
+{
+    EccMonitor::Config cfg;
+    cfg.probesPerSecond = 250.0;  // 0.25 probes per 1 ms tick.
+    EccMonitor monitor(cfg);
+    monitor.activate(array, weakest.set, weakest.way);
+    Rng draw(3);
+    std::uint64_t total = 0;
+    for (int i = 0; i < 100; ++i)
+        total += monitor.runProbes(0.001, 800.0, draw).accesses;
+    EXPECT_EQ(total, 25u);
+}
+
+TEST_F(EccMonitorTest, ErrorRateTracksVoltage)
+{
+    EccMonitor monitor;
+    monitor.activate(array, weakest.set, weakest.way);
+    Rng draw(4);
+
+    // Near Vc: roughly 50% error rate. Well above: ~0.
+    monitor.runProbes(0.1, weakest.weakestVc, draw);
+    EXPECT_NEAR(monitor.errorRate(), 0.5, 0.1);
+
+    monitor.readAndResetCounters();
+    EXPECT_EQ(monitor.accessCount(), 0u);
+    monitor.runProbes(0.1, weakest.weakestVc + 80.0, draw);
+    EXPECT_LT(monitor.errorRate(), 0.01);
+}
+
+TEST_F(EccMonitorTest, EmergencyInterruptFires)
+{
+    EccMonitor::Config cfg;
+    cfg.emergencyCeiling = 0.08;
+    cfg.emergencyMinSamples = 200;
+    EccMonitor monitor(cfg);
+    monitor.activate(array, weakest.set, weakest.way);
+    Rng draw(5);
+
+    // Not enough samples yet.
+    monitor.runProbes(0.001, weakest.weakestVc, draw);
+    EXPECT_FALSE(monitor.emergencyPending());
+
+    monitor.runProbes(0.1, weakest.weakestVc, draw);
+    EXPECT_TRUE(monitor.emergencyPending());
+
+    monitor.readAndResetCounters();
+    EXPECT_FALSE(monitor.emergencyPending());
+}
+
+TEST_F(EccMonitorTest, InactiveMonitorDoesNothing)
+{
+    EccMonitor monitor;
+    Rng draw(6);
+    const ProbeStats stats = monitor.runProbes(1.0, 500.0, draw);
+    EXPECT_EQ(stats.accesses, 0u);
+    EXPECT_EQ(monitor.errorRate(), 0.0);
+    EXPECT_FALSE(monitor.emergencyPending());
+}
+
+TEST_F(EccMonitorTest, RetargetingMovesTheMonitor)
+{
+    EccMonitor monitor;
+    monitor.activate(array, weakest.set, weakest.way);
+    monitor.activate(array, 7, 1);  // Re-point (e.g. after aging).
+    EXPECT_FALSE(array.isDeconfigured(weakest.set, weakest.way));
+    EXPECT_TRUE(array.isDeconfigured(7, 1));
+}
+
+} // namespace
+} // namespace vspec

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit and property tests for the SECDED codec: the correctness of the
+ * entire feedback mechanism rests on single-bit corrections being
+ * reported and double-bit upsets being detected.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "ecc/secded.hh"
+
+namespace vspec
+{
+namespace
+{
+
+TEST(Codeword, BitSetGetFlip)
+{
+    Codeword w;
+    EXPECT_FALSE(w.bit(0));
+    w.setBit(0, true);
+    EXPECT_TRUE(w.bit(0));
+    w.setBit(71, true);
+    EXPECT_TRUE(w.bit(71));
+    EXPECT_EQ(w.popcount(), 2u);
+    w.flipBit(71);
+    EXPECT_FALSE(w.bit(71));
+    EXPECT_EQ(w.popcount(), 1u);
+}
+
+TEST(Codeword, WordBoundary)
+{
+    Codeword w;
+    w.setBit(63, true);
+    w.setBit(64, true);
+    EXPECT_EQ(w.word(0), 0x8000000000000000ULL);
+    EXPECT_EQ(w.word(1), 1ULL);
+}
+
+TEST(SecdedCodec, Shape72_64)
+{
+    const SecdedCodec &codec = secded72();
+    EXPECT_EQ(codec.dataBits(), 64u);
+    EXPECT_EQ(codec.checkBits(), 8u);
+    EXPECT_EQ(codec.codewordBits(), 72u);
+}
+
+TEST(SecdedCodec, Shape39_32)
+{
+    const SecdedCodec &codec = secded39();
+    EXPECT_EQ(codec.dataBits(), 32u);
+    EXPECT_EQ(codec.checkBits(), 7u);
+    EXPECT_EQ(codec.codewordBits(), 39u);
+}
+
+TEST(SecdedCodec, CleanRoundTrip)
+{
+    const SecdedCodec &codec = secded72();
+    Rng rng(7);
+    for (int i = 0; i < 200; ++i) {
+        const std::uint64_t data = rng.next();
+        const DecodeResult out = codec.decode(codec.encode(data));
+        EXPECT_EQ(out.status, EccStatus::ok);
+        EXPECT_EQ(out.data, data);
+    }
+}
+
+/** Every single-bit flip must be corrected, at every position. */
+class SecdedSingleBit : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SecdedSingleBit, CorrectsEveryPosition)
+{
+    const SecdedCodec &codec = secded72();
+    const unsigned pos = GetParam();
+    Rng rng(pos * 977 + 13);
+    for (int i = 0; i < 16; ++i) {
+        const std::uint64_t data = rng.next();
+        Codeword w = codec.encode(data);
+        w.flipBit(pos);
+        const DecodeResult out = codec.decode(w);
+        EXPECT_EQ(out.status, EccStatus::correctedSingle)
+            << "position " << pos;
+        EXPECT_EQ(out.data, data) << "position " << pos;
+        EXPECT_EQ(out.correctedBit, pos);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPositions, SecdedSingleBit,
+                         ::testing::Range(0u, 72u));
+
+/** Every double-bit flip must be detected as uncorrectable. */
+TEST(SecdedCodec, DetectsAllDoubleFlips)
+{
+    const SecdedCodec &codec = secded72();
+    Rng rng(99);
+    const std::uint64_t data = rng.next();
+    const Codeword clean = codec.encode(data);
+
+    for (unsigned a = 0; a < codec.codewordBits(); ++a) {
+        for (unsigned b = a + 1; b < codec.codewordBits(); ++b) {
+            Codeword w = clean;
+            w.flipBit(a);
+            w.flipBit(b);
+            const DecodeResult out = codec.decode(w);
+            EXPECT_EQ(out.status, EccStatus::uncorrectable)
+                << "flips at " << a << ", " << b;
+        }
+    }
+}
+
+TEST(SecdedCodec, DoubleFlipRandomData)
+{
+    const SecdedCodec &codec = secded39();
+    Rng rng(123);
+    for (int i = 0; i < 300; ++i) {
+        const std::uint64_t data = rng.next() & 0xFFFFFFFFULL;
+        Codeword w = codec.encode(data);
+        const unsigned a =
+            unsigned(rng.uniformInt(codec.codewordBits()));
+        unsigned b;
+        do {
+            b = unsigned(rng.uniformInt(codec.codewordBits()));
+        } while (b == a);
+        w.flipBit(a);
+        w.flipBit(b);
+        EXPECT_EQ(codec.decode(w).status, EccStatus::uncorrectable);
+    }
+}
+
+TEST(SecdedCodec, NarrowCodecsRoundTrip)
+{
+    for (unsigned width : {1u, 8u, 16u, 26u, 32u, 57u, 64u}) {
+        const SecdedCodec codec(width);
+        Rng rng(width);
+        const std::uint64_t mask =
+            width == 64 ? ~0ULL : ((1ULL << width) - 1);
+        for (int i = 0; i < 50; ++i) {
+            const std::uint64_t data = rng.next() & mask;
+            const DecodeResult out = codec.decode(codec.encode(data));
+            EXPECT_EQ(out.status, EccStatus::ok);
+            EXPECT_EQ(out.data, data);
+        }
+        // Single-bit correction across the narrow codeword too.
+        for (unsigned pos = 0; pos < codec.codewordBits(); ++pos) {
+            Codeword w = codec.encode(0x5A5A5A5A5A5A5A5AULL & mask);
+            w.flipBit(pos);
+            const DecodeResult out = codec.decode(w);
+            EXPECT_EQ(out.status, EccStatus::correctedSingle);
+            EXPECT_EQ(out.data, 0x5A5A5A5A5A5A5A5AULL & mask);
+        }
+    }
+}
+
+TEST(SecdedCodec, ParityBitOnlyFlip)
+{
+    const SecdedCodec &codec = secded72();
+    Codeword w = codec.encode(0xDEADBEEFCAFEF00DULL);
+    w.flipBit(0);  // Overall parity position.
+    const DecodeResult out = codec.decode(w);
+    EXPECT_EQ(out.status, EccStatus::correctedSingle);
+    EXPECT_EQ(out.data, 0xDEADBEEFCAFEF00DULL);
+    EXPECT_EQ(out.correctedBit, 0u);
+}
+
+} // namespace
+} // namespace vspec

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the firmware self-test framework (Section IV-A / Fig. 8).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "core/ecc_monitor.hh"
+#include "core/firmware_monitor.hh"
+#include "core/voltage_controller.hh"
+#include "platform/chip.hh"
+
+namespace vspec
+{
+namespace
+{
+
+class FirmwareMonitorTest : public ::testing::Test
+{
+  protected:
+    FirmwareMonitorTest() : cfg{}, chip((cfg.seed = 42, cfg))
+    {
+        line = chip.core(0).l2iArray().weakestLine();
+    }
+
+    ChipConfig cfg;
+    Chip chip;
+    WeakLineInfo line;
+};
+
+TEST_F(FirmwareMonitorTest, TestBudgetFollowsRate)
+{
+    FirmwareSelfTest::Config config;
+    config.testsPerSecond = 100.0;
+    FirmwareSelfTest self_test(chip.core(0).iSide(), line.set, line.way,
+                               config);
+    Rng rng(1);
+    const ProbeStats stats = self_test.runTests(0.5, 800.0, rng);
+    EXPECT_EQ(stats.accesses, 50u);
+    EXPECT_EQ(stats.correctableEvents, 0u);  // Safe voltage.
+}
+
+TEST_F(FirmwareMonitorTest, SeesErrorsNearWeakLineVoltage)
+{
+    FirmwareSelfTest self_test(chip.core(0).iSide(), line.set,
+                               line.way);
+    Rng rng(2);
+    self_test.runTests(1.0, line.weakestVc, rng);
+    // Probing at Vc: roughly half the designated-way reads err.
+    EXPECT_GT(self_test.errorRate(), 0.2);
+    EXPECT_LE(self_test.errorRate(), 1.5);
+}
+
+TEST_F(FirmwareMonitorTest, CountersResetLikeHardware)
+{
+    FirmwareSelfTest self_test(chip.core(0).iSide(), line.set,
+                               line.way);
+    Rng rng(3);
+    self_test.runTests(0.2, line.weakestVc + 5.0, rng);
+    EXPECT_GT(self_test.accessCount(), 0u);
+    const ProbeStats read = self_test.readAndResetCounters();
+    EXPECT_GT(read.accesses, 0u);
+    EXPECT_EQ(self_test.accessCount(), 0u);
+    EXPECT_EQ(self_test.errorRate(), 0.0);
+}
+
+TEST_F(FirmwareMonitorTest, EmergencyFiresWhenSaturated)
+{
+    FirmwareSelfTest self_test(chip.core(0).iSide(), line.set,
+                               line.way);
+    Rng rng(4);
+    self_test.runTests(0.5, line.weakestVc - 30.0, rng);
+    EXPECT_TRUE(self_test.emergencyPending());
+    self_test.readAndResetCounters();
+    EXPECT_FALSE(self_test.emergencyPending());
+}
+
+TEST_F(FirmwareMonitorTest, DrivesTheControllerLikeAMonitor)
+{
+    // The controller regulates off the firmware source and settles
+    // near the designated line's Vc, like with the hardware monitor.
+    VoltageRegulator reg(800.0);
+    FirmwareSelfTest self_test(chip.core(0).iSide(), line.set,
+                               line.way);
+    ControlPolicy policy;
+    policy.maxVdd = 800.0;
+    DomainController controller(reg, self_test, policy);
+
+    Rng rng(5);
+    for (int t = 0; t < 4000; ++t) {
+        self_test.runTests(0.01, reg.output(), rng);
+        controller.tick(0.01);
+        reg.advance(0.01);
+    }
+    EXPECT_LT(reg.setpoint(), 800.0 - 50.0);
+    EXPECT_GT(reg.setpoint(), line.weakestVc - 15.0);
+    EXPECT_LT(reg.setpoint(), line.weakestVc + 60.0);
+    EXPECT_FALSE(self_test.sawUncorrectable());
+}
+
+TEST_F(FirmwareMonitorTest, RejectsZeroTestRate)
+{
+    FirmwareSelfTest::Config config;
+    config.testsPerSecond = 0.0;
+    EXPECT_EXIT(
+        {
+            FirmwareSelfTest bad(chip.core(0).iSide(), line.set,
+                                 line.way, config);
+        },
+        ::testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace vspec

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests for the experiment harness: arming the hardware speculation
+ * system, the software baseline, and the characterization sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "platform/harness.hh"
+#include "workload/benchmarks.hh"
+
+namespace vspec
+{
+namespace
+{
+
+ChipConfig
+testConfig(std::uint64_t seed)
+{
+    ChipConfig cfg;
+    cfg.seed = seed;
+    return cfg;
+}
+
+TEST(Harness, ArmHardwareActivatesOneMonitorPerDomain)
+{
+    setInformEnabled(false);
+    Chip chip(testConfig(42));
+    const auto setup = harness::armHardware(chip);
+    ASSERT_EQ(setup.targets.size(), chip.numDomains());
+    ASSERT_NE(setup.control, nullptr);
+    EXPECT_EQ(setup.control->numDomains(), chip.numDomains());
+
+    unsigned active = 0;
+    for (unsigned i = 0; i < chip.numCores(); ++i) {
+        active += chip.l2iMonitor(i).active();
+        active += chip.l2dMonitor(i).active();
+    }
+    EXPECT_EQ(active, chip.numDomains());
+
+    for (unsigned d = 0; d < chip.numDomains(); ++d) {
+        const auto &target = setup.targets[d];
+        EXPECT_EQ(chip.domainIndexOf(target.coreId), d);
+        EXPECT_TRUE(
+            target.array->isDeconfigured(target.set, target.way));
+        EXPECT_LT(target.firstErrorVdd, 800.0);
+    }
+}
+
+TEST(Harness, SpeculationSettlesInBandWithoutCrashing)
+{
+    setInformEnabled(false);
+    Chip chip(testConfig(42));
+    auto setup = harness::armHardware(chip);
+    harness::assignSuite(chip, Suite::coreMark, 10.0);
+
+    Simulator sim(chip, 0.001);
+    sim.attachControlSystem(setup.control.get());
+    sim.run(60.0);
+
+    EXPECT_FALSE(sim.anyCrashed());
+    for (unsigned d = 0; d < chip.numDomains(); ++d) {
+        const Millivolt v = chip.domain(d).regulator().setpoint();
+        // Paper band: 13-23% below the 800 mV nominal; allow slack.
+        EXPECT_LT(v, 800.0 * 0.92);
+        EXPECT_GT(v, 800.0 * 0.72);
+        // The error rate of the monitored line stays regulated.
+        ErrorFeedbackSource &mon = setup.control->domain(d).monitor();
+        EXPECT_FALSE(mon.sawUncorrectable());
+    }
+}
+
+TEST(Harness, ArmSoftwareRespectsPerDomainFloors)
+{
+    setInformEnabled(false);
+    Chip chip(testConfig(43));
+    std::vector<Millivolt> floors = {700.0, 710.0, 705.0, 715.0};
+    auto specs = harness::armSoftware(chip, floors);
+    ASSERT_EQ(specs.size(), chip.numDomains());
+    for (unsigned d = 0; d < chip.numDomains(); ++d)
+        EXPECT_DOUBLE_EQ(specs[d]->policy().floorVdd, floors[d]);
+
+    harness::assignSuite(chip, Suite::coreMark, 10.0);
+    Simulator sim(chip, 0.01);
+    for (unsigned d = 0; d < chip.numDomains(); ++d)
+        sim.attachSoftwareSpeculator(d, specs[d].get());
+    sim.run(60.0);
+
+    EXPECT_FALSE(sim.anyCrashed());
+    for (unsigned d = 0; d < chip.numDomains(); ++d) {
+        EXPECT_GE(chip.domain(d).regulator().setpoint(),
+                  floors[d] - 1e-9);
+        EXPECT_LT(chip.domain(d).regulator().setpoint(), 800.0);
+    }
+}
+
+TEST(Harness, AssignSuiteGivesEveryCoreTheSuite)
+{
+    Chip chip(testConfig(44));
+    harness::assignSuite(chip, Suite::specFp2000, 30.0);
+    for (unsigned i = 0; i < chip.numCores(); ++i) {
+        ASSERT_TRUE(chip.core(i).hasWorkload());
+        EXPECT_EQ(chip.core(i).workload().suite(), Suite::specFp2000);
+    }
+}
+
+TEST(Experiments, MeasureMarginsOrdering)
+{
+    setInformEnabled(false);
+    Chip chip(testConfig(42));
+    auto stress = benchmarks::suiteSequence(Suite::stress, 5.0);
+    const auto result = experiments::measureMargins(
+        chip, 0, stress, /*hold=*/1.0, /*step=*/5.0);
+
+    EXPECT_EQ(result.coreId, 0u);
+    // first error strictly above the crash level, both below nominal.
+    EXPECT_GT(result.firstErrorVdd, result.minSafeVdd);
+    EXPECT_LT(result.firstErrorVdd, 800.0);
+    EXPECT_GT(result.minSafeVdd, 400.0);
+
+    // State restored: regulators back at nominal, no crash latched.
+    EXPECT_DOUBLE_EQ(chip.domainOf(0).regulator().setpoint(), 800.0);
+    EXPECT_FALSE(chip.core(0).crashed());
+}
+
+TEST(Experiments, ErrorProbabilityCurveIsMonotoneSCurve)
+{
+    setInformEnabled(false);
+    Chip chip(testConfig(42));
+    auto [array, line] = experiments::weakestL2Line(chip.core(0));
+    const auto curve = experiments::errorProbabilityCurve(
+        chip, 0, line.weakestVc + 50.0, line.weakestVc - 50.0, 5.0,
+        4000);
+    ASSERT_GT(curve.size(), 10u);
+    // Starts near 0, ends near 1.
+    EXPECT_LT(curve.front().second, 0.01);
+    EXPECT_GT(curve.back().second, 0.95);
+    // Roughly monotone (allow sampling noise).
+    for (std::size_t i = 1; i < curve.size(); ++i)
+        EXPECT_GE(curve[i].second, curve[i - 1].second - 0.05);
+}
+
+TEST(Experiments, WeakestL2LinePicksTheMax)
+{
+    Chip chip(testConfig(45));
+    auto [array, line] = experiments::weakestL2Line(chip.core(2));
+    const Millivolt l2i =
+        chip.core(2).l2iArray().weakestLine().weakestVc;
+    const Millivolt l2d =
+        chip.core(2).l2dArray().weakestLine().weakestVc;
+    EXPECT_DOUBLE_EQ(line.weakestVc, std::max(l2i, l2d));
+}
+
+} // namespace
+} // namespace vspec

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for the power delivery substrate: regulator quantization,
+ * slew and clamping; PDN resonance and droop composition.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pdn/pdn_model.hh"
+#include "pdn/regulator.hh"
+
+namespace vspec
+{
+namespace
+{
+
+TEST(VoltageRegulator, QuantizesToStepGrid)
+{
+    VoltageRegulator reg(800.0);
+    reg.request(723.0);
+    EXPECT_DOUBLE_EQ(reg.setpoint(), 725.0);
+    reg.request(722.0);
+    EXPECT_DOUBLE_EQ(reg.setpoint(), 720.0);
+}
+
+TEST(VoltageRegulator, ClampsToRailBounds)
+{
+    VoltageRegulator::Params params;
+    params.minMv = 500.0;
+    params.maxMv = 900.0;
+    VoltageRegulator reg(800.0, params);
+    reg.request(100.0);
+    EXPECT_DOUBLE_EQ(reg.setpoint(), 500.0);
+    reg.request(2000.0);
+    EXPECT_DOUBLE_EQ(reg.setpoint(), 900.0);
+}
+
+TEST(VoltageRegulator, StepMovesBySteps)
+{
+    VoltageRegulator reg(800.0);
+    reg.step(-3);
+    EXPECT_DOUBLE_EQ(reg.setpoint(), 785.0);
+    reg.step(+1);
+    EXPECT_DOUBLE_EQ(reg.setpoint(), 790.0);
+}
+
+TEST(VoltageRegulator, SlewsTowardSetpoint)
+{
+    VoltageRegulator::Params params;
+    params.slewMvPerUs = 1.0;  // 1 mV per microsecond.
+    VoltageRegulator reg(800.0, params);
+    reg.request(700.0);
+    EXPECT_DOUBLE_EQ(reg.output(), 800.0);  // Not yet advanced.
+    reg.advance(50e-6);
+    EXPECT_DOUBLE_EQ(reg.output(), 750.0);
+    reg.advance(50e-6);
+    EXPECT_DOUBLE_EQ(reg.output(), 700.0);
+    reg.advance(50e-6);  // No overshoot.
+    EXPECT_DOUBLE_EQ(reg.output(), 700.0);
+}
+
+TEST(VoltageRegulator, SlewsUpToo)
+{
+    VoltageRegulator::Params params;
+    params.slewMvPerUs = 2.0;
+    VoltageRegulator reg(700.0, params);
+    reg.request(800.0);
+    reg.advance(10e-6);
+    EXPECT_DOUBLE_EQ(reg.output(), 720.0);
+}
+
+TEST(PdnModel, ResonantGainPeaksAtResonance)
+{
+    PdnModel pdn;
+    const Megahertz f0 = pdn.params().resonanceFreq;
+    EXPECT_NEAR(pdn.resonantGain(f0), 1.0, 1e-12);
+    EXPECT_LT(pdn.resonantGain(f0 * 2.0), 0.5);
+    EXPECT_LT(pdn.resonantGain(f0 / 2.0), 0.5);
+    EXPECT_EQ(pdn.resonantGain(0.0), 0.0);
+    // Monotone falloff on each side.
+    EXPECT_GT(pdn.resonantGain(f0 * 1.2), pdn.resonantGain(f0 * 2.0));
+    EXPECT_GT(pdn.resonantGain(f0 / 1.2), pdn.resonantGain(f0 / 2.0));
+}
+
+TEST(PdnModel, IrDroopScalesWithActivity)
+{
+    PdnModel pdn;
+    ActivityProfile idle;
+    idle.meanActivity = 0.0;
+    ActivityProfile half;
+    half.meanActivity = 0.5;
+    ActivityProfile full;
+    full.meanActivity = 1.0;
+    EXPECT_DOUBLE_EQ(pdn.droop(idle), 0.0);
+    EXPECT_DOUBLE_EQ(pdn.droop(full), pdn.params().irDroopMv);
+    EXPECT_DOUBLE_EQ(pdn.droop(half), 0.5 * pdn.params().irDroopMv);
+}
+
+TEST(PdnModel, ResonantVirusDroopsMoreThanStrongerDcLoad)
+{
+    // The Fig. 15/16 signature: a 50%-duty virus oscillating on
+    // resonance droops more than a full-power constant load.
+    PdnModel pdn;
+    ActivityProfile virus8;
+    virus8.meanActivity = 0.55;
+    virus8.swingAmplitude = 1.0;
+    virus8.oscillationFreq = pdn.params().resonanceFreq;
+
+    ActivityProfile virus0;
+    virus0.meanActivity = 0.95;
+    virus0.swingAmplitude = 0.0;
+
+    EXPECT_GT(pdn.droop(virus8), pdn.droop(virus0));
+}
+
+TEST(ActivityProfile, CombinationSaturatesAndKeepsDominantSwing)
+{
+    ActivityProfile a;
+    a.meanActivity = 0.7;
+    a.swingAmplitude = 0.2;
+    a.oscillationFreq = 5.0;
+    ActivityProfile b;
+    b.meanActivity = 0.6;
+    b.swingAmplitude = 0.9;
+    b.oscillationFreq = 21.0;
+
+    const ActivityProfile c = a.combinedWith(b);
+    EXPECT_DOUBLE_EQ(c.meanActivity, 1.0);
+    EXPECT_DOUBLE_EQ(c.swingAmplitude, 0.9);
+    EXPECT_DOUBLE_EQ(c.oscillationFreq, 21.0);
+}
+
+} // namespace
+} // namespace vspec

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for the power model and energy accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/energy.hh"
+#include "power/power_model.hh"
+
+namespace vspec
+{
+namespace
+{
+
+TEST(PowerModel, DynamicPowerQuadraticInVoltage)
+{
+    PowerModel model;
+    const Watt p1 = model.dynamicPower(800.0, 340.0, 0.5);
+    const Watt p2 = model.dynamicPower(400.0, 340.0, 0.5);
+    EXPECT_NEAR(p1 / p2, 4.0, 1e-9);
+}
+
+TEST(PowerModel, DynamicPowerLinearInFrequencyAndActivity)
+{
+    PowerModel model;
+    EXPECT_NEAR(model.dynamicPower(800.0, 680.0, 0.5) /
+                    model.dynamicPower(800.0, 340.0, 0.5),
+                2.0, 1e-9);
+    EXPECT_NEAR(model.dynamicPower(800.0, 340.0, 1.0) /
+                    model.dynamicPower(800.0, 340.0, 0.25),
+                4.0, 1e-9);
+}
+
+TEST(PowerModel, LeakageMonotoneInVoltageAndTemperature)
+{
+    PowerModel model;
+    EXPECT_GT(model.leakagePower(900.0, 60.0),
+              model.leakagePower(700.0, 60.0));
+    EXPECT_GT(model.leakagePower(800.0, 80.0),
+              model.leakagePower(800.0, 60.0));
+}
+
+TEST(PowerModel, AnEighteenPercentVddDropSavesAboutAThird)
+{
+    // The paper's headline: ~18% Vdd reduction -> ~33% power reduction
+    // at the low operating point.
+    PowerModel model;
+    const Megahertz f = 340.0;
+    const double act = 0.6;
+    const Watt before = model.corePower(800.0, f, act, 60.0);
+    const Watt after = model.corePower(656.0, f, act, 60.0);
+    const double savings = 1.0 - after / before;
+    EXPECT_GT(savings, 0.28);
+    EXPECT_LT(savings, 0.40);
+}
+
+TEST(PowerModel, CorePowerIsSumOfComponents)
+{
+    PowerModel model;
+    EXPECT_DOUBLE_EQ(model.corePower(750.0, 340.0, 0.4, 60.0),
+                     model.dynamicPower(750.0, 340.0, 0.4) +
+                         model.leakagePower(750.0, 60.0));
+}
+
+TEST(EnergyAccount, IntegratesPower)
+{
+    EnergyAccount account;
+    account.addSample(10.0, 2.0);
+    account.addSample(20.0, 1.0);
+    EXPECT_DOUBLE_EQ(account.energy(), 40.0);
+    EXPECT_DOUBLE_EQ(account.elapsed(), 3.0);
+    EXPECT_NEAR(account.meanPower(), 40.0 / 3.0, 1e-12);
+}
+
+TEST(EnergyAccount, OverheadStretchesRuntime)
+{
+    // The software baseline's firmware error handling stretches
+    // runtime, so the same power over the same nominal interval costs
+    // more energy.
+    EnergyAccount plain, stretched;
+    plain.addSample(10.0, 1.0, 0.0);
+    stretched.addSample(10.0, 1.0, 0.5);
+    EXPECT_DOUBLE_EQ(plain.energy(), 10.0);
+    EXPECT_DOUBLE_EQ(stretched.energy(), 15.0);
+    EXPECT_DOUBLE_EQ(stretched.elapsed(), 1.5);
+}
+
+TEST(EnergyAccount, ResetClears)
+{
+    EnergyAccount account;
+    account.addSample(5.0, 1.0);
+    account.reset();
+    EXPECT_DOUBLE_EQ(account.energy(), 0.0);
+    EXPECT_DOUBLE_EQ(account.elapsed(), 0.0);
+    EXPECT_DOUBLE_EQ(account.meanPower(), 0.0);
+}
+
+} // namespace
+} // namespace vspec

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for the firmware-based speculation baseline of the prior work.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/software_speculator.hh"
+
+namespace vspec
+{
+namespace
+{
+
+SoftwareSpeculator::Policy
+testPolicy()
+{
+    SoftwareSpeculator::Policy policy;
+    policy.maxVdd = 800.0;
+    policy.stepMv = 5.0;
+    policy.lowerInterval = 1.0;
+    policy.holdAfterError = 10.0;
+    policy.backoffMv = 10.0;
+    policy.errorCostSeconds = 300e-6;
+    return policy;
+}
+
+TEST(SoftwareSpeculator, LowersWhenErrorFree)
+{
+    VoltageRegulator reg(800.0);
+    SoftwareSpeculator spec(reg, testPolicy());
+    for (int i = 0; i < 10; ++i)
+        spec.tick(1.0, 0);
+    EXPECT_DOUBLE_EQ(reg.setpoint(), 750.0);
+}
+
+TEST(SoftwareSpeculator, BacksOffAndHoldsOnError)
+{
+    VoltageRegulator reg(700.0);
+    SoftwareSpeculator spec(reg, testPolicy());
+    spec.tick(1.0, 1);
+    EXPECT_DOUBLE_EQ(reg.setpoint(), 710.0);
+    EXPECT_EQ(spec.errorsHandled(), 1u);
+
+    // During the 10 s hold no lowering happens.
+    for (int i = 0; i < 9; ++i)
+        spec.tick(1.0, 0);
+    EXPECT_DOUBLE_EQ(reg.setpoint(), 710.0);
+    // After the hold expires, lowering resumes.
+    for (int i = 0; i < 3; ++i)
+        spec.tick(1.0, 0);
+    EXPECT_LT(reg.setpoint(), 710.0);
+}
+
+TEST(SoftwareSpeculator, NeverExceedsNominal)
+{
+    VoltageRegulator reg(800.0);
+    SoftwareSpeculator spec(reg, testPolicy());
+    for (int i = 0; i < 5; ++i)
+        spec.tick(1.0, 100);
+    EXPECT_LE(reg.setpoint(), 800.0);
+}
+
+TEST(SoftwareSpeculator, RespectsOfflineFloor)
+{
+    auto policy = testPolicy();
+    policy.floorVdd = 720.0;
+    VoltageRegulator reg(800.0);
+    SoftwareSpeculator spec(reg, policy);
+    for (int i = 0; i < 100; ++i)
+        spec.tick(1.0, 0);
+    EXPECT_DOUBLE_EQ(reg.setpoint(), 720.0);
+}
+
+TEST(SoftwareSpeculator, OverheadAccountsFirmwareCost)
+{
+    VoltageRegulator reg(700.0);
+    SoftwareSpeculator spec(reg, testPolicy());
+    spec.tick(0.01, 10);  // 10 errors * 300 us = 3 ms of firmware time.
+    const double overhead = spec.consumeOverheadFraction(0.01);
+    EXPECT_NEAR(overhead, 0.3, 1e-9);
+    // Consumed: a second read returns zero.
+    EXPECT_DOUBLE_EQ(spec.consumeOverheadFraction(0.01), 0.0);
+    EXPECT_NEAR(spec.totalOverhead(), 3e-3, 1e-12);
+}
+
+TEST(SoftwareSpeculator, OverheadGrowsWithErrorRate)
+{
+    VoltageRegulator reg_a(700.0), reg_b(700.0);
+    SoftwareSpeculator few(reg_a, testPolicy());
+    SoftwareSpeculator many(reg_b, testPolicy());
+    few.tick(0.1, 2);
+    many.tick(0.1, 200);
+    EXPECT_GT(many.consumeOverheadFraction(0.1),
+              few.consumeOverheadFraction(0.1));
+}
+
+} // namespace
+} // namespace vspec

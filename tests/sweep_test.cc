@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the calibration sweep engines (Fig. 6): the sweeps must
+ * locate the genuinely weakest line and report per-line error counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/geometry.hh"
+#include "cache/sweep.hh"
+#include "common/rng.hh"
+
+namespace vspec
+{
+namespace
+{
+
+VcDistribution
+noisyDist()
+{
+    VcDistribution d;
+    d.mean = 300.0;
+    d.sigmaRandom = 55.0;
+    d.sigmaDynamic = 10.0;
+    return d;
+}
+
+CacheGeometry
+l2Geometry()
+{
+    return itanium9560::l2Data();
+}
+
+TEST(InstructionTemplate, ShapeAndTerminator)
+{
+    const InstructionTemplate tmpl(16);
+    ASSERT_EQ(tmpl.words().size(), 16u);
+    // Filler rotation ADD/SUB/CMP.
+    EXPECT_EQ(tmpl.words()[0] & ~0xFFFFULL, InstructionTemplate::opAdd);
+    EXPECT_EQ(tmpl.words()[1] & ~0xFFFFULL, InstructionTemplate::opSub);
+    EXPECT_EQ(tmpl.words()[2] & ~0xFFFFULL, InstructionTemplate::opCmp);
+    // The last word carries the conditional branch.
+    EXPECT_EQ(tmpl.words().back() & InstructionTemplate::opBnz,
+              InstructionTemplate::opBnz);
+}
+
+TEST(Sweep, FindsWeakestLine)
+{
+    Rng rng(1);
+    CacheArray array(l2Geometry(), noisyDist(), 465.0, rng);
+    const WeakLineInfo weakest = array.weakestLine();
+    ASSERT_GT(weakest.weakCellCount, 0u);
+
+    // Sweep a few mV below the weakest cell's Vc: only the weakest
+    // line (and perhaps a runner-up) can err; the worst line must be
+    // the true weakest.
+    Rng draw(2);
+    const SweepResult result =
+        sweep::dataSweep(array, weakest.weakestVc - 5.0, 2000, draw);
+    ASSERT_TRUE(result.anyErrors());
+    const auto [set, way] = result.worstLine();
+    EXPECT_EQ(set, weakest.set);
+    EXPECT_EQ(way, weakest.way);
+    EXPECT_EQ(result.linesTested, array.geometry().numLines());
+}
+
+TEST(Sweep, InstructionSweepFindsWeakestLine)
+{
+    Rng rng(3);
+    CacheArray array(itanium9560::l2Instruction(), noisyDist(), 465.0,
+                     rng);
+    const WeakLineInfo weakest = array.weakestLine();
+    Rng draw(4);
+    const SweepResult result = sweep::instructionSweep(
+        array, weakest.weakestVc - 5.0, 8000, draw);
+    ASSERT_TRUE(result.anyErrors());
+    const auto [set, way] = result.worstLine();
+    EXPECT_EQ(set, weakest.set);
+    EXPECT_EQ(way, weakest.way);
+}
+
+TEST(Sweep, SilentAtGenerousVoltage)
+{
+    Rng rng(5);
+    CacheArray array(l2Geometry(), noisyDist(), 465.0, rng);
+    Rng draw(6);
+    const SweepResult result = sweep::dataSweep(
+        array, array.sram().weakestVc() + 120.0, 500, draw);
+    EXPECT_FALSE(result.anyErrors());
+    EXPECT_FALSE(result.uncorrectable);
+}
+
+TEST(Sweep, ErrorCountGrowsAsVoltageDrops)
+{
+    Rng rng(7);
+    CacheArray array(l2Geometry(), noisyDist(), 465.0, rng);
+    const Millivolt top = array.sram().weakestVc();
+    Rng draw(8);
+    const auto high =
+        sweep::dataSweep(array, top + 10.0, 1000, draw);
+    const auto low = sweep::dataSweep(array, top - 20.0, 1000, draw);
+    EXPECT_GT(low.totalCorrectable, high.totalCorrectable);
+}
+
+TEST(SweepResult, WorstLineOfEmptyIsDefault)
+{
+    SweepResult empty;
+    EXPECT_FALSE(empty.anyErrors());
+    const auto [set, way] = empty.worstLine();
+    EXPECT_EQ(set, 0u);
+    EXPECT_EQ(way, 0u);
+}
+
+} // namespace
+} // namespace vspec

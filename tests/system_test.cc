@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for the multi-socket System model (the BL860c-i4 carries two
+ * Itanium 9560 sockets).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "platform/harness.hh"
+#include "platform/system.hh"
+#include "workload/benchmarks.hh"
+
+namespace vspec
+{
+namespace
+{
+
+TEST(System, TwoSocketsByDefault)
+{
+    SystemConfig cfg;
+    cfg.socket.seed = 5;
+    System system(cfg);
+    EXPECT_EQ(system.numSockets(), 2u);
+    EXPECT_EQ(system.totalCores(), 16u);
+}
+
+TEST(System, SocketsAreDistinctDies)
+{
+    SystemConfig cfg;
+    cfg.socket.seed = 6;
+    System system(cfg);
+    const auto a = system.socket(0).core(0).l2iArray().weakestLine();
+    const auto b = system.socket(1).core(0).l2iArray().weakestLine();
+    // Same population, different dies: weakest lines differ.
+    EXPECT_NE(a.weakestVc, b.weakestVc);
+}
+
+TEST(System, DeterministicPerSeed)
+{
+    SystemConfig cfg;
+    cfg.socket.seed = 7;
+    System x(cfg), y(cfg);
+    for (unsigned s = 0; s < x.numSockets(); ++s) {
+        EXPECT_EQ(x.socket(s).core(3).logicFloor(),
+                  y.socket(s).core(3).logicFloor());
+    }
+}
+
+TEST(System, TotalPowerSumsSockets)
+{
+    SystemConfig cfg;
+    cfg.socket.seed = 8;
+    System system(cfg);
+    for (unsigned s = 0; s < system.numSockets(); ++s)
+        harness::assignSuite(system.socket(s), Suite::coreMark);
+    EXPECT_NEAR(system.totalPower(1.0),
+                system.socket(0).totalPower(1.0) +
+                    system.socket(1).totalPower(1.0),
+                1e-9);
+}
+
+TEST(System, EachSocketSpeculatesIndependently)
+{
+    setInformEnabled(false);
+    SystemConfig cfg;
+    cfg.socket.seed = 9;
+    System system(cfg);
+
+    std::vector<HardwareSpeculationSetup> setups;
+    std::vector<std::unique_ptr<Simulator>> sims;
+    for (unsigned s = 0; s < system.numSockets(); ++s) {
+        setups.push_back(harness::armHardware(system.socket(s)));
+        harness::assignSuite(system.socket(s), Suite::specInt2000, 10.0);
+        sims.push_back(
+            std::make_unique<Simulator>(system.socket(s), 0.002));
+        sims.back()->attachControlSystem(setups.back().control.get());
+    }
+    for (auto &sim : sims)
+        sim->run(30.0);
+
+    for (unsigned s = 0; s < system.numSockets(); ++s) {
+        EXPECT_FALSE(sims[s]->anyCrashed());
+        for (unsigned d = 0; d < system.socket(s).numDomains(); ++d) {
+            EXPECT_LT(
+                system.socket(s).domain(d).regulator().setpoint(),
+                800.0);
+        }
+    }
+    // Different dies settle at different voltages.
+    EXPECT_NE(system.socket(0).domain(0).regulator().setpoint(),
+              system.socket(1).domain(0).regulator().setpoint());
+}
+
+TEST(System, RejectsZeroSockets)
+{
+    SystemConfig cfg;
+    cfg.numSockets = 0;
+    EXPECT_EXIT({ System bad(cfg); }, ::testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace vspec

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests for the voltage control system (Section III-B): the
+ * floor/ceiling band logic, the emergency path, and clamping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/geometry.hh"
+#include "common/rng.hh"
+#include "core/ecc_monitor.hh"
+#include "core/voltage_controller.hh"
+
+namespace vspec
+{
+namespace
+{
+
+VcDistribution
+noisyDist()
+{
+    VcDistribution d;
+    d.mean = 300.0;
+    d.sigmaRandom = 55.0;
+    d.sigmaDynamic = 10.0;
+    return d;
+}
+
+class ControllerTest : public ::testing::Test
+{
+  protected:
+    ControllerTest()
+        : rng(1), array(itanium9560::l2Data(), noisyDist(), 465.0, rng),
+          weakest(array.weakestLine()), regulator(800.0)
+    {
+        monitor.activate(array, weakest.set, weakest.way);
+        policy.maxVdd = 800.0;
+        policy.controlInterval = 0.1;
+    }
+
+    /** Run one full control interval with probes at v_probe. */
+    void
+    interval(DomainController &controller, Millivolt v_probe)
+    {
+        Rng draw(step_seed++);
+        for (int i = 0; i < 10; ++i) {
+            monitor.runProbes(0.01, v_probe, draw);
+            controller.tick(0.01);
+        }
+    }
+
+    Rng rng;
+    CacheArray array;
+    WeakLineInfo weakest;
+    VoltageRegulator regulator;
+    EccMonitor monitor;
+    ControlPolicy policy;
+    std::uint64_t step_seed = 100;
+};
+
+TEST_F(ControllerTest, LowersWhenErrorFree)
+{
+    DomainController controller(regulator, monitor, policy);
+    interval(controller, weakest.weakestVc + 100.0);
+    EXPECT_DOUBLE_EQ(regulator.setpoint(), 795.0);
+    EXPECT_EQ(controller.stepsDown(), 1u);
+}
+
+TEST_F(ControllerTest, RaisesAboveCeiling)
+{
+    DomainController controller(regulator, monitor, policy);
+    // Probe right at Vc: ~50% error rate >> 5% ceiling, and also above
+    // the emergency ceiling — expect the emergency step.
+    interval(controller, weakest.weakestVc);
+    EXPECT_GT(regulator.setpoint(), 800.0 - 1.0);
+    EXPECT_GE(controller.emergencies() + controller.stepsUp(), 1u);
+}
+
+TEST_F(ControllerTest, HoldsInsideBand)
+{
+    DomainController controller(regulator, monitor, policy);
+    // Find a probe voltage with rate in (1%, 5%): about Vc + 2 sigma.
+    const Millivolt v = weakest.weakestVc + 2.0 * 10.0;
+    Rng draw(7);
+    ProbeStats stats = array.probeLine(weakest.set, weakest.way, v,
+                                       20000, draw);
+    const double rate = stats.errorRate();
+    if (rate > policy.floorRate && rate < policy.ceilingRate) {
+        interval(controller, v);
+        EXPECT_DOUBLE_EQ(regulator.setpoint(), 800.0);
+        EXPECT_GE(controller.holds(), 1u);
+    }
+}
+
+TEST_F(ControllerTest, NeverExceedsNominal)
+{
+    DomainController controller(regulator, monitor, policy);
+    for (int i = 0; i < 5; ++i)
+        interval(controller, weakest.weakestVc - 50.0);
+    EXPECT_LE(regulator.setpoint(), policy.maxVdd);
+}
+
+TEST_F(ControllerTest, EmergencyUsesLargeStep)
+{
+    policy.emergencyStepMv = 25.0;
+    regulator.request(700.0);
+    DomainController controller(regulator, monitor, policy);
+
+    Rng draw(8);
+    // Saturate the monitor's error rate, then a single tick must jump
+    // by the emergency step without waiting for the interval.
+    monitor.runProbes(0.01, weakest.weakestVc - 40.0, draw);
+    controller.tick(0.001);
+    EXPECT_DOUBLE_EQ(regulator.setpoint(), 725.0);
+    EXPECT_EQ(controller.emergencies(), 1u);
+}
+
+TEST_F(ControllerTest, SkipsIntervalWithTooFewSamples)
+{
+    policy.minSamples = 1000000;  // Unreachably high.
+    DomainController controller(regulator, monitor, policy);
+    interval(controller, weakest.weakestVc + 100.0);
+    EXPECT_DOUBLE_EQ(regulator.setpoint(), 800.0);
+    EXPECT_EQ(controller.stepsDown(), 0u);
+}
+
+TEST_F(ControllerTest, ConvergesIntoTargetBand)
+{
+    // End-to-end: starting at nominal, the controller should walk the
+    // rail down until the monitored line errs between floor and
+    // ceiling, and stay there.
+    DomainController controller(regulator, monitor, policy);
+    Rng draw(9);
+    for (int t = 0; t < 4000; ++t) {
+        monitor.runProbes(0.01, regulator.output(), draw);
+        controller.tick(0.01);
+        regulator.advance(0.01);
+    }
+    // Settled close to the weak line's Vc (within a few dynamic
+    // sigmas) and comfortably below nominal.
+    EXPECT_LT(regulator.setpoint(), 800.0 - 50.0);
+    EXPECT_GT(regulator.setpoint(), weakest.weakestVc - 10.0);
+    EXPECT_LT(regulator.setpoint(), weakest.weakestVc + 50.0);
+
+    // Error rate at the settled point is inside (or very near) the
+    // band.
+    monitor.readAndResetCounters();
+    monitor.runProbes(1.0, regulator.output(), draw);
+    EXPECT_GT(monitor.errorRate(), policy.floorRate * 0.25);
+    EXPECT_LT(monitor.errorRate(), policy.ceilingRate * 3.0);
+}
+
+TEST(VoltageControlSystem, TicksAllDomains)
+{
+    Rng rng(2);
+    CacheArray array_a(itanium9560::l2Data(), noisyDist(), 465.0, rng);
+    CacheArray array_b(itanium9560::l2Data(), noisyDist(), 465.0, rng);
+    VoltageRegulator reg_a(800.0), reg_b(800.0);
+    EccMonitor mon_a, mon_b;
+    mon_a.activate(array_a, array_a.weakestLine().set,
+                   array_a.weakestLine().way);
+    mon_b.activate(array_b, array_b.weakestLine().set,
+                   array_b.weakestLine().way);
+
+    ControlPolicy policy;
+    policy.maxVdd = 800.0;
+    VoltageControlSystem system;
+    system.addDomain(reg_a, mon_a, policy);
+    system.addDomain(reg_b, mon_b, policy);
+    EXPECT_EQ(system.numDomains(), 2u);
+
+    Rng draw(3);
+    for (int i = 0; i < 20; ++i) {
+        mon_a.runProbes(0.01, 790.0, draw);
+        mon_b.runProbes(0.01, 790.0, draw);
+        system.tick(0.01);
+    }
+    // Both error-free: both lowered.
+    EXPECT_LT(reg_a.setpoint(), 800.0);
+    EXPECT_LT(reg_b.setpoint(), 800.0);
+}
+
+} // namespace
+} // namespace vspec

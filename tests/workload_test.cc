@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Tests for the workload models: the Table II benchmark inventory,
+ * phase sequencing, the stress kernel, and the voltage virus.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/benchmarks.hh"
+#include "workload/virus.hh"
+#include "workload/workload.hh"
+
+namespace vspec
+{
+namespace
+{
+
+TEST(Benchmarks, Table2Inventory)
+{
+    EXPECT_EQ(benchmarks::coreMark().size(), 4u);
+    EXPECT_EQ(benchmarks::specJbb2005().size(), 1u);
+    // The paper runs all SPECint2000 except wupwise/apsi (which are
+    // fp anyway); 12 integer apps.
+    EXPECT_EQ(benchmarks::specInt2000().size(), 12u);
+    EXPECT_EQ(benchmarks::specFp2000().size(), 12u);
+    EXPECT_EQ(benchmarks::stressTest().size(), 4u);
+    EXPECT_EQ(benchmarks::all().size(), 33u);
+}
+
+TEST(Benchmarks, LookupFindsKnownApps)
+{
+    EXPECT_EQ(benchmarks::lookup("mcf").suite, Suite::specInt2000);
+    EXPECT_EQ(benchmarks::lookup("crafty").suite, Suite::specInt2000);
+    EXPECT_EQ(benchmarks::lookup("swim").suite, Suite::specFp2000);
+}
+
+TEST(Benchmarks, McfIsMemoryBoundCraftyIsComputeBound)
+{
+    const auto mcf = benchmarks::lookup("mcf");
+    const auto crafty = benchmarks::lookup("crafty");
+    EXPECT_LT(mcf.activity, crafty.activity);
+    EXPECT_LT(mcf.ipc, crafty.ipc);
+    EXPECT_GT(mcf.l2dAccessesPerSec, crafty.l2dAccessesPerSec);
+}
+
+TEST(Benchmarks, SuiteSequenceCoversSuite)
+{
+    auto seq = benchmarks::suiteSequence(Suite::specInt2000, 10.0);
+    auto *sequence = dynamic_cast<SequenceWorkload *>(seq.get());
+    ASSERT_NE(sequence, nullptr);
+    // 12 phases of 10 s each, looping.
+    EXPECT_EQ(sequence->phaseIndexAt(0.0), 0u);
+    EXPECT_EQ(sequence->phaseIndexAt(15.0), 1u);
+    EXPECT_EQ(sequence->phaseIndexAt(115.0), 11u);
+    EXPECT_EQ(sequence->phaseIndexAt(121.0), 0u);  // Wrapped.
+}
+
+TEST(Workload, SamplesAreBounded)
+{
+    for (const auto &profile : benchmarks::all()) {
+        const BenchmarkWorkload workload(profile);
+        for (Seconds t : {0.0, 3.7, 100.0, 1234.5}) {
+            const WorkloadSample sample = workload.sampleAt(t);
+            EXPECT_GE(sample.activity.meanActivity, 0.0);
+            EXPECT_LE(sample.activity.meanActivity, 1.0);
+            EXPECT_GE(sample.l2dAccessesPerSec, 0.0);
+            EXPECT_GE(sample.l2iAccessesPerSec, 0.0);
+        }
+    }
+}
+
+TEST(Workload, LineTouchWeightDeterministic)
+{
+    const BenchmarkWorkload a(benchmarks::lookup("gcc"));
+    const BenchmarkWorkload b(benchmarks::lookup("gcc"));
+    const BenchmarkWorkload other(benchmarks::lookup("gzip"));
+    int differs = 0;
+    for (std::uint64_t set = 0; set < 64; ++set) {
+        const double wa = a.lineTouchWeight("L2D", set, 3, 2048);
+        EXPECT_EQ(wa, b.lineTouchWeight("L2D", set, 3, 2048));
+        EXPECT_GT(wa, 0.0);
+        differs += (wa != other.lineTouchWeight("L2D", set, 3, 2048));
+    }
+    // Different benchmarks exercise different lines.
+    EXPECT_GT(differs, 32);
+}
+
+TEST(Workload, MeanTouchWeightIsSmallShareOfTraffic)
+{
+    // A random (weak) line sees a small share of the cache's traffic —
+    // the property that keeps Fig. 4 counts in the thousands.
+    const BenchmarkWorkload w(benchmarks::lookup("specjbb.8wh"));
+    double total = 0.0;
+    const std::uint64_t lines = 2048;
+    for (std::uint64_t set = 0; set < 256; ++set) {
+        for (unsigned way = 0; way < 8; ++way)
+            total += w.lineTouchWeight("L2D", set, way, lines);
+    }
+    EXPECT_LT(total, 0.2);  // Hot (unmodeled) lines absorb the rest.
+}
+
+TEST(IdleWorkload, NearZeroDemands)
+{
+    const IdleWorkload idle;
+    const WorkloadSample sample = idle.sampleAt(10.0);
+    EXPECT_LT(sample.activity.meanActivity, 0.1);
+    EXPECT_EQ(sample.l2dAccessesPerSec, 0.0);
+}
+
+TEST(StressKernel, ThirtySecondDutyCycle)
+{
+    const StressKernelWorkload kernel(30.0, 30.0);
+    EXPECT_GT(kernel.sampleAt(10.0).activity.meanActivity, 0.5);
+    EXPECT_LT(kernel.sampleAt(40.0).activity.meanActivity, 0.1);
+    EXPECT_GT(kernel.sampleAt(70.0).activity.meanActivity, 0.5);
+    EXPECT_LT(kernel.sampleAt(100.0).activity.meanActivity, 0.1);
+}
+
+TEST(VoltageVirus, OscillationFrequencyFollowsNopCount)
+{
+    // 8 FMAs + N NOPs at 340 MHz: one iteration per (8 + N) cycles.
+    const VoltageVirusWorkload v8(8);
+    EXPECT_NEAR(v8.oscillationFrequency(), 340.0 / 16.0, 1e-9);
+    const VoltageVirusWorkload v0(0);
+    EXPECT_NEAR(v0.oscillationFrequency(), 340.0 / 8.0, 1e-9);
+    const VoltageVirusWorkload v20(20);
+    EXPECT_NEAR(v20.oscillationFrequency(), 340.0 / 28.0, 1e-9);
+}
+
+TEST(VoltageVirus, DutyCycleAndSwing)
+{
+    const VoltageVirusWorkload v8(8);
+    EXPECT_NEAR(v8.dutyCycle(), 0.5, 1e-9);
+    EXPECT_NEAR(v8.sampleAt(0.0).activity.swingAmplitude, 1.0, 1e-9);
+
+    const VoltageVirusWorkload v0(0);
+    EXPECT_NEAR(v0.dutyCycle(), 1.0, 1e-9);
+    // Constant-power virus has no oscillating component but high mean.
+    EXPECT_NEAR(v0.sampleAt(0.0).activity.swingAmplitude, 0.0, 1e-9);
+    EXPECT_GT(v0.sampleAt(0.0).activity.meanActivity,
+              v8.sampleAt(0.0).activity.meanActivity);
+}
+
+TEST(SequenceWorkload, SampleFollowsActivePhase)
+{
+    auto mcf = std::make_shared<BenchmarkWorkload>(
+        benchmarks::lookup("mcf"));
+    auto crafty = std::make_shared<BenchmarkWorkload>(
+        benchmarks::lookup("crafty"));
+    const SequenceWorkload seq(
+        "mcf-crafty", {{mcf, 60.0}, {crafty, 60.0}});
+
+    EXPECT_EQ(&seq.phaseAt(30.0), mcf.get());
+    EXPECT_EQ(&seq.phaseAt(90.0), crafty.get());
+    // Activity roughly tracks the phase's profile.
+    EXPECT_LT(seq.sampleAt(30.0).activity.meanActivity,
+              seq.sampleAt(90.0).activity.meanActivity);
+}
+
+TEST(SuiteName, AllNamed)
+{
+    EXPECT_STREQ(suiteName(Suite::coreMark), "CoreMark");
+    EXPECT_STREQ(suiteName(Suite::specJbb2005), "SPECjbb2005");
+    EXPECT_STREQ(suiteName(Suite::specInt2000), "SPECint");
+    EXPECT_STREQ(suiteName(Suite::specFp2000), "SPECfp");
+}
+
+} // namespace
+} // namespace vspec
