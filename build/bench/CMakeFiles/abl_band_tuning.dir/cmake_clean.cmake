@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_band_tuning.dir/abl_band_tuning.cc.o"
+  "CMakeFiles/abl_band_tuning.dir/abl_band_tuning.cc.o.d"
+  "abl_band_tuning"
+  "abl_band_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_band_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_controller_knobs.dir/abl_controller_knobs.cc.o"
+  "CMakeFiles/abl_controller_knobs.dir/abl_controller_knobs.cc.o.d"
+  "abl_controller_knobs"
+  "abl_controller_knobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_controller_knobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

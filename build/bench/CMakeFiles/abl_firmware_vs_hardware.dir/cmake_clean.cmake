@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_firmware_vs_hardware.dir/abl_firmware_vs_hardware.cc.o"
+  "CMakeFiles/abl_firmware_vs_hardware.dir/abl_firmware_vs_hardware.cc.o.d"
+  "abl_firmware_vs_hardware"
+  "abl_firmware_vs_hardware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_firmware_vs_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

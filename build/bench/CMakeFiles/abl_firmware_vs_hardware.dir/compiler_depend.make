@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_firmware_vs_hardware.
+# This may be replaced when dependencies are built.

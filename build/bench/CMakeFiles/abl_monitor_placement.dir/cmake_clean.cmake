@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_monitor_placement.dir/abl_monitor_placement.cc.o"
+  "CMakeFiles/abl_monitor_placement.dir/abl_monitor_placement.cc.o.d"
+  "abl_monitor_placement"
+  "abl_monitor_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_monitor_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_frequency_scaling.dir/ext_frequency_scaling.cc.o"
+  "CMakeFiles/ext_frequency_scaling.dir/ext_frequency_scaling.cc.o.d"
+  "ext_frequency_scaling"
+  "ext_frequency_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_frequency_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_min_safe_vdd.dir/fig01_min_safe_vdd.cc.o"
+  "CMakeFiles/fig01_min_safe_vdd.dir/fig01_min_safe_vdd.cc.o.d"
+  "fig01_min_safe_vdd"
+  "fig01_min_safe_vdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_min_safe_vdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_speculation_range.dir/fig02_speculation_range.cc.o"
+  "CMakeFiles/fig02_speculation_range.dir/fig02_speculation_range.cc.o.d"
+  "fig02_speculation_range"
+  "fig02_speculation_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_speculation_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_error_rate_vs_vdd.dir/fig03_error_rate_vs_vdd.cc.o"
+  "CMakeFiles/fig03_error_rate_vs_vdd.dir/fig03_error_rate_vs_vdd.cc.o.d"
+  "fig03_error_rate_vs_vdd"
+  "fig03_error_rate_vs_vdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_error_rate_vs_vdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_error_rate_vs_vdd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_avg_voltage.dir/fig10_avg_voltage.cc.o"
+  "CMakeFiles/fig10_avg_voltage.dir/fig10_avg_voltage.cc.o.d"
+  "fig10_avg_voltage"
+  "fig10_avg_voltage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_avg_voltage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_adaptation_trace.dir/fig12_adaptation_trace.cc.o"
+  "CMakeFiles/fig12_adaptation_trace.dir/fig12_adaptation_trace.cc.o.d"
+  "fig12_adaptation_trace"
+  "fig12_adaptation_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_adaptation_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

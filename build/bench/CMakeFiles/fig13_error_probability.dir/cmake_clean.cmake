@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_error_probability.dir/fig13_error_probability.cc.o"
+  "CMakeFiles/fig13_error_probability.dir/fig13_error_probability.cc.o.d"
+  "fig13_error_probability"
+  "fig13_error_probability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_error_probability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_stress_adaptation.dir/fig14_stress_adaptation.cc.o"
+  "CMakeFiles/fig14_stress_adaptation.dir/fig14_stress_adaptation.cc.o.d"
+  "fig14_stress_adaptation"
+  "fig14_stress_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_stress_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_nop_sweep.dir/fig15_nop_sweep.cc.o"
+  "CMakeFiles/fig15_nop_sweep.dir/fig15_nop_sweep.cc.o.d"
+  "fig15_nop_sweep"
+  "fig15_nop_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_nop_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

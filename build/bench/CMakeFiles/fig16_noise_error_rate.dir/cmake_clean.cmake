@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_noise_error_rate.dir/fig16_noise_error_rate.cc.o"
+  "CMakeFiles/fig16_noise_error_rate.dir/fig16_noise_error_rate.cc.o.d"
+  "fig16_noise_error_rate"
+  "fig16_noise_error_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_noise_error_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

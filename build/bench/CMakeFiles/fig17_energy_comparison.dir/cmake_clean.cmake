@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_energy_comparison.dir/fig17_energy_comparison.cc.o"
+  "CMakeFiles/fig17_energy_comparison.dir/fig17_energy_comparison.cc.o.d"
+  "fig17_energy_comparison"
+  "fig17_energy_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_energy_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

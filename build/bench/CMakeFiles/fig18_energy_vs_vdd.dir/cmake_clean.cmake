@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_energy_vs_vdd.dir/fig18_energy_vs_vdd.cc.o"
+  "CMakeFiles/fig18_energy_vs_vdd.dir/fig18_energy_vs_vdd.cc.o.d"
+  "fig18_energy_vs_vdd"
+  "fig18_energy_vs_vdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_energy_vs_vdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec5e_retention.dir/sec5e_retention.cc.o"
+  "CMakeFiles/sec5e_retention.dir/sec5e_retention.cc.o.d"
+  "sec5e_retention"
+  "sec5e_retention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec5e_retention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

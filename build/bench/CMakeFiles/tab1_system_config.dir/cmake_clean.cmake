@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_system_config.dir/tab1_system_config.cc.o"
+  "CMakeFiles/tab1_system_config.dir/tab1_system_config.cc.o.d"
+  "tab1_system_config"
+  "tab1_system_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_system_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

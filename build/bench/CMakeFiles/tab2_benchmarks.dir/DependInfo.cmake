@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/tab2_benchmarks.cc" "bench/CMakeFiles/tab2_benchmarks.dir/tab2_benchmarks.cc.o" "gcc" "bench/CMakeFiles/tab2_benchmarks.dir/tab2_benchmarks.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/platform/CMakeFiles/vspec_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/vspec_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vspec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/vspec_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/vspec_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/vspec_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sram/CMakeFiles/vspec_sram.dir/DependInfo.cmake"
+  "/root/repo/build/src/variation/CMakeFiles/vspec_variation.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vspec_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdn/CMakeFiles/vspec_pdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vspec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab2_benchmarks.dir/tab2_benchmarks.cc.o"
+  "CMakeFiles/tab2_benchmarks.dir/tab2_benchmarks.cc.o.d"
+  "tab2_benchmarks"
+  "tab2_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

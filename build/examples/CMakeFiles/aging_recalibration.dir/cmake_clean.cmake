@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aging_recalibration.dir/aging_recalibration.cpp.o"
+  "CMakeFiles/aging_recalibration.dir/aging_recalibration.cpp.o.d"
+  "aging_recalibration"
+  "aging_recalibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aging_recalibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for aging_recalibration.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/characterize_die.dir/characterize_die.cpp.o"
+  "CMakeFiles/characterize_die.dir/characterize_die.cpp.o.d"
+  "characterize_die"
+  "characterize_die.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/characterize_die.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

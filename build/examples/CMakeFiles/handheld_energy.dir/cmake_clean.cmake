@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/handheld_energy.dir/handheld_energy.cpp.o"
+  "CMakeFiles/handheld_energy.dir/handheld_energy.cpp.o.d"
+  "handheld_energy"
+  "handheld_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/handheld_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noise_resilient_server.dir/noise_resilient_server.cpp.o"
+  "CMakeFiles/noise_resilient_server.dir/noise_resilient_server.cpp.o.d"
+  "noise_resilient_server"
+  "noise_resilient_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noise_resilient_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("ecc")
+subdirs("variation")
+subdirs("sram")
+subdirs("cache")
+subdirs("pdn")
+subdirs("power")
+subdirs("cpu")
+subdirs("workload")
+subdirs("core")
+subdirs("platform")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache.cc" "src/cache/CMakeFiles/vspec_cache.dir/cache.cc.o" "gcc" "src/cache/CMakeFiles/vspec_cache.dir/cache.cc.o.d"
+  "/root/repo/src/cache/cache_array.cc" "src/cache/CMakeFiles/vspec_cache.dir/cache_array.cc.o" "gcc" "src/cache/CMakeFiles/vspec_cache.dir/cache_array.cc.o.d"
+  "/root/repo/src/cache/ecc_event.cc" "src/cache/CMakeFiles/vspec_cache.dir/ecc_event.cc.o" "gcc" "src/cache/CMakeFiles/vspec_cache.dir/ecc_event.cc.o.d"
+  "/root/repo/src/cache/geometry.cc" "src/cache/CMakeFiles/vspec_cache.dir/geometry.cc.o" "gcc" "src/cache/CMakeFiles/vspec_cache.dir/geometry.cc.o.d"
+  "/root/repo/src/cache/hierarchy.cc" "src/cache/CMakeFiles/vspec_cache.dir/hierarchy.cc.o" "gcc" "src/cache/CMakeFiles/vspec_cache.dir/hierarchy.cc.o.d"
+  "/root/repo/src/cache/sweep.cc" "src/cache/CMakeFiles/vspec_cache.dir/sweep.cc.o" "gcc" "src/cache/CMakeFiles/vspec_cache.dir/sweep.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sram/CMakeFiles/vspec_sram.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/vspec_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vspec_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/variation/CMakeFiles/vspec_variation.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vspec_cache.dir/cache.cc.o"
+  "CMakeFiles/vspec_cache.dir/cache.cc.o.d"
+  "CMakeFiles/vspec_cache.dir/cache_array.cc.o"
+  "CMakeFiles/vspec_cache.dir/cache_array.cc.o.d"
+  "CMakeFiles/vspec_cache.dir/ecc_event.cc.o"
+  "CMakeFiles/vspec_cache.dir/ecc_event.cc.o.d"
+  "CMakeFiles/vspec_cache.dir/geometry.cc.o"
+  "CMakeFiles/vspec_cache.dir/geometry.cc.o.d"
+  "CMakeFiles/vspec_cache.dir/hierarchy.cc.o"
+  "CMakeFiles/vspec_cache.dir/hierarchy.cc.o.d"
+  "CMakeFiles/vspec_cache.dir/sweep.cc.o"
+  "CMakeFiles/vspec_cache.dir/sweep.cc.o.d"
+  "libvspec_cache.a"
+  "libvspec_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vspec_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

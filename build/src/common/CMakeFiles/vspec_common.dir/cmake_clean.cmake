@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vspec_common.dir/logging.cc.o"
+  "CMakeFiles/vspec_common.dir/logging.cc.o.d"
+  "CMakeFiles/vspec_common.dir/mathutil.cc.o"
+  "CMakeFiles/vspec_common.dir/mathutil.cc.o.d"
+  "CMakeFiles/vspec_common.dir/rng.cc.o"
+  "CMakeFiles/vspec_common.dir/rng.cc.o.d"
+  "CMakeFiles/vspec_common.dir/stats.cc.o"
+  "CMakeFiles/vspec_common.dir/stats.cc.o.d"
+  "libvspec_common.a"
+  "libvspec_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vspec_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

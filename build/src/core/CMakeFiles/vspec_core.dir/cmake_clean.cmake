@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vspec_core.dir/calibrator.cc.o"
+  "CMakeFiles/vspec_core.dir/calibrator.cc.o.d"
+  "CMakeFiles/vspec_core.dir/ecc_monitor.cc.o"
+  "CMakeFiles/vspec_core.dir/ecc_monitor.cc.o.d"
+  "CMakeFiles/vspec_core.dir/firmware_monitor.cc.o"
+  "CMakeFiles/vspec_core.dir/firmware_monitor.cc.o.d"
+  "CMakeFiles/vspec_core.dir/software_speculator.cc.o"
+  "CMakeFiles/vspec_core.dir/software_speculator.cc.o.d"
+  "CMakeFiles/vspec_core.dir/voltage_controller.cc.o"
+  "CMakeFiles/vspec_core.dir/voltage_controller.cc.o.d"
+  "libvspec_core.a"
+  "libvspec_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vspec_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

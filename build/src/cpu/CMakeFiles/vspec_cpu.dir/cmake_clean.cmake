@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vspec_cpu.dir/core_model.cc.o"
+  "CMakeFiles/vspec_cpu.dir/core_model.cc.o.d"
+  "CMakeFiles/vspec_cpu.dir/operating_point.cc.o"
+  "CMakeFiles/vspec_cpu.dir/operating_point.cc.o.d"
+  "libvspec_cpu.a"
+  "libvspec_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vspec_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

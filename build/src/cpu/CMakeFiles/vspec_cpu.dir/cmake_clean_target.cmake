@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvspec_cpu.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vspec_ecc.dir/secded.cc.o"
+  "CMakeFiles/vspec_ecc.dir/secded.cc.o.d"
+  "libvspec_ecc.a"
+  "libvspec_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vspec_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

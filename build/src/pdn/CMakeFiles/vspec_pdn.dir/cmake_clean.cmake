@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vspec_pdn.dir/pdn_model.cc.o"
+  "CMakeFiles/vspec_pdn.dir/pdn_model.cc.o.d"
+  "CMakeFiles/vspec_pdn.dir/regulator.cc.o"
+  "CMakeFiles/vspec_pdn.dir/regulator.cc.o.d"
+  "libvspec_pdn.a"
+  "libvspec_pdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vspec_pdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

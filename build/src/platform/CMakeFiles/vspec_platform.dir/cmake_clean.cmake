@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vspec_platform.dir/chip.cc.o"
+  "CMakeFiles/vspec_platform.dir/chip.cc.o.d"
+  "CMakeFiles/vspec_platform.dir/harness.cc.o"
+  "CMakeFiles/vspec_platform.dir/harness.cc.o.d"
+  "CMakeFiles/vspec_platform.dir/simulator.cc.o"
+  "CMakeFiles/vspec_platform.dir/simulator.cc.o.d"
+  "CMakeFiles/vspec_platform.dir/system.cc.o"
+  "CMakeFiles/vspec_platform.dir/system.cc.o.d"
+  "CMakeFiles/vspec_platform.dir/trace.cc.o"
+  "CMakeFiles/vspec_platform.dir/trace.cc.o.d"
+  "libvspec_platform.a"
+  "libvspec_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vspec_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

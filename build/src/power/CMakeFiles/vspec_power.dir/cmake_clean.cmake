@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vspec_power.dir/energy.cc.o"
+  "CMakeFiles/vspec_power.dir/energy.cc.o.d"
+  "CMakeFiles/vspec_power.dir/power_model.cc.o"
+  "CMakeFiles/vspec_power.dir/power_model.cc.o.d"
+  "libvspec_power.a"
+  "libvspec_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vspec_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sram/aging.cc" "src/sram/CMakeFiles/vspec_sram.dir/aging.cc.o" "gcc" "src/sram/CMakeFiles/vspec_sram.dir/aging.cc.o.d"
+  "/root/repo/src/sram/sram_array.cc" "src/sram/CMakeFiles/vspec_sram.dir/sram_array.cc.o" "gcc" "src/sram/CMakeFiles/vspec_sram.dir/sram_array.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/variation/CMakeFiles/vspec_variation.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vspec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vspec_sram.dir/aging.cc.o"
+  "CMakeFiles/vspec_sram.dir/aging.cc.o.d"
+  "CMakeFiles/vspec_sram.dir/sram_array.cc.o"
+  "CMakeFiles/vspec_sram.dir/sram_array.cc.o.d"
+  "libvspec_sram.a"
+  "libvspec_sram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vspec_sram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

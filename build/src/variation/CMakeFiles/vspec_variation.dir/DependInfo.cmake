@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/variation/delay_model.cc" "src/variation/CMakeFiles/vspec_variation.dir/delay_model.cc.o" "gcc" "src/variation/CMakeFiles/vspec_variation.dir/delay_model.cc.o.d"
+  "/root/repo/src/variation/process_variation.cc" "src/variation/CMakeFiles/vspec_variation.dir/process_variation.cc.o" "gcc" "src/variation/CMakeFiles/vspec_variation.dir/process_variation.cc.o.d"
+  "/root/repo/src/variation/tail_sampler.cc" "src/variation/CMakeFiles/vspec_variation.dir/tail_sampler.cc.o" "gcc" "src/variation/CMakeFiles/vspec_variation.dir/tail_sampler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vspec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vspec_variation.dir/delay_model.cc.o"
+  "CMakeFiles/vspec_variation.dir/delay_model.cc.o.d"
+  "CMakeFiles/vspec_variation.dir/process_variation.cc.o"
+  "CMakeFiles/vspec_variation.dir/process_variation.cc.o.d"
+  "CMakeFiles/vspec_variation.dir/tail_sampler.cc.o"
+  "CMakeFiles/vspec_variation.dir/tail_sampler.cc.o.d"
+  "libvspec_variation.a"
+  "libvspec_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vspec_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vspec_workload.dir/benchmarks.cc.o"
+  "CMakeFiles/vspec_workload.dir/benchmarks.cc.o.d"
+  "CMakeFiles/vspec_workload.dir/virus.cc.o"
+  "CMakeFiles/vspec_workload.dir/virus.cc.o.d"
+  "CMakeFiles/vspec_workload.dir/workload.cc.o"
+  "CMakeFiles/vspec_workload.dir/workload.cc.o.d"
+  "libvspec_workload.a"
+  "libvspec_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vspec_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

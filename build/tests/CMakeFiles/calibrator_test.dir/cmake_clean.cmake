@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrator_test.dir/calibrator_test.cc.o"
+  "CMakeFiles/calibrator_test.dir/calibrator_test.cc.o.d"
+  "calibrator_test"
+  "calibrator_test.pdb"
+  "calibrator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecc_monitor_test.dir/ecc_monitor_test.cc.o"
+  "CMakeFiles/ecc_monitor_test.dir/ecc_monitor_test.cc.o.d"
+  "ecc_monitor_test"
+  "ecc_monitor_test.pdb"
+  "ecc_monitor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecc_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

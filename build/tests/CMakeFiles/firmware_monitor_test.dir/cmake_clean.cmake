@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firmware_monitor_test.dir/firmware_monitor_test.cc.o"
+  "CMakeFiles/firmware_monitor_test.dir/firmware_monitor_test.cc.o.d"
+  "firmware_monitor_test"
+  "firmware_monitor_test.pdb"
+  "firmware_monitor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firmware_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/software_speculator_test.dir/software_speculator_test.cc.o"
+  "CMakeFiles/software_speculator_test.dir/software_speculator_test.cc.o.d"
+  "software_speculator_test"
+  "software_speculator_test.pdb"
+  "software_speculator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/software_speculator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voltage_controller_test.dir/voltage_controller_test.cc.o"
+  "CMakeFiles/voltage_controller_test.dir/voltage_controller_test.cc.o.d"
+  "voltage_controller_test"
+  "voltage_controller_test.pdb"
+  "voltage_controller_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voltage_controller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
