@@ -12,6 +12,7 @@
 #define VSPEC_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -23,23 +24,56 @@ namespace vspec_bench
 /** The seed used for the "evaluation platform" chip in every bench. */
 constexpr std::uint64_t evalSeed = 42;
 
+/** Config of the standard 8-core evaluation chip at the low point. */
+inline vspec::ChipConfig
+makeLowConfig()
+{
+    vspec::ChipConfig cfg;
+    cfg.seed = evalSeed;
+    return cfg;
+}
+
+/** Config of the evaluation chip at the high (2.53 GHz) point. */
+inline vspec::ChipConfig
+makeHighConfig()
+{
+    vspec::ChipConfig cfg = makeLowConfig();
+    cfg.operatingPoint = vspec::OperatingPoint::high();
+    return cfg;
+}
+
 /** Build the standard 8-core evaluation chip at the low point. */
 inline vspec::Chip
 makeLowChip()
 {
-    vspec::ChipConfig cfg;
-    cfg.seed = evalSeed;
-    return vspec::Chip(cfg);
+    return vspec::Chip(makeLowConfig());
 }
 
 /** Build the evaluation chip at the high (2.53 GHz) point. */
 inline vspec::Chip
 makeHighChip()
 {
-    vspec::ChipConfig cfg;
-    cfg.seed = evalSeed;
-    cfg.operatingPoint = vspec::OperatingPoint::high();
-    return vspec::Chip(cfg);
+    return vspec::Chip(makeHighConfig());
+}
+
+/**
+ * Worker-thread count from a "--threads N" / "--threads=N" argument;
+ * 0 (the default) means one worker per hardware thread. Results are
+ * bit-identical for every thread count (see DESIGN.md).
+ */
+inline unsigned
+parseThreads(int argc, char **argv)
+{
+    unsigned threads = 0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--threads" && i + 1 < argc)
+            threads = unsigned(std::strtoul(argv[++i], nullptr, 10));
+        else if (arg.rfind("--threads=", 0) == 0)
+            threads =
+                unsigned(std::strtoul(arg.c_str() + 10, nullptr, 10));
+    }
+    return threads;
 }
 
 /** The four evaluation suites of Section V. */

@@ -8,6 +8,10 @@
  * ~10% below the 1.1 V nominal with little core-to-core spread; at
  * 340 MHz it is far deeper (~600-660 mV, ~23% below the 800 mV
  * nominal) with much larger core-to-core variation.
+ *
+ * The per-core characterizations are independent, so they run as one
+ * pool task per core (--threads N selects the worker count; output is
+ * identical for any N).
  */
 
 #include "bench_util.hh"
@@ -16,40 +20,43 @@ using namespace vspec;
 using namespace vspec_bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     setInformEnabled(false);
+    ExperimentPool pool(parseThreads(argc, argv));
     banner("Figure 1", "lowest safe Vdd per core, high and low "
                        "frequency");
 
-    struct Point
+    struct Regime
     {
         const char *label;
-        Chip chip;
+        ChipConfig cfg;
     };
-    Point points[] = {{"2.53 GHz", makeHighChip()},
-                      {"340 MHz", makeLowChip()}};
+    const Regime regimes[] = {{"2.53 GHz", makeHighConfig()},
+                              {"340 MHz", makeLowConfig()}};
 
     std::printf("%-8s %-10s %-14s %-14s %-12s\n", "core", "regime",
                 "min safe (mV)", "nominal (mV)", "relative");
 
-    for (auto &point : points) {
-        auto stress = benchmarks::suiteSequence(Suite::stress, 5.0);
+    for (const Regime &regime : regimes) {
         const Millivolt nominal =
-            point.chip.config().operatingPoint.nominalVdd;
+            regime.cfg.operatingPoint.nominalVdd;
+        const auto results = experiments::measureMarginsPooled(
+            regime.cfg,
+            [] { return benchmarks::suiteSequence(Suite::stress, 5.0); },
+            /*hold=*/2.0, /*step=*/5.0, /*tick=*/1e-2, pool);
+
         RunningStats rel;
-        for (unsigned c = 0; c < point.chip.numCores(); ++c) {
-            const auto result = experiments::measureMargins(
-                point.chip, c, stress, /*hold=*/2.0, /*step=*/5.0);
+        for (const auto &result : results) {
             const double fraction = result.minSafeVdd / nominal;
             rel.add(fraction);
-            std::printf("Core %-3u %-10s %-14.0f %-14.0f %.3f\n", c,
-                        point.label, result.minSafeVdd, nominal,
-                        fraction);
+            std::printf("Core %-3u %-10s %-14.0f %-14.0f %.3f\n",
+                        result.coreId, regime.label, result.minSafeVdd,
+                        nominal, fraction);
         }
         std::printf("  -> %s: mean %.1f%% below nominal, spread "
                     "%.1f%% of nominal\n\n",
-                    point.label, 100.0 * (1.0 - rel.mean()),
+                    regime.label, 100.0 * (1.0 - rel.mean()),
                     100.0 * (rel.max() - rel.min()));
     }
     return 0;

@@ -8,6 +8,10 @@
  * below nominal in both regimes; beyond it the error rate ramps up as
  * Vdd drops; the low-Vdd regime produces far more errors (thousands
  * vs hundreds per 5-minute interval) over a much wider range.
+ *
+ * Each depth step is an independent trial on its own chip, run as one
+ * pool task (--threads N selects the worker count; output is identical
+ * for any N).
  */
 
 #include "bench_util.hh"
@@ -19,53 +23,26 @@ namespace
 {
 
 void
-sweepRegime(const char *label, Chip &chip)
+sweepRegime(const char *label, const ChipConfig &cfg,
+            ExperimentPool &pool)
 {
-    const Millivolt nominal = chip.config().operatingPoint.nominalVdd;
+    const Millivolt nominal = cfg.operatingPoint.nominalVdd;
     const Seconds window = 3.0;          // Simulated seconds per step.
     const double to_five_min = 300.0 / window;
-
-    harness::assignSuite(chip, Suite::stress, 5.0);
 
     std::printf("\n%s (nominal %.0f mV)\n", label, nominal);
     std::printf("%-18s %-12s %-14s %-12s\n", "depth below nom",
                 "Vdd (mV)", "avg errors/5min", "cores alive");
 
-    std::vector<bool> dead(chip.numCores(), false);
-    Simulator sim(chip, 0.005);
-    std::vector<std::uint64_t> prev(chip.numCores(), 0);
+    const auto points = experiments::errorRateVsDepthPooled(
+        cfg, Suite::stress, 5.0, /*max_depth=*/260.0, /*step=*/10.0,
+        window, /*tick=*/0.005, pool);
 
-    for (Millivolt depth = 0.0; depth <= 260.0; depth += 10.0) {
-        const Millivolt v = nominal - depth;
-        for (unsigned d = 0; d < chip.numDomains(); ++d) {
-            chip.domain(d).regulator().request(v);
-            chip.domain(d).regulator().advance(1.0);
-        }
-
-        sim.run(window);
-
-        RunningStats errors;
-        unsigned alive = 0;
-        for (unsigned c = 0; c < chip.numCores(); ++c) {
-            const std::uint64_t now = sim.coreCorrectableEvents(c);
-            const std::uint64_t delta = now - prev[c];
-            prev[c] = now;
-            if (dead[c])
-                continue;
-            if (chip.core(c).crashed()) {
-                dead[c] = true;
-                // A crashed core idles (firmware takes it offline).
-                chip.core(c).setWorkload(
-                    std::make_shared<IdleWorkload>());
-                continue;
-            }
-            ++alive;
-            errors.add(double(delta) * to_five_min);
-        }
-
-        std::printf("%-18.0f %-12.0f %-14.0f %-12u\n", depth, v,
-                    errors.mean(), alive);
-        if (alive == 0)
+    for (const auto &point : points) {
+        std::printf("%-18.0f %-12.0f %-14.0f %-12u\n", point.depthMv,
+                    point.vdd, point.errorsPerCore.mean() * to_five_min,
+                    point.coresAlive);
+        if (point.coresAlive == 0)
             break;
     }
 }
@@ -73,19 +50,14 @@ sweepRegime(const char *label, Chip &chip)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setInformEnabled(false);
+    ExperimentPool pool(parseThreads(argc, argv));
     banner("Figure 3", "average correctable errors vs speculation "
                        "depth");
 
-    {
-        Chip high = makeHighChip();
-        sweepRegime("2.53 GHz", high);
-    }
-    {
-        Chip low = makeLowChip();
-        sweepRegime("340 MHz", low);
-    }
+    sweepRegime("2.53 GHz", makeHighConfig(), pool);
+    sweepRegime("340 MHz", makeLowConfig(), pool);
     return 0;
 }

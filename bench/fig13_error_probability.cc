@@ -9,6 +9,10 @@
  * core, giving the 5 mV-step controller plenty of resolution, with
  * margins remaining above the 5% ceiling before the minimum safe
  * voltage is reached.
+ *
+ * Every (core, Vdd step) probe burst is an independent pool task
+ * (--threads N selects the worker count; output is identical for
+ * any N).
  */
 
 #include <cmath>
@@ -19,38 +23,42 @@ using namespace vspec;
 using namespace vspec_bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     setInformEnabled(false);
+    ExperimentPool pool(parseThreads(argc, argv));
     banner("Figure 13", "P(single-bit error) vs supply voltage, "
                         "four cores");
 
-    Chip chip = makeLowChip();
-    const unsigned cores[] = {0, 2, 4, 6};  // A, B, C, D.
+    const std::vector<unsigned> cores = {0, 2, 4, 6};  // A, B, C, D.
 
     std::printf("%-10s", "Vdd (mV)");
     for (unsigned c : cores)
         std::printf("  core %u  ", c);
     std::printf("\n");
 
-    // Common sweep grid around each core's own weak line.
+    const auto points = experiments::errorProbabilityCurvesPooled(
+        makeLowConfig(), cores, /*span=*/60.0, /*step=*/5.0,
+        /*probes_per_point=*/20000, pool);
+
+    // Regroup the core-major task-order points into per-core curves.
     struct Curve
     {
         std::vector<std::pair<Millivolt, double>> points;
         Millivolt rampLow = 0.0, rampHigh = 0.0;
     };
-    std::vector<Curve> curves;
+    std::vector<Curve> curves(cores.size());
     Millivolt grid_hi = 0.0, grid_lo = 1e9;
-    for (unsigned c : cores) {
-        auto [array, line] = experiments::weakestL2Line(chip.core(c));
-        Curve curve;
-        curve.points = experiments::errorProbabilityCurve(
-            chip, c, line.weakestVc + 60.0, line.weakestVc - 60.0, 5.0,
-            20000);
-        for (const auto &[v, p] : curve.points) {
-            grid_hi = std::max(grid_hi, v);
-            grid_lo = std::min(grid_lo, v);
+    for (const auto &point : points) {
+        for (std::size_t i = 0; i < cores.size(); ++i) {
+            if (cores[i] == point.coreId)
+                curves[i].points.emplace_back(point.vdd,
+                                              point.probability);
         }
+        grid_hi = std::max(grid_hi, point.vdd);
+        grid_lo = std::min(grid_lo, point.vdd);
+    }
+    for (auto &curve : curves) {
         // Ramp range: from first >1% down to first >99%.
         for (const auto &[v, p] : curve.points) {
             if (p > 0.01 && curve.rampHigh == 0.0)
@@ -58,7 +66,6 @@ main()
             if (p > 0.99 && curve.rampLow == 0.0)
                 curve.rampLow = v;
         }
-        curves.push_back(std::move(curve));
     }
 
     for (Millivolt v = grid_hi; v >= grid_lo; v -= 5.0) {

@@ -1,5 +1,7 @@
 #include "cache/sweep.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace vspec
@@ -17,6 +19,16 @@ SweepResult::worstLine() const
         }
     }
     return worst;
+}
+
+void
+SweepResult::merge(const SweepResult &other)
+{
+    for (const auto &[line, count] : other.correctablePerLine)
+        correctablePerLine[line] += count;
+    totalCorrectable += other.totalCorrectable;
+    uncorrectable = uncorrectable || other.uncorrectable;
+    linesTested = std::max(linesTested, other.linesTested);
 }
 
 InstructionTemplate::InstructionTemplate(unsigned words_per_line)
@@ -97,16 +109,11 @@ dataSweep(CacheArray &array, Millivolt v_eff,
 {
     SweepResult total;
     for (std::uint64_t pattern : dataPatterns) {
-        SweepResult pass = sweepAllLines(
+        total.merge(sweepAllLines(
             array, v_eff, reads_per_pattern, rng,
             [&](std::uint64_t set, unsigned way) {
                 array.writePattern(set, way, pattern);
-            });
-        for (const auto &[line, count] : pass.correctablePerLine)
-            total.correctablePerLine[line] += count;
-        total.totalCorrectable += pass.totalCorrectable;
-        total.uncorrectable = total.uncorrectable || pass.uncorrectable;
-        total.linesTested = pass.linesTested;
+            }));
     }
     return total;
 }

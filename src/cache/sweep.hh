@@ -39,6 +39,14 @@ struct SweepResult
     /** The line with the most correctable events, if any erred. */
     bool anyErrors() const { return totalCorrectable > 0; }
     std::pair<std::uint64_t, unsigned> worstLine() const;
+
+    /**
+     * Fold another pass over the same array into this result (per-line
+     * counts add; linesTested takes the maximum, since passes cover the
+     * same lines). Used to combine per-pattern passes and to merge
+     * per-task results from pooled characterization sweeps.
+     */
+    void merge(const SweepResult &other);
 };
 
 /**

@@ -17,6 +17,14 @@ mix64(std::uint64_t x)
     return x ^ (x >> 31);
 }
 
+std::uint64_t
+mix64(std::uint64_t seed, std::uint64_t index)
+{
+    // Mix the index on its own first so that adjacent indices land far
+    // apart before they are combined with the seed.
+    return mix64(seed ^ (mix64(index) + 0x9e3779b97f4a7c15ULL));
+}
+
 namespace
 {
 
@@ -42,7 +50,15 @@ Rng::Rng(std::uint64_t seed)
 Rng
 Rng::fork(std::uint64_t stream_id)
 {
-    return Rng(mix64(next() ^ mix64(stream_id)));
+    // Seed the child through mix64 rather than copying raw state so
+    // forked streams with adjacent stream ids stay decorrelated. The
+    // seeding constructor also guarantees the child starts with an
+    // empty Box-Muller cache: a cached gaussian in the parent must not
+    // leak into the child stream.
+    Rng child(mix64(next() ^ mix64(stream_id)));
+    child.hasCachedGaussian = false;
+    child.cachedGaussian = 0.0;
+    return child;
 }
 
 std::uint64_t

@@ -25,6 +25,13 @@ namespace vspec
 std::uint64_t mix64(std::uint64_t x);
 
 /**
+ * Two-input seed derivation: a well-mixed function of (seed, index) used
+ * to give every task of a batch its own decorrelated stream. Adjacent
+ * indices map to unrelated seeds.
+ */
+std::uint64_t mix64(std::uint64_t seed, std::uint64_t index);
+
+/**
  * xoshiro256** generator with distribution helpers.
  */
 class Rng
@@ -33,7 +40,14 @@ class Rng
     /** Construct from a seed; identical seeds yield identical streams. */
     explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
 
-    /** Derive an independent child generator (for per-core streams). */
+    /**
+     * Derive an independent child generator (for per-core streams).
+     *
+     * The child is seeded through mix64 from the parent's next output
+     * and the stream id, so adjacent stream ids yield decorrelated
+     * streams, and it starts with an empty Box-Muller cache regardless
+     * of the parent's cached state.
+     */
     Rng fork(std::uint64_t stream_id);
 
     /** Next raw 64-bit value. */

@@ -115,6 +115,21 @@ Histogram::add(double x)
 }
 
 void
+Histogram::merge(const Histogram &other)
+{
+    if (other.counts.size() != counts.size() || other.rangeLo != rangeLo ||
+        other.rangeHi != rangeHi) {
+        panic("Histogram::merge requires identical geometry, got [",
+              rangeLo, ", ", rangeHi, ")x", counts.size(), " vs [",
+              other.rangeLo, ", ", other.rangeHi, ")x",
+              other.counts.size());
+    }
+    for (std::size_t i = 0; i < counts.size(); ++i)
+        counts[i] += other.counts[i];
+    total += other.total;
+}
+
+void
 Histogram::reset()
 {
     std::fill(counts.begin(), counts.end(), 0);
@@ -143,7 +158,10 @@ Histogram::quantile(double q) const
     double cum = 0.0;
     for (std::size_t i = 0; i < counts.size(); ++i) {
         cum += double(counts[i]);
-        if (cum >= target)
+        // Require a populated bin: with q == 0 the target is 0 and an
+        // empty leading bin would otherwise satisfy cum >= target and
+        // report a value below every recorded sample.
+        if (counts[i] > 0 && cum >= target)
             return binLow(i) + binWidth * 0.5;
     }
     return rangeHi;

@@ -63,6 +63,9 @@ class Histogram
     /** Add one sample. */
     void add(double x);
 
+    /** Merge another histogram of identical geometry into this one. */
+    void merge(const Histogram &other);
+
     /** Discard all samples. */
     void reset();
 

@@ -1,0 +1,88 @@
+#include "platform/experiment_pool.hh"
+
+#include "common/logging.hh"
+
+namespace vspec
+{
+
+ExperimentPool::ExperimentPool(unsigned threads)
+{
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0)
+            threads = 1;
+    }
+    workers.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ExperimentPool::~ExperimentPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        stopping = true;
+    }
+    workCv.notify_all();
+    for (auto &worker : workers)
+        worker.join();
+}
+
+void
+ExperimentPool::runBatch(std::size_t count,
+                         const std::function<void(std::size_t)> &body)
+{
+    if (count == 0)
+        return;
+
+    auto batch = std::make_shared<Batch>();
+    batch->body = &body;
+    batch->count = count;
+
+    std::unique_lock<std::mutex> lock(mutex);
+    if (current)
+        panic("ExperimentPool::run is not reentrant");
+    current = batch;
+    ++generation;
+    workCv.notify_all();
+    doneCv.wait(lock, [&] { return batch->completed == batch->count; });
+    current = nullptr;
+}
+
+void
+ExperimentPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        std::shared_ptr<Batch> batch;
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            workCv.wait(lock, [&] {
+                return stopping || (current && generation != seen);
+            });
+            if (stopping)
+                return;
+            seen = generation;
+            batch = current;
+        }
+
+        for (;;) {
+            const std::size_t i = batch->next.fetch_add(1);
+            if (i >= batch->count)
+                break;
+            // The body traps task exceptions itself (see
+            // ExperimentPool::run); a throw escaping here would
+            // deadlock the batch, so treat it as a pool bug.
+            try {
+                (*batch->body)(i);
+            } catch (...) {
+                panic("ExperimentPool task wrapper threw");
+            }
+            std::lock_guard<std::mutex> lock(mutex);
+            if (++batch->completed == batch->count)
+                doneCv.notify_all();
+        }
+    }
+}
+
+} // namespace vspec

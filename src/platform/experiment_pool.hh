@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Worker pool for batches of independent simulation tasks.
+ *
+ * Every artifact of the paper's evaluation is a sweep over independent
+ * (seed x core x Vdd step x suite) configurations, so wall time scales
+ * linearly with sweep resolution when run serially. ExperimentPool runs
+ * such a batch on a fixed set of std::thread workers while keeping the
+ * results bit-identical regardless of thread count or scheduling order:
+ *
+ *  - each task receives a task-local seed derived as
+ *    mix64(batchSeed, taskIndex), never a shared generator, and is
+ *    expected to construct its own Chip/Simulator from it — one chip
+ *    per task, no shared mutable state;
+ *  - results are returned (and therefore merged by the caller) in task
+ *    order, not completion order.
+ *
+ * An exception thrown inside a task fails that task only: the outcome
+ * records the error text, the remaining tasks still run, and the pool
+ * stays usable for further batches.
+ */
+
+#ifndef VSPEC_PLATFORM_EXPERIMENT_POOL_HH
+#define VSPEC_PLATFORM_EXPERIMENT_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace vspec
+{
+
+/** Per-task inputs handed to the task body. */
+struct ExperimentTaskContext
+{
+    /** Index of this task within the batch. */
+    std::size_t index = 0;
+    /** Task-local seed, mix64(batchSeed, index). */
+    std::uint64_t seed = 0;
+    /** Generator seeded from @c seed, for task-local stochastic draws. */
+    Rng rng;
+};
+
+/** Result of one task: a value on success, an error string on failure. */
+template <typename Result>
+struct ExperimentOutcome
+{
+    std::optional<Result> value;
+    std::string error;
+
+    bool ok() const { return value.has_value(); }
+};
+
+class ExperimentPool
+{
+  public:
+    /**
+     * Create a pool with the given number of worker threads; 0 means
+     * one worker per hardware thread.
+     */
+    explicit ExperimentPool(unsigned threads = 0);
+    ~ExperimentPool();
+
+    ExperimentPool(const ExperimentPool &) = delete;
+    ExperimentPool &operator=(const ExperimentPool &) = delete;
+
+    unsigned numThreads() const { return unsigned(workers.size()); }
+
+    /**
+     * Run @p numTasks invocations of @p fn across the workers and block
+     * until all have finished. fn is called once per task with an
+     * ExperimentTaskContext whose seed depends only on (batchSeed,
+     * index); outcomes are returned in task order. Not reentrant: do
+     * not call run() from inside a task of the same pool.
+     */
+    template <typename Fn>
+    auto run(std::uint64_t batchSeed, std::size_t numTasks, Fn &&fn)
+        -> std::vector<ExperimentOutcome<
+            std::decay_t<decltype(fn(std::declval<ExperimentTaskContext &>()))>>>
+    {
+        using Result =
+            std::decay_t<decltype(fn(std::declval<ExperimentTaskContext &>()))>;
+        std::vector<ExperimentOutcome<Result>> outcomes(numTasks);
+        runBatch(numTasks, [&](std::size_t i) {
+            const std::uint64_t task_seed = mix64(batchSeed, i);
+            ExperimentTaskContext ctx{i, task_seed, Rng(task_seed)};
+            try {
+                outcomes[i].value.emplace(fn(ctx));
+            } catch (const std::exception &e) {
+                outcomes[i].error = e.what();
+            } catch (...) {
+                outcomes[i].error = "unknown exception";
+            }
+        });
+        return outcomes;
+    }
+
+  private:
+    /** One batch in flight; workers hold a shared_ptr so a straggler
+     *  from a finished batch can never race a newly submitted one. */
+    struct Batch
+    {
+        const std::function<void(std::size_t)> *body = nullptr;
+        std::size_t count = 0;
+        std::atomic<std::size_t> next{0};
+        std::size_t completed = 0; // guarded by the pool mutex
+    };
+
+    void runBatch(std::size_t count,
+                  const std::function<void(std::size_t)> &body);
+    void workerLoop();
+
+    std::vector<std::thread> workers;
+    std::mutex mutex;
+    std::condition_variable workCv;
+    std::condition_variable doneCv;
+    std::shared_ptr<Batch> current;
+    std::uint64_t generation = 0;
+    bool stopping = false;
+};
+
+} // namespace vspec
+
+#endif // VSPEC_PLATFORM_EXPERIMENT_POOL_HH

@@ -157,6 +157,136 @@ measureMargins(Chip &chip, unsigned core_id,
     return result;
 }
 
+namespace
+{
+
+/** Unwrap pool outcomes in task order; fatal on any failed task. */
+template <typename Result>
+std::vector<Result>
+unwrapOutcomes(std::vector<ExperimentOutcome<Result>> outcomes,
+               const char *what)
+{
+    std::vector<Result> results;
+    results.reserve(outcomes.size());
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        if (!outcomes[i].ok()) {
+            fatal(what, ": task ", i, " failed: ", outcomes[i].error);
+        }
+        results.push_back(std::move(*outcomes[i].value));
+    }
+    return results;
+}
+
+} // namespace
+
+std::vector<MarginResult>
+measureMarginsPooled(const ChipConfig &cfg,
+                     const std::function<std::shared_ptr<Workload>()>
+                         &make_workload,
+                     Seconds hold_per_step, Millivolt step_mv,
+                     Seconds tick, ExperimentPool &pool)
+{
+    auto outcomes = pool.run(
+        cfg.seed, cfg.numCores, [&](ExperimentTaskContext &ctx) {
+            Chip chip(cfg);
+            return measureMargins(chip, unsigned(ctx.index),
+                                  make_workload(), hold_per_step,
+                                  step_mv, tick);
+        });
+    return unwrapOutcomes(std::move(outcomes), "measureMarginsPooled");
+}
+
+std::vector<ErrorRatePoint>
+errorRateVsDepthPooled(const ChipConfig &cfg, Suite suite,
+                       Seconds per_benchmark, Millivolt max_depth_mv,
+                       Millivolt step_mv, Seconds window, Seconds tick,
+                       ExperimentPool &pool)
+{
+    if (step_mv <= 0.0)
+        fatal("errorRateVsDepthPooled requires a positive step");
+
+    std::vector<Millivolt> depths;
+    for (Millivolt depth = 0.0; depth <= max_depth_mv; depth += step_mv)
+        depths.push_back(depth);
+
+    auto outcomes = pool.run(
+        cfg.seed, depths.size(), [&](ExperimentTaskContext &ctx) {
+            Chip chip(cfg);
+            const Millivolt nominal =
+                chip.config().operatingPoint.nominalVdd;
+
+            ErrorRatePoint point;
+            point.depthMv = depths[ctx.index];
+            point.vdd = nominal - point.depthMv;
+
+            harness::assignSuite(chip, suite, per_benchmark);
+            for (unsigned d = 0; d < chip.numDomains(); ++d) {
+                chip.domain(d).regulator().request(point.vdd);
+                chip.domain(d).regulator().advance(1.0);
+            }
+
+            Simulator sim(chip, tick);
+            sim.run(window);
+
+            for (unsigned c = 0; c < chip.numCores(); ++c) {
+                if (chip.core(c).crashed())
+                    continue;
+                ++point.coresAlive;
+                point.errorsPerCore.add(
+                    double(sim.coreCorrectableEvents(c)));
+            }
+            return point;
+        });
+    return unwrapOutcomes(std::move(outcomes), "errorRateVsDepthPooled");
+}
+
+std::vector<ProbeCurvePoint>
+errorProbabilityCurvesPooled(const ChipConfig &cfg,
+                             const std::vector<unsigned> &cores,
+                             Millivolt span_mv, Millivolt step_mv,
+                             std::uint64_t probes_per_point,
+                             ExperimentPool &pool)
+{
+    if (step_mv <= 0.0 || span_mv < 0.0)
+        fatal("errorProbabilityCurvesPooled requires positive step and "
+              "span");
+
+    // Scout pass: one serial chip build to anchor each core's grid on
+    // its own weakest line.
+    std::vector<std::pair<unsigned, Millivolt>> grid;
+    {
+        Chip scout(cfg);
+        for (unsigned core_id : cores) {
+            const auto [array, line] =
+                weakestL2Line(scout.core(core_id));
+            (void)array;
+            for (Millivolt v = line.weakestVc + span_mv;
+                 v >= line.weakestVc - span_mv; v -= step_mv) {
+                grid.emplace_back(core_id, v);
+            }
+        }
+    }
+
+    auto outcomes = pool.run(
+        cfg.seed, grid.size(), [&](ExperimentTaskContext &ctx) {
+            const auto [core_id, v] = grid[ctx.index];
+            Chip chip(cfg);
+            auto [array, line] = weakestL2Line(chip.core(core_id));
+            const ProbeStats stats = array->probeLine(
+                line.set, line.way, v, probes_per_point, ctx.rng);
+
+            ProbeCurvePoint point;
+            point.coreId = core_id;
+            point.vdd = v;
+            point.probability =
+                std::min(1.0, double(stats.correctableEvents) /
+                                  double(stats.accesses));
+            return point;
+        });
+    return unwrapOutcomes(std::move(outcomes),
+                          "errorProbabilityCurvesPooled");
+}
+
 std::vector<std::pair<Millivolt, double>>
 errorProbabilityCurve(Chip &chip, unsigned core_id, Millivolt from_mv,
                       Millivolt to_mv, Millivolt step_mv,

@@ -10,15 +10,18 @@
 #ifndef VSPEC_PLATFORM_HARNESS_HH
 #define VSPEC_PLATFORM_HARNESS_HH
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <utility>
 #include <vector>
 
+#include "common/stats.hh"
 #include "core/calibrator.hh"
 #include "core/software_speculator.hh"
 #include "core/voltage_controller.hh"
 #include "platform/chip.hh"
+#include "platform/experiment_pool.hh"
 #include "platform/simulator.hh"
 #include "workload/benchmarks.hh"
 
@@ -111,6 +114,71 @@ errorProbabilityCurve(Chip &chip, unsigned core_id, Millivolt from_mv,
 
 /** The core's weakest L2 line (instrumentation shortcut). */
 std::pair<CacheArray *, WeakLineInfo> weakestL2Line(Core &core);
+
+/*
+ * Pooled characterization sweeps. Each variant submits one task per
+ * independent configuration to an ExperimentPool; every task constructs
+ * its own Chip/Simulator from @p cfg (one chip per task, no shared
+ * mutable state) and draws task-local randomness from the context rng
+ * seeded by mix64(cfg.seed, taskIndex). Results come back in task
+ * order, so the merged output is bit-identical for any thread count.
+ * A task that throws aborts the sweep with a fatal() naming the task.
+ */
+
+/**
+ * Pooled margin characterization (the Fig. 1 study): one task per
+ * core, each measuring that core's margins on a private chip.
+ * @p make_workload is invoked once per task (concurrently) to build
+ * the core-under-test workload.
+ */
+std::vector<MarginResult>
+measureMarginsPooled(const ChipConfig &cfg,
+                     const std::function<std::shared_ptr<Workload>()>
+                         &make_workload,
+                     Seconds hold_per_step, Millivolt step_mv,
+                     Seconds tick, ExperimentPool &pool);
+
+/** One point of a pooled error-rate-vs-depth sweep (the Fig. 3 shape). */
+struct ErrorRatePoint
+{
+    Millivolt depthMv = 0.0;
+    Millivolt vdd = 0.0;
+    /** Correctable events over the window, per still-alive core. */
+    RunningStats errorsPerCore;
+    unsigned coresAlive = 0;
+};
+
+/**
+ * Pooled error-rate sweep: one task per Vdd step. Unlike the serial
+ * progressive sweep, every depth is an independent trial on a fresh
+ * chip held at that voltage for @p window simulated seconds.
+ */
+std::vector<ErrorRatePoint>
+errorRateVsDepthPooled(const ChipConfig &cfg, Suite suite,
+                       Seconds per_benchmark, Millivolt max_depth_mv,
+                       Millivolt step_mv, Seconds window, Seconds tick,
+                       ExperimentPool &pool);
+
+/** One point of a pooled Fig. 13 probe curve. */
+struct ProbeCurvePoint
+{
+    unsigned coreId = 0;
+    Millivolt vdd = 0.0;
+    double probability = 0.0;
+};
+
+/**
+ * Pooled Fig. 13 curves: one task per (core, Vdd step). The sweep grid
+ * for each core spans [weakestVc - span_mv, weakestVc + span_mv] in
+ * step_mv steps (descending); points are returned core-major in grid
+ * order.
+ */
+std::vector<ProbeCurvePoint>
+errorProbabilityCurvesPooled(const ChipConfig &cfg,
+                             const std::vector<unsigned> &cores,
+                             Millivolt span_mv, Millivolt step_mv,
+                             std::uint64_t probes_per_point,
+                             ExperimentPool &pool);
 
 } // namespace experiments
 

@@ -1,5 +1,7 @@
 #include "platform/simulator.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace vspec
@@ -150,8 +152,17 @@ Simulator::step(Seconds dt)
 
     if (traceInterval > 0.0) {
         sinceTraceSample += dt;
-        if (sinceTraceSample >= traceInterval - 1e-12) {
-            sinceTraceSample = 0.0;
+        // Emit when the accumulator is within half a tick of the
+        // interval: comparing accumulated doubles with >= lets rounding
+        // error skip (or double-emit) samples on long runs. Carrying the
+        // remainder instead of zeroing keeps the long-run sample rate at
+        // exactly one per interval even when the tick does not divide
+        // the interval.
+        if (sinceTraceSample + 0.5 * dt >= traceInterval) {
+            sinceTraceSample -= traceInterval;
+            // Intervals shorter than one tick saturate at one sample
+            // per tick; don't let the backlog grow without bound.
+            sinceTraceSample = std::min(sinceTraceSample, traceInterval);
             recordTraceSample();
         }
     }
@@ -164,6 +175,14 @@ Simulator::run(Seconds duration)
         std::uint64_t(duration / tick_ + 0.5);
     for (std::uint64_t i = 0; i < steps; ++i)
         step(tick_);
+
+    // Flush a final partial sample when the run length is not an
+    // integer multiple of the trace interval, so the tail of the run is
+    // not silently dropped from the telemetry.
+    if (traceInterval > 0.0 && sinceTraceSample > 0.5 * tick_) {
+        sinceTraceSample = 0.0;
+        recordTraceSample();
+    }
 }
 
 } // namespace vspec

@@ -40,6 +40,7 @@
 #include "pdn/pdn_model.hh"
 #include "pdn/regulator.hh"
 #include "platform/chip.hh"
+#include "platform/experiment_pool.hh"
 #include "platform/harness.hh"
 #include "platform/simulator.hh"
 #include "platform/system.hh"

@@ -45,6 +45,65 @@ TEST(Rng, ForkIndependentStreams)
     EXPECT_LT(same, 2);
 }
 
+TEST(Rng, ForkDoesNotInheritGaussianCache)
+{
+    // Box-Muller produces variates in pairs; after one gaussian() the
+    // parent holds the second of the pair in its cache. A fork must
+    // start with an empty cache: its first gaussian must come from the
+    // child's own stream, not the parent's leftover variate.
+    Rng probe(123);
+    (void)probe.gaussian();
+    const double parents_cached = probe.gaussian();
+
+    Rng parent(123);
+    (void)parent.gaussian();  // Parent now caches `parents_cached`.
+    Rng child = parent.fork(5);
+    EXPECT_NE(child.gaussian(), parents_cached);
+    // And the parent's cache is still intact afterwards.
+    EXPECT_EQ(parent.gaussian(), parents_cached);
+}
+
+TEST(Rng, ForkAdjacentStreamIdsDecorrelated)
+{
+    // Children forked with adjacent stream ids must have unrelated
+    // streams: seed derivation goes through mix64, not raw state
+    // arithmetic.
+    constexpr int ids = 16;
+    std::vector<Rng> children;
+    {
+        Rng parent(2024);
+        for (int i = 0; i < ids; ++i) {
+            Rng fresh(2024);  // Same parent state for every fork.
+            children.push_back(fresh.fork(std::uint64_t(i)));
+        }
+    }
+    for (int a = 0; a < ids; ++a) {
+        for (int b = a + 1; b < ids; ++b) {
+            Rng ca = children[a], cb = children[b];
+            int same = 0;
+            for (int i = 0; i < 64; ++i)
+                same += (ca.next() == cb.next());
+            EXPECT_LT(same, 2) << "streams " << a << " and " << b;
+        }
+    }
+}
+
+TEST(Rng, Mix64TwoArgDerivation)
+{
+    // Deterministic, order-sensitive, and sensitive to both inputs.
+    EXPECT_EQ(mix64(std::uint64_t(1), std::uint64_t(2)),
+              mix64(std::uint64_t(1), std::uint64_t(2)));
+    EXPECT_NE(mix64(std::uint64_t(1), std::uint64_t(2)),
+              mix64(std::uint64_t(2), std::uint64_t(1)));
+    EXPECT_NE(mix64(std::uint64_t(1), std::uint64_t(2)),
+              mix64(std::uint64_t(1), std::uint64_t(3)));
+    // Adjacent indices land far apart (no low-bit-only differences).
+    const std::uint64_t d =
+        mix64(std::uint64_t(7), std::uint64_t(0)) ^
+        mix64(std::uint64_t(7), std::uint64_t(1));
+    EXPECT_GT(__builtin_popcountll(d), 10);
+}
+
 TEST(Rng, UniformInUnitInterval)
 {
     Rng rng(7);
@@ -120,6 +179,26 @@ INSTANTIATE_TEST_SUITE_P(
                       std::pair<std::uint64_t, double>{100000, 0.4},
                       std::pair<std::uint64_t, double>{500, 0.9},
                       std::pair<std::uint64_t, double>{64, 0.5}));
+
+TEST(Rng, BinomialEdgeCases)
+{
+    Rng rng(31);
+    // Exact results at the degenerate corners.
+    EXPECT_EQ(rng.binomial(0, 0.5), 0u);
+    EXPECT_EQ(rng.binomial(0, 0.0), 0u);
+    EXPECT_EQ(rng.binomial(1000, 0.0), 0u);
+    EXPECT_EQ(rng.binomial(1000, -0.5), 0u);
+    EXPECT_EQ(rng.binomial(1000, 1.0), 1000u);
+    EXPECT_EQ(rng.binomial(1000, 1.5), 1000u);
+
+    // The normal-approximation path (mean and n(1-p) both large) must
+    // never exceed n, even in the upper tail.
+    for (int i = 0; i < 2000; ++i)
+        ASSERT_LE(rng.binomial(10000, 0.995), 10000u);
+    // Poisson-approximation path clamps to n as well.
+    for (int i = 0; i < 2000; ++i)
+        ASSERT_LE(rng.binomial(64, 0.04), 64u);
+}
 
 TEST(Rng, PoissonMean)
 {
@@ -204,6 +283,48 @@ TEST(Stats, HistogramBinningAndQuantile)
     h.add(1000.0);
     EXPECT_EQ(h.binCount(0), 11u);
     EXPECT_EQ(h.binCount(9), 11u);
+}
+
+TEST(Stats, HistogramQuantileEdges)
+{
+    // Empty histogram: defined, in-range results, no division by zero.
+    Histogram empty(0.0, 10.0, 10);
+    EXPECT_EQ(empty.quantile(0.0), 0.0);
+    EXPECT_EQ(empty.quantile(0.5), 0.0);
+    EXPECT_EQ(empty.quantile(1.0), 0.0);
+
+    // All mass in one interior bin: every quantile, including the
+    // extremes, must land in that bin — q = 0 must not report the
+    // (empty) first bin.
+    Histogram h(0.0, 10.0, 10);
+    h.add(7.5);
+    h.add(7.5);
+    EXPECT_EQ(h.quantile(0.0), 7.5);
+    EXPECT_EQ(h.quantile(0.5), 7.5);
+    EXPECT_EQ(h.quantile(1.0), 7.5);
+
+    // Out-of-range q is clamped, not extrapolated.
+    EXPECT_EQ(h.quantile(-1.0), h.quantile(0.0));
+    EXPECT_EQ(h.quantile(2.0), h.quantile(1.0));
+}
+
+TEST(Stats, HistogramMerge)
+{
+    Histogram a(0.0, 10.0, 10), b(0.0, 10.0, 10);
+    a.add(1.5);
+    a.add(2.5);
+    b.add(2.5);
+    b.add(9.5);
+    a.merge(b);
+    EXPECT_EQ(a.totalCount(), 4u);
+    EXPECT_EQ(a.binCount(1), 1u);
+    EXPECT_EQ(a.binCount(2), 2u);
+    EXPECT_EQ(a.binCount(9), 1u);
+
+    // Merging an empty histogram of the same geometry is a no-op.
+    Histogram zero(0.0, 10.0, 10);
+    a.merge(zero);
+    EXPECT_EQ(a.totalCount(), 4u);
 }
 
 } // namespace

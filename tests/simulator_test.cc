@@ -50,6 +50,44 @@ TEST(Simulator, TraceSamplesAtInterval)
     EXPECT_GT(sample.chipPower, 0.0);
 }
 
+TEST(Simulator, TraceFlushesFinalPartialSample)
+{
+    // Duration is not an integer multiple of the trace interval: the
+    // 5 ms tail must be flushed as a final partial sample instead of
+    // being silently dropped.
+    Chip chip(testConfig(2));
+    harness::assignIdle(chip);
+    Simulator sim(chip, 0.001);
+    sim.enableTrace(0.01);
+    sim.run(0.025);
+    EXPECT_EQ(sim.trace().samples().size(), 3u);
+    EXPECT_NEAR(sim.trace().samples().back().time, 0.025, 1e-9);
+}
+
+TEST(Simulator, TraceIntervalNotMultipleOfTickDoesNotDrift)
+{
+    // interval = 2.5 ticks: the sample clock must carry the remainder
+    // (emitting on a 2/3/2/3-tick cadence) instead of resetting to
+    // zero and settling on every 3rd tick, which loses one sample in
+    // every five intervals on long runs.
+    Chip chip(testConfig(2));
+    harness::assignIdle(chip);
+    Simulator sim(chip, 0.001);
+    sim.enableTrace(0.0025);
+    sim.run(0.05);
+    EXPECT_EQ(sim.trace().samples().size(), 20u);
+}
+
+TEST(Simulator, TraceExactMultipleEmitsNoExtraSample)
+{
+    Chip chip(testConfig(2));
+    harness::assignIdle(chip);
+    Simulator sim(chip, 0.001);
+    sim.enableTrace(0.01);
+    sim.run(0.03);
+    EXPECT_EQ(sim.trace().samples().size(), 3u);
+}
+
 TEST(Simulator, NoErrorsOrCrashesAtNominal)
 {
     Chip chip(testConfig(3));
