@@ -237,6 +237,20 @@ CacheArray::weakLines() const
 }
 
 void
+CacheArray::flipStoredBit(std::uint64_t set, unsigned way,
+                          std::uint64_t bit_index)
+{
+    checkLocation(set, way);
+    const unsigned cw_bits = eccCodec.codewordBits();
+    const std::uint64_t word = bit_index / cw_bits;
+    if (word >= geo.wordsPerLine())
+        panic("cache '", geo.name, "': flipStoredBit bit ", bit_index,
+              " beyond the ", geo.wordsPerLine(), "-word line");
+    const std::uint64_t base = lineIndex(set, way) * geo.wordsPerLine();
+    store[base + word].flipBit(unsigned(bit_index % cw_bits));
+}
+
+void
 CacheArray::deconfigureLine(std::uint64_t set, unsigned way)
 {
     checkLocation(set, way);

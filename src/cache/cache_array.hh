@@ -110,6 +110,16 @@ class CacheArray
     std::uint64_t lineCellBase(std::uint64_t set, unsigned way) const;
 
     /**
+     * Flip one stored bit of the line (fault injection): corrupts the
+     * codeword in place, so subsequent bit-accurate reads decode a
+     * correctable error (one flip) or an uncorrectable one (two flips
+     * in the same codeword). @p bit_index addresses the line's bits
+     * linearly, codewordBits() per word.
+     */
+    void flipStoredBit(std::uint64_t set, unsigned way,
+                       std::uint64_t bit_index);
+
+    /**
      * Take a line out of normal service (the monitor's designated line
      * stores no program data, Section III-C). Deconfigured lines are
      * skipped by replacement and by the workload traffic model, but the

@@ -10,12 +10,12 @@ namespace vspec
 EccMonitor::EccMonitor() : EccMonitor(Config()) {}
 
 EccMonitor::EccMonitor(Config config)
-    : cfg(config)
+    : CountingFeedbackSource(config.emergencyCeiling,
+                             config.emergencyMinSamples),
+      cfg(config)
 {
     if (cfg.probesPerSecond <= 0.0)
         fatal("EccMonitor probe rate must be positive");
-    if (cfg.emergencyCeiling <= 0.0 || cfg.emergencyCeiling > 1.0)
-        fatal("EccMonitor emergency ceiling must be in (0, 1]");
 }
 
 void
@@ -28,9 +28,7 @@ EccMonitor::activate(CacheArray &array, std::uint64_t set, unsigned way)
     way_ = way;
     array.deconfigureLine(set, way);
     array.writePattern(set, way, sweep::dataPatterns[0]);
-    accesses = 0;
-    errors = 0;
-    uncorrectable = false;
+    resetCounters();
     probeCarry = 0.0;
     patternIndex = 0;
 }
@@ -72,35 +70,8 @@ EccMonitor::runProbes(Seconds dt, Millivolt v_eff, Rng &rng)
     }
 
     stats = targetArray->probeLine(set_, way_, v_eff, n, rng);
-    accesses += stats.accesses;
-    errors += stats.correctableEvents;
-    uncorrectable = uncorrectable || stats.uncorrectableEvents > 0;
+    accumulate(stats);
     return stats;
-}
-
-double
-EccMonitor::errorRate() const
-{
-    return accesses == 0 ? 0.0 : double(errors) / double(accesses);
-}
-
-ProbeStats
-EccMonitor::readAndResetCounters()
-{
-    ProbeStats stats;
-    stats.accesses = accesses;
-    stats.correctableEvents = errors;
-    stats.uncorrectableEvents = uncorrectable ? 1 : 0;
-    accesses = 0;
-    errors = 0;
-    return stats;
-}
-
-bool
-EccMonitor::emergencyPending() const
-{
-    return accesses >= cfg.emergencyMinSamples &&
-           errorRate() > cfg.emergencyCeiling;
 }
 
 } // namespace vspec

@@ -32,7 +32,7 @@
 namespace vspec
 {
 
-class EccMonitor : public ErrorFeedbackSource
+class EccMonitor : public CountingFeedbackSource
 {
   public:
     struct Config
@@ -65,6 +65,8 @@ class EccMonitor : public ErrorFeedbackSource
     const std::string &targetCacheName() const;
     std::uint64_t targetSet() const { return set_; }
     unsigned targetWay() const { return way_; }
+    /** The probed array, or nullptr while inactive. */
+    CacheArray *target() const { return targetArray; }
 
     /**
      * Issue the probes for one tick of wall-clock time dt at effective
@@ -73,19 +75,10 @@ class EccMonitor : public ErrorFeedbackSource
      */
     ProbeStats runProbes(Seconds dt, Millivolt v_eff, Rng &rng);
 
-    /** Counters since the last reset. */
-    std::uint64_t accessCount() const override { return accesses; }
-    std::uint64_t errorCount() const { return errors; }
-    double errorRate() const override;
-
-    /** Read-and-reset, as the voltage control system does. */
-    ProbeStats readAndResetCounters() override;
-
-    /** Emergency interrupt line (cleared by readAndResetCounters). */
-    bool emergencyPending() const override;
-
-    /** True if any probe burst saw an uncorrectable error. */
-    bool sawUncorrectable() const override { return uncorrectable; }
+    /*
+     * Counters, read-and-reset (including the uncorrectable latch) and
+     * the emergency interrupt line come from CountingFeedbackSource.
+     */
 
     const Config &config() const { return cfg; }
 
@@ -94,10 +87,6 @@ class EccMonitor : public ErrorFeedbackSource
     CacheArray *targetArray = nullptr;
     std::uint64_t set_ = 0;
     unsigned way_ = 0;
-
-    std::uint64_t accesses = 0;
-    std::uint64_t errors = 0;
-    bool uncorrectable = false;
 
     /** Fractional probe budget carried between ticks. */
     double probeCarry = 0.0;

@@ -1,0 +1,59 @@
+#include "core/feedback_source.hh"
+
+#include "common/logging.hh"
+
+namespace vspec
+{
+
+CountingFeedbackSource::CountingFeedbackSource(
+    double emergency_ceiling, std::uint64_t emergency_min_samples)
+    : emergencyCeiling(emergency_ceiling),
+      emergencyMinSamples(emergency_min_samples)
+{
+    if (emergency_ceiling <= 0.0 || emergency_ceiling > 1.0)
+        fatal("ErrorFeedbackSource emergency ceiling must be in (0, 1]");
+}
+
+void
+CountingFeedbackSource::accumulate(const ProbeStats &stats,
+                                   bool saw_uncorrectable)
+{
+    accesses += stats.accesses;
+    errors += stats.correctableEvents;
+    uncorrectable = uncorrectable || stats.uncorrectableEvents > 0 ||
+                    saw_uncorrectable;
+}
+
+void
+CountingFeedbackSource::resetCounters()
+{
+    accesses = 0;
+    errors = 0;
+    uncorrectable = false;
+}
+
+ProbeStats
+CountingFeedbackSource::readAndResetCounters()
+{
+    ProbeStats stats;
+    stats.accesses = accesses;
+    stats.correctableEvents = errors;
+    stats.uncorrectableEvents = uncorrectable ? 1 : 0;
+    resetCounters();
+    return stats;
+}
+
+double
+CountingFeedbackSource::errorRate() const
+{
+    return accesses == 0 ? 0.0 : double(errors) / double(accesses);
+}
+
+bool
+CountingFeedbackSource::emergencyPending() const
+{
+    return accesses >= emergencyMinSamples &&
+           errorRate() > emergencyCeiling;
+}
+
+} // namespace vspec

@@ -30,7 +30,7 @@ class ErrorFeedbackSource
     /** Asynchronous emergency interrupt line. */
     virtual bool emergencyPending() const = 0;
 
-    /** True if any probe ever saw an uncorrectable error. */
+    /** True if a probe saw an uncorrectable error since the last reset. */
     virtual bool sawUncorrectable() const = 0;
 
     /** Current running error rate (events per access). */
@@ -38,6 +38,63 @@ class ErrorFeedbackSource
 
     /** Accesses since the last reset. */
     virtual std::uint64_t accessCount() const = 0;
+};
+
+/**
+ * Shared counter/latch implementation for feedback sources that
+ * accumulate ProbeStats (the hardware EccMonitor and the firmware
+ * FirmwareSelfTest). Both expose identical read-and-reset semantics —
+ * including clearing the uncorrectable latch on read, so one machine
+ * check is reported to the control system exactly once — and the same
+ * emergency threshold check. Deriving from this class instead of
+ * duplicating the counters keeps the two sources from drifting.
+ */
+class CountingFeedbackSource : public ErrorFeedbackSource
+{
+  public:
+    /**
+     * Counters since the last reset, then reset — including the
+     * uncorrectable latch, so an uncorrectable event is reported in
+     * exactly one interval.
+     */
+    ProbeStats readAndResetCounters() final;
+
+    bool emergencyPending() const final;
+    bool sawUncorrectable() const final { return uncorrectable; }
+    double errorRate() const final;
+    std::uint64_t accessCount() const final { return accesses; }
+
+    /** Correctable events since the last reset. */
+    std::uint64_t errorCount() const { return errors; }
+
+  protected:
+    /**
+     * @param emergency_ceiling error rate that raises the emergency
+     *        interrupt; must be in (0, 1]
+     * @param emergency_min_samples accesses required before the
+     *        emergency check can fire
+     */
+    CountingFeedbackSource(double emergency_ceiling,
+                           std::uint64_t emergency_min_samples);
+
+    /**
+     * Fold one burst of probe results into the running counters.
+     * @p saw_uncorrectable latches an uncorrectable observed outside
+     * the stats' own counter (e.g. on a non-designated way).
+     */
+    void accumulate(const ProbeStats &stats,
+                    bool saw_uncorrectable = false);
+
+    /** Full counter reset, including the uncorrectable latch. */
+    void resetCounters();
+
+  private:
+    double emergencyCeiling;
+    std::uint64_t emergencyMinSamples;
+
+    std::uint64_t accesses = 0;
+    std::uint64_t errors = 0;
+    bool uncorrectable = false;
 };
 
 } // namespace vspec

@@ -14,7 +14,9 @@ FirmwareSelfTest::FirmwareSelfTest(CacheHierarchy &side,
 FirmwareSelfTest::FirmwareSelfTest(CacheHierarchy &side,
                                    std::uint64_t l2_set, unsigned way,
                                    Config config)
-    : cfg(config), caches(&side), targetSet(l2_set), targetWay(way)
+    : CountingFeedbackSource(config.emergencyCeiling,
+                             config.emergencyMinSamples),
+      cfg(config), caches(&side), targetSet(l2_set), targetWay(way)
 {
     if (cfg.testsPerSecond <= 0.0)
         fatal("FirmwareSelfTest needs a positive test rate");
@@ -49,36 +51,8 @@ FirmwareSelfTest::runTests(Seconds dt, Millivolt v_eff, Rng &rng)
             ++stats.uncorrectableEvents;
     }
 
-    accesses += stats.accesses;
-    errors += stats.correctableEvents;
-    uncorrectable = uncorrectable || stats.uncorrectableEvents > 0 ||
-                    result.uncorrectable;
+    accumulate(stats, result.uncorrectable);
     return stats;
-}
-
-ProbeStats
-FirmwareSelfTest::readAndResetCounters()
-{
-    ProbeStats stats;
-    stats.accesses = accesses;
-    stats.correctableEvents = errors;
-    stats.uncorrectableEvents = uncorrectable ? 1 : 0;
-    accesses = 0;
-    errors = 0;
-    return stats;
-}
-
-double
-FirmwareSelfTest::errorRate() const
-{
-    return accesses == 0 ? 0.0 : double(errors) / double(accesses);
-}
-
-bool
-FirmwareSelfTest::emergencyPending() const
-{
-    return accesses >= cfg.emergencyMinSamples &&
-           errorRate() > cfg.emergencyCeiling;
 }
 
 } // namespace vspec

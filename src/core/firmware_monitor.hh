@@ -35,7 +35,7 @@
 namespace vspec
 {
 
-class FirmwareSelfTest : public ErrorFeedbackSource
+class FirmwareSelfTest : public CountingFeedbackSource
 {
   public:
     struct Config
@@ -61,11 +61,11 @@ class FirmwareSelfTest : public ErrorFeedbackSource
     /** Run the self-tests for one tick at effective supply v_eff. */
     ProbeStats runTests(Seconds dt, Millivolt v_eff, Rng &rng);
 
-    ProbeStats readAndResetCounters() override;
-    bool emergencyPending() const override;
-    bool sawUncorrectable() const override { return uncorrectable; }
-    double errorRate() const override;
-    std::uint64_t accessCount() const override { return accesses; }
+    /*
+     * Counters, read-and-reset (including the uncorrectable latch) and
+     * the emergency check are shared with the hardware monitor via
+     * CountingFeedbackSource — identical semantics by construction.
+     */
 
     const Config &config() const { return cfg; }
 
@@ -76,9 +76,6 @@ class FirmwareSelfTest : public ErrorFeedbackSource
     unsigned targetWay;
     std::unique_ptr<TargetedLineTest> test;
 
-    std::uint64_t accesses = 0;
-    std::uint64_t errors = 0;
-    bool uncorrectable = false;
     double testCarry = 0.0;
 };
 

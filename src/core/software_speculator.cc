@@ -44,10 +44,28 @@ SoftwareSpeculator::tick(Seconds dt, std::uint64_t correctable_events)
     sinceLower += dt;
     if (sinceLower >= swPolicy.lowerInterval) {
         sinceLower = 0.0;
-        const Millivolt lowered = reg->setpoint() - swPolicy.stepMv;
-        if (lowered >= swPolicy.floorVdd)
+        // Clamp the step to the offline-characterization floor instead
+        // of skipping it: a step that would overshoot the floor still
+        // lowers the rail *to* the floor, so the speculator cannot park
+        // one step above it forever.
+        Millivolt lowered = reg->setpoint() - swPolicy.stepMv;
+        if (swPolicy.floorVdd > 0.0)
+            lowered = std::max(lowered, swPolicy.floorVdd);
+        if (lowered < reg->setpoint())
             reg->request(std::min(swPolicy.maxVdd, lowered));
     }
+}
+
+void
+SoftwareSpeculator::notifyRecovery()
+{
+    ++recoveryBackoffs_;
+    // Treat the machine check like the worst kind of error: back off
+    // and hold before lowering resumes.
+    reg->request(std::min(swPolicy.maxVdd,
+                          reg->setpoint() + swPolicy.backoffMv));
+    holdRemaining = swPolicy.holdAfterError;
+    sinceLower = 0.0;
 }
 
 double

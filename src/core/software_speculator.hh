@@ -74,10 +74,21 @@ class SoftwareSpeculator
      */
     double consumeOverheadFraction(Seconds dt);
 
+    /**
+     * Post-recovery backoff hook: after firmware recovers the domain
+     * from a machine check, back the setpoint off and hold like after
+     * a correctable error so the speculator does not immediately walk
+     * the rail back into the crash region.
+     */
+    void notifyRecovery();
+
     /** Total firmware time spent handling errors so far (s). */
     Seconds totalOverhead() const { return overheadTotal; }
 
     std::uint64_t errorsHandled() const { return handled; }
+
+    /** Machine-check recoveries this speculator was notified of. */
+    std::uint64_t recoveryBackoffs() const { return recoveryBackoffs_; }
 
     const Policy &policy() const { return swPolicy; }
 
@@ -90,6 +101,7 @@ class SoftwareSpeculator
     Seconds overheadPending = 0.0;
     Seconds overheadTotal = 0.0;
     std::uint64_t handled = 0;
+    std::uint64_t recoveryBackoffs_ = 0;
 };
 
 } // namespace vspec

@@ -28,6 +28,14 @@ DomainController::requestClamped(Millivolt setpoint)
 }
 
 void
+DomainController::notifyRecovery()
+{
+    mon->readAndResetCounters();
+    sinceControl = 0.0;
+    ++recoveryCount;
+}
+
+void
 DomainController::tick(Seconds dt)
 {
     // Emergency interrupt path: serviced immediately.
@@ -74,6 +82,16 @@ VoltageControlSystem::tick(Seconds dt)
 {
     for (auto &controller : controllers)
         controller.tick(dt);
+}
+
+DomainController *
+VoltageControlSystem::controllerFor(const VoltageRegulator &regulator)
+{
+    for (auto &controller : controllers) {
+        if (&controller.regulator() == &regulator)
+            return &controller;
+    }
+    return nullptr;
 }
 
 } // namespace vspec

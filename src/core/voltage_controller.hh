@@ -66,6 +66,15 @@ class DomainController
      */
     void tick(Seconds dt);
 
+    /**
+     * Post-recovery backoff hook: the recovery firmware has reset the
+     * rail to a safe level after a machine check; discard the stale
+     * pre-crash counters (the uncorrectable latch included) and restart
+     * the control interval so the first post-recovery decision is based
+     * on post-recovery telemetry only.
+     */
+    void notifyRecovery();
+
     const ControlPolicy &policy() const { return ctrlPolicy; }
     VoltageRegulator &regulator() { return *reg; }
     ErrorFeedbackSource &monitor() { return *mon; }
@@ -75,6 +84,7 @@ class DomainController
     std::uint64_t stepsDown() const { return downSteps; }
     std::uint64_t emergencies() const { return emergencyCount; }
     std::uint64_t holds() const { return holdCount; }
+    std::uint64_t recoveryBackoffs() const { return recoveryCount; }
 
   private:
     VoltageRegulator *reg;
@@ -86,6 +96,7 @@ class DomainController
     std::uint64_t downSteps = 0;
     std::uint64_t emergencyCount = 0;
     std::uint64_t holdCount = 0;
+    std::uint64_t recoveryCount = 0;
 
     void requestClamped(Millivolt setpoint);
 };
@@ -105,6 +116,9 @@ class VoltageControlSystem
 
     std::size_t numDomains() const { return controllers.size(); }
     DomainController &domain(std::size_t i) { return controllers.at(i); }
+
+    /** Controller steering the given regulator, or nullptr. */
+    DomainController *controllerFor(const VoltageRegulator &regulator);
 
   private:
     std::vector<DomainController> controllers;

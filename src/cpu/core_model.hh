@@ -136,6 +136,12 @@ class Core
     void clearCrash() { crashReason = CrashReason::none; }
 
     /**
+     * Latch an externally raised machine check (fault injection): the
+     * core behaves exactly as if its own traffic had hit the fault.
+     */
+    void injectCrash(CrashReason reason) { crashReason = reason; }
+
+    /**
      * Refresh the cached weak-line lists (call after aging shifts the
      * arrays under the model's feet).
      */

@@ -53,7 +53,29 @@ PdnModel::droop(const ActivityProfile &activity) const
     const Millivolt resonant = pdnParams.resonantDroopMv *
                                activity.swingAmplitude *
                                resonantGain(activity.oscillationFreq);
-    return ir + resonant;
+    return ir + resonant + transientDroop();
+}
+
+void
+PdnModel::injectTransient(Millivolt extra_mv, Seconds duration)
+{
+    if (extra_mv < 0.0 || duration <= 0.0)
+        fatal("PdnModel transient needs non-negative droop and positive "
+              "duration");
+    transientMv = std::max(transientMv, extra_mv);
+    transientRemaining = std::max(transientRemaining, duration);
+}
+
+void
+PdnModel::advance(Seconds dt)
+{
+    if (transientRemaining <= 0.0)
+        return;
+    transientRemaining -= dt;
+    if (transientRemaining <= 0.0) {
+        transientRemaining = 0.0;
+        transientMv = 0.0;
+    }
 }
 
 } // namespace vspec

@@ -63,13 +63,36 @@ class PdnModel
     /** Band-pass transfer magnitude in [0, 1] at frequency f. */
     double resonantGain(Megahertz f) const;
 
-    /** Total droop for the rail under the given activity (mV). */
+    /**
+     * Total droop for the rail under the given activity (mV),
+     * including any active injected transient.
+     */
     Millivolt droop(const ActivityProfile &activity) const;
+
+    /**
+     * Inject a droop transient (fault injection / load-release event):
+     * adds @p extra_mv of droop to every rail for @p duration seconds.
+     * Overlapping transients take the larger magnitude and the longer
+     * remaining duration.
+     */
+    void injectTransient(Millivolt extra_mv, Seconds duration);
+
+    /** Advance the transient clock by one simulator tick. */
+    void advance(Seconds dt);
+
+    /** Extra droop from the active transient, if any (mV). */
+    Millivolt transientDroop() const
+    {
+        return transientRemaining > 0.0 ? transientMv : 0.0;
+    }
 
     const Params &params() const { return pdnParams; }
 
   private:
     Params pdnParams;
+
+    Millivolt transientMv = 0.0;
+    Seconds transientRemaining = 0.0;
 };
 
 } // namespace vspec

@@ -35,6 +35,8 @@ VoltageRegulator::quantize(Millivolt v) const
 void
 VoltageRegulator::request(Millivolt setpoint)
 {
+    if (stuck_)
+        return;
     target = quantize(setpoint);
 }
 
@@ -47,6 +49,8 @@ VoltageRegulator::step(int steps)
 void
 VoltageRegulator::advance(Seconds dt)
 {
+    if (stuck_)
+        return;
     const Millivolt max_move =
         regParams.slewMvPerUs * (dt / units::microsecond);
     const Millivolt delta = target - current;

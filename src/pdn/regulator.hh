@@ -34,13 +34,19 @@ class VoltageRegulator
     explicit VoltageRegulator(Millivolt initial);
     VoltageRegulator(Millivolt initial, const Params &params);
 
-    /** Request a new setpoint; quantized to the step grid and clamped. */
+    /**
+     * Request a new setpoint; quantized to the step grid and clamped.
+     * Ignored while the regulator is stuck.
+     */
     void request(Millivolt setpoint);
 
     /** Nudge the setpoint by a signed number of steps. */
     void step(int steps);
 
-    /** Advance time; the output slews toward the setpoint. */
+    /**
+     * Advance time; the output slews toward the setpoint. A stuck
+     * regulator's output is frozen at its current level.
+     */
     void advance(Seconds dt);
 
     /** Current regulated output voltage (mV). */
@@ -49,12 +55,20 @@ class VoltageRegulator
     /** Current setpoint (mV). */
     Millivolt setpoint() const { return target; }
 
+    /**
+     * Fault injection: a stuck regulator drops setpoint requests and
+     * freezes its output until unstuck (control-loop actuator failure).
+     */
+    void setStuck(bool stuck) { stuck_ = stuck; }
+    bool stuck() const { return stuck_; }
+
     const Params &params() const { return regParams; }
 
   private:
     Params regParams;
     Millivolt target;
     Millivolt current;
+    bool stuck_ = false;
 
     Millivolt quantize(Millivolt v) const;
 };

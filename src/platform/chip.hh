@@ -77,6 +77,7 @@ class Chip
     const ChipConfig &config() const { return cfg; }
     const VariationModel &variation() const { return variationModel; }
     const PdnModel &pdn() const { return pdnModel; }
+    PdnModel &pdn() { return pdnModel; }
     const PowerModel &power() const { return powerModel; }
 
     unsigned numCores() const { return unsigned(cores_.size()); }

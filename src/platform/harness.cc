@@ -64,6 +64,36 @@ armSoftware(Chip &chip,
     return specs;
 }
 
+std::unique_ptr<RecoveryManager>
+armRecovery(Chip &chip, RecoveryManager::Config config)
+{
+    if (config.safeVdd <= 0.0)
+        config.safeVdd = chip.config().operatingPoint.nominalVdd;
+    auto manager = std::make_unique<RecoveryManager>(config);
+    for (unsigned i = 0; i < chip.numCores(); ++i)
+        manager->manage(chip.core(i), chip.domainOf(i).regulator());
+    return manager;
+}
+
+std::unique_ptr<FaultInjector>
+armFaultInjector(Chip &chip, const FaultInjector::Config &config,
+                 EccEventLog *log)
+{
+    auto injector =
+        std::make_unique<FaultInjector>(config, chip.rng());
+    for (unsigned i = 0; i < chip.numCores(); ++i) {
+        injector->addCore(chip.core(i));
+        injector->addMonitor(chip.l2iMonitor(i));
+        injector->addMonitor(chip.l2dMonitor(i));
+    }
+    for (unsigned d = 0; d < chip.numDomains(); ++d)
+        injector->addRegulator(chip.domain(d).regulator());
+    injector->setPdn(chip.pdn());
+    if (log)
+        injector->setEventLog(*log);
+    return injector;
+}
+
 void
 assignSuite(Chip &chip, Suite suite, Seconds per_benchmark)
 {

@@ -23,6 +23,8 @@
 #include "platform/chip.hh"
 #include "platform/experiment_pool.hh"
 #include "platform/simulator.hh"
+#include "resilience/fault_injector.hh"
+#include "resilience/recovery_manager.hh"
 #include "workload/benchmarks.hh"
 
 namespace vspec
@@ -65,6 +67,27 @@ armSoftware(Chip &chip,
             const std::vector<Millivolt> &first_error_per_domain = {},
             SoftwareSpeculator::Policy policy =
                 SoftwareSpeculator::Policy());
+
+/**
+ * Build a RecoveryManager covering every core of the chip, each wired
+ * to its domain's regulator; attach it to a Simulator with
+ * attachRecoveryManager(). A non-positive config.safeVdd is replaced
+ * with the chip's nominal operating voltage.
+ */
+std::unique_ptr<RecoveryManager>
+armRecovery(Chip &chip,
+            RecoveryManager::Config config = RecoveryManager::Config());
+
+/**
+ * Build a FaultInjector wired to every core's L2 arrays, every ECC
+ * monitor, every domain regulator, and the shared PDN, drawing its
+ * schedules from the chip RNG; attach it to a Simulator with
+ * attachFaultInjector(). @p log, when non-null, receives the injected
+ * machine-check events (pass the Simulator's eventLog()).
+ */
+std::unique_ptr<FaultInjector>
+armFaultInjector(Chip &chip, const FaultInjector::Config &config,
+                 EccEventLog *log = nullptr);
 
 /** Assign a fresh copy of the suite's benchmark loop to every core. */
 void assignSuite(Chip &chip, Suite suite, Seconds per_benchmark = 60.0);

@@ -33,6 +33,18 @@ Simulator::attachSoftwareSpeculator(unsigned domain,
 }
 
 void
+Simulator::attachRecoveryManager(RecoveryManager *manager)
+{
+    recovery = manager;
+}
+
+void
+Simulator::attachFaultInjector(FaultInjector *fault_injector)
+{
+    injector = fault_injector;
+}
+
+void
 Simulator::enableTrace(Seconds interval)
 {
     if (interval <= 0.0)
@@ -83,6 +95,12 @@ Simulator::step(Seconds dt)
 {
     const Seconds t = currentTime;
 
+    // 0. Fault injection, before the effective voltage is computed so
+    // injected droop transients and machine checks bite this tick.
+    std::vector<FaultInjector::CorrectableInjection> injected;
+    if (injector)
+        injected = injector->tick(t, dt);
+
     // 1. Rail activity per domain from the resident workloads.
     for (unsigned d = 0; d < chip_->numDomains(); ++d) {
         auto &dom = chip_->domain(d);
@@ -96,6 +114,12 @@ Simulator::step(Seconds dt)
 
     // 2-3. Effective voltage and core advancement.
     std::vector<std::uint64_t> domainEvents(chip_->numDomains(), 0);
+    for (const auto &injection : injected) {
+        coreEvents[injection.coreId] += injection.events;
+        domainEvents[chip_->domainIndexOf(injection.coreId)] +=
+            injection.events;
+        traceWorkloadErrors += injection.events;
+    }
     for (unsigned d = 0; d < chip_->numDomains(); ++d) {
         auto &dom = chip_->domain(d);
         const Millivolt v_eff = dom.effectiveVoltage(chip_->pdn());
@@ -122,7 +146,26 @@ Simulator::step(Seconds dt)
         }
     }
 
-    // 5. Controllers and hooks.
+    // 5. Recovery first — a core that crashed this tick is restored
+    // before the controllers run, so the post-recovery backoff applies
+    // within the same tick — then controllers and hooks.
+    if (recovery) {
+        recovery->advance(dt);
+        for (const RecoveryEvent &event : recovery->recoverCrashed()) {
+            if (event.abandoned)
+                continue;
+            const unsigned d = chip_->domainIndexOf(event.coreId);
+            if (controlSystem) {
+                DomainController *controller =
+                    controlSystem->controllerFor(
+                        chip_->domain(d).regulator());
+                if (controller)
+                    controller->notifyRecovery();
+            }
+            if (softwareSpecs[d])
+                softwareSpecs[d]->notifyRecovery();
+        }
+    }
     if (controlSystem)
         controlSystem->tick(dt);
     for (unsigned d = 0; d < chip_->numDomains(); ++d) {
@@ -132,7 +175,9 @@ Simulator::step(Seconds dt)
     for (auto &hook : hooks)
         hook(t, dt);
 
-    // 6. Regulator slew, energy accounting, telemetry.
+    // 6. Regulator slew, PDN transient clock, energy accounting,
+    // telemetry.
+    chip_->pdn().advance(dt);
     for (unsigned d = 0; d < chip_->numDomains(); ++d) {
         auto &dom = chip_->domain(d);
         dom.regulator().advance(dt);
@@ -142,11 +187,18 @@ Simulator::step(Seconds dt)
                 ? softwareSpecs[d]->consumeOverheadFraction(dt)
                 : 0.0;
         for (Core *core : dom.cores()) {
+            double core_overhead = overhead;
+            if (recovery && recovery->manages(core->id())) {
+                core_overhead +=
+                    recovery->consumeStallFraction(core->id(), dt);
+            }
             coreEnergy_[core->id()].addSample(
-                chip_->corePower(core->id(), t), dt, overhead);
+                chip_->corePower(core->id(), t), dt, core_overhead);
         }
     }
     chipEnergy_.addSample(chip_->totalPower(t), dt);
+    if (recovery)
+        chipEnergy_.addEnergy(recovery->consumePendingEnergy());
 
     currentTime += dt;
 

@@ -7,9 +7,15 @@
  *  2. compute each domain's effective voltage (regulator - droop),
  *  3. advance every core (workload-induced ECC events, crash checks),
  *  4. run the active ECC monitors' probe bursts,
- *  5. run attached controllers (hardware control system and/or the
+ *  5. recover crashed cores (if a RecoveryManager is attached) and
+ *     fire the controllers' post-recovery backoff hooks, then run the
+ *     attached controllers (hardware control system and/or the
  *     software speculators) and user hooks,
- *  6. slew the regulators, account energy, and sample telemetry.
+ *  6. slew the regulators, advance the PDN transient clock, account
+ *     energy (including recovery stalls and energy), sample telemetry.
+ *
+ * An attached FaultInjector runs before phase 2 so injected droop
+ * transients and machine checks are visible within the same tick.
  */
 
 #ifndef VSPEC_PLATFORM_SIMULATOR_HH
@@ -25,6 +31,8 @@
 #include "platform/chip.hh"
 #include "platform/trace.hh"
 #include "power/energy.hh"
+#include "resilience/fault_injector.hh"
+#include "resilience/recovery_manager.hh"
 
 namespace vspec
 {
@@ -48,6 +56,18 @@ class Simulator
      */
     void attachSoftwareSpeculator(unsigned domain,
                                   SoftwareSpeculator *speculator);
+
+    /**
+     * Attach a recovery manager (owned elsewhere): crashed managed
+     * cores are serviced each tick, their lost work and recovery
+     * energy are charged to the energy accounts, and the attached
+     * controllers' notifyRecovery() hooks fire for the affected
+     * domains.
+     */
+    void attachRecoveryManager(RecoveryManager *manager);
+
+    /** Attach a fault injector (owned elsewhere); runs every tick. */
+    void attachFaultInjector(FaultInjector *injector);
 
     /** Arbitrary per-tick hook, run after controllers. */
     using Hook = std::function<void(Seconds t, Seconds dt)>;
@@ -88,6 +108,8 @@ class Simulator
 
     VoltageControlSystem *controlSystem = nullptr;
     std::vector<SoftwareSpeculator *> softwareSpecs;
+    RecoveryManager *recovery = nullptr;
+    FaultInjector *injector = nullptr;
     std::vector<Hook> hooks;
 
     EccEventLog log;

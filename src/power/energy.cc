@@ -17,6 +17,14 @@ EnergyAccount::addSample(Watt power, Seconds dt, double overhead_fraction)
     totalTime += stretched;
 }
 
+void
+EnergyAccount::addEnergy(Joule energy)
+{
+    if (energy < 0.0)
+        panic("EnergyAccount: negative energy");
+    totalEnergy += energy;
+}
+
 Watt
 EnergyAccount::meanPower() const
 {

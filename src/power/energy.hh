@@ -30,6 +30,13 @@ class EnergyAccount
     /** Add a sample: power held for dt, with optional runtime stretch. */
     void addSample(Watt power, Seconds dt, double overhead_fraction = 0.0);
 
+    /**
+     * Add a fixed amount of energy with no accounted time — used for
+     * discrete events such as crash recovery (checkpoint restore burns
+     * energy while the core makes no forward progress).
+     */
+    void addEnergy(Joule energy);
+
     /** Total accumulated energy (J). */
     Joule energy() const { return totalEnergy; }
 

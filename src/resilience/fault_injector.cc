@@ -1,0 +1,259 @@
+#include "resilience/fault_injector.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace vspec
+{
+
+FaultInjector::FaultInjector(const Config &config, Rng &parent)
+    : cfg(config), rng(parent.fork(0xFA117ULL))
+{
+    if (cfg.bitFlipsPerHour < 0.0 || cfg.dueFlipsPerHour < 0.0 ||
+        cfg.droopsPerHour < 0.0 || cfg.monitorDropoutsPerHour < 0.0 ||
+        cfg.stuckRegulatorsPerHour < 0.0)
+        fatal("FaultInjector rates must be non-negative");
+    if (cfg.droopsPerHour > 0.0 &&
+        (cfg.droopMagnitudeMv < 0.0 || cfg.droopDuration <= 0.0))
+        fatal("FaultInjector droop transients need a non-negative "
+              "magnitude and a positive duration");
+    if (cfg.monitorDropoutsPerHour > 0.0 && cfg.dropoutDuration <= 0.0)
+        fatal("FaultInjector dropout duration must be positive");
+    if (cfg.stuckRegulatorsPerHour > 0.0 && cfg.stuckDuration <= 0.0)
+        fatal("FaultInjector stuck duration must be positive");
+}
+
+void
+FaultInjector::addCore(Core &core)
+{
+    cores.push_back(&core);
+}
+
+void
+FaultInjector::addMonitor(EccMonitor &monitor)
+{
+    monitors.push_back(&monitor);
+}
+
+void
+FaultInjector::addRegulator(VoltageRegulator &regulator)
+{
+    regulators.push_back(&regulator);
+}
+
+void
+FaultInjector::setPdn(PdnModel &pdn_model)
+{
+    pdn = &pdn_model;
+}
+
+void
+FaultInjector::setEventLog(EccEventLog &event_log)
+{
+    log = &event_log;
+}
+
+void
+FaultInjector::expireWindows(Seconds dt)
+{
+    for (auto &dropout : dropouts) {
+        dropout.remaining -= dt;
+        if (dropout.remaining <= 0.0) {
+            // Bring the monitor back on its original line; activation
+            // resets the counters so the control loop restarts from
+            // fresh post-dropout telemetry.
+            dropout.monitor->activate(*dropout.array, dropout.set,
+                                      dropout.way);
+        }
+    }
+    dropouts.erase(std::remove_if(dropouts.begin(), dropouts.end(),
+                                  [](const Dropout &d) {
+                                      return d.remaining <= 0.0;
+                                  }),
+                   dropouts.end());
+
+    for (auto &stuck : stuckRegs) {
+        stuck.remaining -= dt;
+        if (stuck.remaining <= 0.0)
+            stuck.regulator->setStuck(false);
+    }
+    stuckRegs.erase(std::remove_if(stuckRegs.begin(), stuckRegs.end(),
+                                   [](const StuckEpisode &s) {
+                                       return s.remaining <= 0.0;
+                                   }),
+                    stuckRegs.end());
+}
+
+CacheArray &
+FaultInjector::pickArray(Core *&owner)
+{
+    owner = cores[rng.uniformInt(cores.size())];
+    return rng.uniformInt(2) == 0 ? owner->l2iArray()
+                                  : owner->l2dArray();
+}
+
+void
+FaultInjector::recordEvent(const CacheArray &array, std::uint64_t set,
+                           unsigned way, unsigned word,
+                           EccStatus status, Seconds t)
+{
+    if (!log)
+        return;
+    EccEvent event;
+    event.cacheName = array.geometry().name;
+    event.set = set;
+    event.way = way;
+    event.word = word;
+    event.status = status;
+    event.time = t;
+    log->record(event);
+}
+
+void
+FaultInjector::injectBitFlip(Seconds t,
+                             std::vector<CorrectableInjection> &out)
+{
+    Core *owner = nullptr;
+    CacheArray &array = pickArray(owner);
+    const CacheGeometry &geo = array.geometry();
+    const std::uint64_t set = rng.uniformInt(geo.numSets());
+    const unsigned way = unsigned(rng.uniformInt(geo.associativity));
+    const std::uint64_t line_bits =
+        std::uint64_t(geo.wordsPerLine()) * array.codec().codewordBits();
+    const std::uint64_t bit = rng.uniformInt(line_bits);
+
+    array.flipStoredBit(set, way, bit);
+    ++stats_.bitFlips;
+    recordEvent(array, set, way,
+                unsigned(bit / array.codec().codewordBits()),
+                EccStatus::correctedSingle, t);
+
+    for (auto &injection : out) {
+        if (injection.coreId == owner->id()) {
+            ++injection.events;
+            return;
+        }
+    }
+    out.push_back({owner->id(), 1});
+}
+
+void
+FaultInjector::injectDue(Seconds t)
+{
+    Core *owner = nullptr;
+    CacheArray &array = pickArray(owner);
+    const CacheGeometry &geo = array.geometry();
+    const std::uint64_t set = rng.uniformInt(geo.numSets());
+    const unsigned way = unsigned(rng.uniformInt(geo.associativity));
+    const unsigned word = unsigned(rng.uniformInt(geo.wordsPerLine()));
+    const unsigned cw_bits = array.codec().codewordBits();
+
+    // Two distinct bit positions of one codeword: guaranteed beyond
+    // SECDED correction.
+    const unsigned first = unsigned(rng.uniformInt(cw_bits));
+    const unsigned second =
+        unsigned((first + 1 + rng.uniformInt(cw_bits - 1)) % cw_bits);
+    const std::uint64_t base = std::uint64_t(word) * cw_bits;
+    array.flipStoredBit(set, way, base + first);
+    array.flipStoredBit(set, way, base + second);
+
+    owner->injectCrash(CrashReason::uncorrectableError);
+    ++stats_.dues;
+    recordEvent(array, set, way, word, EccStatus::uncorrectable, t);
+}
+
+void
+FaultInjector::injectDropout()
+{
+    std::vector<EccMonitor *> candidates;
+    for (EccMonitor *monitor : monitors) {
+        if (monitor->active())
+            candidates.push_back(monitor);
+    }
+    if (candidates.empty())
+        return;
+
+    EccMonitor *victim = candidates[rng.uniformInt(candidates.size())];
+    Dropout dropout;
+    dropout.monitor = victim;
+    dropout.array = victim->target();
+    dropout.set = victim->targetSet();
+    dropout.way = victim->targetWay();
+    dropout.remaining = cfg.dropoutDuration;
+    victim->deactivate();
+    dropouts.push_back(dropout);
+    ++stats_.monitorDropouts;
+}
+
+void
+FaultInjector::injectStuck()
+{
+    std::vector<VoltageRegulator *> candidates;
+    for (VoltageRegulator *regulator : regulators) {
+        if (!regulator->stuck())
+            candidates.push_back(regulator);
+    }
+    if (candidates.empty())
+        return;
+
+    VoltageRegulator *victim =
+        candidates[rng.uniformInt(candidates.size())];
+    victim->setStuck(true);
+    stuckRegs.push_back({victim, cfg.stuckDuration});
+    ++stats_.stuckRegulators;
+}
+
+std::vector<FaultInjector::CorrectableInjection>
+FaultInjector::tick(Seconds t, Seconds dt)
+{
+    std::vector<CorrectableInjection> correctables;
+    if (dt <= 0.0)
+        return correctables;
+
+    expireWindows(dt);
+
+    const double hours = dt / 3600.0;
+
+    // The draw order is fixed so a campaign is a pure function of the
+    // injector's forked seed and the tick sequence.
+    if (!cores.empty()) {
+        const std::uint64_t flips =
+            rng.poisson(cfg.bitFlipsPerHour * hours);
+        for (std::uint64_t i = 0; i < flips; ++i)
+            injectBitFlip(t, correctables);
+
+        const std::uint64_t dues =
+            rng.poisson(cfg.dueFlipsPerHour * hours);
+        for (std::uint64_t i = 0; i < dues; ++i)
+            injectDue(t);
+    }
+
+    if (pdn) {
+        const std::uint64_t droops =
+            rng.poisson(cfg.droopsPerHour * hours);
+        for (std::uint64_t i = 0; i < droops; ++i) {
+            pdn->injectTransient(cfg.droopMagnitudeMv,
+                                 cfg.droopDuration);
+            ++stats_.droops;
+        }
+    }
+
+    if (!monitors.empty()) {
+        const std::uint64_t drops =
+            rng.poisson(cfg.monitorDropoutsPerHour * hours);
+        for (std::uint64_t i = 0; i < drops; ++i)
+            injectDropout();
+    }
+
+    if (!regulators.empty()) {
+        const std::uint64_t episodes =
+            rng.poisson(cfg.stuckRegulatorsPerHour * hours);
+        for (std::uint64_t i = 0; i < episodes; ++i)
+            injectStuck();
+    }
+
+    return correctables;
+}
+
+} // namespace vspec

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Deterministic fault injection for long-run resilience experiments.
+ *
+ * Production machines see faults the voltage-speculation control loop
+ * did not cause and cannot predict: particle strikes flipping stored
+ * bits, load-release droop transients on the PDN, sensor dropouts, and
+ * actuator (regulator) failures. The FaultInjector models these as
+ * Poisson processes with per-hour rates, drawn from Rng streams forked
+ * off the chip generator so every campaign is reproducible from the
+ * chip seed.
+ *
+ * Fault classes:
+ *  - single-bit flips: physically corrupt one stored codeword bit of a
+ *    random managed L2 line (visible to bit-accurate reads) and report
+ *    a correctable machine check attributed to the owning core;
+ *  - double-bit flips: corrupt two bits of one codeword and latch an
+ *    uncorrectable-error crash on the owning core (a DUE);
+ *  - droop transients: inject extra droop into the shared PDN for a
+ *    bounded duration;
+ *  - monitor dropouts: deactivate an active ECC monitor and bring it
+ *    back on its original line after the dropout window — the control
+ *    loop flies blind meanwhile;
+ *  - stuck regulators: freeze a rail's regulator (requests dropped,
+ *    output held) for a bounded duration.
+ */
+
+#ifndef VSPEC_RESILIENCE_FAULT_INJECTOR_HH
+#define VSPEC_RESILIENCE_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache_array.hh"
+#include "cache/ecc_event.hh"
+#include "common/rng.hh"
+#include "common/units.hh"
+#include "core/ecc_monitor.hh"
+#include "cpu/core_model.hh"
+#include "pdn/pdn_model.hh"
+#include "pdn/regulator.hh"
+
+namespace vspec
+{
+
+class FaultInjector
+{
+  public:
+    struct Config
+    {
+        /** Correctable single-bit upsets (events per hour). */
+        double bitFlipsPerHour = 0.0;
+        /** Uncorrectable double-bit upsets / DUEs (events per hour). */
+        double dueFlipsPerHour = 0.0;
+
+        /** PDN droop transients (events per hour). */
+        double droopsPerHour = 0.0;
+        Millivolt droopMagnitudeMv = 30.0;
+        Seconds droopDuration = 5e-3;
+
+        /** ECC monitor dropouts (events per hour). */
+        double monitorDropoutsPerHour = 0.0;
+        Seconds dropoutDuration = 0.5;
+
+        /** Stuck-regulator episodes (events per hour). */
+        double stuckRegulatorsPerHour = 0.0;
+        Seconds stuckDuration = 0.5;
+    };
+
+    /** Cumulative injection counts. */
+    struct Stats
+    {
+        std::uint64_t bitFlips = 0;
+        std::uint64_t dues = 0;
+        std::uint64_t droops = 0;
+        std::uint64_t monitorDropouts = 0;
+        std::uint64_t stuckRegulators = 0;
+    };
+
+    /** Injected correctable events attributed to one core this tick. */
+    struct CorrectableInjection
+    {
+        unsigned coreId = 0;
+        std::uint64_t events = 0;
+    };
+
+    /**
+     * @param parent RNG the injector forks its private streams from
+     *        (use the chip generator for chip-seed reproducibility).
+     */
+    FaultInjector(const Config &config, Rng &parent);
+
+    /** Expose a core's L2 arrays to bit flips and DUE injection. */
+    void addCore(Core &core);
+    /** Expose a monitor to dropouts. */
+    void addMonitor(EccMonitor &monitor);
+    /** Expose a regulator to stuck episodes. */
+    void addRegulator(VoltageRegulator &regulator);
+    /** Expose the shared PDN to droop transients. */
+    void setPdn(PdnModel &pdn);
+    /** Record injected bit-flip machine checks here (optional). */
+    void setEventLog(EccEventLog &log);
+
+    /**
+     * Advance the fault clocks by one tick: expire dropout/stuck
+     * windows, then draw and apply this tick's injections. Returns the
+     * correctable machine checks to merge into per-core error counts.
+     */
+    std::vector<CorrectableInjection> tick(Seconds t, Seconds dt);
+
+    const Stats &stats() const { return stats_; }
+    unsigned activeDropouts() const
+    {
+        return unsigned(dropouts.size());
+    }
+    unsigned activeStuckRegulators() const
+    {
+        return unsigned(stuckRegs.size());
+    }
+
+    const Config &config() const { return cfg; }
+
+  private:
+    struct Dropout
+    {
+        EccMonitor *monitor = nullptr;
+        CacheArray *array = nullptr;
+        std::uint64_t set = 0;
+        unsigned way = 0;
+        Seconds remaining = 0.0;
+    };
+
+    struct StuckEpisode
+    {
+        VoltageRegulator *regulator = nullptr;
+        Seconds remaining = 0.0;
+    };
+
+    Config cfg;
+    Rng rng;
+
+    std::vector<Core *> cores;
+    std::vector<EccMonitor *> monitors;
+    std::vector<VoltageRegulator *> regulators;
+    PdnModel *pdn = nullptr;
+    EccEventLog *log = nullptr;
+
+    std::vector<Dropout> dropouts;
+    std::vector<StuckEpisode> stuckRegs;
+    Stats stats_;
+
+    void expireWindows(Seconds dt);
+    /** Random (array, line) pick on a random managed core. */
+    CacheArray &pickArray(Core *&owner);
+    void injectBitFlip(Seconds t,
+                       std::vector<CorrectableInjection> &out);
+    void injectDue(Seconds t);
+    void injectDropout();
+    void injectStuck();
+    void recordEvent(const CacheArray &array, std::uint64_t set,
+                     unsigned way, unsigned word, EccStatus status,
+                     Seconds t);
+};
+
+} // namespace vspec
+
+#endif // VSPEC_RESILIENCE_FAULT_INJECTOR_HH

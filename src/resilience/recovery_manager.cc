@@ -1,0 +1,173 @@
+#include "resilience/recovery_manager.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace vspec
+{
+
+RecoveryManager::RecoveryManager(const Config &config)
+    : cfg(config)
+{
+    if (cfg.checkpointInterval <= 0.0)
+        fatal("RecoveryManager checkpoint interval must be positive");
+    if (cfg.recoveryLatency < 0.0 || cfg.recoveryEnergy < 0.0)
+        fatal("RecoveryManager latency and energy must be non-negative");
+}
+
+void
+RecoveryManager::manage(Core &core, VoltageRegulator &regulator)
+{
+    for (const auto &entry : managed) {
+        if (entry.core->id() == core.id())
+            fatal("RecoveryManager: core ", core.id(), " managed twice");
+    }
+    ManagedCore entry;
+    entry.core = &core;
+    entry.regulator = &regulator;
+    managed.push_back(entry);
+}
+
+bool
+RecoveryManager::manages(unsigned core_id) const
+{
+    for (const auto &entry : managed) {
+        if (entry.core->id() == core_id)
+            return true;
+    }
+    return false;
+}
+
+RecoveryManager::ManagedCore &
+RecoveryManager::entryFor(unsigned core_id)
+{
+    for (auto &entry : managed) {
+        if (entry.core->id() == core_id)
+            return entry;
+    }
+    panic("RecoveryManager: core ", core_id, " is not managed");
+}
+
+const RecoveryManager::ManagedCore &
+RecoveryManager::entryFor(unsigned core_id) const
+{
+    return const_cast<RecoveryManager *>(this)->entryFor(core_id);
+}
+
+void
+RecoveryManager::advance(Seconds dt)
+{
+    if (dt < 0.0)
+        panic("RecoveryManager: negative time step");
+    for (auto &entry : managed) {
+        if (entry.abandoned || entry.core->crashed())
+            continue;
+        entry.sinceCheckpoint += dt;
+        // Checkpoints are taken on the interval; the clock wraps.
+        while (entry.sinceCheckpoint >= cfg.checkpointInterval)
+            entry.sinceCheckpoint -= cfg.checkpointInterval;
+    }
+}
+
+std::vector<RecoveryEvent>
+RecoveryManager::recoverCrashed()
+{
+    std::vector<RecoveryEvent> events;
+    for (auto &entry : managed) {
+        if (entry.abandoned || !entry.core->crashed())
+            continue;
+
+        RecoveryEvent event;
+        event.coreId = entry.core->id();
+        event.reason = entry.core->crashReason_();
+        if (event.reason == CrashReason::uncorrectableError)
+            ++dues;
+        else if (event.reason == CrashReason::logicFailure)
+            ++logicFailures;
+
+        if (cfg.maxRecoveriesPerCore > 0 &&
+            entry.recoveryCount >= cfg.maxRecoveriesPerCore) {
+            // Budget exhausted: retire the core, latch left set.
+            entry.abandoned = true;
+            event.abandoned = true;
+            events.push_back(event);
+            continue;
+        }
+
+        event.lostWork = entry.sinceCheckpoint + cfg.recoveryLatency;
+        totalLost += event.lostWork;
+        entry.pendingStall += event.lostWork;
+        pendingEnergy += cfg.recoveryEnergy;
+        ++entry.recoveryCount;
+        ++totalRecoveries;
+
+        entry.core->clearCrash();
+        entry.sinceCheckpoint = 0.0;
+        // Reset the rail to the safe level before speculation resumes.
+        // A stuck regulator drops the request — the next recovery (or
+        // the injector unsticking it) will retry.
+        entry.regulator->request(cfg.safeVdd);
+
+        events.push_back(event);
+    }
+    return events;
+}
+
+double
+RecoveryManager::consumeStallFraction(unsigned core_id, Seconds dt)
+{
+    if (dt <= 0.0)
+        panic("RecoveryManager: stall fraction needs a positive dt");
+    auto &entry = entryFor(core_id);
+    const double fraction = entry.pendingStall / dt;
+    entry.pendingStall = 0.0;
+    return fraction;
+}
+
+Joule
+RecoveryManager::consumePendingEnergy()
+{
+    const Joule energy = pendingEnergy;
+    pendingEnergy = 0.0;
+    return energy;
+}
+
+std::uint64_t
+RecoveryManager::recoveries(unsigned core_id) const
+{
+    return entryFor(core_id).recoveryCount;
+}
+
+unsigned
+RecoveryManager::abandonedCores() const
+{
+    unsigned count = 0;
+    for (const auto &entry : managed)
+        count += entry.abandoned ? 1 : 0;
+    return count;
+}
+
+bool
+RecoveryManager::isAbandoned(unsigned core_id) const
+{
+    return entryFor(core_id).abandoned;
+}
+
+double
+RecoveryManager::availability(Seconds elapsed) const
+{
+    if (elapsed <= 0.0)
+        return 1.0;
+    return std::clamp(1.0 - totalLost / elapsed, 0.0, 1.0);
+}
+
+double
+RecoveryManager::recoveriesPerHour(Seconds elapsed) const
+{
+    if (elapsed <= 0.0)
+        return 0.0;
+    return double(totalRecoveries) * 3600.0 / elapsed;
+}
+
+} // namespace vspec

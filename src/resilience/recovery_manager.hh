@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Crash recovery model (Section V-C of the paper's reliability
+ * discussion): uncorrectable errors and logic failures under deep
+ * voltage speculation are machine checks, not silent corruption, and a
+ * production deployment pairs speculation with checkpoint/restart so a
+ * machine check costs bounded rework rather than the job.
+ *
+ * The RecoveryManager turns latched core crashes into recoverable
+ * events. Each managed core carries a checkpoint clock that wraps every
+ * checkpointInterval; a crash rolls the core back to its last
+ * checkpoint, so the lost work is the time since that checkpoint plus a
+ * fixed recovery (reboot + restore) latency. Lost work is charged to
+ * the core's energy account as a runtime stretch, the recovery
+ * machinery's own energy is charged to the chip account, and the rail
+ * is reset to a safe voltage before speculation resumes — mirroring the
+ * paper's firmware, which restarts from nominal after any machine
+ * check. Controllers re-enter speculation via their notifyRecovery()
+ * backoff hooks (wired by the Simulator).
+ *
+ * A core that exceeds maxRecoveriesPerCore is abandoned: its crash
+ * latch is left set and the manager stops servicing it, modeling a rail
+ * taken out of rotation after persistent failures.
+ */
+
+#ifndef VSPEC_RESILIENCE_RECOVERY_MANAGER_HH
+#define VSPEC_RESILIENCE_RECOVERY_MANAGER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hh"
+#include "cpu/core_model.hh"
+#include "pdn/regulator.hh"
+
+namespace vspec
+{
+
+/** One serviced machine check. */
+struct RecoveryEvent
+{
+    unsigned coreId = 0;
+    CrashReason reason = CrashReason::none;
+    /** Rollback (time since last checkpoint) plus recovery latency. */
+    Seconds lostWork = 0.0;
+    /** True if the core hit its recovery budget and was retired. */
+    bool abandoned = false;
+};
+
+class RecoveryManager
+{
+  public:
+    struct Config
+    {
+        /** Checkpoint cadence (s); a crash loses at most this much. */
+        Seconds checkpointInterval = 1.0;
+        /** Reboot + checkpoint restore latency per recovery (s). */
+        Seconds recoveryLatency = 0.5;
+        /** Energy burned by one recovery (restore traffic, reboot; J). */
+        Joule recoveryEnergy = 2.0;
+        /** Rail setpoint applied after recovery (safe/nominal Vdd). */
+        Millivolt safeVdd = 800.0;
+        /** Retire a core after this many recoveries (0 = unlimited). */
+        std::uint64_t maxRecoveriesPerCore = 0;
+    };
+
+    explicit RecoveryManager(const Config &config);
+
+    /** Put a core (and the rail that feeds it) under management. */
+    void manage(Core &core, VoltageRegulator &regulator);
+
+    /** True if the core has been registered with manage(). */
+    bool manages(unsigned core_id) const;
+
+    /** Advance the checkpoint clocks of the healthy managed cores. */
+    void advance(Seconds dt);
+
+    /**
+     * Service every latched crash among the managed cores: clear the
+     * latch, account the lost work and recovery energy, reset the rail
+     * to safeVdd, and report what happened. Cores past their recovery
+     * budget are abandoned (latch left set) instead.
+     */
+    std::vector<RecoveryEvent> recoverCrashed();
+
+    /**
+     * Lost work pending for one core, converted to a runtime-stretch
+     * fraction of @p dt and cleared (feed to EnergyAccount::addSample).
+     */
+    double consumeStallFraction(unsigned core_id, Seconds dt);
+
+    /** Recovery energy accumulated since the last call, then cleared. */
+    Joule consumePendingEnergy();
+
+    /** Total recoveries serviced. */
+    std::uint64_t recoveries() const { return totalRecoveries; }
+    /** Recoveries serviced for one managed core. */
+    std::uint64_t recoveries(unsigned core_id) const;
+    /** Uncorrectable-error machine checks seen (DUEs). */
+    std::uint64_t duesSeen() const { return dues; }
+    /** Logic (critical-voltage) failures seen. */
+    std::uint64_t logicFailuresSeen() const { return logicFailures; }
+    /** Managed cores retired after exhausting their budget. */
+    unsigned abandonedCores() const;
+    bool isAbandoned(unsigned core_id) const;
+
+    /** Total work lost to rollbacks and recovery latency (s). */
+    Seconds lostTime() const { return totalLost; }
+    /** Fraction of @p elapsed spent doing useful work, in [0, 1]. */
+    double availability(Seconds elapsed) const;
+    /** Recovery rate normalized to events per hour. */
+    double recoveriesPerHour(Seconds elapsed) const;
+
+    const Config &config() const { return cfg; }
+
+  private:
+    struct ManagedCore
+    {
+        Core *core = nullptr;
+        VoltageRegulator *regulator = nullptr;
+        Seconds sinceCheckpoint = 0.0;
+        /** Lost work not yet charged to the energy account. */
+        Seconds pendingStall = 0.0;
+        std::uint64_t recoveryCount = 0;
+        bool abandoned = false;
+    };
+
+    Config cfg;
+    std::vector<ManagedCore> managed;
+
+    std::uint64_t totalRecoveries = 0;
+    std::uint64_t dues = 0;
+    std::uint64_t logicFailures = 0;
+    Seconds totalLost = 0.0;
+    Joule pendingEnergy = 0.0;
+
+    ManagedCore &entryFor(unsigned core_id);
+    const ManagedCore &entryFor(unsigned core_id) const;
+};
+
+} // namespace vspec
+
+#endif // VSPEC_RESILIENCE_RECOVERY_MANAGER_HH

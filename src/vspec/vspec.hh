@@ -47,6 +47,8 @@
 #include "platform/trace.hh"
 #include "power/energy.hh"
 #include "power/power_model.hh"
+#include "resilience/fault_injector.hh"
+#include "resilience/recovery_manager.hh"
 #include "sram/aging.hh"
 #include "sram/sram_array.hh"
 #include "variation/delay_model.hh"

@@ -128,6 +128,35 @@ TEST_F(EccMonitorTest, InactiveMonitorDoesNothing)
     EXPECT_FALSE(monitor.emergencyPending());
 }
 
+/** Exposes the protected counter-injection hook for latch tests. */
+class InjectableMonitor : public EccMonitor
+{
+  public:
+    using CountingFeedbackSource::accumulate;
+};
+
+TEST_F(EccMonitorTest, UncorrectableLatchClearsOnRead)
+{
+    InjectableMonitor monitor;
+    ProbeStats burst;
+    burst.accesses = 100;
+    burst.correctableEvents = 3;
+    burst.uncorrectableEvents = 1;
+    monitor.accumulate(burst);
+    EXPECT_TRUE(monitor.sawUncorrectable());
+
+    const ProbeStats first = monitor.readAndResetCounters();
+    EXPECT_EQ(first.accesses, 100u);
+    EXPECT_EQ(first.uncorrectableEvents, 1u);
+
+    // The read cleared the latch with the counters: one machine check
+    // is reported to the control system exactly once, never again.
+    EXPECT_FALSE(monitor.sawUncorrectable());
+    monitor.accumulate(ProbeStats{.accesses = 50});
+    const ProbeStats second = monitor.readAndResetCounters();
+    EXPECT_EQ(second.uncorrectableEvents, 0u);
+}
+
 TEST_F(EccMonitorTest, RetargetingMovesTheMonitor)
 {
     EccMonitor monitor;

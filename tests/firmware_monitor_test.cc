@@ -99,6 +99,39 @@ TEST_F(FirmwareMonitorTest, DrivesTheControllerLikeAMonitor)
     EXPECT_FALSE(self_test.sawUncorrectable());
 }
 
+TEST_F(FirmwareMonitorTest, UncorrectableLatchClearsOnRead)
+{
+    FirmwareSelfTest self_test(chip.core(0).iSide(), line.set,
+                               line.way);
+    Rng rng(6);
+    // Make the target set resident so the corruption below is not
+    // overwritten by the populate step of the next test iteration.
+    self_test.runTests(0.01, 800.0, rng);
+    self_test.readAndResetCounters();
+
+    // Corrupt two bits of one codeword of the designated line: the
+    // next targeted-test read is a guaranteed uncorrectable report.
+    CacheArray &array = chip.core(0).l2iArray();
+    array.flipStoredBit(line.set, line.way, 0);
+    array.flipStoredBit(line.set, line.way, 1);
+    self_test.runTests(0.01, 800.0, rng);
+    EXPECT_TRUE(self_test.sawUncorrectable());
+
+    const ProbeStats first = self_test.readAndResetCounters();
+    EXPECT_GE(first.uncorrectableEvents, 1u);
+    EXPECT_FALSE(self_test.sawUncorrectable());
+
+    // Repair the line; the next interval must not re-report the old
+    // machine check (the latch bug made every later read report it).
+    array.flipStoredBit(line.set, line.way, 0);
+    array.flipStoredBit(line.set, line.way, 1);
+    self_test.runTests(0.01, 800.0, rng);
+    const ProbeStats second = self_test.readAndResetCounters();
+    EXPECT_GT(second.accesses, 0u);
+    EXPECT_EQ(second.uncorrectableEvents, 0u);
+    EXPECT_FALSE(self_test.sawUncorrectable());
+}
+
 TEST_F(FirmwareMonitorTest, RejectsZeroTestRate)
 {
     FirmwareSelfTest::Config config;

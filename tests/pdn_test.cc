@@ -113,6 +113,47 @@ TEST(PdnModel, ResonantVirusDroopsMoreThanStrongerDcLoad)
     EXPECT_GT(pdn.droop(virus8), pdn.droop(virus0));
 }
 
+TEST(PdnModel, InjectedTransientAddsDroopUntilItExpires)
+{
+    PdnModel pdn;
+    ActivityProfile idle;
+    EXPECT_DOUBLE_EQ(pdn.droop(idle), 0.0);
+
+    pdn.injectTransient(30.0, 0.01);
+    EXPECT_DOUBLE_EQ(pdn.transientDroop(), 30.0);
+    EXPECT_DOUBLE_EQ(pdn.droop(idle), 30.0);
+
+    // Overlapping transients take the larger magnitude and the longer
+    // remaining window, not the sum — one PDN, one worst-case dip.
+    pdn.injectTransient(20.0, 0.05);
+    EXPECT_DOUBLE_EQ(pdn.droop(idle), 30.0);
+
+    pdn.advance(0.04);
+    EXPECT_DOUBLE_EQ(pdn.droop(idle), 30.0);
+    pdn.advance(0.02);
+    EXPECT_DOUBLE_EQ(pdn.transientDroop(), 0.0);
+    EXPECT_DOUBLE_EQ(pdn.droop(idle), 0.0);
+}
+
+TEST(VoltageRegulator, StuckRegulatorDropsRequestsAndFreezesOutput)
+{
+    VoltageRegulator reg(800.0);
+    reg.request(700.0);
+    reg.advance(1.0);
+    EXPECT_DOUBLE_EQ(reg.output(), 700.0);
+
+    reg.setStuck(true);
+    reg.request(750.0);
+    EXPECT_DOUBLE_EQ(reg.setpoint(), 700.0);
+    reg.advance(1.0);
+    EXPECT_DOUBLE_EQ(reg.output(), 700.0);
+
+    reg.setStuck(false);
+    reg.request(750.0);
+    reg.advance(1.0);
+    EXPECT_DOUBLE_EQ(reg.output(), 750.0);
+}
+
 TEST(ActivityProfile, CombinationSaturatesAndKeepsDominantSwing)
 {
     ActivityProfile a;

@@ -86,6 +86,17 @@ TEST(EnergyAccount, OverheadStretchesRuntime)
     EXPECT_DOUBLE_EQ(stretched.elapsed(), 1.5);
 }
 
+TEST(EnergyAccount, AddEnergyChargesDiscreteEvents)
+{
+    // Recovery events burn energy with no accounted forward progress:
+    // the total rises, the elapsed time does not.
+    EnergyAccount account;
+    account.addSample(10.0, 1.0);
+    account.addEnergy(5.0);
+    EXPECT_DOUBLE_EQ(account.energy(), 15.0);
+    EXPECT_DOUBLE_EQ(account.elapsed(), 1.0);
+}
+
 TEST(EnergyAccount, ResetClears)
 {
     EnergyAccount account;

@@ -1,0 +1,343 @@
+/**
+ * @file
+ * Tests for the crash-recovery and fault-injection subsystem: the
+ * RecoveryManager's checkpoint/rollback accounting, the FaultInjector's
+ * fault classes, and the Simulator integration that keeps a long run
+ * with injected DUEs alive.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "platform/chip.hh"
+#include "platform/harness.hh"
+#include "platform/simulator.hh"
+#include "resilience/fault_injector.hh"
+#include "resilience/recovery_manager.hh"
+
+namespace vspec
+{
+namespace
+{
+
+ChipConfig
+testChipConfig()
+{
+    ChipConfig cfg;
+    cfg.seed = 42;
+    return cfg;
+}
+
+RecoveryManager::Config
+testRecoveryConfig()
+{
+    RecoveryManager::Config cfg;
+    cfg.checkpointInterval = 2.0;
+    cfg.recoveryLatency = 0.5;
+    cfg.recoveryEnergy = 3.0;
+    cfg.safeVdd = 800.0;
+    return cfg;
+}
+
+TEST(RecoveryManager, ServicesACrashAndRestoresTheRail)
+{
+    Chip chip(testChipConfig());
+    RecoveryManager manager(testRecoveryConfig());
+    manager.manage(chip.core(0), chip.domainOf(0).regulator());
+    EXPECT_TRUE(manager.manages(0));
+    EXPECT_FALSE(manager.manages(1));
+
+    chip.domainOf(0).regulator().request(700.0);
+    manager.advance(0.5);
+    chip.core(0).injectCrash(CrashReason::uncorrectableError);
+
+    const auto events = manager.recoverCrashed();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].coreId, 0u);
+    EXPECT_EQ(events[0].reason, CrashReason::uncorrectableError);
+    EXPECT_FALSE(events[0].abandoned);
+    // Rollback to the 0.5 s-old checkpoint plus the recovery latency.
+    EXPECT_DOUBLE_EQ(events[0].lostWork, 1.0);
+
+    EXPECT_FALSE(chip.core(0).crashed());
+    EXPECT_DOUBLE_EQ(chip.domainOf(0).regulator().setpoint(), 800.0);
+    EXPECT_EQ(manager.recoveries(), 1u);
+    EXPECT_EQ(manager.recoveries(0u), 1u);
+    EXPECT_EQ(manager.duesSeen(), 1u);
+    EXPECT_EQ(manager.logicFailuresSeen(), 0u);
+    EXPECT_DOUBLE_EQ(manager.lostTime(), 1.0);
+    EXPECT_NEAR(manager.availability(10.0), 0.9, 1e-12);
+    EXPECT_NEAR(manager.recoveriesPerHour(3600.0), 1.0, 1e-12);
+
+    // The lost work drains once as a stall fraction...
+    EXPECT_DOUBLE_EQ(manager.consumeStallFraction(0, 0.01), 100.0);
+    EXPECT_DOUBLE_EQ(manager.consumeStallFraction(0, 0.01), 0.0);
+    // ...and the recovery energy drains once too.
+    EXPECT_DOUBLE_EQ(manager.consumePendingEnergy(), 3.0);
+    EXPECT_DOUBLE_EQ(manager.consumePendingEnergy(), 0.0);
+}
+
+TEST(RecoveryManager, CheckpointClockWrapsAtTheInterval)
+{
+    Chip chip(testChipConfig());
+    RecoveryManager manager(testRecoveryConfig());
+    manager.manage(chip.core(0), chip.domainOf(0).regulator());
+
+    // 2.1 s of progress with a 2.0 s interval: the last checkpoint is
+    // 0.1 s old, so a crash loses 0.1 s + the recovery latency.
+    for (int i = 0; i < 3; ++i)
+        manager.advance(0.7);
+    chip.core(0).injectCrash(CrashReason::logicFailure);
+    const auto events = manager.recoverCrashed();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_NEAR(events[0].lostWork, 0.6, 1e-9);
+    EXPECT_EQ(manager.logicFailuresSeen(), 1u);
+    EXPECT_EQ(manager.duesSeen(), 0u);
+}
+
+TEST(RecoveryManager, AbandonsACoreThatExhaustsItsBudget)
+{
+    Chip chip(testChipConfig());
+    auto cfg = testRecoveryConfig();
+    cfg.maxRecoveriesPerCore = 1;
+    RecoveryManager manager(cfg);
+    manager.manage(chip.core(0), chip.domainOf(0).regulator());
+
+    chip.core(0).injectCrash(CrashReason::uncorrectableError);
+    EXPECT_FALSE(manager.recoverCrashed()[0].abandoned);
+    EXPECT_FALSE(chip.core(0).crashed());
+
+    chip.core(0).injectCrash(CrashReason::uncorrectableError);
+    const auto events = manager.recoverCrashed();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_TRUE(events[0].abandoned);
+    // The latch stays set: the core is out of rotation for good.
+    EXPECT_TRUE(chip.core(0).crashed());
+    EXPECT_TRUE(manager.isAbandoned(0));
+    EXPECT_EQ(manager.abandonedCores(), 1u);
+    EXPECT_EQ(manager.recoveries(), 1u);
+    // Both machine checks were still observed.
+    EXPECT_EQ(manager.duesSeen(), 2u);
+    // An abandoned core is not serviced again.
+    EXPECT_TRUE(manager.recoverCrashed().empty());
+}
+
+TEST(FaultInjector, DueInjectionLatchesAnUncorrectableCrash)
+{
+    Chip chip(testChipConfig());
+    FaultInjector::Config cfg;
+    cfg.dueFlipsPerHour = 50.0;
+    EccEventLog log;
+    Rng parent(7);
+    FaultInjector injector(cfg, parent);
+    for (unsigned i = 0; i < chip.numCores(); ++i)
+        injector.addCore(chip.core(i));
+    injector.setEventLog(log);
+
+    injector.tick(0.0, 3600.0);
+    EXPECT_GE(injector.stats().dues, 1u);
+    EXPECT_EQ(log.uncorrectableCount(), injector.stats().dues);
+
+    unsigned crashed = 0;
+    for (unsigned i = 0; i < chip.numCores(); ++i) {
+        if (chip.core(i).crashed()) {
+            ++crashed;
+            EXPECT_EQ(chip.core(i).crashReason_(),
+                      CrashReason::uncorrectableError);
+        }
+    }
+    EXPECT_GE(crashed, 1u);
+}
+
+TEST(FaultInjector, BitFlipsReportCorrectablesWithoutCrashing)
+{
+    Chip chip(testChipConfig());
+    FaultInjector::Config cfg;
+    cfg.bitFlipsPerHour = 50.0;
+    EccEventLog log;
+    Rng parent(8);
+    FaultInjector injector(cfg, parent);
+    for (unsigned i = 0; i < chip.numCores(); ++i)
+        injector.addCore(chip.core(i));
+    injector.setEventLog(log);
+
+    const auto correctables = injector.tick(0.0, 3600.0);
+    EXPECT_GE(injector.stats().bitFlips, 1u);
+    EXPECT_EQ(injector.stats().dues, 0u);
+    EXPECT_EQ(log.correctableCount(), injector.stats().bitFlips);
+
+    std::uint64_t reported = 0;
+    for (const auto &injection : correctables)
+        reported += injection.events;
+    EXPECT_EQ(reported, injector.stats().bitFlips);
+
+    for (unsigned i = 0; i < chip.numCores(); ++i)
+        EXPECT_FALSE(chip.core(i).crashed());
+}
+
+TEST(FaultInjector, DroopTransientHitsThePdnAndExpires)
+{
+    PdnModel pdn;
+    FaultInjector::Config cfg;
+    cfg.droopsPerHour = 50.0;
+    cfg.droopMagnitudeMv = 30.0;
+    cfg.droopDuration = 0.01;
+    Rng parent(9);
+    FaultInjector injector(cfg, parent);
+    injector.setPdn(pdn);
+
+    injector.tick(0.0, 3600.0);
+    EXPECT_GE(injector.stats().droops, 1u);
+    EXPECT_DOUBLE_EQ(pdn.transientDroop(), 30.0);
+    pdn.advance(0.02);
+    EXPECT_DOUBLE_EQ(pdn.transientDroop(), 0.0);
+}
+
+TEST(FaultInjector, MonitorDropoutDeactivatesAndRestoresTheTarget)
+{
+    Chip chip(testChipConfig());
+    CacheArray &array = chip.core(0).l2iArray();
+    const WeakLineInfo line = array.weakestLine();
+    EccMonitor &monitor = chip.l2iMonitor(0);
+    monitor.activate(array, line.set, line.way);
+
+    FaultInjector::Config cfg;
+    cfg.monitorDropoutsPerHour = 50.0;
+    cfg.dropoutDuration = 0.5;
+    Rng parent(10);
+    FaultInjector injector(cfg, parent);
+    injector.addMonitor(monitor);
+
+    injector.tick(0.0, 3600.0);
+    EXPECT_GE(injector.stats().monitorDropouts, 1u);
+    EXPECT_EQ(injector.activeDropouts(), 1u);
+    EXPECT_FALSE(monitor.active());
+
+    // After the dropout window the monitor is back on its old line.
+    injector.tick(3600.0, 1.0);
+    EXPECT_EQ(injector.activeDropouts(), 0u);
+    EXPECT_TRUE(monitor.active());
+    EXPECT_EQ(monitor.targetSet(), line.set);
+    EXPECT_EQ(monitor.targetWay(), line.way);
+}
+
+TEST(FaultInjector, StuckRegulatorFreezesAndReleases)
+{
+    VoltageRegulator reg(800.0);
+    FaultInjector::Config cfg;
+    cfg.stuckRegulatorsPerHour = 50.0;
+    cfg.stuckDuration = 0.5;
+    Rng parent(11);
+    FaultInjector injector(cfg, parent);
+    injector.addRegulator(reg);
+
+    injector.tick(0.0, 3600.0);
+    EXPECT_GE(injector.stats().stuckRegulators, 1u);
+    EXPECT_EQ(injector.activeStuckRegulators(), 1u);
+    EXPECT_TRUE(reg.stuck());
+    reg.request(700.0);
+    EXPECT_DOUBLE_EQ(reg.setpoint(), 800.0);
+
+    injector.tick(3600.0, 1.0);
+    EXPECT_FALSE(reg.stuck());
+    reg.request(700.0);
+    EXPECT_DOUBLE_EQ(reg.setpoint(), 700.0);
+}
+
+TEST(FaultInjector, CampaignsAreReproducibleFromTheSeed)
+{
+    auto campaign = [](std::uint64_t seed) {
+        Chip chip(testChipConfig());
+        FaultInjector::Config cfg;
+        cfg.bitFlipsPerHour = 30.0;
+        cfg.dueFlipsPerHour = 10.0;
+        Rng parent(seed);
+        FaultInjector injector(cfg, parent);
+        for (unsigned i = 0; i < chip.numCores(); ++i)
+            injector.addCore(chip.core(i));
+        for (int t = 0; t < 100; ++t)
+            injector.tick(double(t) * 36.0, 36.0);
+        return injector.stats();
+    };
+
+    const auto a = campaign(21), b = campaign(21), c = campaign(22);
+    EXPECT_EQ(a.bitFlips, b.bitFlips);
+    EXPECT_EQ(a.dues, b.dues);
+    EXPECT_TRUE(a.bitFlips != c.bitFlips || a.dues != c.dues);
+}
+
+TEST(ResilienceIntegration, RecoveryKeepsAnInjectedRunAliveAndAccounted)
+{
+    // The acceptance scenario: a run with injected DUEs survives when
+    // recovery is armed (availability < 100%, > 0 recoveries, lost
+    // work and energy charged), while the identical run without
+    // recovery halts crashed.
+    setInformEnabled(false);
+    const Seconds duration = 20.0;
+
+    FaultInjector::Config faults;
+    faults.dueFlipsPerHour = 1800.0;  // ~10 expected in 20 s.
+
+    Chip with_recovery(testChipConfig());
+    auto setup = harness::armHardware(with_recovery);
+    harness::assignSuite(with_recovery, Suite::coreMark, 10.0);
+    auto recovery = harness::armRecovery(with_recovery,
+                                         testRecoveryConfig());
+    Simulator sim(with_recovery, 0.005);
+    sim.attachControlSystem(setup.control.get());
+    auto injector = harness::armFaultInjector(with_recovery, faults,
+                                              &sim.eventLog());
+    sim.attachFaultInjector(injector.get());
+    sim.attachRecoveryManager(recovery.get());
+    sim.run(duration);
+
+    EXPECT_GE(injector->stats().dues, 1u);
+    EXPECT_FALSE(sim.anyCrashed());
+    EXPECT_EQ(recovery->recoveries(), recovery->duesSeen());
+    EXPECT_GE(recovery->recoveries(), 1u);
+    EXPECT_GT(recovery->lostTime(), 0.0);
+    EXPECT_LT(recovery->availability(duration), 1.0);
+    EXPECT_GT(recovery->availability(duration), 0.0);
+    // All pending recovery costs were drained into the accounts.
+    EXPECT_DOUBLE_EQ(recovery->consumePendingEnergy(), 0.0);
+
+    // Same campaign, no recovery: the first DUE is terminal.
+    Chip bare(testChipConfig());
+    auto bare_setup = harness::armHardware(bare);
+    harness::assignSuite(bare, Suite::coreMark, 10.0);
+    Simulator bare_sim(bare, 0.005);
+    bare_sim.attachControlSystem(bare_setup.control.get());
+    auto bare_injector = harness::armFaultInjector(bare, faults);
+    bare_sim.attachFaultInjector(bare_injector.get());
+    bare_sim.run(duration);
+    EXPECT_TRUE(bare_sim.anyCrashed());
+}
+
+TEST(ResilienceIntegration, RecoveryChargesStallEnergyToTheCore)
+{
+    // A core that recovers must cost more energy than the same run
+    // without the crash: the rollback and recovery latency stretch its
+    // accounted runtime at its current power.
+    setInformEnabled(false);
+    auto run = [](bool crash) {
+        Chip chip(testChipConfig());
+        harness::assignIdle(chip);
+        auto recovery = harness::armRecovery(chip, testRecoveryConfig());
+        Simulator sim(chip, 0.01);
+        sim.attachRecoveryManager(recovery.get());
+        sim.run(1.0);
+        if (crash)
+            chip.core(0).injectCrash(CrashReason::uncorrectableError);
+        sim.run(1.0);
+        return std::pair<Joule, Seconds>(sim.coreEnergy(0).energy(),
+                                         sim.coreEnergy(0).elapsed());
+    };
+
+    const auto [clean_energy, clean_elapsed] = run(false);
+    const auto [crash_energy, crash_elapsed] = run(true);
+    EXPECT_GT(crash_energy, clean_energy);
+    EXPECT_GT(crash_elapsed, clean_elapsed);
+}
+
+} // namespace
+} // namespace vspec

@@ -72,6 +72,40 @@ TEST(SoftwareSpeculator, RespectsOfflineFloor)
     EXPECT_DOUBLE_EQ(reg.setpoint(), 720.0);
 }
 
+TEST(SoftwareSpeculator, ClampsFinalStepToOffGridFloor)
+{
+    // Floor between two 5 mV policy steps, on a 1 mV regulator grid:
+    // 725 - 5 = 720 undershoots the 723 mV floor. The step must clamp
+    // to the floor, not be skipped (the skip parked the rail at 725
+    // forever, wasting the last few mV of characterized margin).
+    auto policy = testPolicy();
+    policy.floorVdd = 723.0;
+    VoltageRegulator::Params fine;
+    fine.stepMv = 1.0;
+    VoltageRegulator reg(800.0, fine);
+    SoftwareSpeculator spec(reg, policy);
+    for (int i = 0; i < 100; ++i)
+        spec.tick(1.0, 0);
+    EXPECT_DOUBLE_EQ(reg.setpoint(), 723.0);
+}
+
+TEST(SoftwareSpeculator, NotifyRecoveryBacksOffAndHolds)
+{
+    VoltageRegulator reg(700.0);
+    SoftwareSpeculator spec(reg, testPolicy());
+    spec.notifyRecovery();
+    EXPECT_DOUBLE_EQ(reg.setpoint(), 710.0);
+    EXPECT_EQ(spec.recoveryBackoffs(), 1u);
+
+    // The post-recovery hold blocks lowering like an error hold does.
+    for (int i = 0; i < 9; ++i)
+        spec.tick(1.0, 0);
+    EXPECT_DOUBLE_EQ(reg.setpoint(), 710.0);
+    for (int i = 0; i < 3; ++i)
+        spec.tick(1.0, 0);
+    EXPECT_LT(reg.setpoint(), 710.0);
+}
+
 TEST(SoftwareSpeculator, OverheadAccountsFirmwareCost)
 {
     VoltageRegulator reg(700.0);

@@ -150,6 +150,91 @@ TEST_F(ControllerTest, ConvergesIntoTargetBand)
     EXPECT_LT(monitor.errorRate(), policy.ceilingRate * 3.0);
 }
 
+/** Exposes the protected counter-injection hook for latch tests. */
+class InjectableMonitor : public EccMonitor
+{
+  public:
+    using CountingFeedbackSource::accumulate;
+};
+
+TEST_F(ControllerTest, EmergencyServiceClearsTheUncorrectableLatch)
+{
+    policy.emergencyStepMv = 25.0;
+    regulator.request(700.0);
+    InjectableMonitor source;
+    DomainController controller(regulator, source, policy);
+
+    // A burst far above the emergency ceiling that also contained an
+    // uncorrectable event.
+    ProbeStats burst;
+    burst.accesses = 1000;
+    burst.correctableEvents = 500;
+    burst.uncorrectableEvents = 1;
+    source.accumulate(burst);
+    EXPECT_TRUE(source.emergencyPending());
+    EXPECT_TRUE(source.sawUncorrectable());
+
+    // The emergency tick services the interrupt and consumes the
+    // counters — including the uncorrectable latch, so the one machine
+    // check cannot be re-reported on every later interval.
+    controller.tick(0.001);
+    EXPECT_DOUBLE_EQ(regulator.setpoint(), 725.0);
+    EXPECT_EQ(controller.emergencies(), 1u);
+    EXPECT_FALSE(source.emergencyPending());
+    EXPECT_FALSE(source.sawUncorrectable());
+
+    // A clean follow-up interval must not see the stale event again
+    // (nor re-fire the emergency).
+    source.accumulate(ProbeStats{.accesses = 1000});
+    for (int i = 0; i < 100; ++i)
+        controller.tick(0.001);
+    EXPECT_EQ(controller.emergencies(), 1u);
+    EXPECT_DOUBLE_EQ(regulator.setpoint(), 725.0 - policy.stepMv);
+}
+
+TEST_F(ControllerTest, NotifyRecoveryDiscardsStaleFeedback)
+{
+    regulator.request(700.0);
+    InjectableMonitor source;
+    DomainController controller(regulator, source, policy);
+
+    ProbeStats burst;
+    burst.accesses = 400;
+    burst.correctableEvents = 10;
+    burst.uncorrectableEvents = 1;
+    source.accumulate(burst);
+
+    controller.notifyRecovery();
+    EXPECT_EQ(controller.recoveryBackoffs(), 1u);
+    // Pre-crash telemetry (latch included) is gone; the first
+    // post-recovery decision sees only post-recovery probes.
+    EXPECT_EQ(source.accessCount(), 0u);
+    EXPECT_FALSE(source.sawUncorrectable());
+    EXPECT_FALSE(source.emergencyPending());
+}
+
+TEST(VoltageControlSystem, ControllerForFindsTheOwningDomain)
+{
+    Rng rng(4);
+    CacheArray array_a(itanium9560::l2Data(), noisyDist(), 465.0, rng);
+    CacheArray array_b(itanium9560::l2Data(), noisyDist(), 465.0, rng);
+    VoltageRegulator reg_a(800.0), reg_b(800.0), reg_other(800.0);
+    EccMonitor mon_a, mon_b;
+    mon_a.activate(array_a, array_a.weakestLine().set,
+                   array_a.weakestLine().way);
+    mon_b.activate(array_b, array_b.weakestLine().set,
+                   array_b.weakestLine().way);
+
+    VoltageControlSystem system;
+    ControlPolicy policy;
+    system.addDomain(reg_a, mon_a, policy);
+    system.addDomain(reg_b, mon_b, policy);
+
+    EXPECT_EQ(system.controllerFor(reg_a), &system.domain(0));
+    EXPECT_EQ(system.controllerFor(reg_b), &system.domain(1));
+    EXPECT_EQ(system.controllerFor(reg_other), nullptr);
+}
+
 TEST(VoltageControlSystem, TicksAllDomains)
 {
     Rng rng(2);
