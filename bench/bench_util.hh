@@ -76,6 +76,138 @@ parseThreads(int argc, char **argv)
     return threads;
 }
 
+/**
+ * True when "--json" appears in the arguments. Benches that support it
+ * replace the human-readable table with one machine-readable JSON
+ * document on stdout (for scripted sweeps and plotting pipelines).
+ */
+inline bool
+parseJson(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--json")
+            return true;
+    }
+    return false;
+}
+
+/**
+ * Minimal JSON document builder for the bench binaries: explicit
+ * object/array nesting with automatic comma placement and string
+ * escaping. Numbers print with enough digits to round-trip a double,
+ * so --json output is byte-stable across runs and thread counts
+ * whenever the underlying simulation is.
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter &beginObject() { return open('{'); }
+    JsonWriter &endObject() { return close('}'); }
+    JsonWriter &beginArray() { return open('['); }
+    JsonWriter &endArray() { return close(']'); }
+
+    /** Key of the next member (only valid directly inside an object). */
+    JsonWriter &key(const std::string &name)
+    {
+        separate();
+        appendString(name);
+        out += ':';
+        pendingKey = true;
+        return *this;
+    }
+
+    JsonWriter &value(const std::string &text)
+    {
+        separate();
+        appendString(text);
+        return *this;
+    }
+
+    JsonWriter &value(const char *text)
+    {
+        return value(std::string(text));
+    }
+
+    JsonWriter &value(double number)
+    {
+        separate();
+        char buffer[40];
+        std::snprintf(buffer, sizeof(buffer), "%.17g", number);
+        out += buffer;
+        return *this;
+    }
+
+    JsonWriter &value(std::uint64_t number)
+    {
+        separate();
+        out += std::to_string(number);
+        return *this;
+    }
+
+    JsonWriter &value(unsigned number)
+    {
+        return value(std::uint64_t(number));
+    }
+
+    JsonWriter &value(bool flag)
+    {
+        separate();
+        out += flag ? "true" : "false";
+        return *this;
+    }
+
+    const std::string &str() const { return out; }
+
+    /** Print the finished document and a trailing newline. */
+    void print() const { std::printf("%s\n", out.c_str()); }
+
+  private:
+    std::string out;
+    bool needComma = false;
+    bool pendingKey = false;
+
+    JsonWriter &open(char bracket)
+    {
+        separate();
+        out += bracket;
+        needComma = false;
+        return *this;
+    }
+
+    JsonWriter &close(char bracket)
+    {
+        out += bracket;
+        needComma = true;
+        return *this;
+    }
+
+    void separate()
+    {
+        if (pendingKey) {
+            pendingKey = false;
+            return;
+        }
+        if (needComma)
+            out += ',';
+        needComma = true;
+    }
+
+    void appendString(const std::string &text)
+    {
+        out += '"';
+        for (char ch : text) {
+            switch (ch) {
+              case '"': out += "\\\""; break;
+              case '\\': out += "\\\\"; break;
+              case '\n': out += "\\n"; break;
+              case '\t': out += "\\t"; break;
+              default: out += ch;
+            }
+        }
+        out += '"';
+    }
+};
+
 /** The four evaluation suites of Section V. */
 inline const std::vector<vspec::Suite> &
 evalSuites()

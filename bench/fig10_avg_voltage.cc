@@ -16,20 +16,30 @@ using namespace vspec;
 using namespace vspec_bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     setInformEnabled(false);
-    banner("Figure 10", "average core voltages under hardware "
-                        "speculation, per suite");
+    const bool json = parseJson(argc, argv);
+    if (!json)
+        banner("Figure 10", "average core voltages under hardware "
+                            "speculation, per suite");
 
     Chip chip = makeLowChip();
     auto setup = harness::armHardware(chip);
     const Millivolt nominal = chip.config().operatingPoint.nominalVdd;
 
-    std::printf("%-14s", "suite");
-    for (unsigned c = 0; c < chip.numCores(); ++c)
-        std::printf("  core%-2u", c);
-    std::printf("   mean-red%%\n");
+    JsonWriter doc;
+    doc.beginObject();
+    doc.key("artifact").value("fig10");
+    doc.key("nominalMv").value(double(nominal));
+    doc.key("suites").beginArray();
+
+    if (!json) {
+        std::printf("%-14s", "suite");
+        for (unsigned c = 0; c < chip.numCores(); ++c)
+            std::printf("  core%-2u", c);
+        std::printf("   mean-red%%\n");
+    }
 
     RunningStats per_suite_reduction;
     for (Suite suite : evalSuites()) {
@@ -49,7 +59,11 @@ main()
 
         // Mean setpoint over the settled second half.
         const auto &samples = sim.trace().samples();
-        std::printf("%-14s", suiteName(suite));
+        if (!json)
+            std::printf("%-14s", suiteName(suite));
+        doc.beginObject();
+        doc.key("suite").value(suiteName(suite));
+        doc.key("coreVddMv").beginArray();
         RunningStats reduction;
         for (unsigned c = 0; c < chip.numCores(); ++c) {
             const unsigned d = chip.domainIndexOf(c);
@@ -57,15 +71,28 @@ main()
             for (std::size_t i = samples.size() / 2; i < samples.size();
                  ++i)
                 v.add(samples[i].domainSetpoint[d]);
-            std::printf("  %-6.0f", v.mean());
+            if (!json)
+                std::printf("  %-6.0f", v.mean());
+            doc.value(v.mean());
             reduction.add(100.0 * (nominal - v.mean()) / nominal);
         }
-        std::printf("   %.1f%%\n", reduction.mean());
+        doc.endArray();
+        doc.key("meanReductionPct").value(reduction.mean());
+        doc.endObject();
+        if (!json)
+            std::printf("   %.1f%%\n", reduction.mean());
         per_suite_reduction.add(reduction.mean());
     }
 
-    std::printf("\naverage Vdd reduction across suites: %.1f%% "
-                "(paper: ~18%%, range 13-23%%)\n",
-                per_suite_reduction.mean());
+    doc.endArray();
+    doc.key("averageReductionPct").value(per_suite_reduction.mean());
+    doc.endObject();
+
+    if (json)
+        doc.print();
+    else
+        std::printf("\naverage Vdd reduction across suites: %.1f%% "
+                    "(paper: ~18%%, range 13-23%%)\n",
+                    per_suite_reduction.mean());
     return 0;
 }

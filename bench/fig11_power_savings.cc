@@ -27,17 +27,25 @@ coreRailPower(Chip &chip, Seconds t)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setInformEnabled(false);
-    banner("Figure 11", "relative power per suite under speculation");
+    const bool json = parseJson(argc, argv);
+    if (!json)
+        banner("Figure 11", "relative power per suite under speculation");
 
     Chip chip = makeLowChip();
     auto setup = harness::armHardware(chip);
     const Millivolt nominal = chip.config().operatingPoint.nominalVdd;
 
-    std::printf("%-14s %-16s %-16s %-12s\n", "suite", "nominal (W)",
-                "speculated (W)", "relative");
+    JsonWriter doc;
+    doc.beginObject();
+    doc.key("artifact").value("fig11");
+    doc.key("suites").beginArray();
+
+    if (!json)
+        std::printf("%-14s %-16s %-16s %-12s\n", "suite", "nominal (W)",
+                    "speculated (W)", "relative");
 
     RunningStats relative;
     for (Suite suite : evalSuites()) {
@@ -64,11 +72,25 @@ main()
 
         const double ratio = spec.mean() / ref.mean();
         relative.add(ratio);
-        std::printf("%-14s %-16.2f %-16.2f %.3f\n", suiteName(suite),
-                    ref.mean(), spec.mean(), ratio);
+        doc.beginObject();
+        doc.key("suite").value(suiteName(suite));
+        doc.key("nominalWatts").value(ref.mean());
+        doc.key("speculatedWatts").value(spec.mean());
+        doc.key("relative").value(ratio);
+        doc.endObject();
+        if (!json)
+            std::printf("%-14s %-16.2f %-16.2f %.3f\n", suiteName(suite),
+                        ref.mean(), spec.mean(), ratio);
     }
 
-    std::printf("\naverage power reduction: %.1f%% (paper: ~33%%)\n",
-                100.0 * (1.0 - relative.mean()));
+    doc.endArray();
+    doc.key("averageReductionPct").value(100.0 * (1.0 - relative.mean()));
+    doc.endObject();
+
+    if (json)
+        doc.print();
+    else
+        std::printf("\naverage power reduction: %.1f%% (paper: ~33%%)\n",
+                    100.0 * (1.0 - relative.mean()));
     return 0;
 }

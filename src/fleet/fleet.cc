@@ -1,0 +1,414 @@
+#include "fleet/fleet.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "workload/benchmarks.hh"
+
+namespace vspec
+{
+
+namespace
+{
+
+bool
+faultsArmed(const FaultInjector::Config &faults)
+{
+    return faults.bitFlipsPerHour > 0.0 || faults.dueFlipsPerHour > 0.0 ||
+           faults.droopsPerHour > 0.0 ||
+           faults.monitorDropoutsPerHour > 0.0 ||
+           faults.stuckRegulatorsPerHour > 0.0;
+}
+
+} // namespace
+
+FleetNode::FleetNode(const FleetConfig &config, unsigned index)
+    : cfg(&config), nodeIndex(index)
+{
+    ChipConfig chip_cfg = config.chip;
+    chip_cfg.seed = mix64(config.seed, index);
+    chip_ = std::make_unique<Chip>(chip_cfg);
+
+    setup = harness::armHardware(*chip_);
+    recoveryMgr = harness::armRecovery(*chip_, config.recovery);
+
+    sim = std::make_unique<Simulator>(*chip_, config.tick);
+    sim->attachControlSystem(setup.control.get());
+    sim->attachRecoveryManager(recoveryMgr.get());
+    if (faultsArmed(config.faults)) {
+        injector = harness::armFaultInjector(*chip_, config.faults,
+                                             &sim->eventLog());
+        sim->attachFaultInjector(injector.get());
+    }
+
+    harness::assignIdle(*chip_);
+    slots.resize(chip_->numCores());
+    powerMark = sim->chipEnergy().snapshot();
+}
+
+unsigned
+FleetNode::schedulableCores() const
+{
+    unsigned count = 0;
+    for (unsigned c = 0; c < chip_->numCores(); ++c)
+        count += recoveryMgr->isAbandoned(c) ? 0 : 1;
+    return count;
+}
+
+unsigned
+FleetNode::busyCores() const
+{
+    unsigned count = 0;
+    for (const CoreSlot &slot : slots)
+        count += slot.job ? 1 : 0;
+    return count;
+}
+
+bool
+FleetNode::coreBusy(unsigned core) const
+{
+    return bool(slots.at(core).job);
+}
+
+double
+FleetNode::riskScore(unsigned core) const
+{
+    return slots.at(core).risk;
+}
+
+Millivolt
+FleetNode::headroom(unsigned core) const
+{
+    const Millivolt nominal =
+        chip_->config().operatingPoint.nominalVdd;
+    return nominal - chip_->domainOf(core).regulator().setpoint();
+}
+
+void
+FleetNode::placeJob(unsigned core, const Job &job)
+{
+    CoreSlot &slot = slots.at(core);
+    if (slot.job)
+        panic("FleetNode: core ", core, " of chip ", nodeIndex,
+              " is already running job ", slot.job->id);
+    if (recoveryMgr->isAbandoned(core))
+        panic("FleetNode: placing on abandoned core ", core);
+    slot.job = job;
+    slot.remaining = job.serviceTime;
+    slot.energyMark = sim->coreEnergy(core).energy();
+    chip_->core(core).setWorkload(
+        benchmarks::suiteSequence(classTableEntry(job).suite,
+                                  cfg->jobPhaseSeconds),
+        /*start_time=*/sim->now());
+}
+
+void
+FleetNode::advance(Seconds slice)
+{
+    const Seconds start = sim->now();
+    sim->run(slice);
+    const Seconds now = sim->now();
+    const double decay = std::exp(-slice / cfg->riskTau);
+
+    for (unsigned c = 0; c < chip_->numCores(); ++c) {
+        CoreSlot &slot = slots[c];
+
+        // Telemetry deltas for the risk score and job stretching.
+        const std::uint64_t errors = sim->coreCorrectableEvents(c);
+        const std::uint64_t recoveries = recoveryMgr->recoveries(c);
+        const Seconds lost = recoveryMgr->lostTime(c);
+        const std::uint64_t err_delta = errors - slot.seenErrors;
+        const std::uint64_t rec_delta = recoveries - slot.seenRecoveries;
+        const Seconds lost_delta = lost - slot.seenLostTime;
+        slot.seenErrors = errors;
+        slot.seenRecoveries = recoveries;
+        slot.seenLostTime = lost;
+
+        slot.risk = slot.risk * decay +
+                    cfg->riskPerError * double(err_delta) +
+                    cfg->riskPerRecovery * double(rec_delta);
+        if (rec_delta > 0)
+            slot.lastRecoveryAt = now;
+
+        if (!slot.job)
+            continue;
+
+        if (recoveryMgr->isAbandoned(c)) {
+            // The core was retired mid-job: hand the job back to the
+            // fleet for another chip (its arrival time, and therefore
+            // its accumulating latency, is preserved, as is the energy
+            // already burned on the dead core).
+            slot.job->accruedEnergy +=
+                sim->coreEnergy(c).energy() - slot.energyMark;
+            requeued.push_back(*slot.job);
+            slot.job.reset();
+            slot.remaining = 0.0;
+            continue;
+        }
+
+        // Rollbacks re-execute lost work: the job stretches by exactly
+        // the time the recovery manager charged to this core.
+        slot.remaining += lost_delta;
+        slot.remaining -= slice;
+        if (slot.remaining <= 0.0) {
+            // The job finished partway through the slice.
+            const Seconds completion =
+                std::clamp(now + slot.remaining, start, now);
+            slot.job->accruedEnergy +=
+                sim->coreEnergy(c).energy() - slot.energyMark;
+            shard.recordCompletion(*slot.job,
+                                   classTableEntry(*slot.job),
+                                   completion, slot.job->accruedEnergy);
+            slot.job.reset();
+            slot.remaining = 0.0;
+            chip_->core(c).setWorkload(
+                std::make_shared<IdleWorkload>(), now);
+        }
+    }
+}
+
+std::vector<Job>
+FleetNode::takeRequeued()
+{
+    std::vector<Job> jobs = std::move(requeued);
+    requeued.clear();
+    return jobs;
+}
+
+Watt
+FleetNode::drainIntervalPower()
+{
+    const Watt power = sim->chipEnergy().meanPowerSince(powerMark);
+    powerMark = sim->chipEnergy().snapshot();
+    return power;
+}
+
+void
+FleetNode::appendStatus(std::vector<CoreStatus> &out,
+                        bool chip_throttled) const
+{
+    const unsigned schedulable = schedulableCores();
+    const double load =
+        schedulable == 0 ? 1.0 : double(busyCores()) / schedulable;
+    const Seconds now = sim->now();
+
+    for (unsigned c = 0; c < chip_->numCores(); ++c) {
+        CoreStatus status;
+        status.ref = {nodeIndex, c};
+        status.busy = bool(slots[c].job);
+        status.abandoned = recoveryMgr->isAbandoned(c);
+        status.throttled = chip_throttled;
+        status.headroomMv = headroom(c);
+        status.riskScore = slots[c].risk;
+        status.recentRecovery =
+            now - slots[c].lastRecoveryAt <= cfg->riskWindow;
+        status.chipLoad = load;
+        out.push_back(status);
+    }
+}
+
+const JobClass &
+FleetNode::classTableEntry(const Job &job) const
+{
+    return classTable->at(job.classIndex);
+}
+
+Fleet::Fleet(const FleetConfig &config)
+    : cfg(config), queue(config.jobs),
+      scheduler(makeScheduler(config.policy, config.reserveForCritical,
+                              config.riskThreshold)),
+      governor_(config.governor, config.numChips)
+{
+    if (cfg.numChips == 0)
+        fatal("Fleet needs at least one chip");
+    if (cfg.slice <= 0.0 || cfg.tick <= 0.0 || cfg.slice < cfg.tick)
+        fatal("Fleet needs 0 < tick <= slice");
+}
+
+Fleet::~Fleet() = default;
+
+void
+Fleet::buildNodes(ExperimentPool &pool)
+{
+    // Node construction includes the calibration sweep, the expensive
+    // part of bring-up, so it runs on the pool too: one task per chip,
+    // each sampling its die from mix64(seed, index).
+    nodes.resize(cfg.numChips);
+    auto outcomes = pool.run(
+        cfg.seed, cfg.numChips, [&](ExperimentTaskContext &ctx) {
+            nodes[ctx.index] = std::make_unique<FleetNode>(
+                cfg, unsigned(ctx.index));
+            return 0;
+        });
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        if (!outcomes[i].ok())
+            fatal("fleet chip ", i, " failed to build: ",
+                  outcomes[i].error);
+    }
+    for (auto &node : nodes)
+        node->setClassTable(queue.classes());
+}
+
+std::vector<CoreStatus>
+Fleet::fleetStatus() const
+{
+    std::vector<CoreStatus> status;
+    status.reserve(std::size_t(cfg.numChips) * cfg.chip.numCores);
+    for (const auto &node : nodes)
+        node->appendStatus(status, governor_.throttled(node->index()));
+    return status;
+}
+
+void
+Fleet::placePending()
+{
+    if (pending.empty())
+        return;
+    std::vector<CoreStatus> status = fleetStatus();
+
+    std::deque<Job> unplaced;
+    while (!pending.empty()) {
+        Job job = pending.front();
+        pending.pop_front();
+
+        const JobClass &cls = queue.classes().at(job.classIndex);
+        const auto choice = scheduler->place(job, cls, status);
+        if (!choice) {
+            // This job waits, but a later one may still fit (e.g. the
+            // margin-aware reserve refuses batch work while critical
+            // jobs can still land on the reserved cores).
+            unplaced.push_back(job);
+            continue;
+        }
+
+        nodes[choice->chip]->placeJob(choice->core, job);
+
+        // Refresh the placed chip's rows so the next decision sees it.
+        const double load =
+            nodes[choice->chip]->schedulableCores() == 0
+                ? 1.0
+                : double(nodes[choice->chip]->busyCores()) /
+                      nodes[choice->chip]->schedulableCores();
+        for (CoreStatus &row : status) {
+            if (row.ref.chip != choice->chip)
+                continue;
+            row.chipLoad = load;
+            if (row.ref == *choice)
+                row.busy = true;
+        }
+    }
+    pending = std::move(unplaced);
+}
+
+void
+Fleet::run(Seconds duration, ExperimentPool &pool)
+{
+    if (duration < 0.0)
+        fatal("Fleet::run needs a non-negative duration");
+    if (nodes.empty())
+        buildNodes(pool);
+
+    const std::uint64_t slices =
+        std::uint64_t(duration / cfg.slice + 0.5);
+    const std::uint64_t governor_slices = std::max<std::uint64_t>(
+        1, std::uint64_t(cfg.governor.interval / cfg.slice + 0.5));
+
+    for (std::uint64_t s = 0; s < slices; ++s) {
+        // 1. Arrivals up to the slice start, then jobs bumped off
+        // abandoned cores (they are older, so they go first).
+        std::vector<Job> arrivals = queue.drainArrivalsUpTo(now_);
+        submitted += arrivals.size();
+        for (auto &node : nodes) {
+            for (Job &job : node->takeRequeued()) {
+                ++requeueCount;
+                pending.push_front(job);
+            }
+        }
+        for (Job &job : arrivals)
+            pending.push_back(job);
+
+        // 2. Power-cap redistribution on the governor cadence. Slice 0
+        // is skipped: no simulated time has elapsed, so a measurement
+        // would seed the demand estimates with zeros.
+        if (governor_.enabled() && sliceIndex > 0 &&
+            sliceIndex % governor_slices == 0) {
+            std::vector<Watt> power;
+            power.reserve(nodes.size());
+            for (auto &node : nodes)
+                power.push_back(node->drainIntervalPower());
+            governor_.update(power);
+        }
+
+        // 3. Placement (serial, deterministic).
+        placePending();
+
+        // 4. Parallel advance: one pool task per chip; nothing shared.
+        auto outcomes = pool.run(
+            mix64(cfg.seed, sliceIndex), nodes.size(),
+            [&](ExperimentTaskContext &ctx) {
+                nodes[ctx.index]->advance(cfg.slice);
+                return 0;
+            });
+        for (std::size_t i = 0; i < outcomes.size(); ++i) {
+            if (!outcomes[i].ok())
+                fatal("fleet chip ", i, " failed during slice ",
+                      sliceIndex, ": ", outcomes[i].error);
+        }
+
+        now_ += cfg.slice;
+        ++sliceIndex;
+    }
+}
+
+FleetReport
+Fleet::report() const
+{
+    FleetReport rep;
+    rep.simulated = now_;
+    rep.submitted = submitted;
+    rep.requeued = requeueCount;
+    rep.pendingAtEnd = pending.size();
+    rep.throttleEpisodes = governor_.throttleEpisodes();
+
+    FleetMetrics merged;
+    rep.availability = nodes.empty() ? 1.0 : 0.0;
+    for (const auto &node : nodes) {
+        merged.merge(node->metrics());
+        rep.runningAtEnd += node->busyCores();
+        rep.fleetEnergy += node->chipEnergy();
+        rep.availability += node->recovery().availability(now_);
+        rep.recoveries += node->recovery().recoveries();
+        rep.abandonedCores += node->recovery().abandonedCores();
+        if (const FaultInjector *inj = node->faultInjector()) {
+            rep.injectedBitFlips += inj->stats().bitFlips;
+            rep.injectedDues += inj->stats().dues;
+        }
+    }
+    if (!nodes.empty())
+        rep.availability /= double(nodes.size());
+
+    rep.completed = merged.completed();
+    rep.completedCritical = merged.completedCritical();
+    rep.slaViolations = merged.slaViolations();
+    for (const Job &job : pending) {
+        if (job.deadline < now_)
+            ++rep.slaViolations;
+    }
+    if (now_ > 0.0) {
+        rep.throughputPerSec = double(rep.completed) / now_;
+        rep.meanFleetPower = rep.fleetEnergy / now_;
+    }
+    if (rep.completed > 0) {
+        rep.meanLatency = merged.latencyStats().mean();
+        rep.p50Latency = merged.latencyQuantile(0.50);
+        rep.p99Latency = merged.latencyQuantile(0.99);
+        // Marginal attribution: the energy the jobs' cores drew while
+        // the jobs were resident. Fleet idle draw is placement-
+        // independent and would bury the scheduler's effect.
+        rep.energyPerJob = merged.jobEnergy() / double(rep.completed);
+    }
+    return rep;
+}
+
+} // namespace vspec

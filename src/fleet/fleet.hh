@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Multi-chip fleet simulation: the datacenter layer above the chip.
+ *
+ * A Fleet instantiates N independently variation-sampled chips — each
+ * with its own calibrated ECC-guided voltage control system, crash
+ * recovery manager and (optionally) fault injector — and drives them
+ * against a shared open-loop JobQueue. Time advances in fixed
+ * scheduling slices:
+ *
+ *  1. jobs that arrived by the slice start join the pending queue
+ *     (plus any jobs requeued off abandoned cores);
+ *  2. on its cadence, the PowerCapGovernor reads each chip's mean
+ *     power over the interval and redistributes the per-chip caps;
+ *  3. the Scheduler places pending jobs one at a time onto free cores,
+ *     seeing live ECC telemetry: per-core safe undervolt headroom
+ *     (nominal - setpoint, what the control loop has earned) and a
+ *     decaying risk score fed by correctable bursts and recoveries;
+ *  4. every node advances its Simulator by one slice on ExperimentPool
+ *     workers — one chip per task, no shared mutable state — then the
+ *     slice's completions, requeues and risk updates are folded in
+ *     node order.
+ *
+ * All cross-node decisions (arrivals, placement, capping, merges) run
+ * serially between slices, and each chip's stochastic state comes from
+ * its own seed, mix64(fleet seed, chip index) — so a fleet run is
+ * byte-identical for every worker-thread count.
+ */
+
+#ifndef VSPEC_FLEET_FLEET_HH
+#define VSPEC_FLEET_FLEET_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "fleet/fleet_metrics.hh"
+#include "fleet/job.hh"
+#include "fleet/power_governor.hh"
+#include "fleet/scheduler.hh"
+#include "platform/chip.hh"
+#include "platform/experiment_pool.hh"
+#include "platform/harness.hh"
+#include "platform/simulator.hh"
+#include "power/energy.hh"
+#include "resilience/fault_injector.hh"
+#include "resilience/recovery_manager.hh"
+
+namespace vspec
+{
+
+struct FleetConfig
+{
+    /** Chips in the fleet, each an independently sampled die. */
+    unsigned numChips = 4;
+    /**
+     * Per-chip configuration template; each chip's seed is replaced by
+     * mix64(seed, chip index).
+     */
+    ChipConfig chip;
+    /** Master seed for chip sampling (the job stream has its own). */
+    std::uint64_t seed = 0xF1EE7ULL;
+
+    /** Scheduling quantum (s): arrivals, placement, merges. */
+    Seconds slice = 0.05;
+    /** Simulator tick within a slice (s). */
+    Seconds tick = 2e-3;
+
+    SchedulerPolicy policy = SchedulerPolicy::roundRobin;
+    /** Margin-aware: deepest free cores withheld from batch jobs. */
+    unsigned reserveForCritical = 2;
+    /** Risk-aware: critical jobs refuse cores scoring above this. */
+    double riskThreshold = 5.0;
+
+    JobQueue::Config jobs;
+    PowerCapGovernor::Config governor;
+    RecoveryManager::Config recovery;
+    /** All-zero rates leave the injector unarmed. */
+    FaultInjector::Config faults;
+
+    /** Benchmark-phase length of the workload a resident job runs. */
+    Seconds jobPhaseSeconds = 1.0;
+
+    /** Risk-score decay time constant (s). */
+    Seconds riskTau = 5.0;
+    /** Risk added per workload correctable event. */
+    double riskPerError = 0.5;
+    /** Risk added per crash recovery. */
+    double riskPerRecovery = 10.0;
+    /** A recovery taints the core for this long ("recent"). */
+    Seconds riskWindow = 10.0;
+};
+
+/**
+ * One chip of the fleet with its control, recovery and job state. The
+ * fleet mutates nodes only from the serial phase; advance() is the only
+ * entry the pool workers call, and it touches nothing outside the node.
+ */
+class FleetNode
+{
+  public:
+    FleetNode(const FleetConfig &config, unsigned index);
+
+    unsigned index() const { return nodeIndex; }
+    Chip &chip() { return *chip_; }
+    const Chip &chip() const { return *chip_; }
+    Simulator &simulator() { return *sim; }
+    const RecoveryManager &recovery() const { return *recoveryMgr; }
+    const FaultInjector *faultInjector() const { return injector.get(); }
+    const FleetMetrics &metrics() const { return shard; }
+
+    /** Cores the scheduler may ever use (not abandoned). */
+    unsigned schedulableCores() const;
+    unsigned busyCores() const;
+    bool coreBusy(unsigned core) const;
+    double riskScore(unsigned core) const;
+    /** Safe undervolt headroom the control loop has earned (mV). */
+    Millivolt headroom(unsigned core) const;
+
+    /**
+     * Bind the job-class table (owned by the fleet's JobQueue); must
+     * happen before the first placeJob().
+     */
+    void setClassTable(const std::vector<JobClass> &classes)
+    {
+        classTable = &classes;
+    }
+
+    /** Bind a job to a free core and give the core its workload. */
+    void placeJob(unsigned core, const Job &job);
+
+    /** Advance the chip by one slice (called from pool workers). */
+    void advance(Seconds slice);
+
+    /** Jobs bumped off abandoned cores last slice, oldest first. */
+    std::vector<Job> takeRequeued();
+
+    /** Mean chip power since the last call (governor telemetry). */
+    Watt drainIntervalPower();
+
+    /** Append this node's per-core status rows, in core order. */
+    void appendStatus(std::vector<CoreStatus> &out,
+                      bool chip_throttled) const;
+
+    Joule chipEnergy() const { return sim->chipEnergy().energy(); }
+
+  private:
+    struct CoreSlot
+    {
+        std::optional<Job> job;
+        /** Service time still owed (stretched by recovery rollbacks). */
+        Seconds remaining = 0.0;
+        /** Core EnergyAccount reading when the job was placed (J). */
+        Joule energyMark = 0.0;
+        double risk = 0.0;
+        Seconds lastRecoveryAt = -1e30;
+        std::uint64_t seenErrors = 0;
+        std::uint64_t seenRecoveries = 0;
+        Seconds seenLostTime = 0.0;
+    };
+
+    const FleetConfig *cfg;
+    unsigned nodeIndex;
+    const std::vector<JobClass> *classTable = nullptr;
+
+    const JobClass &classTableEntry(const Job &job) const;
+
+    std::unique_ptr<Chip> chip_;
+    std::unique_ptr<Simulator> sim;
+    HardwareSpeculationSetup setup;
+    std::unique_ptr<RecoveryManager> recoveryMgr;
+    std::unique_ptr<FaultInjector> injector;
+
+    std::vector<CoreSlot> slots;
+    std::vector<Job> requeued;
+    FleetMetrics shard;
+    EnergyAccount::Snapshot powerMark;
+};
+
+/** Fleet-wide results of a run. */
+struct FleetReport
+{
+    Seconds simulated = 0.0;
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t completedCritical = 0;
+    std::uint64_t requeued = 0;
+    std::uint64_t pendingAtEnd = 0;
+    std::uint64_t runningAtEnd = 0;
+    /** Late completions plus jobs still queued past their deadline. */
+    std::uint64_t slaViolations = 0;
+    double throughputPerSec = 0.0;
+    Seconds meanLatency = 0.0;
+    Seconds p50Latency = 0.0;
+    Seconds p99Latency = 0.0;
+    Joule fleetEnergy = 0.0;
+    /**
+     * Mean energy drawn by a completed job's cores while it was
+     * resident (J) — the marginal cost of a job, excluding the fleet's
+     * placement-independent idle draw.
+     */
+    Joule energyPerJob = 0.0;
+    Watt meanFleetPower = 0.0;
+    /** Mean over chips of the recovery manager's availability. */
+    double availability = 1.0;
+    std::uint64_t recoveries = 0;
+    unsigned abandonedCores = 0;
+    std::uint64_t throttleEpisodes = 0;
+    std::uint64_t injectedBitFlips = 0;
+    std::uint64_t injectedDues = 0;
+};
+
+class Fleet
+{
+  public:
+    explicit Fleet(const FleetConfig &config);
+    ~Fleet();
+
+    Fleet(const Fleet &) = delete;
+    Fleet &operator=(const Fleet &) = delete;
+
+    /**
+     * Advance the fleet by @p duration, building the nodes on the pool
+     * on first call. May be called repeatedly; time accumulates.
+     */
+    void run(Seconds duration, ExperimentPool &pool);
+
+    FleetReport report() const;
+
+    Seconds now() const { return now_; }
+    unsigned numChips() const { return unsigned(nodes.size()); }
+    FleetNode &node(unsigned i) { return *nodes.at(i); }
+    const FleetNode &node(unsigned i) const { return *nodes.at(i); }
+    const PowerCapGovernor &governor() const { return governor_; }
+    const JobQueue &jobQueue() const { return queue; }
+    /** Jobs waiting for a core right now. */
+    std::size_t pendingJobs() const { return pending.size(); }
+
+    const FleetConfig &config() const { return cfg; }
+
+  private:
+    FleetConfig cfg;
+    JobQueue queue;
+    std::unique_ptr<Scheduler> scheduler;
+    PowerCapGovernor governor_;
+
+    std::vector<std::unique_ptr<FleetNode>> nodes;
+    std::deque<Job> pending;
+
+    Seconds now_ = 0.0;
+    std::uint64_t sliceIndex = 0;
+    std::uint64_t submitted = 0;
+    std::uint64_t requeueCount = 0;
+
+    void buildNodes(ExperimentPool &pool);
+    void placePending();
+    std::vector<CoreStatus> fleetStatus() const;
+};
+
+} // namespace vspec
+
+#endif // VSPEC_FLEET_FLEET_HH

@@ -1,0 +1,53 @@
+#include "fleet/fleet_metrics.hh"
+
+#include "common/logging.hh"
+
+namespace vspec
+{
+
+FleetMetrics::FleetMetrics(Seconds max_latency, std::size_t bins)
+    : histogram(0.0, max_latency, bins)
+{
+    if (max_latency <= 0.0)
+        fatal("FleetMetrics needs a positive latency range");
+}
+
+void
+FleetMetrics::recordCompletion(const Job &job, const JobClass &cls,
+                               Seconds completion_time, Joule job_energy)
+{
+    const Seconds job_latency = completion_time - job.arrival;
+    if (job_latency < 0.0)
+        panic("FleetMetrics: job ", job.id, " completed before arrival");
+
+    histogram.add(job_latency);
+    latency.add(job_latency);
+    jobEnergyTotal += job_energy;
+    ++completedJobs;
+    const bool late = completion_time > job.deadline;
+    violations += late ? 1 : 0;
+    if (cls.latencyCritical) {
+        ++criticalJobs;
+        criticalViolations += late ? 1 : 0;
+    }
+}
+
+void
+FleetMetrics::merge(const FleetMetrics &other)
+{
+    histogram.merge(other.histogram);
+    latency.merge(other.latency);
+    jobEnergyTotal += other.jobEnergyTotal;
+    completedJobs += other.completedJobs;
+    criticalJobs += other.criticalJobs;
+    violations += other.violations;
+    criticalViolations += other.criticalViolations;
+}
+
+Seconds
+FleetMetrics::latencyQuantile(double q) const
+{
+    return histogram.quantile(q);
+}
+
+} // namespace vspec

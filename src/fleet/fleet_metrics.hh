@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Mergeable per-node fleet telemetry.
+ *
+ * Each FleetNode records the jobs it completes into its own shard —
+ * latency histogram (for p50/p99), latency running stats, completion
+ * and SLA-violation counts, split by latency-critical vs batch. Shards
+ * merge in node order at report time (Histogram::merge /
+ * RunningStats::merge), so the fleet-wide numbers are identical for
+ * every worker-thread count.
+ */
+
+#ifndef VSPEC_FLEET_FLEET_METRICS_HH
+#define VSPEC_FLEET_FLEET_METRICS_HH
+
+#include <cstdint>
+
+#include "common/stats.hh"
+#include "common/units.hh"
+#include "fleet/job.hh"
+
+namespace vspec
+{
+
+class FleetMetrics
+{
+  public:
+    /**
+     * @param max_latency upper edge of the latency histogram (s);
+     *        completions beyond it land in the saturating top bin.
+     */
+    explicit FleetMetrics(Seconds max_latency = 120.0,
+                          std::size_t bins = 1200);
+
+    /**
+     * Record one completed job. @p job_energy is the energy the job's
+     * cores drew while it was resident (the marginal cost of the job,
+     * not a share of the fleet's idle draw).
+     */
+    void recordCompletion(const Job &job, const JobClass &cls,
+                          Seconds completion_time, Joule job_energy = 0.0);
+
+    /** Fold another shard into this one. */
+    void merge(const FleetMetrics &other);
+
+    std::uint64_t completed() const { return completedJobs; }
+    /** Total energy attributed to completed jobs (J). */
+    Joule jobEnergy() const { return jobEnergyTotal; }
+    std::uint64_t completedCritical() const { return criticalJobs; }
+    std::uint64_t slaViolations() const { return violations; }
+    std::uint64_t slaViolationsCritical() const
+    {
+        return criticalViolations;
+    }
+
+    /** Arrival-to-completion latency quantile (s). */
+    Seconds latencyQuantile(double q) const;
+    const RunningStats &latencyStats() const { return latency; }
+    const Histogram &latencyHistogram() const { return histogram; }
+
+  private:
+    Histogram histogram;
+    RunningStats latency;
+    Joule jobEnergyTotal = 0.0;
+    std::uint64_t completedJobs = 0;
+    std::uint64_t criticalJobs = 0;
+    std::uint64_t violations = 0;
+    std::uint64_t criticalViolations = 0;
+};
+
+} // namespace vspec
+
+#endif // VSPEC_FLEET_FLEET_METRICS_HH

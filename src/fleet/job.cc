@@ -1,0 +1,100 @@
+#include "fleet/job.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace vspec
+{
+
+std::vector<JobClass>
+defaultJobClasses()
+{
+    JobClass interactive;
+    interactive.name = "interactive";
+    interactive.arrivalWeight = 3.0;
+    interactive.meanServiceTime = 0.8;
+    interactive.minServiceTime = 0.1;
+    interactive.deadline = 6.0;
+    interactive.latencyCritical = true;
+    interactive.suite = Suite::coreMark;
+
+    JobClass batch;
+    batch.name = "batch";
+    batch.arrivalWeight = 1.0;
+    batch.meanServiceTime = 4.0;
+    batch.minServiceTime = 0.5;
+    batch.deadline = 40.0;
+    batch.latencyCritical = false;
+    batch.suite = Suite::specFp2000;
+
+    return {interactive, batch};
+}
+
+JobQueue::JobQueue(const Config &config)
+    : cfg(config), rng(config.seed),
+      classTable(config.classes.empty() ? defaultJobClasses()
+                                        : config.classes)
+{
+    if (cfg.arrivalsPerSecond <= 0.0)
+        fatal("JobQueue needs a positive arrival rate");
+    for (const JobClass &cls : classTable) {
+        if (cls.arrivalWeight < 0.0 || cls.meanServiceTime <= 0.0 ||
+            cls.deadline <= 0.0) {
+            fatal("JobQueue: malformed job class \"", cls.name, "\"");
+        }
+        totalWeight += cls.arrivalWeight;
+    }
+    if (totalWeight <= 0.0)
+        fatal("JobQueue: all job classes have zero arrival weight");
+
+    if (cfg.firstArrival < 0.0)
+        fatal("JobQueue: firstArrival must not be negative");
+
+    // The stream starts with the first inter-arrival gap after the
+    // opening time, not a job at the opening time itself.
+    nextArrival = cfg.firstArrival -
+                  std::log1p(-rng.uniform()) / cfg.arrivalsPerSecond;
+}
+
+Job
+JobQueue::makeJob(Seconds arrival)
+{
+    // Fixed per-job draw order (class, then service time) keeps the
+    // stream independent of drain chunking.
+    double pick = rng.uniform() * totalWeight;
+    unsigned class_index = 0;
+    for (unsigned i = 0; i < classTable.size(); ++i) {
+        pick -= classTable[i].arrivalWeight;
+        if (pick < 0.0) {
+            class_index = i;
+            break;
+        }
+    }
+    const JobClass &cls = classTable[class_index];
+
+    Job job;
+    job.id = nextId++;
+    job.classIndex = class_index;
+    job.arrival = arrival;
+    job.serviceTime =
+        std::max(cls.minServiceTime,
+                 -std::log1p(-rng.uniform()) * cls.meanServiceTime);
+    job.deadline = arrival + cls.deadline;
+    return job;
+}
+
+std::vector<Job>
+JobQueue::drainArrivalsUpTo(Seconds t)
+{
+    std::vector<Job> arrivals;
+    while (nextArrival <= t) {
+        arrivals.push_back(makeJob(nextArrival));
+        nextArrival +=
+            -std::log1p(-rng.uniform()) / cfg.arrivalsPerSecond;
+    }
+    return arrivals;
+}
+
+} // namespace vspec

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The fleet's unit of work.
+ *
+ * The datacenter layer drives every chip against a shared open-loop
+ * request stream: jobs arrive as a Poisson process, each drawn from a
+ * small set of job classes (a service-time distribution, a completion
+ * deadline, a benchmark suite the job runs while resident, and whether
+ * the class is latency-critical). The JobQueue materializes that stream
+ * deterministically from a seed — the arrival times, classes and
+ * service times are a pure function of (seed, job index), so a fleet
+ * experiment is reproducible regardless of how the driver chunks its
+ * scheduling slices.
+ */
+
+#ifndef VSPEC_FLEET_JOB_HH
+#define VSPEC_FLEET_JOB_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/units.hh"
+#include "workload/workload.hh"
+
+namespace vspec
+{
+
+/** Static description of one class of fleet jobs. */
+struct JobClass
+{
+    std::string name = "batch";
+    /** Relative share of arrivals drawn from this class. */
+    double arrivalWeight = 1.0;
+    /** Mean of the exponential service-time draw (s). */
+    Seconds meanServiceTime = 2.0;
+    /** Service times are clamped below at this floor (s). */
+    Seconds minServiceTime = 0.25;
+    /** Completion deadline relative to arrival (s). */
+    Seconds deadline = 20.0;
+    /** Latency-critical classes get the margin-aware fast path. */
+    bool latencyCritical = false;
+    /** Benchmark suite the job runs while resident on a core. */
+    Suite suite = Suite::specJbb2005;
+};
+
+/**
+ * The default two-class mix: a latency-critical "interactive" service
+ * stream (short requests, tight deadline, CoreMark-like kernels) over a
+ * "batch" background (longer, loose deadline, SPECfp-like).
+ */
+std::vector<JobClass> defaultJobClasses();
+
+/** One job instance of the open-loop stream. */
+struct Job
+{
+    std::uint64_t id = 0;
+    /** Index into the queue's class table. */
+    unsigned classIndex = 0;
+    Seconds arrival = 0.0;
+    /** Busy time the job needs on a core (s). */
+    Seconds serviceTime = 0.0;
+    /** Absolute completion deadline (s). */
+    Seconds deadline = 0.0;
+    /**
+     * Energy drawn by the cores this job has occupied so far (J),
+     * maintained by the fleet driver. Survives a requeue off an
+     * abandoned core, so the final energy-per-job attribution includes
+     * work that was later rolled back.
+     */
+    Joule accruedEnergy = 0.0;
+};
+
+/**
+ * Deterministic Poisson job source. Arrival gaps are exponential with
+ * mean 1/arrivalsPerSecond; each arrival draws its class by arrival
+ * weight and its service time from the class distribution, in a fixed
+ * per-job order from one private generator — so the stream does not
+ * depend on the drain granularity.
+ */
+class JobQueue
+{
+  public:
+    struct Config
+    {
+        /** Mean arrival rate of the open-loop stream (jobs/s). */
+        double arrivalsPerSecond = 10.0;
+        /**
+         * The stream opens at this time (s): no job arrives earlier.
+         * Lets an experiment warm the fleet up — run until the ECC
+         * control loops settle into their per-domain equilibria — before
+         * offering load, so placement decisions see settled headroom.
+         */
+        Seconds firstArrival = 0.0;
+        /** Job classes; empty selects defaultJobClasses(). */
+        std::vector<JobClass> classes;
+        std::uint64_t seed = 0x10B5ULL;
+    };
+
+    explicit JobQueue(const Config &config);
+
+    /**
+     * All jobs with arrival <= t, in arrival order, removed from the
+     * source. Draining up to t in one call or many produces the same
+     * jobs.
+     */
+    std::vector<Job> drainArrivalsUpTo(Seconds t);
+
+    const std::vector<JobClass> &classes() const { return classTable; }
+    const JobClass &classOf(const Job &job) const
+    {
+        return classTable.at(job.classIndex);
+    }
+
+    /** Jobs generated so far (drained or pending). */
+    std::uint64_t generated() const { return nextId; }
+
+    const Config &config() const { return cfg; }
+
+  private:
+    Config cfg;
+    Rng rng;
+    std::vector<JobClass> classTable;
+    double totalWeight = 0.0;
+    /** Arrival time of the next not-yet-drained job. */
+    Seconds nextArrival = 0.0;
+    std::uint64_t nextId = 0;
+
+    Job makeJob(Seconds arrival);
+};
+
+} // namespace vspec
+
+#endif // VSPEC_FLEET_JOB_HH

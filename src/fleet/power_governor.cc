@@ -1,0 +1,115 @@
+#include "fleet/power_governor.hh"
+
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace vspec
+{
+
+PowerCapGovernor::PowerCapGovernor(const Config &config,
+                                   unsigned num_chips)
+    : cfg(config), demandEwma(num_chips, 0.0), caps(num_chips, 0.0),
+      throttled_(num_chips, false)
+{
+    if (num_chips == 0)
+        fatal("PowerCapGovernor needs at least one chip");
+    if (cfg.fleetBudget < 0.0 || cfg.minChipCap < 0.0)
+        fatal("PowerCapGovernor budget and floor must be non-negative");
+    if (cfg.interval <= 0.0)
+        fatal("PowerCapGovernor interval must be positive");
+    if (cfg.demandAlpha <= 0.0 || cfg.demandAlpha > 1.0 ||
+        cfg.resumeFraction <= 0.0 || cfg.resumeFraction > 1.0) {
+        fatal("PowerCapGovernor alpha and resume fraction must be in "
+              "(0, 1]");
+    }
+}
+
+void
+PowerCapGovernor::update(const std::vector<Watt> &chip_power)
+{
+    if (chip_power.size() != caps.size())
+        panic("PowerCapGovernor: ", chip_power.size(),
+              " measurements for ", caps.size(), " chips");
+    if (!enabled())
+        return;
+
+    for (std::size_t i = 0; i < chip_power.size(); ++i) {
+        // The first measurement seeds the EWMA so startup demand does
+        // not creep up from zero over several intervals.
+        demandEwma[i] = seeded
+                            ? cfg.demandAlpha * chip_power[i] +
+                                  (1.0 - cfg.demandAlpha) * demandEwma[i]
+                            : chip_power[i];
+    }
+    seeded = true;
+
+    redistribute();
+
+    for (std::size_t i = 0; i < chip_power.size(); ++i) {
+        if (!throttled_[i] && chip_power[i] > caps[i]) {
+            throttled_[i] = true;
+            ++episodes;
+        } else if (throttled_[i] &&
+                   chip_power[i] <= cfg.resumeFraction * caps[i]) {
+            throttled_[i] = false;
+        }
+    }
+}
+
+void
+PowerCapGovernor::redistribute()
+{
+    const std::size_t n = caps.size();
+    const Watt floors = cfg.minChipCap * double(n);
+    if (cfg.fleetBudget <= floors) {
+        // Budget below the floors: split it evenly; the floor promise
+        // is unkeepable.
+        for (auto &cap : caps)
+            cap = cfg.fleetBudget / double(n);
+        return;
+    }
+
+    Watt total_demand = 0.0;
+    for (Watt d : demandEwma)
+        total_demand += d;
+
+    const Watt spare = cfg.fleetBudget - floors;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double share = total_demand > 0.0
+                                 ? demandEwma[i] / total_demand
+                                 : 1.0 / double(n);
+        caps[i] = cfg.minChipCap + spare * share;
+    }
+}
+
+Watt
+PowerCapGovernor::cap(unsigned chip) const
+{
+    if (!enabled())
+        return std::numeric_limits<Watt>::infinity();
+    return caps.at(chip);
+}
+
+bool
+PowerCapGovernor::throttled(unsigned chip) const
+{
+    return throttled_.at(chip);
+}
+
+unsigned
+PowerCapGovernor::throttledChips() const
+{
+    unsigned count = 0;
+    for (bool t : throttled_)
+        count += t ? 1 : 0;
+    return count;
+}
+
+Watt
+PowerCapGovernor::demand(unsigned chip) const
+{
+    return demandEwma.at(chip);
+}
+
+} // namespace vspec

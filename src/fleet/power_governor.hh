@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Fleet-wide power-cap governor.
+ *
+ * A datacenter row has one provisioned power budget shared by every
+ * chip in it. The governor redistributes that budget as per-chip caps
+ * from measured demand: every interval it reads each chip's mean power
+ * over the interval (from the chip's EnergyAccount telemetry), tracks a
+ * demand EWMA, and reassigns caps — every chip keeps a minimum floor,
+ * and the budget above the floors is split proportionally to demand, so
+ * busy chips get headroom that idle chips are not using.
+ *
+ * Enforcement is by admission control, not by yanking rails: a chip
+ * whose measured power exceeds its cap is *throttled* — the scheduler
+ * stops placing new jobs on it — until its power falls back below
+ * resumeFraction of the cap (hysteresis, so a chip riding its cap does
+ * not flap in and out of the placement pool). Rail voltages stay under
+ * the ECC control loop's authority; the paper's safety argument is not
+ * renegotiated by the fleet layer.
+ */
+
+#ifndef VSPEC_FLEET_POWER_GOVERNOR_HH
+#define VSPEC_FLEET_POWER_GOVERNOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace vspec
+{
+
+class PowerCapGovernor
+{
+  public:
+    struct Config
+    {
+        /** Fleet-wide power budget (W); 0 disables capping. */
+        Watt fleetBudget = 0.0;
+        /** Cap redistribution cadence (s). */
+        Seconds interval = 0.5;
+        /** No chip's cap falls below this floor (W). */
+        Watt minChipCap = 2.0;
+        /** EWMA weight of the newest power measurement, in (0, 1]. */
+        double demandAlpha = 0.5;
+        /** Un-throttle below this fraction of the cap, in (0, 1]. */
+        double resumeFraction = 0.9;
+    };
+
+    PowerCapGovernor(const Config &config, unsigned num_chips);
+
+    bool enabled() const { return cfg.fleetBudget > 0.0; }
+    unsigned numChips() const { return unsigned(caps.size()); }
+
+    /**
+     * Feed one interval's mean power per chip (one entry per chip, in
+     * chip order); updates the demand EWMAs, redistributes the caps and
+     * refreshes the throttle flags. A disabled governor ignores the
+     * measurements and throttles nothing.
+     */
+    void update(const std::vector<Watt> &chip_power);
+
+    /** Current cap of one chip (W); infinite when disabled. */
+    Watt cap(unsigned chip) const;
+    /** True if the chip is closed to new placements. */
+    bool throttled(unsigned chip) const;
+    unsigned throttledChips() const;
+    /** Times any chip transitioned into the throttled state. */
+    std::uint64_t throttleEpisodes() const { return episodes; }
+    /** Demand estimate the last redistribution used (W). */
+    Watt demand(unsigned chip) const;
+
+    const Config &config() const { return cfg; }
+
+  private:
+    Config cfg;
+    std::vector<Watt> demandEwma;
+    std::vector<Watt> caps;
+    std::vector<bool> throttled_;
+    std::uint64_t episodes = 0;
+    bool seeded = false;
+
+    void redistribute();
+};
+
+} // namespace vspec
+
+#endif // VSPEC_FLEET_POWER_GOVERNOR_HH

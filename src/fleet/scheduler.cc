@@ -1,0 +1,200 @@
+#include "fleet/scheduler.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace vspec
+{
+
+const char *
+policyName(SchedulerPolicy policy)
+{
+    switch (policy) {
+      case SchedulerPolicy::roundRobin:
+        return "round-robin";
+      case SchedulerPolicy::leastLoaded:
+        return "least-loaded";
+      case SchedulerPolicy::marginAware:
+        return "margin-aware";
+      case SchedulerPolicy::riskAware:
+        return "risk-aware";
+    }
+    panic("unknown scheduler policy");
+}
+
+namespace
+{
+
+/** Indices of the schedulable cores, in status order. */
+std::vector<std::size_t>
+freeCores(const std::vector<CoreStatus> &cores)
+{
+    std::vector<std::size_t> free;
+    for (std::size_t i = 0; i < cores.size(); ++i) {
+        if (cores[i].schedulable())
+            free.push_back(i);
+    }
+    return free;
+}
+
+class RoundRobinScheduler final : public Scheduler
+{
+  public:
+    SchedulerPolicy policy() const override
+    {
+        return SchedulerPolicy::roundRobin;
+    }
+
+    std::optional<CoreRef>
+    place(const Job &, const JobClass &,
+          const std::vector<CoreStatus> &cores) override
+    {
+        if (cores.empty())
+            return std::nullopt;
+        // First schedulable core at or after the cursor, wrapping.
+        for (std::size_t probe = 0; probe < cores.size(); ++probe) {
+            const std::size_t i = (cursor + probe) % cores.size();
+            if (cores[i].schedulable()) {
+                cursor = (i + 1) % cores.size();
+                return cores[i].ref;
+            }
+        }
+        return std::nullopt;
+    }
+
+  private:
+    std::size_t cursor = 0;
+};
+
+class LeastLoadedScheduler final : public Scheduler
+{
+  public:
+    SchedulerPolicy policy() const override
+    {
+        return SchedulerPolicy::leastLoaded;
+    }
+
+    std::optional<CoreRef>
+    place(const Job &, const JobClass &,
+          const std::vector<CoreStatus> &cores) override
+    {
+        const auto free = freeCores(cores);
+        if (free.empty())
+            return std::nullopt;
+        // Lowest chip load; status order (chip-major) breaks ties.
+        const auto best = std::min_element(
+            free.begin(), free.end(), [&](std::size_t a, std::size_t b) {
+                return cores[a].chipLoad < cores[b].chipLoad;
+            });
+        return cores[*best].ref;
+    }
+};
+
+class MarginAwareScheduler final : public Scheduler
+{
+  public:
+    explicit MarginAwareScheduler(unsigned reserve_for_critical)
+        : reserve(reserve_for_critical)
+    {
+    }
+
+    SchedulerPolicy policy() const override
+    {
+        return SchedulerPolicy::marginAware;
+    }
+
+    std::optional<CoreRef>
+    place(const Job &, const JobClass &cls,
+          const std::vector<CoreStatus> &cores) override
+    {
+        auto free = freeCores(cores);
+        if (free.empty())
+            return std::nullopt;
+        // Deepest safe undervolt headroom first (stable sort: status
+        // order breaks ties deterministically).
+        std::stable_sort(
+            free.begin(), free.end(), [&](std::size_t a, std::size_t b) {
+                return cores[a].headroomMv > cores[b].headroomMv;
+            });
+        if (cls.latencyCritical)
+            return cores[free.front()].ref;
+        // Batch work skips the reserved deepest cores when it can, so a
+        // latency-critical arrival never finds only shallow cores free.
+        const std::size_t skip =
+            std::min<std::size_t>(reserve, free.size() - 1);
+        return cores[free[skip]].ref;
+    }
+
+  private:
+    unsigned reserve;
+};
+
+class RiskAwareScheduler final : public Scheduler
+{
+  public:
+    explicit RiskAwareScheduler(double risk_threshold)
+        : threshold(risk_threshold)
+    {
+    }
+
+    SchedulerPolicy policy() const override
+    {
+        return SchedulerPolicy::riskAware;
+    }
+
+    std::optional<CoreRef>
+    place(const Job &, const JobClass &cls,
+          const std::vector<CoreStatus> &cores) override
+    {
+        const auto free = freeCores(cores);
+        if (free.empty())
+            return std::nullopt;
+
+        const auto calmer = [&](std::size_t a, std::size_t b) {
+            return cores[a].riskScore < cores[b].riskScore;
+        };
+        if (cls.latencyCritical) {
+            // Prefer cores that are both calm and recovery-free; fall
+            // back to the calmest core if every choice is tainted.
+            std::vector<std::size_t> safe;
+            for (std::size_t i : free) {
+                if (!cores[i].recentRecovery &&
+                    cores[i].riskScore <= threshold) {
+                    safe.push_back(i);
+                }
+            }
+            const auto &pool = safe.empty() ? free : safe;
+            return cores[*std::min_element(pool.begin(), pool.end(),
+                                           calmer)]
+                .ref;
+        }
+        return cores[*std::min_element(free.begin(), free.end(), calmer)]
+            .ref;
+    }
+
+  private:
+    double threshold;
+};
+
+} // namespace
+
+std::unique_ptr<Scheduler>
+makeScheduler(SchedulerPolicy policy, unsigned reserve_for_critical,
+              double risk_threshold)
+{
+    switch (policy) {
+      case SchedulerPolicy::roundRobin:
+        return std::make_unique<RoundRobinScheduler>();
+      case SchedulerPolicy::leastLoaded:
+        return std::make_unique<LeastLoadedScheduler>();
+      case SchedulerPolicy::marginAware:
+        return std::make_unique<MarginAwareScheduler>(
+            reserve_for_critical);
+      case SchedulerPolicy::riskAware:
+        return std::make_unique<RiskAwareScheduler>(risk_threshold);
+    }
+    panic("unknown scheduler policy");
+}
+
+} // namespace vspec

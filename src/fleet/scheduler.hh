@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Job placement policies for the fleet.
+ *
+ * The fleet driver presents the scheduler with a per-core status view
+ * spanning every chip and asks it to pick a core for one job at a time.
+ * Two of the policies are the classic baselines (round-robin, least
+ * loaded); the other two turn the chips' ECC telemetry into a placement
+ * signal, which is the point of the fleet layer:
+ *
+ *  - margin-aware: the ECC-guided control loop has pushed each rail as
+ *    deep as its weakest line safely allows, so (nominal - setpoint) is
+ *    a live, per-core measurement of safe undervolt headroom. Jobs go
+ *    to the deepest-headroom free core — the cheapest joules in the
+ *    fleet — with the very deepest cores reserved for latency-critical
+ *    work;
+ *  - risk-aware: cores whose recent telemetry shows correctable-error
+ *    bursts or crash recoveries are one step from costing a rollback;
+ *    work routes to the quietest cores instead, and latency-critical
+ *    jobs refuse recently-recovered cores outright when any calmer
+ *    choice exists.
+ *
+ * Placement must be a pure function of (job, status vector, scheduler
+ * state) — no randomness, no wall clock — so fleet runs stay
+ * bit-identical across worker-thread counts.
+ */
+
+#ifndef VSPEC_FLEET_SCHEDULER_HH
+#define VSPEC_FLEET_SCHEDULER_HH
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/units.hh"
+#include "fleet/job.hh"
+
+namespace vspec
+{
+
+/** Fleet-wide core coordinates. */
+struct CoreRef
+{
+    unsigned chip = 0;
+    unsigned core = 0;
+
+    bool operator==(const CoreRef &o) const
+    {
+        return chip == o.chip && core == o.core;
+    }
+};
+
+/** One core's scheduling-relevant state, refreshed every slice. */
+struct CoreStatus
+{
+    CoreRef ref;
+    /** A job is currently resident. */
+    bool busy = false;
+    /** Retired by the recovery manager (crash budget exhausted). */
+    bool abandoned = false;
+    /** The owning chip is over its power cap; no new placements. */
+    bool throttled = false;
+    /** Safe undervolt depth the ECC control loop has earned (mV). */
+    Millivolt headroomMv = 0.0;
+    /** Decaying score of recent correctable bursts and recoveries. */
+    double riskScore = 0.0;
+    /** The chip has seen at least one recovery within the risk window. */
+    bool recentRecovery = false;
+    /** Busy fraction of the owning chip's schedulable cores. */
+    double chipLoad = 0.0;
+
+    bool schedulable() const { return !busy && !abandoned && !throttled; }
+};
+
+enum class SchedulerPolicy
+{
+    roundRobin,
+    leastLoaded,
+    marginAware,
+    riskAware,
+};
+
+const char *policyName(SchedulerPolicy policy);
+
+class Scheduler
+{
+  public:
+    virtual ~Scheduler() = default;
+
+    virtual SchedulerPolicy policy() const = 0;
+
+    /**
+     * Pick a core for @p job, or nullopt to leave it queued this slice.
+     * @p cores is ordered (chip-major, core-minor) and identical for
+     * every queued job within one slice except for the busy flags the
+     * driver updates after each successful placement.
+     */
+    virtual std::optional<CoreRef>
+    place(const Job &job, const JobClass &cls,
+          const std::vector<CoreStatus> &cores) = 0;
+};
+
+/**
+ * Build a policy instance.
+ *
+ * @param reserve_for_critical margin-aware only: this many of the
+ *        deepest-headroom free cores are withheld from non-critical
+ *        jobs (when other free cores exist).
+ * @param risk_threshold risk-aware only: latency-critical jobs refuse
+ *        cores scoring above this when a calmer free core exists.
+ */
+std::unique_ptr<Scheduler>
+makeScheduler(SchedulerPolicy policy, unsigned reserve_for_critical = 2,
+              double risk_threshold = 1.0);
+
+} // namespace vspec
+
+#endif // VSPEC_FLEET_SCHEDULER_HH

@@ -31,6 +31,15 @@ EnergyAccount::meanPower() const
     return totalTime <= 0.0 ? 0.0 : totalEnergy / totalTime;
 }
 
+Watt
+EnergyAccount::meanPowerSince(const Snapshot &since) const
+{
+    if (totalEnergy < since.energy || totalTime < since.elapsed)
+        panic("EnergyAccount: snapshot is newer than the account");
+    const Seconds dt = totalTime - since.elapsed;
+    return dt <= 0.0 ? 0.0 : (totalEnergy - since.energy) / dt;
+}
+
 void
 EnergyAccount::reset()
 {

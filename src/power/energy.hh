@@ -46,6 +46,23 @@ class EnergyAccount
     /** Mean power over the accounted time (W). */
     Watt meanPower() const;
 
+    /**
+     * A point-in-time copy of the accumulated totals, for interval
+     * telemetry: take a snapshot, keep accumulating, and ask for the
+     * mean power of everything added since (the fleet power-cap
+     * governor reads per-chip demand this way).
+     */
+    struct Snapshot
+    {
+        Joule energy = 0.0;
+        Seconds elapsed = 0.0;
+    };
+
+    Snapshot snapshot() const { return {totalEnergy, totalTime}; }
+
+    /** Mean power over the interval since @p since was taken (W). */
+    Watt meanPowerSince(const Snapshot &since) const;
+
     void reset();
 
   private:

@@ -98,6 +98,7 @@ RecoveryManager::recoverCrashed()
         event.lostWork = entry.sinceCheckpoint + cfg.recoveryLatency;
         totalLost += event.lostWork;
         entry.pendingStall += event.lostWork;
+        entry.lostTotal += event.lostWork;
         pendingEnergy += cfg.recoveryEnergy;
         ++entry.recoveryCount;
         ++totalRecoveries;
@@ -137,6 +138,12 @@ std::uint64_t
 RecoveryManager::recoveries(unsigned core_id) const
 {
     return entryFor(core_id).recoveryCount;
+}
+
+Seconds
+RecoveryManager::lostTime(unsigned core_id) const
+{
+    return entryFor(core_id).lostTotal;
 }
 
 unsigned

@@ -106,6 +106,12 @@ class RecoveryManager
 
     /** Total work lost to rollbacks and recovery latency (s). */
     Seconds lostTime() const { return totalLost; }
+    /**
+     * Work lost by one managed core (s). Unlike the stall fraction this
+     * is cumulative, not drained on read — the fleet layer diffs it per
+     * scheduling slice to stretch the job running on the core.
+     */
+    Seconds lostTime(unsigned core_id) const;
     /** Fraction of @p elapsed spent doing useful work, in [0, 1]. */
     double availability(Seconds elapsed) const;
     /** Recovery rate normalized to events per hour. */
@@ -121,6 +127,8 @@ class RecoveryManager
         Seconds sinceCheckpoint = 0.0;
         /** Lost work not yet charged to the energy account. */
         Seconds pendingStall = 0.0;
+        /** Cumulative lost work of this core (never drained). */
+        Seconds lostTotal = 0.0;
         std::uint64_t recoveryCount = 0;
         bool abandoned = false;
     };

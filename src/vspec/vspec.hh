@@ -37,6 +37,11 @@
 #include "cpu/core_model.hh"
 #include "cpu/operating_point.hh"
 #include "ecc/secded.hh"
+#include "fleet/fleet.hh"
+#include "fleet/fleet_metrics.hh"
+#include "fleet/job.hh"
+#include "fleet/power_governor.hh"
+#include "fleet/scheduler.hh"
 #include "pdn/pdn_model.hh"
 #include "pdn/regulator.hh"
 #include "platform/chip.hh"

@@ -1,0 +1,530 @@
+/**
+ * @file
+ * Tests for the fleet layer: deterministic job arrivals, the four
+ * scheduling policies, power-cap redistribution and throttling,
+ * mergeable metrics, and the multi-chip driver's thread-count
+ * invariance.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fleet/fleet.hh"
+#include "fleet/fleet_metrics.hh"
+#include "fleet/job.hh"
+#include "fleet/power_governor.hh"
+#include "fleet/scheduler.hh"
+#include "platform/experiment_pool.hh"
+
+namespace vspec
+{
+namespace
+{
+
+JobQueue::Config
+testJobConfig(double rate = 10.0, std::uint64_t seed = 7)
+{
+    JobQueue::Config cfg;
+    cfg.arrivalsPerSecond = rate;
+    cfg.seed = seed;
+    return cfg;
+}
+
+TEST(JobQueue, ArrivalsAreDeterministicAndChunkInvariant)
+{
+    JobQueue whole(testJobConfig());
+    JobQueue chunked(testJobConfig());
+
+    const std::vector<Job> all = whole.drainArrivalsUpTo(50.0);
+    std::vector<Job> pieces;
+    for (Seconds t = 0.7; t <= 50.0 + 1e-9; t += 0.7) {
+        for (const Job &job : chunked.drainArrivalsUpTo(t))
+            pieces.push_back(job);
+    }
+    // A last drain at exactly 50.0 picks up the tail of the range the
+    // chunk loop did not reach.
+    for (const Job &job : chunked.drainArrivalsUpTo(50.0))
+        pieces.push_back(job);
+
+    ASSERT_EQ(all.size(), pieces.size());
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        EXPECT_EQ(all[i].id, pieces[i].id);
+        EXPECT_EQ(all[i].classIndex, pieces[i].classIndex);
+        EXPECT_DOUBLE_EQ(all[i].arrival, pieces[i].arrival);
+        EXPECT_DOUBLE_EQ(all[i].serviceTime, pieces[i].serviceTime);
+        EXPECT_DOUBLE_EQ(all[i].deadline, pieces[i].deadline);
+    }
+
+    JobQueue other(testJobConfig(10.0, /*seed=*/8));
+    const std::vector<Job> different = other.drainArrivalsUpTo(50.0);
+    ASSERT_FALSE(different.empty());
+    EXPECT_NE(different.front().arrival, all.front().arrival);
+}
+
+TEST(JobQueue, ArrivalRateMatchesTheConfiguredMean)
+{
+    JobQueue queue(testJobConfig(/*rate=*/20.0));
+    const auto jobs = queue.drainArrivalsUpTo(200.0);
+    // 4000 expected arrivals; allow a generous statistical band.
+    EXPECT_GT(jobs.size(), 3600u);
+    EXPECT_LT(jobs.size(), 4400u);
+    for (const Job &job : jobs) {
+        EXPECT_GE(job.arrival, 0.0);
+        EXPECT_LE(job.arrival, 200.0);
+        EXPECT_GT(job.serviceTime, 0.0);
+        EXPECT_GT(job.deadline, job.arrival);
+    }
+}
+
+TEST(JobQueue, ClassMixFollowsArrivalWeights)
+{
+    JobQueue queue(testJobConfig(/*rate=*/50.0));
+    ASSERT_EQ(queue.classes().size(), 2u);
+    // Default mix: interactive weight 3, batch weight 1.
+    const auto jobs = queue.drainArrivalsUpTo(100.0);
+    std::uint64_t interactive = 0;
+    for (const Job &job : jobs)
+        interactive += queue.classOf(job).latencyCritical ? 1 : 0;
+    const double fraction = double(interactive) / double(jobs.size());
+    EXPECT_NEAR(fraction, 0.75, 0.04);
+}
+
+TEST(JobQueue, ServiceTimesRespectTheClassFloorAndMean)
+{
+    JobQueue queue(testJobConfig(/*rate=*/50.0));
+    const auto jobs = queue.drainArrivalsUpTo(200.0);
+    double batch_sum = 0.0;
+    std::uint64_t batch_count = 0;
+    for (const Job &job : jobs) {
+        const JobClass &cls = queue.classOf(job);
+        EXPECT_GE(job.serviceTime, cls.minServiceTime);
+        if (!cls.latencyCritical) {
+            batch_sum += job.serviceTime;
+            ++batch_count;
+        }
+    }
+    ASSERT_GT(batch_count, 500u);
+    // Exponential mean 4.0 with a 0.5 floor: the observed mean sits a
+    // little above 4.
+    EXPECT_NEAR(batch_sum / double(batch_count), 4.0, 0.6);
+}
+
+/** A hand-built fleet view: two chips of two cores each. */
+std::vector<CoreStatus>
+fourCoreStatus()
+{
+    std::vector<CoreStatus> cores(4);
+    for (unsigned i = 0; i < 4; ++i) {
+        cores[i].ref = {i / 2, i % 2};
+        cores[i].headroomMv = 10.0 * (i + 1);
+        cores[i].chipLoad = 0.0;
+    }
+    return cores;
+}
+
+Job
+testJob(bool critical = false)
+{
+    Job job;
+    job.id = 1;
+    job.classIndex = critical ? 0 : 1;
+    job.serviceTime = 1.0;
+    job.deadline = 10.0;
+    return job;
+}
+
+JobClass
+criticalClass()
+{
+    JobClass cls;
+    cls.latencyCritical = true;
+    return cls;
+}
+
+JobClass
+batchClass()
+{
+    JobClass cls;
+    cls.latencyCritical = false;
+    return cls;
+}
+
+TEST(Scheduler, RoundRobinCyclesAcrossFreeCores)
+{
+    auto scheduler = makeScheduler(SchedulerPolicy::roundRobin);
+    auto cores = fourCoreStatus();
+    const Job job = testJob();
+    const JobClass cls = batchClass();
+
+    for (unsigned expect = 0; expect < 8; ++expect) {
+        const auto ref = scheduler->place(job, cls, cores);
+        ASSERT_TRUE(ref.has_value());
+        EXPECT_EQ(ref->chip, (expect % 4) / 2);
+        EXPECT_EQ(ref->core, expect % 2);
+    }
+}
+
+TEST(Scheduler, RoundRobinSkipsBusyAbandonedAndThrottledCores)
+{
+    auto scheduler = makeScheduler(SchedulerPolicy::roundRobin);
+    auto cores = fourCoreStatus();
+    cores[0].busy = true;
+    cores[1].abandoned = true;
+    cores[2].throttled = true;
+    const auto ref =
+        scheduler->place(testJob(), batchClass(), cores);
+    ASSERT_TRUE(ref.has_value());
+    EXPECT_EQ(ref->chip, 1u);
+    EXPECT_EQ(ref->core, 1u);
+}
+
+TEST(Scheduler, LeastLoadedPrefersTheLightestChip)
+{
+    auto scheduler = makeScheduler(SchedulerPolicy::leastLoaded);
+    auto cores = fourCoreStatus();
+    cores[0].chipLoad = cores[1].chipLoad = 0.5;
+    cores[2].chipLoad = cores[3].chipLoad = 0.0;
+    cores[2].busy = true;  // Chip 1's first core is taken.
+    const auto ref =
+        scheduler->place(testJob(), batchClass(), cores);
+    ASSERT_TRUE(ref.has_value());
+    EXPECT_EQ(ref->chip, 1u);
+    EXPECT_EQ(ref->core, 1u);
+}
+
+TEST(Scheduler, MarginAwarePlacesCriticalJobsOnDeepestHeadroom)
+{
+    auto scheduler =
+        makeScheduler(SchedulerPolicy::marginAware, /*reserve=*/1);
+    auto cores = fourCoreStatus();  // Headrooms 10, 20, 30, 40.
+    const auto ref =
+        scheduler->place(testJob(true), criticalClass(), cores);
+    ASSERT_TRUE(ref.has_value());
+    // Core index 3 has the 40 mV headroom.
+    EXPECT_EQ(ref->chip, 1u);
+    EXPECT_EQ(ref->core, 1u);
+}
+
+TEST(Scheduler, MarginAwareReservesTheDeepestCoresForCriticalWork)
+{
+    auto scheduler =
+        makeScheduler(SchedulerPolicy::marginAware, /*reserve=*/2);
+    auto cores = fourCoreStatus();
+    // Batch work skips the two deepest free cores (40, 30 mV) and
+    // lands on the 20 mV core.
+    const auto ref =
+        scheduler->place(testJob(), batchClass(), cores);
+    ASSERT_TRUE(ref.has_value());
+    EXPECT_EQ(ref->chip, 0u);
+    EXPECT_EQ(ref->core, 1u);
+
+    // With every other core busy the reserve yields rather than
+    // leaving the job queued forever.
+    cores[0].busy = cores[1].busy = cores[2].busy = true;
+    const auto last = scheduler->place(testJob(), batchClass(), cores);
+    ASSERT_TRUE(last.has_value());
+    EXPECT_EQ(last->chip, 1u);
+    EXPECT_EQ(last->core, 1u);
+}
+
+TEST(Scheduler, RiskAwareRoutesAwayFromRiskyCores)
+{
+    auto scheduler = makeScheduler(SchedulerPolicy::riskAware,
+                                   /*reserve=*/2, /*threshold=*/5.0);
+    auto cores = fourCoreStatus();
+    cores[0].riskScore = 20.0;
+    cores[1].riskScore = 0.5;
+    cores[2].riskScore = 8.0;
+    cores[3].riskScore = 3.0;
+
+    const auto batch = scheduler->place(testJob(), batchClass(), cores);
+    ASSERT_TRUE(batch.has_value());
+    EXPECT_EQ(batch->chip, 0u);
+    EXPECT_EQ(batch->core, 1u);
+
+    // A critical job refuses a recently-recovered core even when it is
+    // the calmest, as long as an untainted one exists.
+    cores[1].recentRecovery = true;
+    const auto crit =
+        scheduler->place(testJob(true), criticalClass(), cores);
+    ASSERT_TRUE(crit.has_value());
+    EXPECT_EQ(crit->chip, 1u);
+    EXPECT_EQ(crit->core, 1u);
+
+    // With every core tainted it falls back to the calmest.
+    cores[3].recentRecovery = true;
+    const auto fallback =
+        scheduler->place(testJob(true), criticalClass(), cores);
+    ASSERT_TRUE(fallback.has_value());
+    EXPECT_EQ(fallback->chip, 0u);
+    EXPECT_EQ(fallback->core, 1u);
+}
+
+TEST(Scheduler, AllPoliciesReportNoPlacementWhenNothingIsFree)
+{
+    for (SchedulerPolicy policy :
+         {SchedulerPolicy::roundRobin, SchedulerPolicy::leastLoaded,
+          SchedulerPolicy::marginAware, SchedulerPolicy::riskAware}) {
+        auto scheduler = makeScheduler(policy);
+        auto cores = fourCoreStatus();
+        for (auto &core : cores)
+            core.busy = true;
+        EXPECT_FALSE(
+            scheduler->place(testJob(), batchClass(), cores).has_value())
+            << policyName(policy);
+    }
+}
+
+PowerCapGovernor::Config
+testGovernorConfig(Watt budget)
+{
+    PowerCapGovernor::Config cfg;
+    cfg.fleetBudget = budget;
+    cfg.minChipCap = 5.0;
+    cfg.demandAlpha = 1.0;  // No smoothing: caps track measurements.
+    cfg.resumeFraction = 0.9;
+    return cfg;
+}
+
+TEST(PowerCapGovernor, RedistributesTheBudgetProportionallyToDemand)
+{
+    PowerCapGovernor governor(testGovernorConfig(100.0), 4);
+    governor.update({30.0, 10.0, 10.0, 0.0});
+
+    // Floors: 4 x 5 W; the spare 80 W splits 3:1:1:0.
+    EXPECT_DOUBLE_EQ(governor.cap(0), 5.0 + 80.0 * 0.6);
+    EXPECT_DOUBLE_EQ(governor.cap(1), 5.0 + 80.0 * 0.2);
+    EXPECT_DOUBLE_EQ(governor.cap(2), 5.0 + 80.0 * 0.2);
+    EXPECT_DOUBLE_EQ(governor.cap(3), 5.0);
+
+    Watt total = 0.0;
+    for (unsigned i = 0; i < 4; ++i)
+        total += governor.cap(i);
+    EXPECT_NEAR(total, 100.0, 1e-9);
+}
+
+TEST(PowerCapGovernor, SplitsEvenlyWhenTheBudgetIsBelowTheFloors)
+{
+    PowerCapGovernor governor(testGovernorConfig(12.0), 4);
+    governor.update({30.0, 10.0, 10.0, 0.0});
+    for (unsigned i = 0; i < 4; ++i)
+        EXPECT_DOUBLE_EQ(governor.cap(i), 3.0);
+}
+
+TEST(PowerCapGovernor, ThrottlesWithHysteresis)
+{
+    PowerCapGovernor governor(testGovernorConfig(40.0), 2);
+
+    // Chip 0 demands nearly everything and overruns its cap.
+    governor.update({60.0, 2.0});
+    EXPECT_TRUE(governor.throttled(0));
+    EXPECT_FALSE(governor.throttled(1));
+    EXPECT_EQ(governor.throttleEpisodes(), 1u);
+
+    // Dropping just below the cap is not enough to resume...
+    const Watt cap0 = governor.cap(0);
+    governor.update({cap0 * 0.95, 2.0});
+    EXPECT_TRUE(governor.throttled(0));
+
+    // ...dropping below resumeFraction x cap is.
+    governor.update({governor.cap(0) * 0.5, 2.0});
+    EXPECT_FALSE(governor.throttled(0));
+    EXPECT_EQ(governor.throttleEpisodes(), 1u);
+    EXPECT_EQ(governor.throttledChips(), 0u);
+}
+
+TEST(PowerCapGovernor, DisabledGovernorNeverThrottles)
+{
+    PowerCapGovernor governor(testGovernorConfig(0.0), 2);
+    EXPECT_FALSE(governor.enabled());
+    governor.update({1000.0, 1000.0});
+    EXPECT_FALSE(governor.throttled(0));
+    EXPECT_FALSE(governor.throttled(1));
+    EXPECT_TRUE(std::isinf(governor.cap(0)));
+}
+
+TEST(FleetMetrics, MergeMatchesSerialRecording)
+{
+    const JobClass critical = criticalClass();
+    const JobClass batch = batchClass();
+
+    FleetMetrics serial;
+    FleetMetrics shard_a;
+    FleetMetrics shard_b;
+
+    for (std::uint64_t i = 0; i < 200; ++i) {
+        Job job;
+        job.id = i;
+        job.arrival = double(i);
+        job.deadline = job.arrival + 2.0;
+        // Latencies 0.1 .. 4.0; the tail violates the 2 s deadline.
+        const Seconds completion = job.arrival + 0.1 + double(i % 40) * 0.1;
+        const JobClass &cls = (i % 3 == 0) ? critical : batch;
+        serial.recordCompletion(job, cls, completion);
+        ((i < 100) ? shard_a : shard_b)
+            .recordCompletion(job, cls, completion);
+    }
+
+    FleetMetrics merged;
+    merged.merge(shard_a);
+    merged.merge(shard_b);
+
+    EXPECT_EQ(merged.completed(), serial.completed());
+    EXPECT_EQ(merged.completedCritical(), serial.completedCritical());
+    EXPECT_EQ(merged.slaViolations(), serial.slaViolations());
+    EXPECT_EQ(merged.slaViolationsCritical(),
+              serial.slaViolationsCritical());
+    EXPECT_DOUBLE_EQ(merged.latencyQuantile(0.5),
+                     serial.latencyQuantile(0.5));
+    EXPECT_DOUBLE_EQ(merged.latencyQuantile(0.99),
+                     serial.latencyQuantile(0.99));
+    EXPECT_DOUBLE_EQ(merged.latencyStats().mean(),
+                     serial.latencyStats().mean());
+    EXPECT_GT(merged.slaViolations(), 0u);
+}
+
+FleetConfig
+smallFleetConfig()
+{
+    FleetConfig cfg;
+    cfg.numChips = 2;
+    cfg.seed = 0xF1EE7;
+    cfg.jobs.arrivalsPerSecond = 6.0;
+    cfg.jobs.seed = 99;
+    cfg.recovery.checkpointInterval = 1.0;
+    cfg.recovery.recoveryLatency = 0.2;
+    return cfg;
+}
+
+/** Field-by-field exact comparison of two reports. */
+void
+expectIdenticalReports(const FleetReport &a, const FleetReport &b)
+{
+    EXPECT_DOUBLE_EQ(a.simulated, b.simulated);
+    EXPECT_EQ(a.submitted, b.submitted);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.completedCritical, b.completedCritical);
+    EXPECT_EQ(a.requeued, b.requeued);
+    EXPECT_EQ(a.pendingAtEnd, b.pendingAtEnd);
+    EXPECT_EQ(a.runningAtEnd, b.runningAtEnd);
+    EXPECT_EQ(a.slaViolations, b.slaViolations);
+    EXPECT_DOUBLE_EQ(a.meanLatency, b.meanLatency);
+    EXPECT_DOUBLE_EQ(a.p50Latency, b.p50Latency);
+    EXPECT_DOUBLE_EQ(a.p99Latency, b.p99Latency);
+    EXPECT_DOUBLE_EQ(a.fleetEnergy, b.fleetEnergy);
+    EXPECT_DOUBLE_EQ(a.energyPerJob, b.energyPerJob);
+    EXPECT_DOUBLE_EQ(a.availability, b.availability);
+    EXPECT_EQ(a.recoveries, b.recoveries);
+    EXPECT_EQ(a.abandonedCores, b.abandonedCores);
+    EXPECT_EQ(a.throttleEpisodes, b.throttleEpisodes);
+    EXPECT_EQ(a.injectedBitFlips, b.injectedBitFlips);
+    EXPECT_EQ(a.injectedDues, b.injectedDues);
+}
+
+TEST(Fleet, RunIsIdenticalForEveryWorkerThreadCount)
+{
+    FleetConfig cfg = smallFleetConfig();
+    cfg.policy = SchedulerPolicy::marginAware;
+    cfg.governor.fleetBudget = 48.0;  // Tight enough to throttle.
+
+    ExperimentPool serial_pool(1);
+    Fleet serial_fleet(cfg);
+    serial_fleet.run(4.0, serial_pool);
+
+    ExperimentPool wide_pool(4);
+    Fleet wide_fleet(cfg);
+    wide_fleet.run(4.0, wide_pool);
+
+    expectIdenticalReports(serial_fleet.report(), wide_fleet.report());
+}
+
+TEST(Fleet, CompletesJobsAndAccountsEnergy)
+{
+    FleetConfig cfg = smallFleetConfig();
+    ExperimentPool pool(0);
+    Fleet fleet(cfg);
+    fleet.run(8.0, pool);
+
+    const FleetReport report = fleet.report();
+    EXPECT_GT(report.submitted, 20u);
+    EXPECT_GT(report.completed, 10u);
+    EXPECT_GT(report.completedCritical, 0u);
+    EXPECT_GT(report.throughputPerSec, 0.0);
+    EXPECT_GT(report.fleetEnergy, 0.0);
+    EXPECT_GT(report.energyPerJob, 0.0);
+    EXPECT_GT(report.meanFleetPower, 0.0);
+    // Latency includes at least the service floor of the fastest class.
+    EXPECT_GE(report.p50Latency, 0.1);
+    EXPECT_LE(report.p50Latency, report.p99Latency);
+    // Conservation: everything submitted is somewhere.
+    EXPECT_EQ(report.submitted, report.completed + report.pendingAtEnd +
+                                    report.runningAtEnd);
+    EXPECT_DOUBLE_EQ(report.availability, 1.0);
+}
+
+TEST(Fleet, ControlLoopEarnsHeadroomTheSchedulerCanSee)
+{
+    FleetConfig cfg = smallFleetConfig();
+    ExperimentPool pool(0);
+    Fleet fleet(cfg);
+    fleet.run(5.0, pool);
+
+    // After 5 s the ECC-guided controllers have pulled every rail well
+    // below nominal, and the headroom signal reflects it.
+    Millivolt deepest = 0.0;
+    for (unsigned chip = 0; chip < fleet.numChips(); ++chip) {
+        for (unsigned core = 0;
+             core < fleet.node(chip).chip().numCores(); ++core) {
+            deepest =
+                std::max(deepest, fleet.node(chip).headroom(core));
+        }
+    }
+    EXPECT_GT(deepest, 20.0);
+}
+
+TEST(Fleet, RequeuesJobsOffAbandonedCoresAndReportsAvailability)
+{
+    FleetConfig cfg = smallFleetConfig();
+    cfg.numChips = 1;
+    cfg.jobs.arrivalsPerSecond = 12.0;  // Keep every core busy.
+    // A DUE storm with a one-recovery budget retires cores quickly.
+    cfg.faults.dueFlipsPerHour = 3600.0 * 6.0;
+    cfg.recovery.maxRecoveriesPerCore = 1;
+
+    ExperimentPool pool(0);
+    Fleet fleet(cfg);
+    fleet.run(10.0, pool);
+
+    const FleetReport report = fleet.report();
+    EXPECT_GT(report.injectedDues, 0u);
+    EXPECT_GT(report.recoveries, 0u);
+    EXPECT_GT(report.abandonedCores, 0u);
+    EXPECT_GT(report.requeued, 0u);
+    EXPECT_LT(report.availability, 1.0);
+    EXPECT_GT(report.availability, 0.0);
+}
+
+TEST(Fleet, GovernorThrottlesUnderATightCapAndWorkStillCompletes)
+{
+    FleetConfig cfg = smallFleetConfig();
+    // Two chips at ~25 W each against a 30 W budget: someone throttles.
+    cfg.governor.fleetBudget = 30.0;
+    cfg.governor.interval = 0.25;
+    cfg.jobs.arrivalsPerSecond = 10.0;
+
+    ExperimentPool pool(0);
+    Fleet fleet(cfg);
+    fleet.run(6.0, pool);
+
+    const FleetReport report = fleet.report();
+    EXPECT_GT(report.throttleEpisodes, 0u);
+    EXPECT_GT(report.completed, 0u);
+    // The caps sum to the budget (demand EWMA keeps both > floor).
+    const Watt total =
+        fleet.governor().cap(0) + fleet.governor().cap(1);
+    EXPECT_NEAR(total, 30.0, 1e-6);
+}
+
+} // namespace
+} // namespace vspec

@@ -339,5 +339,60 @@ TEST(ResilienceIntegration, RecoveryChargesStallEnergyToTheCore)
     EXPECT_GT(crash_elapsed, clean_elapsed);
 }
 
+TEST(ResilienceIntegration, CombinedArmingFiresBackoffsAcrossDomains)
+{
+    // Full combined arming on a multi-domain chip: armHardware +
+    // armRecovery + armFaultInjector together, with a DUE storm heavy
+    // enough to hit several voltage domains. Every recovery must reach
+    // the domain controller's post-recovery backoff hook — the
+    // firmware's "the rail just burned us, retreat before re-descending"
+    // path — and the counts must be consistent end to end.
+    setInformEnabled(false);
+    const Seconds duration = 30.0;
+
+    FaultInjector::Config faults;
+    faults.dueFlipsPerHour = 3600.0;  // ~30 expected in 30 s.
+
+    Chip chip(testChipConfig());
+    ASSERT_GT(chip.numDomains(), 1u);
+    auto setup = harness::armHardware(chip);
+    harness::assignSuite(chip, Suite::coreMark, 10.0);
+    auto recovery = harness::armRecovery(chip, testRecoveryConfig());
+    Simulator sim(chip, 0.005);
+    sim.attachControlSystem(setup.control.get());
+    auto injector =
+        harness::armFaultInjector(chip, faults, &sim.eventLog());
+    sim.attachFaultInjector(injector.get());
+    sim.attachRecoveryManager(recovery.get());
+    sim.run(duration);
+
+    ASSERT_GE(recovery->recoveries(), 2u);
+    EXPECT_FALSE(sim.anyCrashed());
+
+    // Each DUE-driven recovery triggered exactly one controller
+    // backoff, and more than one domain's controller was hit.
+    std::uint64_t backoffs = 0;
+    unsigned domains_hit = 0;
+    for (std::size_t d = 0; d < setup.control->numDomains(); ++d) {
+        const std::uint64_t count =
+            setup.control->domain(d).recoveryBackoffs();
+        backoffs += count;
+        domains_hit += count > 0 ? 1 : 0;
+    }
+    EXPECT_EQ(backoffs, recovery->recoveries());
+    EXPECT_GT(domains_hit, 1u);
+
+    // The recovery firmware resets crashed rails to safeVdd and the
+    // controllers never exceed their maxVdd: every rail ends inside
+    // the legal band.
+    for (std::size_t d = 0; d < setup.control->numDomains(); ++d) {
+        const Millivolt setpoint =
+            setup.control->domain(d).regulator().setpoint();
+        EXPECT_GT(setpoint, 0.0);
+        EXPECT_LE(setpoint,
+                  setup.control->domain(d).policy().maxVdd + 1e-9);
+    }
+}
+
 } // namespace
 } // namespace vspec
