@@ -77,6 +77,25 @@ parseThreads(int argc, char **argv)
 }
 
 /**
+ * Value of a "--name X" / "--name=X" double argument, or @p fallback
+ * when absent (e.g. "--duration 8" on the fleet benches).
+ */
+inline double
+parseDoubleArg(int argc, char **argv, const std::string &name,
+               double fallback)
+{
+    const std::string flag = "--" + name;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == flag && i + 1 < argc)
+            return std::strtod(argv[i + 1], nullptr);
+        if (arg.rfind(flag + "=", 0) == 0)
+            return std::strtod(arg.c_str() + flag.size() + 1, nullptr);
+    }
+    return fallback;
+}
+
+/**
  * True when "--json" appears in the arguments. Benches that support it
  * replace the human-readable table with one machine-readable JSON
  * document on stdout (for scripted sweeps and plotting pipelines).

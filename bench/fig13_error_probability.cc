@@ -12,7 +12,9 @@
  *
  * Every (core, Vdd step) probe burst is an independent pool task
  * (--threads N selects the worker count; output is identical for
- * any N).
+ * any N). With --json, the raw task-order points are emitted as one
+ * machine-readable document instead of the table (byte-stable across
+ * runs and thread counts; the golden-output regression tests pin it).
  */
 
 #include <cmath>
@@ -27,19 +29,40 @@ main(int argc, char **argv)
 {
     setInformEnabled(false);
     ExperimentPool pool(parseThreads(argc, argv));
-    banner("Figure 13", "P(single-bit error) vs supply voltage, "
-                        "four cores");
-
+    const bool json = parseJson(argc, argv);
     const std::vector<unsigned> cores = {0, 2, 4, 6};  // A, B, C, D.
 
-    std::printf("%-10s", "Vdd (mV)");
-    for (unsigned c : cores)
-        std::printf("  core %u  ", c);
-    std::printf("\n");
+    if (!json) {
+        banner("Figure 13", "P(single-bit error) vs supply voltage, "
+                            "four cores");
+        std::printf("%-10s", "Vdd (mV)");
+        for (unsigned c : cores)
+            std::printf("  core %u  ", c);
+        std::printf("\n");
+    }
 
     const auto points = experiments::errorProbabilityCurvesPooled(
         makeLowConfig(), cores, /*span=*/60.0, /*step=*/5.0,
         /*probes_per_point=*/20000, pool);
+
+    if (json) {
+        JsonWriter doc;
+        doc.beginObject();
+        doc.key("artifact").value("fig13_error_probability");
+        doc.key("probesPerPoint").value(std::uint64_t(20000));
+        doc.key("points").beginArray();
+        for (const auto &point : points) {
+            doc.beginObject();
+            doc.key("core").value(point.coreId);
+            doc.key("vddMv").value(point.vdd);
+            doc.key("probability").value(point.probability);
+            doc.endObject();
+        }
+        doc.endArray();
+        doc.endObject();
+        doc.print();
+        return 0;
+    }
 
     // Regroup the core-major task-order points into per-core curves.
     struct Curve

@@ -15,6 +15,8 @@
  *   --threads N   worker threads (0 = hardware concurrency). Results
  *                 are byte-identical for every N.
  *   --json        machine-readable output.
+ *   --duration S  simulated seconds per policy (default 16; the golden
+ *                 regression tests use a shorter run).
  */
 
 #include "bench_util.hh"
@@ -69,7 +71,7 @@ main(int argc, char **argv)
     setInformEnabled(false);
     const unsigned threads = parseThreads(argc, argv);
     const bool json = parseJson(argc, argv);
-    const Seconds duration = 16.0;
+    const Seconds duration = parseDoubleArg(argc, argv, "duration", 16.0);
 
     if (!json) {
         banner("Fleet capacity",

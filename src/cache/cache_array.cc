@@ -1,7 +1,7 @@
 #include "cache/cache_array.hh"
 
 #include <algorithm>
-#include <map>
+#include <cmath>
 
 #include "common/logging.hh"
 
@@ -15,13 +15,29 @@ CacheArray::CacheArray(const CacheGeometry &geometry,
       cells(geometry.name, geometry.totalCells(), dist, v_floor,
             /*aging_headroom=*/0.5 * dist.sigmaRandom, rng),
       store(geometry.numLines() * geometry.wordsPerLine()),
-      deconfigured(geometry.numLines(), false)
+      deconfigured(geometry.numLines(), false),
+      lineWeakIndex(geometry.numLines(), {0, 0})
 {
     geo.validate();
     // Initialize every line with an encoded zero word so reads of
     // untouched lines decode cleanly.
     const Codeword zero = eccCodec.encode(0);
     std::fill(store.begin(), store.end(), zero);
+
+    // Hoist the per-line weak-cell ranges: the population is sorted by
+    // cell index, so each line's cells form one contiguous run. Cell
+    // indices never change after sampling (aging shifts only voltages),
+    // so the index is built exactly once.
+    const auto &weak = cells.weakCells();
+    const std::uint64_t per_line = geo.cellsPerLine();
+    for (std::size_t i = 0; i < weak.size();) {
+        const std::uint64_t line = weak[i].cellIndex / per_line;
+        std::size_t j = i + 1;
+        while (j < weak.size() && weak[j].cellIndex / per_line == line)
+            ++j;
+        lineWeakIndex[line] = {std::uint32_t(i), std::uint32_t(j)};
+        i = j;
+    }
 }
 
 std::uint64_t
@@ -61,12 +77,30 @@ CacheArray::writeLine(std::uint64_t set, unsigned way,
 const Codeword &
 CacheArray::encodeCached(std::uint64_t data) const
 {
-    auto it = encodeMemo.find(data);
-    if (it != encodeMemo.end())
-        return it->second;
-    if (encodeMemo.size() > 1u << 16)
-        encodeMemo.clear();
-    return encodeMemo.emplace(data, eccCodec.encode(data)).first->second;
+    if (encodeCache.empty())
+        encodeCache.resize(encodeCacheSlots);
+
+    // Two-slot probe; on a double miss, evict the primary slot. The
+    // working set (march patterns, instruction templates, fill
+    // addresses) is tiny next to the table, so eviction is rare and the
+    // footprint stays fixed no matter how many distinct words pass
+    // through.
+    const std::size_t primary = mix64(data) & (encodeCacheSlots - 1);
+    const std::size_t secondary = (primary + 1) & (encodeCacheSlots - 1);
+    for (const std::size_t slot : {primary, secondary}) {
+        EncodeSlot &entry = encodeCache[slot];
+        if (entry.valid && entry.data == data)
+            return entry.encoded;
+    }
+
+    EncodeSlot &victim = encodeCache[encodeCache[primary].valid &&
+                                             !encodeCache[secondary].valid
+                                         ? secondary
+                                         : primary];
+    victim.data = data;
+    victim.encoded = eccCodec.encode(data);
+    victim.valid = true;
+    return victim.encoded;
 }
 
 void
@@ -77,11 +111,21 @@ CacheArray::writePattern(std::uint64_t set, unsigned way,
               std::vector<std::uint64_t>(geo.wordsPerLine(), pattern));
 }
 
+WeakCellSpan
+CacheArray::lineWeakSpan(std::uint64_t set, unsigned way) const
+{
+    checkLocation(set, way);
+    const auto &[begin, end] = lineWeakIndex[lineIndex(set, way)];
+    const WeakCell *base = cells.weakCells().data();
+    return WeakCellSpan(base + begin, base + end);
+}
+
 std::vector<WeakCell>
 CacheArray::lineWeakCells(std::uint64_t set, unsigned way) const
 {
     const std::uint64_t base = lineCellBase(set, way);
-    auto weak = cells.weakCellsInRange(base, base + geo.cellsPerLine());
+    const WeakCellSpan span = lineWeakSpan(set, way);
+    std::vector<WeakCell> weak(span.begin(), span.end());
     for (auto &cell : weak)
         cell.cellIndex -= base;
     return weak;
@@ -96,23 +140,21 @@ CacheArray::readLine(std::uint64_t set, unsigned way, Millivolt v_eff,
     result.data.resize(geo.wordsPerLine());
 
     const std::uint64_t cell_base = lineCellBase(set, way);
-    const auto flips = cells.sampleAccessFlips(
-        cell_base, cell_base + geo.cellsPerLine(), v_eff, rng);
+    cells.sampleAccessFlipsInto(lineWeakSpan(set, way), cell_base, v_eff,
+                                rng, flipScratch);
 
-    // Group flipped cell offsets by codeword.
+    // Flips come out in ascending cell order, i.e. already grouped by
+    // codeword — walk them with a single cursor while iterating words.
     const unsigned cw_bits = eccCodec.codewordBits();
-    std::map<unsigned, std::vector<unsigned>> flips_by_word;
-    for (std::uint64_t offset : flips)
-        flips_by_word[unsigned(offset / cw_bits)].push_back(
-            unsigned(offset % cw_bits));
+    std::size_t next_flip = 0;
 
     const std::uint64_t word_base = lineIndex(set, way) * geo.wordsPerLine();
     for (unsigned w = 0; w < geo.wordsPerLine(); ++w) {
         Codeword observed = store[word_base + w];
-        auto it = flips_by_word.find(w);
-        if (it != flips_by_word.end()) {
-            for (unsigned bit : it->second)
-                observed.flipBit(bit);
+        while (next_flip < flipScratch.size() &&
+               flipScratch[next_flip] / cw_bits == w) {
+            observed.flipBit(unsigned(flipScratch[next_flip] % cw_bits));
+            ++next_flip;
         }
 
         const DecodeResult decoded = eccCodec.decode(observed);
@@ -134,15 +176,17 @@ CacheArray::readLine(std::uint64_t set, unsigned way, Millivolt v_eff,
 }
 
 void
-CacheArray::lineEventProbabilities(std::uint64_t set, unsigned way,
-                                   Millivolt v_eff, double &p_correctable,
-                                   double &p_uncorrectable) const
+CacheArray::computeLineEventProbabilities(std::uint64_t set, unsigned way,
+                                          WeakCellSpan span,
+                                          Millivolt v_eff,
+                                          double &p_correctable,
+                                          double &p_uncorrectable) const
 {
     // Per-word: probability of exactly one flip (correctable event) and
     // of two-or-more flips (uncorrectable event). Weak cells arrive in
     // ascending index order, so cells of the same codeword are
     // adjacent — the per-word statistics fold incrementally with no
-    // allocation (this runs per tick per weak line).
+    // allocation.
     const unsigned cw_bits = eccCodec.codewordBits();
     const std::uint64_t base = lineCellBase(set, way);
 
@@ -163,22 +207,20 @@ CacheArray::lineEventProbabilities(std::uint64_t set, unsigned way,
         p_no_uncorr *= (1.0 - multi);
     };
 
-    cells.forEachWeakCellInRange(
-        base, base + geo.cellsPerLine(), [&](const WeakCell &cell) {
-            const double p = cells.failureProbability(cell, v_eff);
-            if (p <= 0.0)
-                return;
-            const std::uint64_t word =
-                (cell.cellIndex - base) / cw_bits;
-            if (word != cur_word) {
-                fold_word();
-                cur_word = word;
-                none = 1.0;
-                exactly_one = 0.0;
-            }
-            exactly_one = exactly_one * (1.0 - p) + p * none;
-            none *= (1.0 - p);
-        });
+    for (const WeakCell &cell : span) {
+        const double p = cells.failureProbability(cell, v_eff);
+        if (p <= 0.0)
+            continue;
+        const std::uint64_t word = (cell.cellIndex - base) / cw_bits;
+        if (word != cur_word) {
+            fold_word();
+            cur_word = word;
+            none = 1.0;
+            exactly_one = 0.0;
+        }
+        exactly_one = exactly_one * (1.0 - p) + p * none;
+        none *= (1.0 - p);
+    }
     fold_word();
 
     // Event counters tick once per word per access; using the expected
@@ -187,15 +229,87 @@ CacheArray::lineEventProbabilities(std::uint64_t set, unsigned way,
     p_uncorrectable = 1.0 - p_no_uncorr;
 }
 
+void
+CacheArray::cachedProbabilities(std::uint64_t set, unsigned way,
+                                Millivolt v_eff, bool quantized,
+                                double &p_correctable,
+                                double &p_uncorrectable) const
+{
+    const WeakCellSpan span = lineWeakSpan(set, way);
+    if (span.empty()) {
+        p_correctable = 0.0;
+        p_uncorrectable = 0.0;
+        return;
+    }
+
+    // Aging shifts every cell's Vc; one generation check drops the
+    // whole LUT rather than tracking per-entry staleness.
+    if (!probCache.empty() &&
+        probCacheGeneration != cells.generation()) {
+        std::fill(probCache.begin(), probCache.end(), ProbSlot{});
+        probCacheGeneration = cells.generation();
+    }
+
+    const std::int64_t bucket =
+        std::int64_t(std::llround(v_eff / probQuantMv));
+    // In quantized mode every voltage in the bucket evaluates at the
+    // bucket center; in exact mode the bucket only forms the key and a
+    // hit additionally requires the exact stored voltage.
+    const Millivolt v_eval =
+        quantized ? Millivolt(bucket) * probQuantMv : v_eff;
+
+    const std::uint64_t key =
+        (lineIndex(set, way) << 24) ^ std::uint64_t(bucket);
+    if (probCache.empty()) {
+        probCache.resize(probCacheSlots);
+        probCacheGeneration = cells.generation();
+    }
+    ProbSlot &slot = probCache[mix64(key) & (probCacheSlots - 1)];
+    if (slot.key == key && slot.vEval == v_eval) {
+        p_correctable = slot.pCorrectable;
+        p_uncorrectable = slot.pUncorrectable;
+        return;
+    }
+
+    computeLineEventProbabilities(set, way, span, v_eval, p_correctable,
+                                  p_uncorrectable);
+    slot.key = key;
+    slot.vEval = v_eval;
+    slot.pCorrectable = p_correctable;
+    slot.pUncorrectable = p_uncorrectable;
+}
+
+void
+CacheArray::lineEventProbabilities(std::uint64_t set, unsigned way,
+                                   Millivolt v_eff, double &p_correctable,
+                                   double &p_uncorrectable) const
+{
+    cachedProbabilities(set, way, v_eff, /*quantized=*/false,
+                        p_correctable, p_uncorrectable);
+}
+
+void
+CacheArray::lineEventProbabilitiesQuantized(std::uint64_t set,
+                                            unsigned way, Millivolt v_eff,
+                                            double &p_correctable,
+                                            double &p_uncorrectable) const
+{
+    cachedProbabilities(set, way, v_eff, /*quantized=*/true,
+                        p_correctable, p_uncorrectable);
+}
+
 ProbeStats
 CacheArray::probeLine(std::uint64_t set, unsigned way, Millivolt v_eff,
-                      std::uint64_t n_accesses, Rng &rng) const
+                      std::uint64_t n_accesses, Rng &rng,
+                      SamplingMode mode) const
 {
     ProbeStats stats;
     stats.accesses = n_accesses;
 
     double p_corr = 0.0, p_uncorr = 0.0;
-    lineEventProbabilities(set, way, v_eff, p_corr, p_uncorr);
+    cachedProbabilities(set, way, v_eff,
+                        /*quantized=*/mode == SamplingMode::batched,
+                        p_corr, p_uncorr);
 
     // p_corr is an expected event count per access; it can slightly
     // exceed 1 for lines with several weak words. Split into whole
@@ -211,24 +325,26 @@ CacheArray::probeLine(std::uint64_t set, unsigned way, Millivolt v_eff,
 std::vector<WeakLineInfo>
 CacheArray::weakLines() const
 {
-    std::map<std::uint64_t, WeakLineInfo> lines;
-    for (const auto &cell : cells.weakCells()) {
-        const std::uint64_t line = cell.cellIndex / geo.cellsPerLine();
-        auto &info = lines[line];
-        if (info.weakCellCount == 0) {
-            info.set = line / geo.associativity;
-            info.way = unsigned(line % geo.associativity);
-            info.weakestVc = cell.vc;
-        } else {
-            info.weakestVc = std::max(info.weakestVc, cell.vc);
-        }
-        ++info.weakCellCount;
-    }
-
+    // Walk the per-line range index in ascending line order (the same
+    // sequence the old per-cell map produced) so the weakest-first sort
+    // below sees an identical input and ties resolve identically.
     std::vector<WeakLineInfo> result;
-    result.reserve(lines.size());
-    for (const auto &[line, info] : lines)
+    const auto &weak = cells.weakCells();
+    for (std::uint64_t line = 0; line < lineWeakIndex.size(); ++line) {
+        const auto &[begin, end] = lineWeakIndex[line];
+        if (begin == end)
+            continue;
+        WeakLineInfo info;
+        info.set = line / geo.associativity;
+        info.way = unsigned(line % geo.associativity);
+        info.cellBegin = begin;
+        info.cellEnd = end;
+        info.weakCellCount = end - begin;
+        info.weakestVc = weak[begin].vc;
+        for (std::uint32_t i = begin + 1; i < end; ++i)
+            info.weakestVc = std::max(info.weakestVc, weak[i].vc);
         result.push_back(info);
+    }
     std::sort(result.begin(), result.end(),
               [](const WeakLineInfo &a, const WeakLineInfo &b) {
                   return a.weakestVc > b.weakestVc;

@@ -22,12 +22,13 @@
 #define VSPEC_CACHE_CACHE_ARRAY_HH
 
 #include <cstdint>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "cache/ecc_event.hh"
 #include "cache/geometry.hh"
 #include "common/rng.hh"
+#include "common/sampling.hh"
 #include "common/units.hh"
 #include "ecc/secded.hh"
 #include "sram/sram_array.hh"
@@ -44,6 +45,14 @@ struct WeakLineInfo
     Millivolt weakestVc = 0.0;
     /** Number of materialized weak cells in the line. */
     unsigned weakCellCount = 0;
+    /**
+     * Offsets of this line's weak cells into the owning array's sorted
+     * weak-cell population ([cellBegin, cellEnd)) — the hoisted range
+     * that makes line -> weak-cells lookup O(1) on the hot path
+     * (resolve with CacheArray::weakSpanAt or lineWeakSpan).
+     */
+    std::uint32_t cellBegin = 0;
+    std::uint32_t cellEnd = 0;
 };
 
 /** Result of a bit-accurate line read. */
@@ -83,22 +92,72 @@ class CacheArray
     LineReadResult readLine(std::uint64_t set, unsigned way,
                             Millivolt v_eff, Rng &rng) const;
 
-    /** Aggregate probe of one line: n_accesses full-line reads. */
+    /**
+     * Aggregate probe of one line: n_accesses full-line reads. With
+     * SamplingMode::batched the per-access probabilities come from the
+     * quantized (bucket-center) LUT instead of the exact voltage.
+     */
     ProbeStats probeLine(std::uint64_t set, unsigned way, Millivolt v_eff,
-                         std::uint64_t n_accesses, Rng &rng) const;
+                         std::uint64_t n_accesses, Rng &rng,
+                         SamplingMode mode = SamplingMode::exact) const;
 
     /**
      * Expected per-access probability that a read of this line raises
      * at least one correctable event (and, separately, an uncorrectable
      * one) at v_eff. Exposed for calibration and the fast probe path.
+     *
+     * Backed by a per-line LUT keyed on the quantized effective voltage
+     * (probQuantMv grid): when the line's probabilities were already
+     * computed at this exact voltage, the cached pair is returned and
+     * zero normalCdf evaluations run. Only the probabilities are
+     * cached — never any random draws — and a hit requires an exact
+     * voltage match, so results are bit-identical to the uncached
+     * computation. applyAgingShift on the SRAM invalidates the LUT via
+     * the generation counter.
      */
     void lineEventProbabilities(std::uint64_t set, unsigned way,
                                 Millivolt v_eff, double &p_correctable,
                                 double &p_uncorrectable) const;
 
+    /**
+     * Quantized flavor for the opt-in batched sampling mode: evaluates
+     * the probabilities at the center of v_eff's probQuantMv bucket, so
+     * every voltage in a bucket shares one cached entry (maximum hit
+     * rate under a noisy rail). Introduces a bounded model error of at
+     * most span-size * probQuantMv / (2 * sigmaDynamic * sqrt(2*pi))
+     * per probability (the normal pdf peak times half the grid, summed
+     * over the line's weak cells); a regression test pins the empirical
+     * bound.
+     */
+    void lineEventProbabilitiesQuantized(std::uint64_t set, unsigned way,
+                                         Millivolt v_eff,
+                                         double &p_correctable,
+                                         double &p_uncorrectable) const;
+
+    /** Voltage quantization grid of the probability LUT (mV). */
+    static constexpr Millivolt probQuantMv = 0.25;
+
     /** Weak cells of one line (positions relative to the line). */
     std::vector<WeakCell> lineWeakCells(std::uint64_t set,
                                         unsigned way) const;
+
+    /**
+     * Allocation-free view of one line's weak cells (flat array
+     * indices, not rebased): O(1) via the per-line range index built at
+     * construction.
+     */
+    WeakCellSpan lineWeakSpan(std::uint64_t set, unsigned way) const;
+
+    /**
+     * Resolve a WeakLineInfo's hoisted [cellBegin, cellEnd) range to a
+     * span without touching the per-line index (for iteration driven
+     * by Core::weakLines).
+     */
+    WeakCellSpan weakSpanAt(const WeakLineInfo &line) const
+    {
+        const WeakCell *base = cells.weakCells().data();
+        return WeakCellSpan(base + line.cellBegin, base + line.cellEnd);
+    }
 
     /** All lines containing at least one weak cell, weakest first. */
     std::vector<WeakLineInfo> weakLines() const;
@@ -137,14 +196,67 @@ class CacheArray
     std::vector<Codeword> store;
     /** Per-line deconfiguration flags. */
     std::vector<bool> deconfigured;
+
     /**
-     * Encode memo: calibration sweeps rewrite the same march patterns
-     * and template words millions of times; caching the encodings
-     * keeps the sweep cost proportional to line count, not bit count.
+     * Per-line [begin, end) offsets into the sorted weak-cell
+     * population, one entry per line, built once at construction (cell
+     * indices never change; aging only shifts voltages). Turns the
+     * line -> weak-cells query from a binary search into an array load.
      */
-    mutable std::unordered_map<std::uint64_t, Codeword> encodeMemo;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> lineWeakIndex;
+
+    /**
+     * Encode cache: calibration sweeps rewrite the same march patterns
+     * and template words millions of times; caching the encodings keeps
+     * the sweep cost proportional to line count, not bit count. A
+     * fixed-size two-slot open-addressing table (overwrite-on-collision
+     * eviction) bounds the footprint — the old unordered_map memo
+     * cleared itself wholesale at 2^16 entries, invalidating any
+     * outstanding reference.
+     */
+    struct EncodeSlot
+    {
+        std::uint64_t data = 0;
+        Codeword encoded;
+        bool valid = false;
+    };
+    static constexpr std::size_t encodeCacheSlots = 4096;
+    mutable std::vector<EncodeSlot> encodeCache;
+
+    /**
+     * Per-line failure-probability LUT: direct-mapped open-addressing
+     * cache keyed by (line, quantized voltage bucket), lazily allocated
+     * on first probability query. Entries store the exact voltage they
+     * were computed at plus the generation of the SRAM population, so
+     * stale or colliding entries are recomputed, never reused.
+     */
+    struct ProbSlot
+    {
+        std::uint64_t key = ~std::uint64_t(0);
+        Millivolt vEval = 0.0;
+        double pCorrectable = 0.0;
+        double pUncorrectable = 0.0;
+    };
+    static constexpr std::size_t probCacheSlots = 4096;
+    mutable std::vector<ProbSlot> probCache;
+    mutable std::uint64_t probCacheGeneration = 0;
+
+    /** Scratch for readLine's flip sampling (no per-call allocation). */
+    mutable std::vector<std::uint64_t> flipScratch;
 
     const Codeword &encodeCached(std::uint64_t data) const;
+
+    /** Shared LUT lookup; quantized selects the bucket-center eval. */
+    void cachedProbabilities(std::uint64_t set, unsigned way,
+                             Millivolt v_eff, bool quantized,
+                             double &p_correctable,
+                             double &p_uncorrectable) const;
+
+    /** The exact fold over one line's weak cells (no caching). */
+    void computeLineEventProbabilities(std::uint64_t set, unsigned way,
+                                       WeakCellSpan span, Millivolt v_eff,
+                                       double &p_correctable,
+                                       double &p_uncorrectable) const;
 
     std::uint64_t lineIndex(std::uint64_t set, unsigned way) const;
     void checkLocation(std::uint64_t set, unsigned way) const;

@@ -71,7 +71,7 @@ namespace
 template <typename WriteLine>
 SweepResult
 sweepAllLines(CacheArray &array, Millivolt v_eff, std::uint64_t reads,
-              Rng &rng, WriteLine &&write_line)
+              Rng &rng, SamplingMode mode, WriteLine &&write_line)
 {
     SweepResult result;
     const auto &geo = array.geometry();
@@ -81,13 +81,14 @@ sweepAllLines(CacheArray &array, Millivolt v_eff, std::uint64_t reads,
             // Cell failures are content-independent, so lines with no
             // materialized weak cell cannot err; skip the (simulated)
             // write/read work for them.
-            if (array.lineWeakCells(set, way).empty()) {
+            if (array.lineWeakSpan(set, way).empty()) {
                 ++result.linesTested;
                 continue;
             }
-            write_line(set, way);
+            if (mode == SamplingMode::exact)
+                write_line(set, way);
             const ProbeStats stats =
-                array.probeLine(set, way, v_eff, reads, rng);
+                array.probeLine(set, way, v_eff, reads, rng, mode);
             if (stats.correctableEvents > 0) {
                 result.correctablePerLine[{set, way}] +=
                     stats.correctableEvents;
@@ -105,12 +106,21 @@ sweepAllLines(CacheArray &array, Millivolt v_eff, std::uint64_t reads,
 
 SweepResult
 dataSweep(CacheArray &array, Millivolt v_eff,
-          std::uint64_t reads_per_pattern, Rng &rng)
+          std::uint64_t reads_per_pattern, Rng &rng, SamplingMode mode)
 {
+    if (mode == SamplingMode::batched) {
+        // One aggregate pass over all patterns: same per-line access
+        // count, one binomial epoch draw instead of one per pattern.
+        return sweepAllLines(array, v_eff,
+                             reads_per_pattern * dataPatterns.size(),
+                             rng, mode,
+                             [](std::uint64_t, unsigned) {});
+    }
+
     SweepResult total;
     for (std::uint64_t pattern : dataPatterns) {
         total.merge(sweepAllLines(
-            array, v_eff, reads_per_pattern, rng,
+            array, v_eff, reads_per_pattern, rng, mode,
             [&](std::uint64_t set, unsigned way) {
                 array.writePattern(set, way, pattern);
             }));
@@ -120,10 +130,14 @@ dataSweep(CacheArray &array, Millivolt v_eff,
 
 SweepResult
 instructionSweep(CacheArray &array, Millivolt v_eff,
-                 std::uint64_t reads_per_line, Rng &rng)
+                 std::uint64_t reads_per_line, Rng &rng, SamplingMode mode)
 {
+    if (mode == SamplingMode::batched) {
+        return sweepAllLines(array, v_eff, reads_per_line, rng, mode,
+                             [](std::uint64_t, unsigned) {});
+    }
     const InstructionTemplate tmpl(array.geometry().wordsPerLine());
-    return sweepAllLines(array, v_eff, reads_per_line, rng,
+    return sweepAllLines(array, v_eff, reads_per_line, rng, mode,
                          [&](std::uint64_t set, unsigned way) {
                              array.writeLine(set, way, tmpl.words());
                          });

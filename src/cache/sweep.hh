@@ -22,6 +22,7 @@
 
 #include "cache/cache_array.hh"
 #include "common/rng.hh"
+#include "common/sampling.hh"
 
 namespace vspec
 {
@@ -90,17 +91,26 @@ constexpr std::array<std::uint64_t, 4> dataPatterns = {
 /**
  * Sweep every line of a data array at effective supply v_eff: for each
  * line and each pattern, write then read @p reads_per_pattern times.
+ *
+ * SamplingMode::batched collapses the per-pattern passes into one
+ * aggregate probe of reads_per_pattern * |patterns| accesses per line
+ * and skips the simulated pattern writes entirely — cell failures are
+ * content-independent, so the event-count distribution is unchanged
+ * (the per-line draw count and stored line contents are not).
  */
 SweepResult dataSweep(CacheArray &array, Millivolt v_eff,
-                      std::uint64_t reads_per_pattern, Rng &rng);
+                      std::uint64_t reads_per_pattern, Rng &rng,
+                      SamplingMode mode = SamplingMode::exact);
 
 /**
  * Sweep every line of an instruction array: the replicated template is
  * written to each line (as the firmware's memory copy would place it)
- * and then fetched @p reads_per_line times.
+ * and then fetched @p reads_per_line times. SamplingMode::batched
+ * skips the template writes and probes each line once, as above.
  */
 SweepResult instructionSweep(CacheArray &array, Millivolt v_eff,
-                             std::uint64_t reads_per_line, Rng &rng);
+                             std::uint64_t reads_per_line, Rng &rng,
+                             SamplingMode mode = SamplingMode::exact);
 
 } // namespace sweep
 

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Fault-sampling fidelity knob shared by the sweep engines, the core
+ * traffic model, the Simulator and the Fleet.
+ *
+ * The exact mode reproduces the historical draw-for-draw behaviour:
+ * one Poisson/binomial draw per weak line per tick (or per pattern
+ * pass per line in the calibration sweeps), so experiment outputs are
+ * byte-identical across code versions. The batched mode exploits two
+ * closure properties of the error model — sums of independent Poisson
+ * processes are Poisson, and "no uncorrectable on any line" is the
+ * product of per-line survival probabilities — to replace the per-line
+ * draws of an epoch at (quantized-)constant effective voltage with a
+ * single draw from the aggregate. The sampled distributions are
+ * unchanged (a statistical regression test pins this); the RNG draw
+ * sequence is not, which is why batched is opt-in.
+ */
+
+#ifndef VSPEC_COMMON_SAMPLING_HH
+#define VSPEC_COMMON_SAMPLING_HH
+
+namespace vspec
+{
+
+enum class SamplingMode
+{
+    /**
+     * Per-line, per-pattern draws with exact-voltage probability
+     * lookups — bit-identical to the pre-LUT implementation.
+     */
+    exact,
+    /**
+     * Batched epoch sampling: per-array aggregate draws and
+     * bucket-center (quantized) probability evaluation. Statistically
+     * equivalent, not draw-for-draw identical; per-line ECC event log
+     * attribution is skipped.
+     */
+    batched,
+};
+
+/** Human-readable mode name (for bench/CLI output). */
+inline const char *
+samplingModeName(SamplingMode mode)
+{
+    return mode == SamplingMode::exact ? "exact" : "batched";
+}
+
+} // namespace vspec
+
+#endif // VSPEC_COMMON_SAMPLING_HH

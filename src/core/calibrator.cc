@@ -42,9 +42,10 @@ Calibrator::calibrateDomain(const std::vector<Core *> &domain_cores,
                                                   cfg.readsPerPattern *
                                                       sweep::dataPatterns
                                                           .size(),
-                                                  rng)
+                                                  rng, cfg.sampling)
                         : sweep::dataSweep(*side.array, v,
-                                           cfg.readsPerPattern, rng);
+                                           cfg.readsPerPattern, rng,
+                                           cfg.sampling);
 
                 if (result.uncorrectable)
                     warn("calibration sweep hit an uncorrectable error "

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/rng.hh"
+#include "common/sampling.hh"
 #include "common/units.hh"
 #include "cpu/core_model.hh"
 #include "pdn/regulator.hh"
@@ -64,6 +65,12 @@ class Calibrator
          * (0 = stop at the first erring level).
          */
         Millivolt confirmWindowMv = 0.0;
+        /**
+         * Sweep fidelity: exact reproduces the historical per-pattern
+         * draws; batched aggregates each line's epoch into one draw
+         * (see common/sampling.hh).
+         */
+        SamplingMode sampling = SamplingMode::exact;
     };
 
     Calibrator();

@@ -136,6 +136,15 @@ Core::sampleTraffic(CacheArray &array,
 
     auto &weight_cache = touchWeightCache[arraySlot(array)];
 
+    const bool batched = samplingMode == SamplingMode::batched;
+    // Batched mode: per-line Poisson rates superpose into one aggregate
+    // correctable rate (sum of independent Poissons is Poisson) and the
+    // per-line uncorrectable survival probabilities fold into one
+    // product, so the whole array costs two draws per tick instead of
+    // two per weak line. Per-line event-log attribution is skipped.
+    double lambda_corr = 0.0;
+    double lambda_uncorr = 0.0;
+
     std::uint64_t correctable = 0;
     for (const auto &line : lines) {
         if (line.weakestVc < cutoff)
@@ -161,6 +170,14 @@ Core::sampleTraffic(CacheArray &array,
             continue;
 
         double p_corr = 0.0, p_uncorr = 0.0;
+        if (batched) {
+            array.lineEventProbabilitiesQuantized(line.set, line.way,
+                                                  v_eff, p_corr,
+                                                  p_uncorr);
+            lambda_corr += line_accesses * p_corr;
+            lambda_uncorr += line_accesses * p_uncorr;
+            continue;
+        }
         array.lineEventProbabilities(line.set, line.way, v_eff, p_corr,
                                      p_uncorr);
 
@@ -191,6 +208,18 @@ Core::sampleTraffic(CacheArray &array,
                 event.time = t;
                 log->record(event);
             }
+        }
+    }
+
+    if (batched) {
+        // One aggregate draw per event class; per-line log attribution
+        // is not available in this mode, so nothing is recorded.
+        if (lambda_corr > 0.0)
+            correctable = rng.poisson(lambda_corr);
+        // P(any uncorrectable) = 1 - exp(-sum of per-line rates).
+        if (lambda_uncorr > 0.0 &&
+            rng.bernoulli(-std::expm1(-lambda_uncorr))) {
+            uncorrectable = true;
         }
     }
     return correctable;

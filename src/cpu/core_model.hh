@@ -30,6 +30,7 @@
 
 #include "cache/hierarchy.hh"
 #include "common/rng.hh"
+#include "common/sampling.hh"
 #include "cpu/operating_point.hh"
 #include "variation/process_variation.hh"
 #include "workload/workload.hh"
@@ -147,6 +148,17 @@ class Core
      */
     void refreshWeakLines();
 
+    /**
+     * Traffic-sampling fidelity (default exact). In batched mode each
+     * array's weak-line event draws for a tick collapse into one
+     * aggregate Poisson draw (correctables) and one survival-product
+     * Bernoulli (uncorrectables) at quantized voltage; per-line event
+     * log attribution is skipped. Normally set through
+     * Simulator::setSamplingMode.
+     */
+    void setSamplingMode(SamplingMode mode) { samplingMode = mode; }
+    SamplingMode sampling() const { return samplingMode; }
+
     /** Sorted (weakest-first) weak lines of each monitored array. */
     const std::vector<WeakLineInfo> &weakLinesOf(
         const CacheArray &array) const;
@@ -163,6 +175,7 @@ class Core
     Seconds workloadStart = 0.0;
 
     CrashReason crashReason = CrashReason::none;
+    SamplingMode samplingMode = SamplingMode::exact;
 
     /** Cached weak lines, parallel to {l2i, l2d, rf}. */
     std::array<std::vector<WeakLineInfo>, 3> weakLines;

@@ -30,10 +30,13 @@ FleetNode::FleetNode(const FleetConfig &config, unsigned index)
     chip_cfg.seed = mix64(config.seed, index);
     chip_ = std::make_unique<Chip>(chip_cfg);
 
-    setup = harness::armHardware(*chip_);
+    Calibrator::Config calibration;
+    calibration.sampling = config.sampling;
+    setup = harness::armHardware(*chip_, ControlPolicy(), calibration);
     recoveryMgr = harness::armRecovery(*chip_, config.recovery);
 
     sim = std::make_unique<Simulator>(*chip_, config.tick);
+    sim->setSamplingMode(config.sampling);
     sim->attachControlSystem(setup.control.get());
     sim->attachRecoveryManager(recoveryMgr.get());
     if (faultsArmed(config.faults)) {

@@ -83,6 +83,16 @@ struct FleetConfig
     /** Benchmark-phase length of the workload a resident job runs. */
     Seconds jobPhaseSeconds = 1.0;
 
+    /**
+     * Traffic/calibration sampling fidelity for every node. Batched
+     * mode aggregates each array's per-tick weak-line draws and each
+     * sweep line's per-pattern passes into single draws (see
+     * common/sampling.hh) — same statistics, different RNG sequence,
+     * so the default stays exact for byte-compatibility with existing
+     * campaign outputs.
+     */
+    SamplingMode sampling = SamplingMode::exact;
+
     /** Risk-score decay time constant (s). */
     Seconds riskTau = 5.0;
     /** Risk added per workload correctable event. */

@@ -45,6 +45,14 @@ Simulator::attachFaultInjector(FaultInjector *fault_injector)
 }
 
 void
+Simulator::setSamplingMode(SamplingMode mode)
+{
+    samplingMode_ = mode;
+    for (unsigned c = 0; c < chip_->numCores(); ++c)
+        chip_->core(c).setSamplingMode(mode);
+}
+
+void
 Simulator::enableTrace(Seconds interval)
 {
     if (interval <= 0.0)
@@ -68,6 +76,11 @@ Simulator::recordTraceSample()
 {
     TraceSample sample;
     sample.time = currentTime;
+    sample.domainSetpoint.reserve(chip_->numDomains());
+    sample.domainEffective.reserve(chip_->numDomains());
+    sample.domainErrorRate.reserve(chip_->numDomains());
+    sample.domainErrors.reserve(chip_->numDomains());
+    sample.corePower.reserve(chip_->numCores());
 
     for (unsigned d = 0; d < chip_->numDomains(); ++d) {
         const auto &dom = chip_->domain(d);
@@ -97,9 +110,11 @@ Simulator::step(Seconds dt)
 
     // 0. Fault injection, before the effective voltage is computed so
     // injected droop transients and machine checks bite this tick.
-    std::vector<FaultInjector::CorrectableInjection> injected;
+    std::vector<FaultInjector::CorrectableInjection> &injected =
+        injectedScratch;
+    injected.clear();
     if (injector)
-        injected = injector->tick(t, dt);
+        injector->tick(t, dt, injected);
 
     // 1. Rail activity per domain from the resident workloads.
     for (unsigned d = 0; d < chip_->numDomains(); ++d) {
@@ -113,7 +128,8 @@ Simulator::step(Seconds dt)
     }
 
     // 2-3. Effective voltage and core advancement.
-    std::vector<std::uint64_t> domainEvents(chip_->numDomains(), 0);
+    std::vector<std::uint64_t> &domainEvents = domainEventsScratch;
+    domainEvents.assign(chip_->numDomains(), 0);
     for (const auto &injection : injected) {
         coreEvents[injection.coreId] += injection.events;
         domainEvents[chip_->domainIndexOf(injection.coreId)] +=

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "cache/ecc_event.hh"
+#include "common/sampling.hh"
 #include "core/software_speculator.hh"
 #include "core/voltage_controller.hh"
 #include "platform/chip.hh"
@@ -77,6 +78,17 @@ class Simulator
     void enableTrace(Seconds interval);
     const Trace &trace() const { return trace_; }
 
+    /**
+     * Switch every core's traffic-sampling fidelity (default exact).
+     * Batched mode draws one aggregate Poisson/Bernoulli pair per array
+     * per tick instead of one pair per weak line — same event-count
+     * distribution, different RNG draw sequence (see
+     * common/sampling.hh), so it is opt-in for sweep/fleet drivers that
+     * only consume aggregate statistics.
+     */
+    void setSamplingMode(SamplingMode mode);
+    SamplingMode samplingMode() const { return samplingMode_; }
+
     /** Advance the simulation. */
     void run(Seconds duration);
 
@@ -125,6 +137,14 @@ class Simulator
     Trace trace_;
 
     Rng simRng;
+    SamplingMode samplingMode_ = SamplingMode::exact;
+
+    /**
+     * Per-tick scratch, reused across steps so the hot loop performs no
+     * heap allocation in steady state.
+     */
+    std::vector<FaultInjector::CorrectableInjection> injectedScratch;
+    std::vector<std::uint64_t> domainEventsScratch;
 
     void step(Seconds dt);
     void recordTraceSample();

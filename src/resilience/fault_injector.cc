@@ -208,8 +208,17 @@ std::vector<FaultInjector::CorrectableInjection>
 FaultInjector::tick(Seconds t, Seconds dt)
 {
     std::vector<CorrectableInjection> correctables;
+    tick(t, dt, correctables);
+    return correctables;
+}
+
+void
+FaultInjector::tick(Seconds t, Seconds dt,
+                    std::vector<CorrectableInjection> &correctables)
+{
+    correctables.clear();
     if (dt <= 0.0)
-        return correctables;
+        return;
 
     expireWindows(dt);
 
@@ -252,8 +261,6 @@ FaultInjector::tick(Seconds t, Seconds dt)
         for (std::uint64_t i = 0; i < episodes; ++i)
             injectStuck();
     }
-
-    return correctables;
 }
 
 } // namespace vspec

@@ -108,6 +108,13 @@ class FaultInjector
      */
     std::vector<CorrectableInjection> tick(Seconds t, Seconds dt);
 
+    /**
+     * Allocation-free flavor for per-tick callers: clears @p out and
+     * fills it with this tick's correctable machine checks.
+     */
+    void tick(Seconds t, Seconds dt,
+              std::vector<CorrectableInjection> &out);
+
     const Stats &stats() const { return stats_; }
     unsigned activeDropouts() const
     {

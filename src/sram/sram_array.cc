@@ -27,23 +27,31 @@ SramArray::SramArray(std::string name, std::uint64_t n_cells,
               });
 }
 
+WeakCellSpan
+SramArray::weakCellSpan(std::uint64_t lo, std::uint64_t hi) const
+{
+    const auto by_index = [](const WeakCell &c, std::uint64_t v) {
+        return c.cellIndex < v;
+    };
+    auto first =
+        std::lower_bound(cells.begin(), cells.end(), lo, by_index);
+    auto last = std::lower_bound(first, cells.end(), hi, by_index);
+    return WeakCellSpan(cells.data() + (first - cells.begin()),
+                        cells.data() + (last - cells.begin()));
+}
+
 std::vector<WeakCell>
 SramArray::weakCellsInRange(std::uint64_t lo, std::uint64_t hi) const
 {
-    auto first = std::lower_bound(
-        cells.begin(), cells.end(), lo,
-        [](const WeakCell &c, std::uint64_t v) { return c.cellIndex < v; });
-    std::vector<WeakCell> result;
-    for (auto it = first; it != cells.end() && it->cellIndex < hi; ++it)
-        result.push_back(*it);
-    return result;
+    const WeakCellSpan span = weakCellSpan(lo, hi);
+    return std::vector<WeakCell>(span.begin(), span.end());
 }
 
 Millivolt
 SramArray::weakestVcInRange(std::uint64_t lo, std::uint64_t hi) const
 {
     Millivolt best = -std::numeric_limits<double>::infinity();
-    for (const auto &cell : weakCellsInRange(lo, hi))
+    for (const auto &cell : weakCellSpan(lo, hi))
         best = std::max(best, cell.vc);
     return best;
 }
@@ -68,11 +76,20 @@ SramArray::sampleAccessFlips(std::uint64_t lo, std::uint64_t hi,
                              Millivolt v_eff, Rng &rng) const
 {
     std::vector<std::uint64_t> flips;
-    for (const auto &cell : weakCellsInRange(lo, hi)) {
-        if (rng.bernoulli(failureProbability(cell, v_eff)))
-            flips.push_back(cell.cellIndex - lo);
-    }
+    sampleAccessFlipsInto(weakCellSpan(lo, hi), lo, v_eff, rng, flips);
     return flips;
+}
+
+void
+SramArray::sampleAccessFlipsInto(WeakCellSpan span, std::uint64_t base,
+                                 Millivolt v_eff, Rng &rng,
+                                 std::vector<std::uint64_t> &out) const
+{
+    out.clear();
+    for (const auto &cell : span) {
+        if (rng.bernoulli(failureProbability(cell, v_eff)))
+            out.push_back(cell.cellIndex - base);
+    }
 }
 
 void
@@ -84,6 +101,7 @@ SramArray::applyAgingShift(Millivolt mean_shift, Millivolt sigma_shift,
             std::max(0.0, rng.gaussian(mean_shift, sigma_shift));
         cell.vc += shift;
     }
+    ++generation_;
 }
 
 } // namespace vspec

@@ -29,6 +29,34 @@ namespace vspec
 {
 
 /**
+ * Non-owning view over a contiguous run of materialized weak cells,
+ * sorted by ascending cell index. The allocation-free currency of the
+ * fault-sampling hot path: producers resolve a [lo, hi) cell range (or
+ * a precomputed per-line index entry) to a span once, and consumers
+ * iterate in place.
+ */
+class WeakCellSpan
+{
+  public:
+    WeakCellSpan() = default;
+    WeakCellSpan(const WeakCell *first, const WeakCell *last)
+        : first_(first), last_(last)
+    {
+    }
+
+    const WeakCell *begin() const { return first_; }
+    const WeakCell *end() const { return last_; }
+    bool empty() const { return first_ == last_; }
+    std::size_t size() const { return std::size_t(last_ - first_); }
+    const WeakCell &operator[](std::size_t i) const { return first_[i]; }
+    const WeakCell &front() const { return *first_; }
+
+  private:
+    const WeakCell *first_ = nullptr;
+    const WeakCell *last_ = nullptr;
+};
+
+/**
  * One SRAM bit array with statistically materialized weak cells.
  */
 class SramArray
@@ -56,27 +84,29 @@ class SramArray
     /** All materialized weak cells, sorted by ascending cell index. */
     const std::vector<WeakCell> &weakCells() const { return cells; }
 
-    /** Weak cells whose index falls in [lo, hi). */
+    /**
+     * Allocation-free view of the weak cells in [lo, hi): both bounds
+     * resolved by binary search over the sorted population. This (and
+     * the per-line index CacheArray builds on top of it) replaces the
+     * old copy-returning range query on every hot path.
+     */
+    WeakCellSpan weakCellSpan(std::uint64_t lo, std::uint64_t hi) const;
+
+    /** Weak cells whose index falls in [lo, hi), copied out. */
     std::vector<WeakCell> weakCellsInRange(std::uint64_t lo,
                                            std::uint64_t hi) const;
 
     /**
      * Allocation-free visit of the weak cells in [lo, hi), in ascending
-     * index order — the hot path for per-tick traffic sampling.
+     * index order.
      */
     template <typename Fn>
     void
     forEachWeakCellInRange(std::uint64_t lo, std::uint64_t hi,
                            Fn &&fn) const
     {
-        auto first = std::lower_bound(
-            cells.begin(), cells.end(), lo,
-            [](const WeakCell &c, std::uint64_t v) {
-                return c.cellIndex < v;
-            });
-        for (auto it = first; it != cells.end() && it->cellIndex < hi;
-             ++it)
-            fn(*it);
+        for (const WeakCell &cell : weakCellSpan(lo, hi))
+            fn(cell);
     }
 
     /** Highest critical voltage in [lo, hi); -inf if none weak. */
@@ -101,12 +131,31 @@ class SramArray
                                                  Rng &rng) const;
 
     /**
+     * Allocation-free flavor: sample flips over an already-resolved
+     * span, appending cell indices relative to @p base into @p out
+     * (cleared first). Draw order matches sampleAccessFlips exactly —
+     * one Bernoulli per weak cell, ascending index — so the two paths
+     * consume identical RNG streams.
+     */
+    void sampleAccessFlipsInto(WeakCellSpan span, std::uint64_t base,
+                               Millivolt v_eff, Rng &rng,
+                               std::vector<std::uint64_t> &out) const;
+
+    /**
      * Shift every materialized cell's critical voltage by an
      * independent draw from N(mean_shift, sigma_shift) — the aging hook
      * (cells only degrade; negative draws are clamped to zero).
+     * Bumps generation(), invalidating derived probability caches.
      */
     void applyAgingShift(Millivolt mean_shift, Millivolt sigma_shift,
                          Rng &rng);
+
+    /**
+     * Monotonic counter bumped whenever cell critical voltages change
+     * (aging). Consumers caching probabilities derived from the cells
+     * (CacheArray's per-line LUT) compare it to detect staleness.
+     */
+    std::uint64_t generation() const { return generation_; }
 
   private:
     std::string arrayName;
@@ -115,6 +164,7 @@ class SramArray
     Millivolt floorMv;
     /** Sorted by ascending cellIndex. */
     std::vector<WeakCell> cells;
+    std::uint64_t generation_ = 0;
 };
 
 } // namespace vspec

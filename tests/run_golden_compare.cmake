@@ -1,0 +1,27 @@
+# Run a bench binary and byte-compare its stdout against a committed
+# golden file. Invoked by the golden_* CTest entries:
+#
+#   cmake -DBENCH=<binary> -DARGS=<;-list> -DGOLDEN=<file> -DOUT=<file>
+#         -P run_golden_compare.cmake
+#
+# The default simulation path must stay byte-identical across code
+# changes and worker-thread counts; any drift fails the compare.
+
+separate_arguments(args_list UNIX_COMMAND "${ARGS}")
+
+execute_process(
+    COMMAND ${BENCH} ${args_list}
+    OUTPUT_FILE ${OUT}
+    RESULT_VARIABLE run_rc)
+if(NOT run_rc EQUAL 0)
+    message(FATAL_ERROR "${BENCH} ${ARGS} exited with ${run_rc}")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT} ${GOLDEN}
+    RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+    message(FATAL_ERROR
+        "output of ${BENCH} ${ARGS} differs from golden ${GOLDEN} "
+        "(kept at ${OUT})")
+endif()
