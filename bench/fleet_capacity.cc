@@ -17,7 +17,23 @@
  *   --json        machine-readable output.
  *   --duration S  simulated seconds per policy (default 16; the golden
  *                 regression tests use a shorter run).
+ *
+ * The campaign is checkpointable at scheduling-slice granularity; a
+ * run killed at any slice and resumed is byte-identical to the
+ * uninterrupted run, for any worker-thread count:
+ *   --sampling exact|batched   per-node fidelity (default exact)
+ *   --checkpoint FILE          snapshot target path
+ *   --checkpoint-every T       snapshot cadence, in global simulated
+ *                              seconds (accumulated across policies)
+ *   --halt-at T                stop at global simulated second T,
+ *                              snapshot, exit 0 without printing
+ *                              results for the interrupted policy
+ *   --resume FILE              reload completed policies and the
+ *                              in-flight fleet, run to completion
  */
+
+#include <cmath>
+#include <optional>
 
 #include "bench_util.hh"
 
@@ -63,6 +79,105 @@ struct PolicyResult
     FleetReport report;
 };
 
+const std::vector<SchedulerPolicy> &
+policyOrder()
+{
+    static const std::vector<SchedulerPolicy> policies = {
+        SchedulerPolicy::roundRobin, SchedulerPolicy::leastLoaded,
+        SchedulerPolicy::marginAware, SchedulerPolicy::riskAware};
+    return policies;
+}
+
+void
+saveReport(StateWriter &w, const FleetReport &r)
+{
+    w.putDouble(r.simulated);
+    w.putU64(r.submitted);
+    w.putU64(r.completed);
+    w.putU64(r.completedCritical);
+    w.putU64(r.requeued);
+    w.putU64(r.pendingAtEnd);
+    w.putU64(r.runningAtEnd);
+    w.putU64(r.slaViolations);
+    w.putDouble(r.throughputPerSec);
+    w.putDouble(r.meanLatency);
+    w.putDouble(r.p50Latency);
+    w.putDouble(r.p99Latency);
+    w.putDouble(r.fleetEnergy);
+    w.putDouble(r.energyPerJob);
+    w.putDouble(r.meanFleetPower);
+    w.putDouble(r.availability);
+    w.putU64(r.recoveries);
+    w.putU64(r.abandonedCores);
+    w.putU64(r.throttleEpisodes);
+    w.putU64(r.injectedBitFlips);
+    w.putU64(r.injectedDues);
+}
+
+FleetReport
+loadReport(StateReader &r)
+{
+    FleetReport report;
+    report.simulated = r.getDouble();
+    report.submitted = r.getU64();
+    report.completed = r.getU64();
+    report.completedCritical = r.getU64();
+    report.requeued = r.getU64();
+    report.pendingAtEnd = r.getU64();
+    report.runningAtEnd = r.getU64();
+    report.slaViolations = r.getU64();
+    report.throughputPerSec = r.getDouble();
+    report.meanLatency = r.getDouble();
+    report.p50Latency = r.getDouble();
+    report.p99Latency = r.getDouble();
+    report.fleetEnergy = r.getDouble();
+    report.energyPerJob = r.getDouble();
+    report.meanFleetPower = r.getDouble();
+    report.availability = r.getDouble();
+    report.recoveries = r.getU64();
+    report.abandonedCores = unsigned(r.getU64());
+    report.throttleEpisodes = r.getU64();
+    report.injectedBitFlips = r.getU64();
+    report.injectedDues = r.getU64();
+    return report;
+}
+
+/** @p fleet is null at a policy boundary (no in-flight run). */
+void
+writeCheckpoint(const std::string &path, SamplingMode sampling,
+                Seconds duration,
+                const std::vector<PolicyResult> &results,
+                const Fleet *fleet)
+{
+    StateWriter w;
+    w.beginSection("bench");
+    w.putString("fleet_capacity");
+    w.putU8(std::uint8_t(sampling));
+    w.putDouble(duration);
+    w.putU64(results.size());
+    w.putBool(fleet != nullptr);
+    w.endSection();
+    w.beginSection("reports");
+    for (const PolicyResult &res : results)
+        saveReport(w, res.report);
+    w.endSection();
+    if (fleet)
+        fleet->snapshot(w);
+    w.writeFile(path);
+}
+
+void
+printPolicyRow(SchedulerPolicy policy, const FleetReport &r)
+{
+    std::printf("%-14s %9llu %9.2f %9.2f %9llu %9.1fJ %8.1f "
+                "%7llu\n",
+                policyName(policy),
+                (unsigned long long)r.completed, r.p50Latency,
+                r.p99Latency, (unsigned long long)r.slaViolations,
+                r.energyPerJob, r.meanFleetPower,
+                (unsigned long long)r.throttleEpisodes);
+}
+
 } // namespace
 
 int
@@ -71,7 +186,58 @@ main(int argc, char **argv)
     setInformEnabled(false);
     const unsigned threads = parseThreads(argc, argv);
     const bool json = parseJson(argc, argv);
-    const Seconds duration = parseDoubleArg(argc, argv, "duration", 16.0);
+    SamplingMode sampling = parseSampling(argc, argv);
+    Seconds duration = parseDoubleArg(argc, argv, "duration", 16.0);
+    const Seconds halt_at = parseDoubleArg(argc, argv, "halt-at", -1.0);
+    const Seconds ckpt_every =
+        parseDoubleArg(argc, argv, "checkpoint-every", -1.0);
+    const std::string snap_path =
+        parseStringArg(argc, argv, "checkpoint", "");
+    const std::string resume_path =
+        parseStringArg(argc, argv, "resume", "");
+    if ((halt_at > 0.0 || ckpt_every > 0.0) && snap_path.empty()) {
+        std::fprintf(stderr, "--halt-at/--checkpoint-every require "
+                             "--checkpoint FILE\n");
+        return 2;
+    }
+
+    ExperimentPool pool(threads);
+    std::vector<PolicyResult> results;
+    std::size_t start_policy = 0;
+    bool resume_fleet = false;
+    std::optional<StateReader> reader;
+    try {
+        if (!resume_path.empty()) {
+            // The snapshot's sampling mode and per-policy duration win
+            // over the command line: the remaining slices must extend
+            // the same replay stream the snapshot was taken under.
+            reader.emplace(StateReader::fromFile(resume_path));
+            reader->beginSection("bench");
+            const std::string bench = reader->getString();
+            if (bench != "fleet_capacity")
+                throw SnapshotError("snapshot belongs to bench '" +
+                                    bench + "', not fleet_capacity");
+            sampling = SamplingMode(reader->getU8());
+            duration = reader->getDouble();
+            const std::uint64_t n_reports = reader->getU64();
+            resume_fleet = reader->getBool();
+            reader->endSection();
+            if (n_reports > policyOrder().size())
+                throw SnapshotError("snapshot reports more completed "
+                                    "policies than the bench runs");
+            reader->beginSection("reports");
+            for (std::uint64_t i = 0; i < n_reports; ++i)
+                results.push_back({policyOrder()[i], loadReport(*reader)});
+            reader->endSection();
+            start_policy = results.size();
+            if (resume_fleet && start_policy >= policyOrder().size())
+                throw SnapshotError("snapshot carries an in-flight "
+                                    "fleet past the last policy");
+        }
+    } catch (const SnapshotError &e) {
+        std::fprintf(stderr, "snapshot error: %s\n", e.what());
+        return 1;
+    }
 
     if (!json) {
         banner("Fleet capacity",
@@ -86,27 +252,78 @@ main(int argc, char **argv)
         std::printf("%-14s %9s %9s %9s %9s %10s %8s %7s\n", "policy",
                     "completed", "p50 (s)", "p99 (s)", "SLA-miss",
                     "energy/job", "mean W", "thrott");
+        for (const PolicyResult &res : results)
+            printPolicyRow(res.policy, res.report);
     }
 
-    ExperimentPool pool(threads);
-    std::vector<PolicyResult> results;
-    for (SchedulerPolicy policy :
-         {SchedulerPolicy::roundRobin, SchedulerPolicy::leastLoaded,
-          SchedulerPolicy::marginAware, SchedulerPolicy::riskAware}) {
-        Fleet fleet(capacityConfig(policy));
-        fleet.run(duration, pool);
-        results.push_back({policy, fleet.report()});
+    // All slice math stays on the scheduling-slice grid so a halted
+    // and resumed run takes exactly the same Fleet::run step sequence
+    // as the uninterrupted one.
+    const Seconds slice = capacityConfig(SchedulerPolicy::roundRobin).slice;
+    const long long slices_per_policy =
+        (long long)std::llround(duration / slice);
+    const long long halt_slice =
+        halt_at > 0.0 ? (long long)std::llround(halt_at / slice) : -1;
+    const long long ckpt_slices =
+        ckpt_every > 0.0
+            ? std::max(1LL, (long long)std::llround(ckpt_every / slice))
+            : 0;
+    const long long total_slices =
+        slices_per_policy * (long long)policyOrder().size();
 
-        const FleetReport &r = results.back().report;
-        if (!json) {
-            std::printf("%-14s %9llu %9.2f %9.2f %9llu %9.1fJ %8.1f "
-                        "%7llu\n",
-                        policyName(policy),
-                        (unsigned long long)r.completed, r.p50Latency,
-                        r.p99Latency, (unsigned long long)r.slaViolations,
-                        r.energyPerJob, r.meanFleetPower,
-                        (unsigned long long)r.throttleEpisodes);
+    try {
+        for (std::size_t pi = start_policy; pi < policyOrder().size();
+             ++pi) {
+            FleetConfig cfg = capacityConfig(policyOrder()[pi]);
+            cfg.sampling = sampling;
+            Fleet fleet(cfg);
+            long long cur = 0;
+            if (reader && resume_fleet && pi == start_policy) {
+                fleet.restore(*reader, pool);
+                cur = (long long)std::llround(fleet.now() / slice);
+                reader.reset();
+            }
+            while (cur < slices_per_policy) {
+                const long long base = (long long)pi * slices_per_policy;
+                long long target = slices_per_policy;
+                if (halt_slice > base && halt_slice < total_slices)
+                    target = std::min(target, halt_slice - base);
+                if (ckpt_slices > 0)
+                    target = std::min(
+                        target, ((base + cur) / ckpt_slices + 1) *
+                                        ckpt_slices -
+                                    base);
+                fleet.run(double(target - cur) * slice, pool);
+                cur = target;
+                const bool at_halt =
+                    halt_slice >= 0 && base + cur >= halt_slice &&
+                    base + cur < total_slices;
+                if (at_halt && cur < slices_per_policy) {
+                    writeCheckpoint(snap_path, sampling, duration,
+                                    results, &fleet);
+                    return 0;
+                }
+                if (at_halt) // halted exactly on the policy boundary
+                    break;
+                if (ckpt_slices > 0 && cur < slices_per_policy)
+                    writeCheckpoint(snap_path, sampling, duration,
+                                    results, &fleet);
+            }
+            results.push_back({policyOrder()[pi], fleet.report()});
+            if (halt_slice >= 0 &&
+                (long long)(pi + 1) * slices_per_policy >= halt_slice &&
+                (long long)(pi + 1) * slices_per_policy < total_slices) {
+                writeCheckpoint(snap_path, sampling, duration, results,
+                                nullptr);
+                return 0;
+            }
+            if (!json)
+                printPolicyRow(results.back().policy,
+                               results.back().report);
         }
+    } catch (const SnapshotError &e) {
+        std::fprintf(stderr, "snapshot error: %s\n", e.what());
+        return 1;
     }
 
     if (json) {

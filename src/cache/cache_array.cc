@@ -1,5 +1,7 @@
 #include "cache/cache_array.hh"
 
+#include "snapshot/state_io.hh"
+
 #include <algorithm>
 #include <cmath>
 
@@ -392,6 +394,89 @@ CacheArray::weakestLine() const
 {
     const auto lines = weakLines();
     return lines.empty() ? WeakLineInfo{} : lines.front();
+}
+
+void
+CacheArray::saveState(StateWriter &w) const
+{
+    cells.saveState(w);
+
+    // Run-length encode the codeword store: runs of identical
+    // codewords (count, word0, word1). Monitor pattern rewrites and
+    // injected flips perturb only a handful of lines, so the store
+    // compresses from megabytes to a few runs.
+    w.putU64(store.size());
+    std::vector<std::uint64_t> runs;
+    std::size_t i = 0;
+    while (i < store.size()) {
+        std::size_t j = i + 1;
+        while (j < store.size() && store[j] == store[i])
+            ++j;
+        runs.push_back(j - i);
+        runs.push_back(store[i].word(0));
+        runs.push_back(store[i].word(1));
+        i = j;
+    }
+    w.putU64Vector(runs);
+
+    w.putU64(deconfigured.size());
+    std::vector<std::uint64_t> deconf_idx;
+    for (std::size_t line = 0; line < deconfigured.size(); ++line) {
+        if (deconfigured[line])
+            deconf_idx.push_back(line);
+    }
+    w.putU64Vector(deconf_idx);
+}
+
+void
+CacheArray::loadState(StateReader &r)
+{
+    cells.loadState(r);
+
+    const std::uint64_t store_size = r.getU64();
+    if (store_size != store.size())
+        throw SnapshotError("cache '" + geo.name +
+                            "' store size mismatch");
+    const std::vector<std::uint64_t> runs = r.getU64Vector();
+    if (runs.size() % 3 != 0)
+        throw SnapshotError("cache '" + geo.name +
+                            "' malformed codeword run list");
+    std::size_t pos = 0;
+    for (std::size_t k = 0; k < runs.size(); k += 3) {
+        const std::uint64_t count = runs[k];
+        if (count == 0 || count > store.size() - pos)
+            throw SnapshotError("cache '" + geo.name +
+                                "' codeword runs overflow the store");
+        const Codeword cw = Codeword::fromWords(runs[k + 1],
+                                                runs[k + 2]);
+        for (std::uint64_t n = 0; n < count; ++n)
+            store[pos++] = cw;
+    }
+    if (pos != store.size())
+        throw SnapshotError("cache '" + geo.name +
+                            "' codeword runs cover " +
+                            std::to_string(pos) + " of " +
+                            std::to_string(store.size()) + " words");
+
+    const std::uint64_t num_lines = r.getU64();
+    if (num_lines != deconfigured.size())
+        throw SnapshotError("cache '" + geo.name +
+                            "' line count mismatch");
+    std::fill(deconfigured.begin(), deconfigured.end(), false);
+    for (std::uint64_t line : r.getU64Vector()) {
+        if (line >= deconfigured.size())
+            throw SnapshotError("cache '" + geo.name +
+                                "' deconfigured line out of range");
+        deconfigured[line] = true;
+    }
+
+    // The probability LUT keys on the SRAM generation, but entries
+    // computed against the pre-restore population could alias a
+    // restored generation value; drop them outright. The encode cache
+    // is a pure function of the data word and stays valid.
+    if (!probCache.empty())
+        std::fill(probCache.begin(), probCache.end(), ProbSlot{});
+    probCacheGeneration = cells.generation();
 }
 
 } // namespace vspec

@@ -36,6 +36,9 @@
 namespace vspec
 {
 
+class StateWriter;
+class StateReader;
+
 /** A weak line summary: where it is and how weak. */
 struct WeakLineInfo
 {
@@ -187,6 +190,17 @@ class CacheArray
     void deconfigureLine(std::uint64_t set, unsigned way);
     bool isDeconfigured(std::uint64_t set, unsigned way) const;
     void reconfigureLine(std::uint64_t set, unsigned way);
+
+    /**
+     * Serialize the array's dynamic state: the SRAM population (aged
+     * critical voltages), the stored codewords (run-length encoded —
+     * the store is dominated by repeated pattern/zero encodings) and
+     * the per-line deconfiguration flags. The probability/encode LUTs
+     * are derived caches and are re-derived, never serialized;
+     * loadState drops them so no stale pre-restore entry survives.
+     */
+    void saveState(StateWriter &w) const;
+    void loadState(StateReader &r);
 
   private:
     CacheGeometry geo;

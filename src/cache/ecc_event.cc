@@ -1,5 +1,7 @@
 #include "cache/ecc_event.hh"
 
+#include "snapshot/state_io.hh"
+
 namespace vspec
 {
 
@@ -22,6 +24,44 @@ EccEventLog::reset()
     uncorrectable = 0;
     perLine.clear();
     perCache.clear();
+}
+
+void
+EccEventLog::saveState(StateWriter &w) const
+{
+    w.putU64(correctable);
+    w.putU64(uncorrectable);
+    w.putU64(perLine.size());
+    for (const auto &[line, count] : perLine) {
+        w.putU64(line.first);
+        w.putU64(line.second);
+        w.putU64(count);
+    }
+    w.putU64(perCache.size());
+    for (const auto &[name, count] : perCache) {
+        w.putString(name);
+        w.putU64(count);
+    }
+}
+
+void
+EccEventLog::loadState(StateReader &r)
+{
+    correctable = r.getU64();
+    uncorrectable = r.getU64();
+    perLine.clear();
+    const std::uint64_t lines = r.getU64();
+    for (std::uint64_t i = 0; i < lines; ++i) {
+        const std::uint64_t set = r.getU64();
+        const unsigned way = unsigned(r.getU64());
+        perLine[{set, way}] = r.getU64();
+    }
+    perCache.clear();
+    const std::uint64_t caches = r.getU64();
+    for (std::uint64_t i = 0; i < caches; ++i) {
+        const std::string name = r.getString();
+        perCache[name] = r.getU64();
+    }
 }
 
 } // namespace vspec

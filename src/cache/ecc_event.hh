@@ -18,6 +18,9 @@
 namespace vspec
 {
 
+class StateWriter;
+class StateReader;
+
 /** One ECC event reported by a cache controller. */
 struct EccEvent
 {
@@ -82,6 +85,9 @@ class EccEventLog
     }
 
     void reset();
+
+    void saveState(StateWriter &w) const;
+    void loadState(StateReader &r);
 
   private:
     std::uint64_t correctable = 0;

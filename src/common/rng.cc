@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "common/mathutil.hh"
+#include "snapshot/state_io.hh"
 
 namespace vspec
 {
@@ -202,6 +203,24 @@ Rng::poisson(double mean)
     // Normal approximation for large means.
     const double draw = std::round(gaussian(mean, std::sqrt(mean)));
     return draw < 0.0 ? 0 : std::uint64_t(draw);
+}
+
+void
+Rng::saveState(StateWriter &w) const
+{
+    for (std::uint64_t word : state)
+        w.putU64(word);
+    w.putDouble(cachedGaussian);
+    w.putBool(hasCachedGaussian);
+}
+
+void
+Rng::loadState(StateReader &r)
+{
+    for (std::uint64_t &word : state)
+        word = r.getU64();
+    cachedGaussian = r.getDouble();
+    hasCachedGaussian = r.getBool();
 }
 
 } // namespace vspec

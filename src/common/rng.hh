@@ -18,6 +18,9 @@
 namespace vspec
 {
 
+class StateWriter;
+class StateReader;
+
 /**
  * Stateless 64-bit mixing function (splitmix64 finalizer). Used both for
  * seeding and for deriving per-object child seeds.
@@ -82,6 +85,17 @@ class Rng
 
     /** Poisson variate with the given mean. */
     std::uint64_t poisson(double mean);
+
+    /**
+     * Serialize the full generator state — the xoshiro words AND the
+     * pending Box-Muller cache — so a restored generator reproduces the
+     * exact remaining stream, including a gaussian() snapshotted
+     * mid-pair. Contrast with fork(), which deliberately starts the
+     * child with an empty cache: fork() derives a *new* decorrelated
+     * stream, loadState() resumes *this* stream.
+     */
+    void saveState(StateWriter &w) const;
+    void loadState(StateReader &r);
 
   private:
     std::array<std::uint64_t, 4> state;

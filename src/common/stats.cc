@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "snapshot/state_io.hh"
 
 namespace vspec
 {
@@ -184,6 +185,53 @@ Histogram::render(std::size_t width) const
            << std::string(bar, '#') << " " << counts[i] << "\n";
     }
     return os.str();
+}
+
+void
+RunningStats::saveState(StateWriter &w) const
+{
+    w.putU64(n);
+    w.putDouble(runningMean);
+    w.putDouble(m2);
+    w.putDouble(lo);
+    w.putDouble(hi);
+    w.putDouble(total);
+}
+
+void
+RunningStats::loadState(StateReader &r)
+{
+    n = r.getU64();
+    runningMean = r.getDouble();
+    m2 = r.getDouble();
+    lo = r.getDouble();
+    hi = r.getDouble();
+    total = r.getDouble();
+}
+
+void
+Histogram::saveState(StateWriter &w) const
+{
+    w.putDouble(rangeLo);
+    w.putDouble(rangeHi);
+    w.putU64(counts.size());
+    w.putU64Vector(counts);
+    w.putU64(total);
+}
+
+void
+Histogram::loadState(StateReader &r)
+{
+    const double lo_in = r.getDouble();
+    const double hi_in = r.getDouble();
+    const std::uint64_t bins = r.getU64();
+    if (lo_in != rangeLo || hi_in != rangeHi || bins != counts.size())
+        throw SnapshotError("histogram shape mismatch (snapshot was "
+                            "taken with a different configuration)");
+    counts = r.getU64Vector();
+    if (counts.size() != bins)
+        throw SnapshotError("histogram bin count mismatch");
+    total = r.getU64();
 }
 
 } // namespace vspec

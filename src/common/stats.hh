@@ -15,6 +15,9 @@
 namespace vspec
 {
 
+class StateWriter;
+class StateReader;
+
 /**
  * Welford-style running statistics: numerically stable mean/variance
  * plus min/max over a stream of samples.
@@ -40,6 +43,9 @@ class RunningStats
     double min() const;
     double max() const;
     double sum() const { return total; }
+
+    void saveState(StateWriter &w) const;
+    void loadState(StateReader &r);
 
   private:
     std::uint64_t n;
@@ -80,6 +86,14 @@ class Histogram
 
     /** Render a compact multi-line ASCII view (for debug dumps). */
     std::string render(std::size_t width = 50) const;
+
+    /**
+     * Shape (range, bin count) is construction state and is verified,
+     * not overwritten, by loadState: restoring into a histogram with a
+     * different shape throws SnapshotError.
+     */
+    void saveState(StateWriter &w) const;
+    void loadState(StateReader &r);
 
   private:
     double rangeLo;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "snapshot/state_io.hh"
 
 namespace vspec
 {
@@ -72,6 +73,48 @@ EccMonitor::runProbes(Seconds dt, Millivolt v_eff, Rng &rng)
     stats = targetArray->probeLine(set_, way_, v_eff, n, rng);
     accumulate(stats);
     return stats;
+}
+
+void
+EccMonitor::saveState(StateWriter &w) const
+{
+    saveCounters(w);
+    w.putBool(active());
+    w.putU64(set_);
+    w.putU64(way_);
+    w.putDouble(probeCarry);
+    w.putU64(patternIndex);
+}
+
+void
+EccMonitor::loadState(StateReader &r)
+{
+    loadCounters(r);
+    const bool was_active = r.getBool();
+    const std::uint64_t snap_set = r.getU64();
+    const unsigned snap_way = unsigned(r.getU64());
+    if (was_active) {
+        if (!active())
+            throw SnapshotError(
+                "monitor active in snapshot but not armed at restore "
+                "(reconstruct the chip before loading state)");
+        if (snap_set != set_ || snap_way != way_)
+            throw SnapshotError(
+                "monitor designated line mismatch: snapshot set " +
+                std::to_string(snap_set) + " way " +
+                std::to_string(snap_way) + ", armed set " +
+                std::to_string(set_) + " way " + std::to_string(way_));
+    } else {
+        // Snapshot taken mid-dropout: detach without reconfiguring the
+        // line (the deconfiguration flags come from the CacheArray
+        // snapshot, and the injector's restored dropout window will
+        // re-activate the monitor on schedule).
+        targetArray = nullptr;
+        set_ = snap_set;
+        way_ = snap_way;
+    }
+    probeCarry = r.getDouble();
+    patternIndex = unsigned(r.getU64());
 }
 
 } // namespace vspec

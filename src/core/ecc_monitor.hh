@@ -82,6 +82,20 @@ class EccMonitor : public CountingFeedbackSource
 
     const Config &config() const { return cfg; }
 
+    /**
+     * Serialize counters, probe carry, pattern cursor and the
+     * activation flag. loadState overlays fields directly — it never
+     * runs activate()'s side effects (line deconfiguration, pattern
+     * write, counter reset), because the store content and
+     * deconfiguration flags are restored with the owning CacheArray.
+     * Restoring an *active* snapshot requires the monitor to already
+     * be armed on the same line (the reconstruct-then-overlay
+     * contract, DESIGN.md §11); an inactive snapshot simply detaches
+     * the monitor, e.g. mid-dropout.
+     */
+    void saveState(StateWriter &w) const;
+    void loadState(StateReader &r);
+
   private:
     Config cfg;
     CacheArray *targetArray = nullptr;

@@ -1,4 +1,5 @@
 #include "core/feedback_source.hh"
+#include "snapshot/state_io.hh"
 
 #include "common/logging.hh"
 
@@ -54,6 +55,22 @@ CountingFeedbackSource::emergencyPending() const
 {
     return accesses >= emergencyMinSamples &&
            errorRate() > emergencyCeiling;
+}
+
+void
+CountingFeedbackSource::saveCounters(StateWriter &w) const
+{
+    w.putU64(accesses);
+    w.putU64(errors);
+    w.putBool(uncorrectable);
+}
+
+void
+CountingFeedbackSource::loadCounters(StateReader &r)
+{
+    accesses = r.getU64();
+    errors = r.getU64();
+    uncorrectable = r.getBool();
 }
 
 } // namespace vspec

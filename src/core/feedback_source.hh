@@ -19,6 +19,9 @@
 namespace vspec
 {
 
+class StateWriter;
+class StateReader;
+
 class ErrorFeedbackSource
 {
   public:
@@ -66,6 +69,13 @@ class CountingFeedbackSource : public ErrorFeedbackSource
 
     /** Correctable events since the last reset. */
     std::uint64_t errorCount() const { return errors; }
+
+    /**
+     * Serialize the running counters and the uncorrectable latch.
+     * Derived sources call these from their own saveState/loadState.
+     */
+    void saveCounters(StateWriter &w) const;
+    void loadCounters(StateReader &r);
 
   protected:
     /**

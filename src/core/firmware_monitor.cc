@@ -1,6 +1,7 @@
 #include "core/firmware_monitor.hh"
 
 #include "common/logging.hh"
+#include "snapshot/state_io.hh"
 
 namespace vspec
 {
@@ -53,6 +54,31 @@ FirmwareSelfTest::runTests(Seconds dt, Millivolt v_eff, Rng &rng)
 
     accumulate(stats, result.uncorrectable);
     return stats;
+}
+
+void
+FirmwareSelfTest::saveState(StateWriter &w) const
+{
+    saveCounters(w);
+    w.putU64(targetSet);
+    w.putU64(targetWay);
+    w.putDouble(testCarry);
+}
+
+void
+FirmwareSelfTest::loadState(StateReader &r)
+{
+    loadCounters(r);
+    const std::uint64_t snap_set = r.getU64();
+    const unsigned snap_way = unsigned(r.getU64());
+    if (snap_set != targetSet || snap_way != targetWay)
+        throw SnapshotError(
+            "firmware self-test target mismatch: snapshot set " +
+            std::to_string(snap_set) + " way " +
+            std::to_string(snap_way) + ", constructed set " +
+            std::to_string(targetSet) + " way " +
+            std::to_string(targetWay));
+    testCarry = r.getDouble();
 }
 
 } // namespace vspec

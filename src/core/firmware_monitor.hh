@@ -69,6 +69,15 @@ class FirmwareSelfTest : public CountingFeedbackSource
 
     const Config &config() const { return cfg; }
 
+    /**
+     * Serialize counters plus the fractional test budget carried
+     * between ticks. The target set/way and the TargetedLineTest
+     * working set are construction state (re-derived on reconstruct);
+     * the snapshot only verifies they match.
+     */
+    void saveState(StateWriter &w) const;
+    void loadState(StateReader &r);
+
   private:
     Config cfg;
     CacheHierarchy *caches;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "snapshot/state_io.hh"
 
 namespace vspec
 {
@@ -76,6 +77,28 @@ SoftwareSpeculator::consumeOverheadFraction(Seconds dt)
     const double fraction = overheadPending / dt;
     overheadPending = 0.0;
     return fraction;
+}
+
+void
+SoftwareSpeculator::saveState(StateWriter &w) const
+{
+    w.putDouble(holdRemaining);
+    w.putDouble(sinceLower);
+    w.putDouble(overheadPending);
+    w.putDouble(overheadTotal);
+    w.putU64(handled);
+    w.putU64(recoveryBackoffs_);
+}
+
+void
+SoftwareSpeculator::loadState(StateReader &r)
+{
+    holdRemaining = r.getDouble();
+    sinceLower = r.getDouble();
+    overheadPending = r.getDouble();
+    overheadTotal = r.getDouble();
+    handled = r.getU64();
+    recoveryBackoffs_ = r.getU64();
 }
 
 } // namespace vspec

@@ -30,6 +30,9 @@
 namespace vspec
 {
 
+class StateWriter;
+class StateReader;
+
 class SoftwareSpeculator
 {
   public:
@@ -91,6 +94,10 @@ class SoftwareSpeculator
     std::uint64_t recoveryBackoffs() const { return recoveryBackoffs_; }
 
     const Policy &policy() const { return swPolicy; }
+
+    /** Serialize hold/lower timers, overhead accumulators, counters. */
+    void saveState(StateWriter &w) const;
+    void loadState(StateReader &r);
 
   private:
     VoltageRegulator *reg;

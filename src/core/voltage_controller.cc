@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "snapshot/state_io.hh"
 
 namespace vspec
 {
@@ -92,6 +93,49 @@ VoltageControlSystem::controllerFor(const VoltageRegulator &regulator)
             return &controller;
     }
     return nullptr;
+}
+
+void
+DomainController::saveState(StateWriter &w) const
+{
+    w.putDouble(sinceControl);
+    w.putU64(upSteps);
+    w.putU64(downSteps);
+    w.putU64(emergencyCount);
+    w.putU64(holdCount);
+    w.putU64(recoveryCount);
+}
+
+void
+DomainController::loadState(StateReader &r)
+{
+    sinceControl = r.getDouble();
+    upSteps = r.getU64();
+    downSteps = r.getU64();
+    emergencyCount = r.getU64();
+    holdCount = r.getU64();
+    recoveryCount = r.getU64();
+}
+
+void
+VoltageControlSystem::saveState(StateWriter &w) const
+{
+    w.putU64(controllers.size());
+    for (const DomainController &c : controllers)
+        c.saveState(w);
+}
+
+void
+VoltageControlSystem::loadState(StateReader &r)
+{
+    const std::uint64_t count = r.getU64();
+    if (count != controllers.size())
+        throw SnapshotError(
+            "control system domain count mismatch: snapshot has " +
+            std::to_string(count) + ", chip has " +
+            std::to_string(controllers.size()));
+    for (DomainController &c : controllers)
+        c.loadState(r);
 }
 
 } // namespace vspec

@@ -86,6 +86,10 @@ class DomainController
     std::uint64_t holds() const { return holdCount; }
     std::uint64_t recoveryBackoffs() const { return recoveryCount; }
 
+    /** Serialize the interval timer and decision counters. */
+    void saveState(StateWriter &w) const;
+    void loadState(StateReader &r);
+
   private:
     VoltageRegulator *reg;
     ErrorFeedbackSource *mon;
@@ -119,6 +123,14 @@ class VoltageControlSystem
 
     /** Controller steering the given regulator, or nullptr. */
     DomainController *controllerFor(const VoltageRegulator &regulator);
+
+    /**
+     * Serialize every controller in domain order. loadState verifies
+     * the domain count matches the snapshot (the wiring itself —
+     * regulator/monitor references — is reconstruction state).
+     */
+    void saveState(StateWriter &w) const;
+    void loadState(StateReader &r);
 
   private:
     std::vector<DomainController> controllers;

@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "common/mathutil.hh"
+#include "snapshot/state_io.hh"
 
 namespace vspec
 {
@@ -266,6 +267,32 @@ Core::tick(Seconds t, Seconds dt, Millivolt v_eff, Rng &rng,
         result.crash = crashReason;
     }
     return result;
+}
+
+void
+Core::saveState(StateWriter &w) const
+{
+    w.putU8(std::uint8_t(crashReason));
+    w.putDouble(workloadStart);
+    l2iArray().saveState(w);
+    l2dArray().saveState(w);
+    registerFile->saveState(w);
+}
+
+void
+Core::loadState(StateReader &r)
+{
+    const std::uint8_t reason = r.getU8();
+    if (reason > std::uint8_t(CrashReason::logicFailure))
+        throw SnapshotError("invalid crash reason " +
+                            std::to_string(unsigned(reason)));
+    crashReason = CrashReason(reason);
+    workloadStart = r.getDouble();
+    l2iArray().loadState(r);
+    l2dArray().loadState(r);
+    registerFile->loadState(r);
+    // Aged voltages may differ from the freshly constructed ones.
+    refreshWeakLines();
 }
 
 } // namespace vspec

@@ -163,6 +163,16 @@ class Core
     const std::vector<WeakLineInfo> &weakLinesOf(
         const CacheArray &array) const;
 
+    /**
+     * Serialize the crash latch, workload start time and all three
+     * ECC-protected arrays (L2I, L2D, RF). The workload object itself
+     * is reconstruction state (re-assigned by the owner before
+     * loadState overlays the start time); loadState refreshes the
+     * cached weak-line lists afterwards.
+     */
+    void saveState(StateWriter &w) const;
+    void loadState(StateReader &r);
+
   private:
     Config cfg;
     Millivolt logicFloorMv;

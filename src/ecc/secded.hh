@@ -48,6 +48,14 @@ class Codeword
 
     std::uint64_t word(unsigned i) const { return words.at(i); }
 
+    /** Rebuild from the two raw words (snapshot restore). */
+    static Codeword fromWords(std::uint64_t w0, std::uint64_t w1)
+    {
+        Codeword cw;
+        cw.words = {w0, w1};
+        return cw;
+    }
+
   private:
     std::array<std::uint64_t, 2> words;
 };

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "snapshot/state_io.hh"
 #include "workload/benchmarks.hh"
 
 namespace vspec
@@ -19,6 +20,30 @@ faultsArmed(const FaultInjector::Config &faults)
            faults.droopsPerHour > 0.0 ||
            faults.monitorDropoutsPerHour > 0.0 ||
            faults.stuckRegulatorsPerHour > 0.0;
+}
+
+void
+saveJob(StateWriter &w, const Job &job)
+{
+    w.putU64(job.id);
+    w.putU64(job.classIndex);
+    w.putDouble(job.arrival);
+    w.putDouble(job.serviceTime);
+    w.putDouble(job.deadline);
+    w.putDouble(job.accruedEnergy);
+}
+
+Job
+loadJob(StateReader &r)
+{
+    Job job;
+    job.id = r.getU64();
+    job.classIndex = unsigned(r.getU64());
+    job.arrival = r.getDouble();
+    job.serviceTime = r.getDouble();
+    job.deadline = r.getDouble();
+    job.accruedEnergy = r.getDouble();
+    return job;
 }
 
 } // namespace
@@ -412,6 +437,138 @@ Fleet::report() const
         rep.energyPerJob = merged.jobEnergy() / double(rep.completed);
     }
     return rep;
+}
+
+
+void
+FleetNode::saveState(StateWriter &w) const
+{
+    w.beginSection("node");
+    w.putU64(nodeIndex);
+    w.putU64(slots.size());
+    for (const CoreSlot &slot : slots) {
+        w.putBool(bool(slot.job));
+        if (slot.job)
+            saveJob(w, *slot.job);
+        w.putDouble(slot.remaining);
+        w.putDouble(slot.energyMark);
+        w.putDouble(slot.risk);
+        w.putDouble(slot.lastRecoveryAt);
+        w.putU64(slot.seenErrors);
+        w.putU64(slot.seenRecoveries);
+        w.putDouble(slot.seenLostTime);
+    }
+    w.putU64(requeued.size());
+    for (const Job &job : requeued)
+        saveJob(w, job);
+    shard.saveState(w);
+    w.putDouble(powerMark.energy);
+    w.putDouble(powerMark.elapsed);
+    w.endSection();
+
+    sim->snapshot(w);
+}
+
+void
+FleetNode::loadState(StateReader &r)
+{
+    r.beginSection("node");
+    const std::uint64_t idx = r.getU64();
+    if (idx != nodeIndex)
+        throw SnapshotError("node index mismatch: snapshot has " +
+                            std::to_string(idx) + ", node is " +
+                            std::to_string(nodeIndex));
+    const std::uint64_t n_slots = r.getU64();
+    if (n_slots != slots.size())
+        throw SnapshotError("core slot count mismatch");
+    for (unsigned c = 0; c < unsigned(slots.size()); ++c) {
+        CoreSlot &slot = slots[c];
+        slot.job.reset();
+        if (r.getBool())
+            slot.job = loadJob(r);
+        slot.remaining = r.getDouble();
+        slot.energyMark = r.getDouble();
+        slot.risk = r.getDouble();
+        slot.lastRecoveryAt = r.getDouble();
+        slot.seenErrors = r.getU64();
+        slot.seenRecoveries = r.getU64();
+        slot.seenLostTime = r.getDouble();
+
+        // Re-bind the resident job's workload before the simulator
+        // overlay: the workload object is reconstruction state (a pure
+        // function of the job class), and Core::loadState restores the
+        // start time the original placement used.
+        if (slot.job) {
+            chip_->core(c).setWorkload(
+                benchmarks::suiteSequence(
+                    classTableEntry(*slot.job).suite,
+                    cfg->jobPhaseSeconds),
+                /*start_time=*/0.0);
+        }
+    }
+    requeued.clear();
+    const std::uint64_t n_requeued = r.getU64();
+    for (std::uint64_t i = 0; i < n_requeued; ++i)
+        requeued.push_back(loadJob(r));
+    shard.loadState(r);
+    powerMark.energy = r.getDouble();
+    powerMark.elapsed = r.getDouble();
+    r.endSection();
+
+    sim->restore(r);
+}
+
+void
+Fleet::snapshot(StateWriter &w) const
+{
+    if (nodes.empty())
+        panic("Fleet::snapshot before the nodes were built "
+              "(run the fleet first)");
+    w.beginSection("fleet");
+    w.putDouble(now_);
+    w.putU64(sliceIndex);
+    w.putU64(submitted);
+    w.putU64(requeueCount);
+    queue.saveState(w);
+    scheduler->saveState(w);
+    governor_.saveState(w);
+    w.putU64(nodes.size());
+    w.putU64(pending.size());
+    for (const Job &job : pending)
+        saveJob(w, job);
+    w.endSection();
+
+    for (const auto &node : nodes)
+        node->saveState(w);
+}
+
+void
+Fleet::restore(StateReader &r, ExperimentPool &pool)
+{
+    if (nodes.empty())
+        buildNodes(pool);
+
+    r.beginSection("fleet");
+    now_ = r.getDouble();
+    sliceIndex = r.getU64();
+    submitted = r.getU64();
+    requeueCount = r.getU64();
+    queue.loadState(r);
+    scheduler->loadState(r);
+    governor_.loadState(r);
+    const std::uint64_t n_nodes = r.getU64();
+    if (n_nodes != nodes.size())
+        throw SnapshotError("fleet node count mismatch: snapshot has " +
+                            std::to_string(n_nodes) + ", fleet has " +
+                            std::to_string(nodes.size()));
+    pending.clear();
+    const std::uint64_t n_pending = r.getU64();
+    for (std::uint64_t i = 0; i < n_pending; ++i)
+        pending.push_back(loadJob(r));
+    r.endSection();
+
+    for (auto &node : nodes)
+        node->loadState(r);
 }
 
 } // namespace vspec

@@ -156,6 +156,18 @@ class FleetNode
 
     Joule chipEnergy() const { return sim->chipEnergy().energy(); }
 
+    /**
+     * Serialize the node's job slots, requeue list, metrics shard,
+     * governor power mark and the full chip simulation (via
+     * Simulator::snapshot). loadState expects a freshly constructed
+     * node with the class table bound: it re-binds each resident job's
+     * benchmark workload before overlaying the simulator state, so the
+     * core's restored workloadStart lines up with the re-created
+     * workload object.
+     */
+    void saveState(StateWriter &w) const;
+    void loadState(StateReader &r);
+
   private:
     struct CoreSlot
     {
@@ -249,6 +261,18 @@ class Fleet
     std::size_t pendingJobs() const { return pending.size(); }
 
     const FleetConfig &config() const { return cfg; }
+
+    /**
+     * Serialize the whole fleet: job-stream position, scheduler state,
+     * governor caps, pending queue, slice counters and every node.
+     * restore() rebuilds the nodes on the pool first (deterministic
+     * reconstruction from the fleet seed), then overlays the snapshot;
+     * a restored fleet resumed with run() is bit-identical to the
+     * uninterrupted run at slice granularity, for any worker-thread
+     * count. Snapshot a fleet only after run() has built its nodes.
+     */
+    void snapshot(StateWriter &w) const;
+    void restore(StateReader &r, ExperimentPool &pool);
 
   private:
     FleetConfig cfg;

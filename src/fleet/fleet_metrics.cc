@@ -1,6 +1,7 @@
 #include "fleet/fleet_metrics.hh"
 
 #include "common/logging.hh"
+#include "snapshot/state_io.hh"
 
 namespace vspec
 {
@@ -48,6 +49,30 @@ Seconds
 FleetMetrics::latencyQuantile(double q) const
 {
     return histogram.quantile(q);
+}
+
+void
+FleetMetrics::saveState(StateWriter &w) const
+{
+    histogram.saveState(w);
+    latency.saveState(w);
+    w.putDouble(jobEnergyTotal);
+    w.putU64(completedJobs);
+    w.putU64(criticalJobs);
+    w.putU64(violations);
+    w.putU64(criticalViolations);
+}
+
+void
+FleetMetrics::loadState(StateReader &r)
+{
+    histogram.loadState(r);
+    latency.loadState(r);
+    jobEnergyTotal = r.getDouble();
+    completedJobs = r.getU64();
+    criticalJobs = r.getU64();
+    violations = r.getU64();
+    criticalViolations = r.getU64();
 }
 
 } // namespace vspec

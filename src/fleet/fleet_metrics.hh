@@ -58,6 +58,10 @@ class FleetMetrics
     const RunningStats &latencyStats() const { return latency; }
     const Histogram &latencyHistogram() const { return histogram; }
 
+    /** Serialize the latency shard and completion/violation counts. */
+    void saveState(StateWriter &w) const;
+    void loadState(StateReader &r);
+
   private:
     Histogram histogram;
     RunningStats latency;

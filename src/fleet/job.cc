@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "snapshot/state_io.hh"
 
 namespace vspec
 {
@@ -95,6 +96,22 @@ JobQueue::drainArrivalsUpTo(Seconds t)
             -std::log1p(-rng.uniform()) / cfg.arrivalsPerSecond;
     }
     return arrivals;
+}
+
+void
+JobQueue::saveState(StateWriter &w) const
+{
+    rng.saveState(w);
+    w.putDouble(nextArrival);
+    w.putU64(nextId);
+}
+
+void
+JobQueue::loadState(StateReader &r)
+{
+    rng.loadState(r);
+    nextArrival = r.getDouble();
+    nextId = r.getU64();
 }
 
 } // namespace vspec

@@ -119,6 +119,14 @@ class JobQueue
 
     const Config &config() const { return cfg; }
 
+    /**
+     * Serialize the stream position: the private RNG, the next arrival
+     * time and the next job id. The class table and rates are
+     * construction state.
+     */
+    void saveState(StateWriter &w) const;
+    void loadState(StateReader &r);
+
   private:
     Config cfg;
     Rng rng;

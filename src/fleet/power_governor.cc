@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "common/logging.hh"
+#include "snapshot/state_io.hh"
 
 namespace vspec
 {
@@ -110,6 +111,40 @@ Watt
 PowerCapGovernor::demand(unsigned chip) const
 {
     return demandEwma.at(chip);
+}
+
+void
+PowerCapGovernor::saveState(StateWriter &w) const
+{
+    w.putDoubleVector(demandEwma);
+    w.putDoubleVector(caps);
+    std::vector<std::uint64_t> flags(throttled_.size());
+    for (std::size_t i = 0; i < throttled_.size(); ++i)
+        flags[i] = throttled_[i] ? 1 : 0;
+    w.putU64Vector(flags);
+    w.putU64(episodes);
+    w.putBool(seeded);
+}
+
+void
+PowerCapGovernor::loadState(StateReader &r)
+{
+    const std::vector<double> ewma = r.getDoubleVector();
+    const std::vector<double> snap_caps = r.getDoubleVector();
+    const std::vector<std::uint64_t> flags = r.getU64Vector();
+    if (ewma.size() != demandEwma.size() ||
+        snap_caps.size() != caps.size() ||
+        flags.size() != throttled_.size())
+        throw SnapshotError(
+            "governor chip count mismatch: snapshot has " +
+            std::to_string(ewma.size()) + ", governor has " +
+            std::to_string(demandEwma.size()));
+    demandEwma = ewma;
+    caps = snap_caps;
+    for (std::size_t i = 0; i < flags.size(); ++i)
+        throttled_[i] = flags[i] != 0;
+    episodes = r.getU64();
+    seeded = r.getBool();
 }
 
 } // namespace vspec

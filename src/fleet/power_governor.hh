@@ -30,6 +30,9 @@
 namespace vspec
 {
 
+class StateWriter;
+class StateReader;
+
 class PowerCapGovernor
 {
   public:
@@ -71,6 +74,10 @@ class PowerCapGovernor
     Watt demand(unsigned chip) const;
 
     const Config &config() const { return cfg; }
+
+    /** Serialize demand EWMAs, caps, throttle flags and episodes. */
+    void saveState(StateWriter &w) const;
+    void loadState(StateReader &r);
 
   private:
     Config cfg;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "snapshot/state_io.hh"
 
 namespace vspec
 {
@@ -61,6 +62,13 @@ class RoundRobinScheduler final : public Scheduler
             }
         }
         return std::nullopt;
+    }
+
+    void saveState(StateWriter &w) const override { w.putU64(cursor); }
+
+    void loadState(StateReader &r) override
+    {
+        cursor = std::size_t(r.getU64());
     }
 
   private:
@@ -195,6 +203,16 @@ makeScheduler(SchedulerPolicy policy, unsigned reserve_for_critical,
         return std::make_unique<RiskAwareScheduler>(risk_threshold);
     }
     panic("unknown scheduler policy");
+}
+
+void
+Scheduler::saveState(StateWriter &) const
+{
+}
+
+void
+Scheduler::loadState(StateReader &)
+{
 }
 
 } // namespace vspec

@@ -98,6 +98,14 @@ class Scheduler
     virtual std::optional<CoreRef>
     place(const Job &job, const JobClass &cls,
           const std::vector<CoreStatus> &cores) = 0;
+
+    /**
+     * Serialize policy-internal mutable state. Most policies are pure
+     * functions of the status vector and serialize nothing; the
+     * round-robin policy overrides these to carry its cursor.
+     */
+    virtual void saveState(StateWriter &w) const;
+    virtual void loadState(StateReader &r);
 };
 
 /**

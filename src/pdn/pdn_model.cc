@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "snapshot/state_io.hh"
 
 namespace vspec
 {
@@ -76,6 +77,20 @@ PdnModel::advance(Seconds dt)
         transientRemaining = 0.0;
         transientMv = 0.0;
     }
+}
+
+void
+PdnModel::saveState(StateWriter &w) const
+{
+    w.putDouble(transientMv);
+    w.putDouble(transientRemaining);
+}
+
+void
+PdnModel::loadState(StateReader &r)
+{
+    transientMv = r.getDouble();
+    transientRemaining = r.getDouble();
 }
 
 } // namespace vspec

@@ -23,6 +23,9 @@
 namespace vspec
 {
 
+class StateWriter;
+class StateReader;
+
 /**
  * Aggregate activity of one voltage rail over a control interval.
  */
@@ -87,6 +90,10 @@ class PdnModel
     }
 
     const Params &params() const { return pdnParams; }
+
+    /** Serialize the active transient (magnitude + remaining time). */
+    void saveState(StateWriter &w) const;
+    void loadState(StateReader &r);
 
   private:
     Params pdnParams;

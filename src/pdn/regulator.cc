@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "common/mathutil.hh"
+#include "snapshot/state_io.hh"
 
 namespace vspec
 {
@@ -58,6 +59,22 @@ VoltageRegulator::advance(Seconds dt)
         current = target;
     else
         current += (delta > 0 ? max_move : -max_move);
+}
+
+void
+VoltageRegulator::saveState(StateWriter &w) const
+{
+    w.putDouble(target);
+    w.putDouble(current);
+    w.putBool(stuck_);
+}
+
+void
+VoltageRegulator::loadState(StateReader &r)
+{
+    target = r.getDouble();
+    current = r.getDouble();
+    stuck_ = r.getBool();
 }
 
 } // namespace vspec

@@ -17,6 +17,9 @@
 namespace vspec
 {
 
+class StateWriter;
+class StateReader;
+
 class VoltageRegulator
 {
   public:
@@ -63,6 +66,10 @@ class VoltageRegulator
     bool stuck() const { return stuck_; }
 
     const Params &params() const { return regParams; }
+
+    /** Serialize setpoint, slewing output and the stuck flag. */
+    void saveState(StateWriter &w) const;
+    void loadState(StateReader &r);
 
   private:
     Params regParams;

@@ -1,6 +1,7 @@
 #include "platform/chip.hh"
 
 #include "common/logging.hh"
+#include "snapshot/state_io.hh"
 
 namespace vspec
 {
@@ -111,6 +112,68 @@ Chip::totalPower(Seconds t) const
     for (unsigned i = 0; i < numCores(); ++i)
         total += corePower(i, t);
     return total;
+}
+
+void
+VoltageDomain::saveState(StateWriter &w) const
+{
+    reg.saveState(w);
+    w.putDouble(lastActivity.meanActivity);
+    w.putDouble(lastActivity.swingAmplitude);
+    w.putDouble(lastActivity.oscillationFreq);
+}
+
+void
+VoltageDomain::loadState(StateReader &r)
+{
+    reg.loadState(r);
+    lastActivity.meanActivity = r.getDouble();
+    lastActivity.swingAmplitude = r.getDouble();
+    lastActivity.oscillationFreq = r.getDouble();
+}
+
+void
+Chip::saveState(StateWriter &w) const
+{
+    chipRng.saveState(w);
+    pdnModel.saveState(w);
+    w.putU64(domains_.size());
+    for (const VoltageDomain &d : domains_)
+        d.saveState(w);
+    w.putU64(cores_.size());
+    for (const auto &c : cores_)
+        c->saveState(w);
+    w.putU64(monitors_.size());
+    for (const auto &m : monitors_)
+        m->saveState(w);
+}
+
+void
+Chip::loadState(StateReader &r)
+{
+    chipRng.loadState(r);
+    pdnModel.loadState(r);
+    const std::uint64_t n_domains = r.getU64();
+    if (n_domains != domains_.size())
+        throw SnapshotError("domain count mismatch: snapshot has " +
+                            std::to_string(n_domains) + ", chip has " +
+                            std::to_string(domains_.size()));
+    for (VoltageDomain &d : domains_)
+        d.loadState(r);
+    const std::uint64_t n_cores = r.getU64();
+    if (n_cores != cores_.size())
+        throw SnapshotError("core count mismatch: snapshot has " +
+                            std::to_string(n_cores) + ", chip has " +
+                            std::to_string(cores_.size()));
+    for (auto &c : cores_)
+        c->loadState(r);
+    const std::uint64_t n_monitors = r.getU64();
+    if (n_monitors != monitors_.size())
+        throw SnapshotError("monitor count mismatch: snapshot has " +
+                            std::to_string(n_monitors) + ", chip has " +
+                            std::to_string(monitors_.size()));
+    for (auto &m : monitors_)
+        m->loadState(r);
 }
 
 } // namespace vspec

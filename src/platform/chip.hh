@@ -62,6 +62,10 @@ class VoltageDomain
     /** Effective supply at the arrays: regulator output minus droop. */
     Millivolt effectiveVoltage(const PdnModel &pdn) const;
 
+    /** Serialize the regulator and the last observed rail activity. */
+    void saveState(StateWriter &w) const;
+    void loadState(StateReader &r);
+
   private:
     unsigned domainId;
     VoltageRegulator reg;
@@ -110,6 +114,16 @@ class Chip
     Watt totalPower(Seconds t) const;
     /** One core's power right now. */
     Watt corePower(unsigned core_id, Seconds t) const;
+
+    /**
+     * Serialize every stateful chip component: the chip RNG, the PDN
+     * transient, all domains (regulators + rail activity), all cores
+     * (crash latch, arrays) and all ECC monitors. Counts are verified
+     * on load — the chip must be reconstructed with the same config
+     * before overlaying.
+     */
+    void saveState(StateWriter &w) const;
+    void loadState(StateReader &r);
 
   private:
     ChipConfig cfg;

@@ -270,40 +270,57 @@ errorRateVsDepthPooled(const ChipConfig &cfg, Suite suite,
     return unwrapOutcomes(std::move(outcomes), "errorRateVsDepthPooled");
 }
 
-std::vector<ProbeCurvePoint>
-errorProbabilityCurvesPooled(const ChipConfig &cfg,
-                             const std::vector<unsigned> &cores,
-                             Millivolt span_mv, Millivolt step_mv,
-                             std::uint64_t probes_per_point,
-                             ExperimentPool &pool)
+std::vector<std::pair<unsigned, Millivolt>>
+errorProbabilityGrid(const ChipConfig &cfg,
+                     const std::vector<unsigned> &cores,
+                     Millivolt span_mv, Millivolt step_mv)
 {
     if (step_mv <= 0.0 || span_mv < 0.0)
-        fatal("errorProbabilityCurvesPooled requires positive step and "
-              "span");
+        fatal("errorProbabilityGrid requires positive step and span");
 
     // Scout pass: one serial chip build to anchor each core's grid on
     // its own weakest line.
     std::vector<std::pair<unsigned, Millivolt>> grid;
-    {
-        Chip scout(cfg);
-        for (unsigned core_id : cores) {
-            const auto [array, line] =
-                weakestL2Line(scout.core(core_id));
-            (void)array;
-            for (Millivolt v = line.weakestVc + span_mv;
-                 v >= line.weakestVc - span_mv; v -= step_mv) {
-                grid.emplace_back(core_id, v);
-            }
+    Chip scout(cfg);
+    for (unsigned core_id : cores) {
+        const auto [array, line] = weakestL2Line(scout.core(core_id));
+        (void)array;
+        for (Millivolt v = line.weakestVc + span_mv;
+             v >= line.weakestVc - span_mv; v -= step_mv) {
+            grid.emplace_back(core_id, v);
         }
     }
+    return grid;
+}
 
+std::vector<ProbeCurvePoint>
+errorProbabilityPointsPooled(
+    const ChipConfig &cfg,
+    const std::vector<std::pair<unsigned, Millivolt>> &grid,
+    std::size_t first_task, std::size_t last_task,
+    std::uint64_t probes_per_point, ExperimentPool &pool,
+    SamplingMode sampling)
+{
+    last_task = std::min(last_task, grid.size());
+    if (first_task > last_task)
+        fatal("errorProbabilityPointsPooled window starts past its "
+              "end");
+
+    // The pool derives each task's RNG from its global index, so a
+    // resumed window reproduces the uninterrupted stream: tasks
+    // outside [first_task, last_task) run as no-ops (their points are
+    // already on disk, or belong to a later window) and are dropped
+    // before returning.
     auto outcomes = pool.run(
         cfg.seed, grid.size(), [&](ExperimentTaskContext &ctx) {
+            if (ctx.index < first_task || ctx.index >= last_task)
+                return ProbeCurvePoint{};
             const auto [core_id, v] = grid[ctx.index];
             Chip chip(cfg);
             auto [array, line] = weakestL2Line(chip.core(core_id));
-            const ProbeStats stats = array->probeLine(
-                line.set, line.way, v, probes_per_point, ctx.rng);
+            const ProbeStats stats =
+                array->probeLine(line.set, line.way, v,
+                                 probes_per_point, ctx.rng, sampling);
 
             ProbeCurvePoint point;
             point.coreId = core_id;
@@ -313,8 +330,27 @@ errorProbabilityCurvesPooled(const ChipConfig &cfg,
                                   double(stats.accesses));
             return point;
         });
-    return unwrapOutcomes(std::move(outcomes),
-                          "errorProbabilityCurvesPooled");
+    std::vector<ProbeCurvePoint> points = unwrapOutcomes(
+        std::move(outcomes), "errorProbabilityPointsPooled");
+    points.erase(points.begin() + std::ptrdiff_t(last_task),
+                 points.end());
+    points.erase(points.begin(),
+                 points.begin() + std::ptrdiff_t(first_task));
+    return points;
+}
+
+std::vector<ProbeCurvePoint>
+errorProbabilityCurvesPooled(const ChipConfig &cfg,
+                             const std::vector<unsigned> &cores,
+                             Millivolt span_mv, Millivolt step_mv,
+                             std::uint64_t probes_per_point,
+                             ExperimentPool &pool, SamplingMode sampling)
+{
+    const auto grid =
+        errorProbabilityGrid(cfg, cores, span_mv, step_mv);
+    return errorProbabilityPointsPooled(cfg, grid, 0, grid.size(),
+                                        probes_per_point, pool,
+                                        sampling);
 }
 
 std::vector<std::pair<Millivolt, double>>

@@ -191,17 +191,46 @@ struct ProbeCurvePoint
 };
 
 /**
+ * The deterministic Fig. 13 probe grid: one (core, Vdd) task per
+ * entry, core-major, each core's span anchored on its own weakest L2
+ * line ([weakestVc - span_mv, weakestVc + span_mv] in step_mv steps,
+ * descending). A scout chip is built serially from @p cfg; the grid is
+ * a pure function of the configuration, so a checkpointed bench can
+ * rebuild it on resume and carry on from a saved task index.
+ */
+std::vector<std::pair<unsigned, Millivolt>>
+errorProbabilityGrid(const ChipConfig &cfg,
+                     const std::vector<unsigned> &cores,
+                     Millivolt span_mv, Millivolt step_mv);
+
+/**
+ * Run the pooled probe pass over @p grid for the task window
+ * [first_task, last_task) (last_task is clamped to the grid size).
+ * Task seeds are derived from the GLOBAL grid index, so splitting a
+ * run at any boundary and resuming from a saved index reproduces the
+ * uninterrupted points bit-for-bit.
+ */
+std::vector<ProbeCurvePoint> errorProbabilityPointsPooled(
+    const ChipConfig &cfg,
+    const std::vector<std::pair<unsigned, Millivolt>> &grid,
+    std::size_t first_task, std::size_t last_task,
+    std::uint64_t probes_per_point, ExperimentPool &pool,
+    SamplingMode sampling = SamplingMode::exact);
+
+/**
  * Pooled Fig. 13 curves: one task per (core, Vdd step). The sweep grid
  * for each core spans [weakestVc - span_mv, weakestVc + span_mv] in
  * step_mv steps (descending); points are returned core-major in grid
- * order.
+ * order. Equivalent to errorProbabilityPointsPooled over the full
+ * errorProbabilityGrid.
  */
 std::vector<ProbeCurvePoint>
 errorProbabilityCurvesPooled(const ChipConfig &cfg,
                              const std::vector<unsigned> &cores,
                              Millivolt span_mv, Millivolt step_mv,
                              std::uint64_t probes_per_point,
-                             ExperimentPool &pool);
+                             ExperimentPool &pool,
+                             SamplingMode sampling = SamplingMode::exact);
 
 } // namespace experiments
 

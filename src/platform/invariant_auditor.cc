@@ -1,0 +1,142 @@
+#include "platform/invariant_auditor.hh"
+
+#include "common/logging.hh"
+#include "platform/simulator.hh"
+
+namespace vspec
+{
+
+InvariantAuditor::InvariantAuditor(std::uint64_t check_every)
+    : checkEvery(check_every)
+{
+    if (check_every == 0)
+        fatal("InvariantAuditor check cadence must be positive");
+}
+
+void
+InvariantAuditor::attach(Simulator &simulator)
+{
+    if (sim)
+        fatal("InvariantAuditor is already attached");
+    sim = &simulator;
+    coreEnergyMark.assign(simulator.chip().numCores(), 0.0);
+    sim->addHook([this](Seconds, Seconds) {
+        if (++tickCount % checkEvery == 0)
+            auditNow();
+    });
+}
+
+void
+InvariantAuditor::auditNow()
+{
+    if (!sim)
+        fatal("InvariantAuditor::auditNow before attach");
+    ++checks;
+    checkEnergy();
+    checkRails();
+    checkCounters();
+    checkWeakSpans();
+}
+
+void
+InvariantAuditor::record(std::string message)
+{
+    ++violations_;
+    if (messages.size() < maxMessages) {
+        messages.push_back("t=" + std::to_string(sim->now()) + ": " +
+                           std::move(message));
+    }
+}
+
+void
+InvariantAuditor::checkEnergy()
+{
+    const EnergyAccount &chip_account = sim->chipEnergy();
+    if (chip_account.energy() < chipEnergyMark)
+        record("chip energy decreased: " +
+               std::to_string(chip_account.energy()) + " J < " +
+               std::to_string(chipEnergyMark) + " J");
+    if (chip_account.elapsed() < chipElapsedMark)
+        record("chip accounted time decreased");
+    chipEnergyMark = chip_account.energy();
+    chipElapsedMark = chip_account.elapsed();
+
+    for (unsigned c = 0; c < sim->chip().numCores(); ++c) {
+        const Joule energy = sim->coreEnergy(c).energy();
+        if (energy < coreEnergyMark[c])
+            record("core " + std::to_string(c) + " energy decreased");
+        coreEnergyMark[c] = energy;
+    }
+}
+
+void
+InvariantAuditor::checkRails()
+{
+    Chip &chip = sim->chip();
+    for (unsigned d = 0; d < chip.numDomains(); ++d) {
+        const VoltageRegulator &reg = chip.domain(d).regulator();
+        const VoltageRegulator::Params &params = reg.params();
+        if (reg.setpoint() < params.minMv ||
+            reg.setpoint() > params.maxMv)
+            record("domain " + std::to_string(d) + " setpoint " +
+                   std::to_string(reg.setpoint()) +
+                   " mV outside rail bounds");
+        if (reg.output() < params.minMv || reg.output() > params.maxMv)
+            record("domain " + std::to_string(d) + " output " +
+                   std::to_string(reg.output()) +
+                   " mV outside rail bounds");
+    }
+}
+
+void
+InvariantAuditor::checkCounters()
+{
+    Chip &chip = sim->chip();
+    for (unsigned c = 0; c < chip.numCores(); ++c) {
+        for (const EccMonitor *mon :
+             {&chip.l2iMonitor(c), &chip.l2dMonitor(c)}) {
+            if (mon->errorCount() > 0 && mon->accessCount() == 0)
+                record("core " + std::to_string(c) +
+                       " monitor reports " +
+                       std::to_string(mon->errorCount()) +
+                       " errors with zero accesses");
+            if (mon->errorCount() > mon->accessCount())
+                record("core " + std::to_string(c) +
+                       " monitor error count exceeds access count");
+        }
+    }
+}
+
+void
+InvariantAuditor::checkWeakSpans()
+{
+    Chip &chip = sim->chip();
+    for (unsigned c = 0; c < chip.numCores(); ++c) {
+        Core &core = chip.core(c);
+        const CacheArray *arrays[] = {&core.l2iArray(), &core.l2dArray(),
+                                      &core.rfArray()};
+        for (const CacheArray *array : arrays) {
+            const std::size_t population =
+                array->sram().weakCells().size();
+            const auto &lines = core.weakLinesOf(*array);
+            Millivolt prev_vc = 1e30;
+            for (const WeakLineInfo &line : lines) {
+                if (line.cellBegin > line.cellEnd ||
+                    line.cellEnd > population) {
+                    record("core " + std::to_string(c) +
+                           " weak line span [" +
+                           std::to_string(line.cellBegin) + ", " +
+                           std::to_string(line.cellEnd) +
+                           ") out of order or out of bounds (" +
+                           std::to_string(population) + " cells)");
+                }
+                if (line.weakestVc > prev_vc)
+                    record("core " + std::to_string(c) +
+                           " weak lines not sorted weakest-first");
+                prev_vc = line.weakestVc;
+            }
+        }
+    }
+}
+
+} // namespace vspec

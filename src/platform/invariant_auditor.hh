@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tick-level invariant auditing for chaos and resilience campaigns.
+ *
+ * The chaos harness kills and restores simulations at arbitrary ticks;
+ * a state-overlay bug there tends to show up not as a crash but as a
+ * physically impossible trajectory (energy running backwards, a rail
+ * outside its own bounds, counters that cannot have been produced by
+ * the probe loop). The InvariantAuditor is a per-tick hook that checks
+ * those physical invariants on the live simulation:
+ *
+ *  - energy monotonicity: the chip and per-core energy accounts never
+ *    decrease, and accounted time never decreases;
+ *  - rail bounds: every regulator's setpoint and slewing output stay
+ *    within that regulator's [minMv, maxMv] parameters;
+ *  - counter-latch consistency: no feedback source reports correctable
+ *    errors without the accesses that must have produced them;
+ *  - weak-cell span ordering: every cached weak line's hoisted
+ *    [cellBegin, cellEnd) range is ordered and in bounds for the
+ *    owning array's weak-cell population, and the per-array line lists
+ *    stay sorted weakest-first.
+ *
+ * Violations are recorded (bounded), never fatal — the harness decides
+ * whether to abort. Arm with attach(), which registers the per-tick
+ * hook; the auditor must outlive the simulator's run.
+ */
+
+#ifndef VSPEC_PLATFORM_INVARIANT_AUDITOR_HH
+#define VSPEC_PLATFORM_INVARIANT_AUDITOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace vspec
+{
+
+class Simulator;
+
+class InvariantAuditor
+{
+  public:
+    /** Checks run on every Nth tick (1 = every tick). */
+    explicit InvariantAuditor(std::uint64_t check_every = 1);
+
+    /**
+     * Register the per-tick hook on @p sim. The auditor keeps a
+     * reference; it must outlive every subsequent run() of the
+     * simulator. Attach once per auditor.
+     */
+    void attach(Simulator &sim);
+
+    /** Run the full invariant sweep once, immediately. */
+    void auditNow();
+
+    /** Ticks on which the sweep ran. */
+    std::uint64_t checksRun() const { return checks; }
+    /** Total invariant violations recorded. */
+    std::uint64_t violationCount() const { return violations_; }
+    bool clean() const { return violations_ == 0; }
+
+    /** First recorded violation messages (bounded at maxMessages). */
+    const std::vector<std::string> &violations() const
+    {
+        return messages;
+    }
+
+    static constexpr std::size_t maxMessages = 32;
+
+  private:
+    Simulator *sim = nullptr;
+    std::uint64_t checkEvery;
+    std::uint64_t tickCount = 0;
+    std::uint64_t checks = 0;
+    std::uint64_t violations_ = 0;
+    std::vector<std::string> messages;
+
+    /** High-water marks for the monotonicity checks. */
+    double chipEnergyMark = 0.0;
+    double chipElapsedMark = 0.0;
+    std::vector<double> coreEnergyMark;
+
+    void record(std::string message);
+    void checkEnergy();
+    void checkRails();
+    void checkCounters();
+    void checkWeakSpans();
+};
+
+} // namespace vspec
+
+#endif // VSPEC_PLATFORM_INVARIANT_AUDITOR_HH

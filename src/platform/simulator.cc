@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "snapshot/state_io.hh"
 
 namespace vspec
 {
@@ -239,10 +240,7 @@ Simulator::step(Seconds dt)
 void
 Simulator::run(Seconds duration)
 {
-    const std::uint64_t steps =
-        std::uint64_t(duration / tick_ + 0.5);
-    for (std::uint64_t i = 0; i < steps; ++i)
-        step(tick_);
+    runTicks(std::uint64_t(duration / tick_ + 0.5));
 
     // Flush a final partial sample when the run length is not an
     // integer multiple of the trace interval, so the tail of the run is
@@ -250,6 +248,189 @@ Simulator::run(Seconds duration)
     if (traceInterval > 0.0 && sinceTraceSample > 0.5 * tick_) {
         sinceTraceSample = 0.0;
         recordTraceSample();
+    }
+}
+
+void
+Simulator::runTicks(std::uint64_t n)
+{
+    for (std::uint64_t i = 0; i < n; ++i)
+        step(tick_);
+}
+
+
+void
+Simulator::snapshot(StateWriter &w) const
+{
+    w.beginSection("sim");
+    w.putDouble(currentTime);
+    w.putDouble(tick_);
+    w.putU8(std::uint8_t(samplingMode_));
+    w.putDouble(traceInterval);
+    w.putDouble(sinceTraceSample);
+    w.putU64(traceWorkloadErrors);
+    w.putU64(traceProbeAccum.size());
+    for (const ProbeStats &s : traceProbeAccum) {
+        w.putU64(s.accesses);
+        w.putU64(s.correctableEvents);
+        w.putU64(s.uncorrectableEvents);
+    }
+    w.putU64Vector(coreEvents);
+    simRng.saveState(w);
+    w.putBool(controlSystem != nullptr);
+    w.putU64(softwareSpecs.size());
+    for (const SoftwareSpeculator *spec : softwareSpecs)
+        w.putBool(spec != nullptr);
+    w.putBool(recovery != nullptr);
+    w.putBool(injector != nullptr);
+    w.endSection();
+
+    w.beginSection("chip");
+    chip_->saveState(w);
+    w.endSection();
+
+    w.beginSection("energy");
+    w.putU64(coreEnergy_.size());
+    for (const EnergyAccount &account : coreEnergy_)
+        account.saveState(w);
+    chipEnergy_.saveState(w);
+    w.endSection();
+
+    w.beginSection("log");
+    log.saveState(w);
+    w.endSection();
+
+    w.beginSection("trace");
+    trace_.saveState(w);
+    w.endSection();
+
+    if (controlSystem) {
+        w.beginSection("control");
+        controlSystem->saveState(w);
+        w.endSection();
+    }
+    bool any_spec = false;
+    for (const SoftwareSpeculator *spec : softwareSpecs)
+        any_spec = any_spec || spec != nullptr;
+    if (any_spec) {
+        w.beginSection("specs");
+        for (const SoftwareSpeculator *spec : softwareSpecs) {
+            if (spec)
+                spec->saveState(w);
+        }
+        w.endSection();
+    }
+    if (recovery) {
+        w.beginSection("recovery");
+        recovery->saveState(w);
+        w.endSection();
+    }
+    if (injector) {
+        w.beginSection("injector");
+        injector->saveState(w);
+        w.endSection();
+    }
+}
+
+void
+Simulator::restore(StateReader &r)
+{
+    r.beginSection("sim");
+    currentTime = r.getDouble();
+    const Seconds snap_tick = r.getDouble();
+    if (snap_tick != tick_)
+        throw SnapshotError("tick size mismatch: snapshot has " +
+                            std::to_string(snap_tick) +
+                            ", simulator has " + std::to_string(tick_));
+    const std::uint8_t mode = r.getU8();
+    if (mode > std::uint8_t(SamplingMode::batched))
+        throw SnapshotError("invalid sampling mode " +
+                            std::to_string(unsigned(mode)));
+    setSamplingMode(SamplingMode(mode));
+    traceInterval = r.getDouble();
+    sinceTraceSample = r.getDouble();
+    traceWorkloadErrors = r.getU64();
+    const std::uint64_t n_accum = r.getU64();
+    if (n_accum != traceProbeAccum.size())
+        throw SnapshotError("probe accumulator count mismatch");
+    for (ProbeStats &s : traceProbeAccum) {
+        s.accesses = r.getU64();
+        s.correctableEvents = r.getU64();
+        s.uncorrectableEvents = r.getU64();
+    }
+    const std::vector<std::uint64_t> events = r.getU64Vector();
+    if (events.size() != coreEvents.size())
+        throw SnapshotError("core event counter count mismatch");
+    coreEvents = events;
+    simRng.loadState(r);
+    const bool has_control = r.getBool();
+    const std::uint64_t n_spec_slots = r.getU64();
+    if (n_spec_slots != softwareSpecs.size())
+        throw SnapshotError("speculator slot count mismatch");
+    std::vector<bool> spec_present(softwareSpecs.size());
+    bool any_spec = false;
+    for (std::size_t d = 0; d < softwareSpecs.size(); ++d) {
+        spec_present[d] = r.getBool();
+        any_spec = any_spec || spec_present[d];
+        if (spec_present[d] != (softwareSpecs[d] != nullptr))
+            throw SnapshotError(
+                "software speculator attachment mismatch on domain " +
+                std::to_string(d) +
+                " (attach the same components before restore)");
+    }
+    const bool has_recovery = r.getBool();
+    const bool has_injector = r.getBool();
+    if (has_control != (controlSystem != nullptr))
+        throw SnapshotError("control system attachment mismatch");
+    if (has_recovery != (recovery != nullptr))
+        throw SnapshotError("recovery manager attachment mismatch");
+    if (has_injector != (injector != nullptr))
+        throw SnapshotError("fault injector attachment mismatch");
+    r.endSection();
+
+    r.beginSection("chip");
+    chip_->loadState(r);
+    r.endSection();
+
+    r.beginSection("energy");
+    const std::uint64_t n_accounts = r.getU64();
+    if (n_accounts != coreEnergy_.size())
+        throw SnapshotError("energy account count mismatch");
+    for (EnergyAccount &account : coreEnergy_)
+        account.loadState(r);
+    chipEnergy_.loadState(r);
+    r.endSection();
+
+    r.beginSection("log");
+    log.loadState(r);
+    r.endSection();
+
+    r.beginSection("trace");
+    trace_.loadState(r);
+    r.endSection();
+
+    if (controlSystem) {
+        r.beginSection("control");
+        controlSystem->loadState(r);
+        r.endSection();
+    }
+    if (any_spec) {
+        r.beginSection("specs");
+        for (SoftwareSpeculator *spec : softwareSpecs) {
+            if (spec)
+                spec->loadState(r);
+        }
+        r.endSection();
+    }
+    if (recovery) {
+        r.beginSection("recovery");
+        recovery->loadState(r);
+        r.endSection();
+    }
+    if (injector) {
+        r.beginSection("injector");
+        injector->loadState(r);
+        r.endSection();
     }
 }
 

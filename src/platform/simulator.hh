@@ -92,6 +92,14 @@ class Simulator
     /** Advance the simulation. */
     void run(Seconds duration);
 
+    /**
+     * Advance exactly @p n ticks with no end-of-run telemetry flush.
+     * run() flushes a final partial trace sample, so run(a); run(b)
+     * and run(a + b) differ when a trace is enabled; runTicks composes
+     * exactly, which is what checkpoint/replay drivers need.
+     */
+    void runTicks(std::uint64_t n);
+
     /** Workload-induced ECC events (monitor probes not included). */
     const EccEventLog &eventLog() const { return log; }
     EccEventLog &eventLog() { return log; }
@@ -112,6 +120,22 @@ class Simulator
     {
         return coreEvents.at(core);
     }
+
+    /**
+     * Serialize the full dynamic state of the simulation into named,
+     * checksummed sections: the chip (RNGs, PDN transient, regulators,
+     * cores, monitors), the simulator's own clock/energy/telemetry and
+     * every attached component. Hooks are code, not state — the owner
+     * re-adds them on reconstruction.
+     *
+     * restore() expects a simulator freshly reconstructed from the same
+     * configuration with the same components attached (it verifies tick
+     * size, attachment presence and all structural counts). After
+     * restore, running N more ticks is bit-identical to the
+     * uninterrupted run — including RNG streams and trace emission.
+     */
+    void snapshot(StateWriter &w) const;
+    void restore(StateReader &r);
 
   private:
     Chip *chip_;

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "snapshot/state_io.hh"
 
 namespace vspec
 {
@@ -73,6 +74,42 @@ Trace::toTsv() const
         os << "\t" << s.chipPower << "\t" << s.workloadErrors << "\n";
     }
     return os.str();
+}
+
+void
+Trace::saveState(StateWriter &w) const
+{
+    w.putU64(samples_.size());
+    for (const TraceSample &s : samples_) {
+        w.putDouble(s.time);
+        w.putDoubleVector(s.domainSetpoint);
+        w.putDoubleVector(s.domainEffective);
+        w.putDoubleVector(s.domainErrorRate);
+        w.putU64Vector(s.domainErrors);
+        w.putDouble(s.chipPower);
+        w.putDoubleVector(s.corePower);
+        w.putU64(s.workloadErrors);
+    }
+}
+
+void
+Trace::loadState(StateReader &r)
+{
+    const std::uint64_t count = r.getU64();
+    samples_.clear();
+    samples_.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        TraceSample s;
+        s.time = r.getDouble();
+        s.domainSetpoint = r.getDoubleVector();
+        s.domainEffective = r.getDoubleVector();
+        s.domainErrorRate = r.getDoubleVector();
+        s.domainErrors = r.getU64Vector();
+        s.chipPower = r.getDouble();
+        s.corePower = r.getDoubleVector();
+        s.workloadErrors = r.getU64();
+        samples_.push_back(std::move(s));
+    }
 }
 
 } // namespace vspec

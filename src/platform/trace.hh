@@ -17,6 +17,9 @@
 namespace vspec
 {
 
+class StateWriter;
+class StateReader;
+
 /** One telemetry sample. */
 struct TraceSample
 {
@@ -56,6 +59,10 @@ class Trace
 
     /** Render as TSV (for offline plotting). */
     std::string toTsv() const;
+
+    /** Serialize all recorded samples; loadState replaces the log. */
+    void saveState(StateWriter &w) const;
+    void loadState(StateReader &r);
 
   private:
     std::vector<TraceSample> samples_;

@@ -1,6 +1,7 @@
 #include "power/energy.hh"
 
 #include "common/logging.hh"
+#include "snapshot/state_io.hh"
 
 namespace vspec
 {
@@ -45,6 +46,20 @@ EnergyAccount::reset()
 {
     totalEnergy = 0.0;
     totalTime = 0.0;
+}
+
+void
+EnergyAccount::saveState(StateWriter &w) const
+{
+    w.putDouble(totalEnergy);
+    w.putDouble(totalTime);
+}
+
+void
+EnergyAccount::loadState(StateReader &r)
+{
+    totalEnergy = r.getDouble();
+    totalTime = r.getDouble();
 }
 
 } // namespace vspec

@@ -19,6 +19,9 @@
 namespace vspec
 {
 
+class StateWriter;
+class StateReader;
+
 /**
  * Accumulates energy from (power, dt) samples.
  */
@@ -64,6 +67,10 @@ class EnergyAccount
     Watt meanPowerSince(const Snapshot &since) const;
 
     void reset();
+
+    /** Serialize the accumulated energy/time totals. */
+    void saveState(StateWriter &w) const;
+    void loadState(StateReader &r);
 
   private:
     Joule totalEnergy = 0.0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "snapshot/state_io.hh"
 
 namespace vspec
 {
@@ -260,6 +261,99 @@ FaultInjector::tick(Seconds t, Seconds dt,
             rng.poisson(cfg.stuckRegulatorsPerHour * hours);
         for (std::uint64_t i = 0; i < episodes; ++i)
             injectStuck();
+    }
+}
+
+void
+FaultInjector::saveState(StateWriter &w) const
+{
+    rng.saveState(w);
+    w.putU64(stats_.bitFlips);
+    w.putU64(stats_.dues);
+    w.putU64(stats_.droops);
+    w.putU64(stats_.monitorDropouts);
+    w.putU64(stats_.stuckRegulators);
+
+    w.putU64(dropouts.size());
+    for (const Dropout &d : dropouts) {
+        std::uint64_t monitor_idx = monitors.size();
+        for (std::size_t i = 0; i < monitors.size(); ++i)
+            if (monitors[i] == d.monitor)
+                monitor_idx = i;
+        std::uint64_t core_idx = cores.size();
+        std::uint64_t side = 0;
+        for (std::size_t i = 0; i < cores.size(); ++i) {
+            if (&cores[i]->l2iArray() == d.array) {
+                core_idx = i;
+                side = 0;
+            } else if (&cores[i]->l2dArray() == d.array) {
+                core_idx = i;
+                side = 1;
+            }
+        }
+        if (monitor_idx == monitors.size() || core_idx == cores.size())
+            panic("dropout references an unregistered monitor or array");
+        w.putU64(monitor_idx);
+        w.putU64(core_idx);
+        w.putU64(side);
+        w.putU64(d.set);
+        w.putU64(d.way);
+        w.putDouble(d.remaining);
+    }
+
+    w.putU64(stuckRegs.size());
+    for (const StuckEpisode &s : stuckRegs) {
+        std::uint64_t reg_idx = regulators.size();
+        for (std::size_t i = 0; i < regulators.size(); ++i)
+            if (regulators[i] == s.regulator)
+                reg_idx = i;
+        if (reg_idx == regulators.size())
+            panic("stuck episode references an unregistered regulator");
+        w.putU64(reg_idx);
+        w.putDouble(s.remaining);
+    }
+}
+
+void
+FaultInjector::loadState(StateReader &r)
+{
+    rng.loadState(r);
+    stats_.bitFlips = r.getU64();
+    stats_.dues = r.getU64();
+    stats_.droops = r.getU64();
+    stats_.monitorDropouts = r.getU64();
+    stats_.stuckRegulators = r.getU64();
+
+    const std::uint64_t n_dropouts = r.getU64();
+    dropouts.clear();
+    for (std::uint64_t i = 0; i < n_dropouts; ++i) {
+        Dropout d;
+        const std::uint64_t monitor_idx = r.getU64();
+        const std::uint64_t core_idx = r.getU64();
+        const std::uint64_t side = r.getU64();
+        if (monitor_idx >= monitors.size())
+            throw SnapshotError("dropout monitor index out of range");
+        if (core_idx >= cores.size() || side > 1)
+            throw SnapshotError("dropout array reference out of range");
+        d.monitor = monitors[monitor_idx];
+        d.array = side == 0 ? &cores[core_idx]->l2iArray()
+                            : &cores[core_idx]->l2dArray();
+        d.set = r.getU64();
+        d.way = unsigned(r.getU64());
+        d.remaining = r.getDouble();
+        dropouts.push_back(d);
+    }
+
+    const std::uint64_t n_stuck = r.getU64();
+    stuckRegs.clear();
+    for (std::uint64_t i = 0; i < n_stuck; ++i) {
+        StuckEpisode s;
+        const std::uint64_t reg_idx = r.getU64();
+        if (reg_idx >= regulators.size())
+            throw SnapshotError("stuck regulator index out of range");
+        s.regulator = regulators[reg_idx];
+        s.remaining = r.getDouble();
+        stuckRegs.push_back(s);
     }
 }
 

@@ -127,6 +127,16 @@ class FaultInjector
 
     const Config &config() const { return cfg; }
 
+    /**
+     * Serialize the injector's private RNG, the cumulative stats and
+     * the open dropout/stuck windows. Pointer targets are stored as
+     * roster indices (monitor index; array as owning-core index + I/D
+     * side; regulator index), so the same addCore/addMonitor/
+     * addRegulator registration order must precede loadState.
+     */
+    void saveState(StateWriter &w) const;
+    void loadState(StateReader &r);
+
   private:
     struct Dropout
     {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "snapshot/state_io.hh"
 
 namespace vspec
 {
@@ -175,6 +176,48 @@ RecoveryManager::recoveriesPerHour(Seconds elapsed) const
     if (elapsed <= 0.0)
         return 0.0;
     return double(totalRecoveries) * 3600.0 / elapsed;
+}
+
+void
+RecoveryManager::saveState(StateWriter &w) const
+{
+    w.putU64(managed.size());
+    for (const ManagedCore &entry : managed) {
+        w.putDouble(entry.sinceCheckpoint);
+        w.putDouble(entry.pendingStall);
+        w.putDouble(entry.lostTotal);
+        w.putU64(entry.recoveryCount);
+        w.putBool(entry.abandoned);
+    }
+    w.putU64(totalRecoveries);
+    w.putU64(dues);
+    w.putU64(logicFailures);
+    w.putDouble(totalLost);
+    w.putDouble(pendingEnergy);
+}
+
+void
+RecoveryManager::loadState(StateReader &r)
+{
+    const std::uint64_t count = r.getU64();
+    if (count != managed.size())
+        throw SnapshotError(
+            "managed core count mismatch: snapshot has " +
+            std::to_string(count) + ", manager has " +
+            std::to_string(managed.size()) +
+            " (re-register cores with manage() before loadState)");
+    for (ManagedCore &entry : managed) {
+        entry.sinceCheckpoint = r.getDouble();
+        entry.pendingStall = r.getDouble();
+        entry.lostTotal = r.getDouble();
+        entry.recoveryCount = r.getU64();
+        entry.abandoned = r.getBool();
+    }
+    totalRecoveries = r.getU64();
+    dues = r.getU64();
+    logicFailures = r.getU64();
+    totalLost = r.getDouble();
+    pendingEnergy = r.getDouble();
 }
 
 } // namespace vspec

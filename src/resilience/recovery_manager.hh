@@ -119,6 +119,16 @@ class RecoveryManager
 
     const Config &config() const { return cfg; }
 
+    /**
+     * Serialize the per-core checkpoint clocks, pending stalls, budget
+     * counters and abandonment flags plus the aggregate totals
+     * (including not-yet-drained recovery energy). The managed-core
+     * roster itself is wiring: re-register the same cores with
+     * manage() before loadState, which verifies the count.
+     */
+    void saveState(StateWriter &w) const;
+    void loadState(StateReader &r);
+
   private:
     struct ManagedCore
     {

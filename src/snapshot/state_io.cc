@@ -1,0 +1,531 @@
+#include "snapshot/state_io.hh"
+
+#include <array>
+#include <bit>
+#include <cstdio>
+#include <cstring>
+
+namespace vspec
+{
+
+namespace
+{
+
+constexpr std::array<char, 8> kMagic = {'V', 'S', 'P', 'C',
+                                        'S', 'N', 'A', 'P'};
+
+/** Value type tags; a mismatch means the stream is out of sync. */
+constexpr char kTagBool = 'B';
+constexpr char kTagU8 = '1';
+constexpr char kTagU32 = '4';
+constexpr char kTagU64 = '8';
+constexpr char kTagI64 = 'i';
+constexpr char kTagDouble = 'd';
+constexpr char kTagString = 's';
+constexpr char kTagU64Vec = 'V';
+constexpr char kTagDoubleVec = 'D';
+
+const char *
+tagName(char tag)
+{
+    switch (tag) {
+      case kTagBool: return "bool";
+      case kTagU8: return "u8";
+      case kTagU32: return "u32";
+      case kTagU64: return "u64";
+      case kTagI64: return "i64";
+      case kTagDouble: return "double";
+      case kTagString: return "string";
+      case kTagU64Vec: return "u64[]";
+      case kTagDoubleVec: return "double[]";
+      default: return "unknown";
+    }
+}
+
+const std::array<std::uint32_t, 256> &
+crcTable()
+{
+    static const std::array<std::uint32_t, 256> table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table;
+}
+
+void
+appendLe(std::vector<std::uint8_t> &out, std::uint64_t v,
+         std::size_t bytes)
+{
+    for (std::size_t i = 0; i < bytes; ++i)
+        out.push_back(std::uint8_t(v >> (8 * i)));
+}
+
+} // namespace
+
+std::uint32_t
+crc32(const std::uint8_t *data, std::size_t n)
+{
+    const auto &table = crcTable();
+    std::uint32_t crc = 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < n; ++i)
+        crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+    return crc ^ 0xFFFFFFFFu;
+}
+
+// ---------------------------------------------------------------------
+// StateWriter
+// ---------------------------------------------------------------------
+
+std::vector<std::uint8_t> &
+StateWriter::payload()
+{
+    if (!inSection)
+        throw SnapshotError("put outside of a section");
+    return sections.back().payload;
+}
+
+void
+StateWriter::beginSection(const std::string &name)
+{
+    if (inSection)
+        throw SnapshotError("beginSection('" + name +
+                            "') inside open section '" +
+                            sections.back().name + "'");
+    if (name.empty())
+        throw SnapshotError("section name must not be empty");
+    sections.push_back({name, {}});
+    inSection = true;
+}
+
+void
+StateWriter::endSection()
+{
+    if (!inSection)
+        throw SnapshotError("endSection with no open section");
+    inSection = false;
+}
+
+void
+StateWriter::raw(const void *data, std::size_t n)
+{
+    auto &out = payload();
+    const auto *bytes = static_cast<const std::uint8_t *>(data);
+    out.insert(out.end(), bytes, bytes + n);
+}
+
+void
+StateWriter::tagged(char tag, const void *data, std::size_t n)
+{
+    payload().push_back(std::uint8_t(tag));
+    raw(data, n);
+}
+
+void
+StateWriter::putBool(bool v)
+{
+    const std::uint8_t byte = v ? 1 : 0;
+    tagged(kTagBool, &byte, 1);
+}
+
+void
+StateWriter::putU8(std::uint8_t v)
+{
+    tagged(kTagU8, &v, 1);
+}
+
+void
+StateWriter::putU32(std::uint32_t v)
+{
+    payload().push_back(std::uint8_t(kTagU32));
+    appendLe(payload(), v, 4);
+}
+
+void
+StateWriter::putU64(std::uint64_t v)
+{
+    payload().push_back(std::uint8_t(kTagU64));
+    appendLe(payload(), v, 8);
+}
+
+void
+StateWriter::putI64(std::int64_t v)
+{
+    payload().push_back(std::uint8_t(kTagI64));
+    appendLe(payload(), std::uint64_t(v), 8);
+}
+
+void
+StateWriter::putDouble(double v)
+{
+    payload().push_back(std::uint8_t(kTagDouble));
+    appendLe(payload(), std::bit_cast<std::uint64_t>(v), 8);
+}
+
+void
+StateWriter::putString(const std::string &s)
+{
+    payload().push_back(std::uint8_t(kTagString));
+    appendLe(payload(), s.size(), 8);
+    raw(s.data(), s.size());
+}
+
+void
+StateWriter::putU64Vector(const std::vector<std::uint64_t> &v)
+{
+    payload().push_back(std::uint8_t(kTagU64Vec));
+    appendLe(payload(), v.size(), 8);
+    for (std::uint64_t x : v)
+        appendLe(payload(), x, 8);
+}
+
+void
+StateWriter::putDoubleVector(const std::vector<double> &v)
+{
+    payload().push_back(std::uint8_t(kTagDoubleVec));
+    appendLe(payload(), v.size(), 8);
+    for (double x : v)
+        appendLe(payload(), std::bit_cast<std::uint64_t>(x), 8);
+}
+
+std::vector<std::uint8_t>
+StateWriter::finish() const
+{
+    if (inSection)
+        throw SnapshotError("finish with open section '" +
+                            sections.back().name + "'");
+    std::vector<std::uint8_t> out;
+    out.insert(out.end(), kMagic.begin(), kMagic.end());
+    appendLe(out, snapshotFormatVersion, 4);
+    appendLe(out, sections.size(), 4);
+    for (const Section &sec : sections) {
+        appendLe(out, sec.name.size(), 4);
+        out.insert(out.end(), sec.name.begin(), sec.name.end());
+        appendLe(out, sec.payload.size(), 8);
+        appendLe(out, crc32(sec.payload.data(), sec.payload.size()), 4);
+        out.insert(out.end(), sec.payload.begin(), sec.payload.end());
+    }
+    return out;
+}
+
+void
+StateWriter::writeFile(const std::string &path) const
+{
+    const std::vector<std::uint8_t> bytes = finish();
+    const std::string tmp = path + ".tmp";
+
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        throw SnapshotError("cannot open '" + tmp + "' for writing");
+    const std::size_t written =
+        bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
+    const bool flushed = std::fflush(f) == 0;
+    std::fclose(f);
+    if (written != bytes.size() || !flushed) {
+        std::remove(tmp.c_str());
+        throw SnapshotError("short write to '" + tmp + "'");
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw SnapshotError("cannot rename '" + tmp + "' to '" + path +
+                            "'");
+    }
+}
+
+// ---------------------------------------------------------------------
+// StateReader
+// ---------------------------------------------------------------------
+
+StateReader::StateReader(std::vector<std::uint8_t> bytes)
+{
+    std::size_t pos = 0;
+    const auto take = [&](std::size_t n,
+                          const char *what) -> const std::uint8_t * {
+        if (bytes.size() - pos < n || pos > bytes.size())
+            throw SnapshotError(std::string("truncated container (") +
+                                what + ")");
+        const std::uint8_t *p = bytes.data() + pos;
+        pos += n;
+        return p;
+    };
+    const auto readLe = [&](std::size_t n, const char *what) {
+        const std::uint8_t *p = take(n, what);
+        std::uint64_t v = 0;
+        for (std::size_t i = 0; i < n; ++i)
+            v |= std::uint64_t(p[i]) << (8 * i);
+        return v;
+    };
+
+    const std::uint8_t *magic = take(kMagic.size(), "magic");
+    if (std::memcmp(magic, kMagic.data(), kMagic.size()) != 0)
+        throw SnapshotError("bad magic (not a vspec snapshot)");
+
+    const std::uint64_t version = readLe(4, "format version");
+    if (version != snapshotFormatVersion)
+        throw SnapshotError(
+            "unsupported format version " + std::to_string(version) +
+            " (expected " + std::to_string(snapshotFormatVersion) + ")");
+
+    const std::uint64_t count = readLe(4, "section count");
+    sections.reserve(std::size_t(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+        Section sec;
+        const std::uint64_t name_len = readLe(4, "section name length");
+        const std::uint8_t *name = take(std::size_t(name_len),
+                                        "section name");
+        sec.name.assign(reinterpret_cast<const char *>(name),
+                        std::size_t(name_len));
+        const std::uint64_t payload_len =
+            readLe(8, "section payload length");
+        const std::uint64_t crc = readLe(4, "section CRC");
+        const std::uint8_t *data =
+            take(std::size_t(payload_len), "section payload");
+        if (crc32(data, std::size_t(payload_len)) != crc)
+            throw SnapshotError("CRC mismatch in section '" + sec.name +
+                                "' (corrupted snapshot)");
+        sec.payload.assign(data, data + payload_len);
+        sections.push_back(std::move(sec));
+    }
+    if (pos != bytes.size())
+        throw SnapshotError("trailing bytes after last section");
+}
+
+StateReader
+StateReader::fromFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        throw SnapshotError("cannot open '" + path + "' for reading");
+    std::vector<std::uint8_t> bytes;
+    std::array<std::uint8_t, 65536> buffer;
+    std::size_t n;
+    while ((n = std::fread(buffer.data(), 1, buffer.size(), f)) > 0)
+        bytes.insert(bytes.end(), buffer.begin(), buffer.begin() + n);
+    const bool read_error = std::ferror(f) != 0;
+    std::fclose(f);
+    if (read_error)
+        throw SnapshotError("read error on '" + path + "'");
+    return StateReader(std::move(bytes));
+}
+
+const StateReader::Section &
+StateReader::current() const
+{
+    if (!inSection)
+        throw SnapshotError("get outside of a section");
+    return sections[sectionCursor];
+}
+
+void
+StateReader::fail(const std::string &what) const
+{
+    const std::string where =
+        inSection ? " in section '" + sections[sectionCursor].name + "'"
+                  : "";
+    throw SnapshotError(what + where);
+}
+
+const std::string &
+StateReader::peekSectionName() const
+{
+    if (atEnd())
+        throw SnapshotError("peekSectionName past the last section");
+    return sections[sectionCursor].name;
+}
+
+void
+StateReader::beginSection(const std::string &name)
+{
+    if (inSection)
+        fail("beginSection('" + name + "') inside an open section");
+    if (atEnd())
+        throw SnapshotError("missing section '" + name +
+                            "' (snapshot ends early)");
+    if (sections[sectionCursor].name != name)
+        throw SnapshotError("expected section '" + name + "', found '" +
+                            sections[sectionCursor].name + "'");
+    inSection = true;
+    payloadCursor = 0;
+}
+
+void
+StateReader::endSection()
+{
+    if (!inSection)
+        throw SnapshotError("endSection with no open section");
+    const Section &sec = sections[sectionCursor];
+    if (payloadCursor != sec.payload.size())
+        throw SnapshotError(
+            "section '" + sec.name + "' has " +
+            std::to_string(sec.payload.size() - payloadCursor) +
+            " unread bytes (format drift)");
+    inSection = false;
+    ++sectionCursor;
+}
+
+void
+StateReader::need(std::size_t n, const char *what)
+{
+    const Section &sec = current();
+    if (sec.payload.size() - payloadCursor < n ||
+        payloadCursor > sec.payload.size())
+        fail(std::string("truncated value (") + what + ")");
+}
+
+void
+StateReader::expectTag(char tag)
+{
+    need(1, "type tag");
+    const char found = char(current().payload[payloadCursor]);
+    ++payloadCursor;
+    if (found != tag)
+        fail(std::string("type mismatch: expected ") + tagName(tag) +
+             ", found " + tagName(found) + " at offset " +
+             std::to_string(payloadCursor - 1));
+}
+
+void
+StateReader::rawRead(void *out, std::size_t n, const char *what)
+{
+    need(n, what);
+    std::memcpy(out, current().payload.data() + payloadCursor, n);
+    payloadCursor += n;
+}
+
+bool
+StateReader::getBool()
+{
+    expectTag(kTagBool);
+    std::uint8_t byte = 0;
+    rawRead(&byte, 1, "bool");
+    if (byte > 1)
+        fail("bool value out of range");
+    return byte != 0;
+}
+
+std::uint8_t
+StateReader::getU8()
+{
+    expectTag(kTagU8);
+    std::uint8_t v = 0;
+    rawRead(&v, 1, "u8");
+    return v;
+}
+
+std::uint32_t
+StateReader::getU32()
+{
+    expectTag(kTagU32);
+    std::uint8_t raw[4];
+    rawRead(raw, 4, "u32");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= std::uint32_t(raw[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+StateReader::getU64()
+{
+    expectTag(kTagU64);
+    std::uint8_t raw[8];
+    rawRead(raw, 8, "u64");
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= std::uint64_t(raw[i]) << (8 * i);
+    return v;
+}
+
+std::int64_t
+StateReader::getI64()
+{
+    expectTag(kTagI64);
+    std::uint8_t raw[8];
+    rawRead(raw, 8, "i64");
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= std::uint64_t(raw[i]) << (8 * i);
+    return std::int64_t(v);
+}
+
+double
+StateReader::getDouble()
+{
+    expectTag(kTagDouble);
+    std::uint8_t raw[8];
+    rawRead(raw, 8, "double");
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= std::uint64_t(raw[i]) << (8 * i);
+    return std::bit_cast<double>(v);
+}
+
+std::string
+StateReader::getString()
+{
+    expectTag(kTagString);
+    std::uint8_t raw[8];
+    rawRead(raw, 8, "string length");
+    std::uint64_t len = 0;
+    for (int i = 0; i < 8; ++i)
+        len |= std::uint64_t(raw[i]) << (8 * i);
+    if (len > current().payload.size() - payloadCursor)
+        fail("string length exceeds section payload");
+    std::string s(reinterpret_cast<const char *>(
+                      current().payload.data() + payloadCursor),
+                  std::size_t(len));
+    payloadCursor += std::size_t(len);
+    return s;
+}
+
+std::vector<std::uint64_t>
+StateReader::getU64Vector()
+{
+    expectTag(kTagU64Vec);
+    std::uint8_t raw[8];
+    rawRead(raw, 8, "u64[] length");
+    std::uint64_t len = 0;
+    for (int i = 0; i < 8; ++i)
+        len |= std::uint64_t(raw[i]) << (8 * i);
+    if (len > (current().payload.size() - payloadCursor) / 8)
+        fail("u64[] length exceeds section payload");
+    std::vector<std::uint64_t> v(static_cast<std::size_t>(len));
+    for (auto &x : v) {
+        std::uint8_t b[8];
+        rawRead(b, 8, "u64[] element");
+        x = 0;
+        for (int i = 0; i < 8; ++i)
+            x |= std::uint64_t(b[i]) << (8 * i);
+    }
+    return v;
+}
+
+std::vector<double>
+StateReader::getDoubleVector()
+{
+    expectTag(kTagDoubleVec);
+    std::uint8_t raw[8];
+    rawRead(raw, 8, "double[] length");
+    std::uint64_t len = 0;
+    for (int i = 0; i < 8; ++i)
+        len |= std::uint64_t(raw[i]) << (8 * i);
+    if (len > (current().payload.size() - payloadCursor) / 8)
+        fail("double[] length exceeds section payload");
+    std::vector<double> v(static_cast<std::size_t>(len));
+    for (auto &x : v) {
+        std::uint8_t b[8];
+        rawRead(b, 8, "double[] element");
+        std::uint64_t u = 0;
+        for (int i = 0; i < 8; ++i)
+            u |= std::uint64_t(b[i]) << (8 * i);
+        x = std::bit_cast<double>(u);
+    }
+    return v;
+}
+
+} // namespace vspec

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Versioned, checksummed binary state serialization.
+ *
+ * A snapshot is a sequence of named sections inside a fixed container:
+ *
+ *   [magic "VSPCSNAP"][u32 format version][u32 section count]
+ *   section := [u32 name length][name bytes]
+ *              [u64 payload length][u32 CRC-32 of payload][payload]
+ *
+ * Every value inside a payload carries a one-byte type tag, so a reader
+ * that drifts out of sync with the writer fails immediately with a
+ * located diagnostic instead of silently misinterpreting bytes.
+ * Doubles are serialized as their IEEE-754 bit pattern, so a restored
+ * simulation replays bit-identically.
+ *
+ * All corruption — truncation, bit flips (per-section CRC), version or
+ * magic mismatch, type-tag mismatch, trailing bytes — is reported by
+ * throwing SnapshotError; malformed input never causes UB or a crash.
+ * The simulator state hooks built on top of this (saveState/loadState
+ * on every stateful module, Simulator::snapshot/restore,
+ * Fleet::snapshot/restore) are documented in DESIGN.md §11.
+ */
+
+#ifndef VSPEC_SNAPSHOT_STATE_IO_HH
+#define VSPEC_SNAPSHOT_STATE_IO_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace vspec
+{
+
+/** Any snapshot format/integrity violation. Never UB, always this. */
+class SnapshotError : public std::runtime_error
+{
+  public:
+    explicit SnapshotError(const std::string &what)
+        : std::runtime_error("snapshot: " + what)
+    {
+    }
+};
+
+/** CRC-32 (IEEE 802.3 polynomial, reflected) of a byte range. */
+std::uint32_t crc32(const std::uint8_t *data, std::size_t n);
+
+/** Current snapshot container format version. */
+constexpr std::uint32_t snapshotFormatVersion = 1;
+
+/**
+ * Serializer: open a section, put values, close it, repeat; then
+ * finish() the container (or writeFile() it atomically).
+ */
+class StateWriter
+{
+  public:
+    StateWriter() = default;
+
+    void beginSection(const std::string &name);
+    void endSection();
+
+    void putBool(bool v);
+    void putU8(std::uint8_t v);
+    void putU32(std::uint32_t v);
+    void putU64(std::uint64_t v);
+    void putI64(std::int64_t v);
+    void putDouble(double v);
+    void putString(const std::string &s);
+    void putU64Vector(const std::vector<std::uint64_t> &v);
+    void putDoubleVector(const std::vector<double> &v);
+
+    /** Finished container bytes (header + all closed sections). */
+    std::vector<std::uint8_t> finish() const;
+
+    /**
+     * Write the finished container to @p path atomically (temp file +
+     * rename), so a crash mid-write never leaves a torn snapshot where
+     * a resumable one is expected. Throws SnapshotError on I/O failure.
+     */
+    void writeFile(const std::string &path) const;
+
+  private:
+    struct Section
+    {
+        std::string name;
+        std::vector<std::uint8_t> payload;
+    };
+
+    std::vector<Section> sections;
+    bool inSection = false;
+
+    std::vector<std::uint8_t> &payload();
+    void raw(const void *data, std::size_t n);
+    void tagged(char tag, const void *data, std::size_t n);
+};
+
+/**
+ * Deserializer over a complete container. Construction validates the
+ * magic, version, section framing and every section's CRC eagerly, so
+ * corruption is reported before any state is touched.
+ */
+class StateReader
+{
+  public:
+    explicit StateReader(std::vector<std::uint8_t> bytes);
+
+    /** Read and validate a whole snapshot file. */
+    static StateReader fromFile(const std::string &path);
+
+    /**
+     * Enter the next section, which must be named @p name (snapshots
+     * are read back in the order they were written).
+     */
+    void beginSection(const std::string &name);
+    /** Leave the section; throws if payload bytes remain unread. */
+    void endSection();
+
+    /** Name of the next unread section (diagnostics / probing). */
+    const std::string &peekSectionName() const;
+    bool atEnd() const { return sectionCursor == sections.size(); }
+
+    bool getBool();
+    std::uint8_t getU8();
+    std::uint32_t getU32();
+    std::uint64_t getU64();
+    std::int64_t getI64();
+    double getDouble();
+    std::string getString();
+    std::vector<std::uint64_t> getU64Vector();
+    std::vector<double> getDoubleVector();
+
+  private:
+    struct Section
+    {
+        std::string name;
+        std::vector<std::uint8_t> payload;
+    };
+
+    std::vector<Section> sections;
+    std::size_t sectionCursor = 0;
+    std::size_t payloadCursor = 0;
+    bool inSection = false;
+
+    const Section &current() const;
+    void need(std::size_t n, const char *what);
+    void expectTag(char tag);
+    void rawRead(void *out, std::size_t n, const char *what);
+    [[noreturn]] void fail(const std::string &what) const;
+};
+
+} // namespace vspec
+
+#endif // VSPEC_SNAPSHOT_STATE_IO_HH

@@ -1,5 +1,7 @@
 #include "sram/sram_array.hh"
 
+#include "snapshot/state_io.hh"
+
 #include <algorithm>
 #include <limits>
 
@@ -102,6 +104,42 @@ SramArray::applyAgingShift(Millivolt mean_shift, Millivolt sigma_shift,
         cell.vc += shift;
     }
     ++generation_;
+}
+
+void
+SramArray::saveState(StateWriter &w) const
+{
+    w.putString(arrayName);
+    w.putU64(cells.size());
+    std::vector<double> vcs;
+    vcs.reserve(cells.size());
+    for (const WeakCell &cell : cells)
+        vcs.push_back(cell.vc);
+    w.putDoubleVector(vcs);
+    w.putU64(generation_);
+}
+
+void
+SramArray::loadState(StateReader &r)
+{
+    const std::string name = r.getString();
+    if (name != arrayName)
+        throw SnapshotError("SRAM array name mismatch: snapshot has '" +
+                            name + "', restoring into '" + arrayName +
+                            "'");
+    const std::uint64_t count = r.getU64();
+    if (count != cells.size())
+        throw SnapshotError(
+            "SRAM array '" + arrayName + "' weak-cell count mismatch (" +
+            std::to_string(count) + " in snapshot, " +
+            std::to_string(cells.size()) + " materialized)");
+    const std::vector<double> vcs = r.getDoubleVector();
+    if (vcs.size() != cells.size())
+        throw SnapshotError("SRAM array '" + arrayName +
+                            "' vc vector length mismatch");
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        cells[i].vc = vcs[i];
+    generation_ = r.getU64();
 }
 
 } // namespace vspec

@@ -28,6 +28,9 @@
 namespace vspec
 {
 
+class StateWriter;
+class StateReader;
+
 /**
  * Non-owning view over a contiguous run of materialized weak cells,
  * sorted by ascending cell index. The allocation-free currency of the
@@ -156,6 +159,15 @@ class SramArray
      * (CacheArray's per-line LUT) compare it to detect staleness.
      */
     std::uint64_t generation() const { return generation_; }
+
+    /**
+     * Serialize the mutable population state: per-cell critical
+     * voltages (aging shifts them) and the generation counter. Cell
+     * *positions* are construction state — rebuilt identically from
+     * the seed on restore — so loadState only verifies the count.
+     */
+    void saveState(StateWriter &w) const;
+    void loadState(StateReader &r);
 
   private:
     std::string arrayName;

@@ -47,6 +47,7 @@
 #include "platform/chip.hh"
 #include "platform/experiment_pool.hh"
 #include "platform/harness.hh"
+#include "platform/invariant_auditor.hh"
 #include "platform/simulator.hh"
 #include "platform/system.hh"
 #include "platform/trace.hh"
@@ -54,6 +55,7 @@
 #include "power/power_model.hh"
 #include "resilience/fault_injector.hh"
 #include "resilience/recovery_manager.hh"
+#include "snapshot/state_io.hh"
 #include "sram/aging.hh"
 #include "sram/sram_array.hh"
 #include "variation/delay_model.hh"

@@ -16,6 +16,7 @@
 #include "fleet/power_governor.hh"
 #include "fleet/scheduler.hh"
 #include "platform/experiment_pool.hh"
+#include "platform/invariant_auditor.hh"
 
 namespace vspec
 {
@@ -524,6 +525,37 @@ TEST(Fleet, GovernorThrottlesUnderATightCapAndWorkStillCompletes)
     const Watt total =
         fleet.governor().cap(0) + fleet.governor().cap(1);
     EXPECT_NEAR(total, 30.0, 1e-6);
+}
+
+TEST(Fleet, InvariantAuditorStaysCleanAcrossAFaultedCampaign)
+{
+    // Tick-level invariants (energy monotonicity, rail bounds,
+    // counter-latch consistency, weak-span ordering) hold on every
+    // node of a fleet run with faults and recovery armed.
+    FleetConfig cfg = smallFleetConfig();
+    cfg.policy = SchedulerPolicy::marginAware;
+    cfg.faults.bitFlipsPerHour = 1200.0;
+    cfg.faults.dueFlipsPerHour = 300.0;
+    cfg.faults.droopsPerHour = 600.0;
+    cfg.faults.droopMagnitudeMv = 25.0;
+    cfg.faults.droopDuration = 0.05;
+
+    ExperimentPool pool(0);
+    Fleet fleet(cfg);
+    fleet.run(0.0, pool);  // build the nodes so the auditors can attach
+
+    std::vector<std::unique_ptr<InvariantAuditor>> auditors;
+    for (unsigned i = 0; i < fleet.numChips(); ++i) {
+        auditors.push_back(std::make_unique<InvariantAuditor>());
+        auditors.back()->attach(fleet.node(i).simulator());
+    }
+    fleet.run(5.0, pool);
+
+    for (unsigned i = 0; i < fleet.numChips(); ++i) {
+        EXPECT_GT(auditors[i]->checksRun(), 0u);
+        EXPECT_TRUE(auditors[i]->clean())
+            << "node " << i << ": " << auditors[i]->violations().front();
+    }
 }
 
 } // namespace

@@ -11,6 +11,7 @@
 #include "common/logging.hh"
 #include "platform/chip.hh"
 #include "platform/harness.hh"
+#include "platform/invariant_auditor.hh"
 #include "platform/simulator.hh"
 #include "resilience/fault_injector.hh"
 #include "resilience/recovery_manager.hh"
@@ -392,6 +393,140 @@ TEST(ResilienceIntegration, CombinedArmingFiresBackoffsAcrossDomains)
         EXPECT_LE(setpoint,
                   setup.control->domain(d).policy().maxVdd + 1e-9);
     }
+}
+
+TEST(RecoveryManagerEdge, ZeroBudgetMeansUnlimitedRecoveries)
+{
+    // maxRecoveriesPerCore = 0 is the documented "no budget" setting,
+    // not "abandon on the first crash". Pin it: a core may crash far
+    // past any plausible budget and is serviced every time.
+    Chip chip(testChipConfig());
+    auto cfg = testRecoveryConfig();
+    cfg.maxRecoveriesPerCore = 0;
+    RecoveryManager manager(cfg);
+    manager.manage(chip.core(0), chip.domainOf(0).regulator());
+
+    for (int i = 0; i < 100; ++i) {
+        chip.core(0).injectCrash(CrashReason::uncorrectableError);
+        const auto events = manager.recoverCrashed();
+        ASSERT_EQ(events.size(), 1u);
+        EXPECT_FALSE(events[0].abandoned);
+        EXPECT_FALSE(chip.core(0).crashed());
+    }
+    EXPECT_EQ(manager.recoveries(), 100u);
+    EXPECT_EQ(manager.abandonedCores(), 0u);
+    EXPECT_FALSE(manager.isAbandoned(0));
+}
+
+TEST(RecoveryManagerEdge, AllCoresAbandonedTerminatesCleanly)
+{
+    // Unit level: once every managed core has exhausted its budget,
+    // recoverCrashed() settles to an empty answer instead of looping
+    // or servicing ghosts.
+    Chip chip(testChipConfig());
+    auto cfg = testRecoveryConfig();
+    cfg.maxRecoveriesPerCore = 1;
+    RecoveryManager manager(cfg);
+    for (unsigned c = 0; c < chip.numCores(); ++c)
+        manager.manage(chip.core(c), chip.domainOf(c).regulator());
+
+    for (unsigned c = 0; c < chip.numCores(); ++c) {
+        chip.core(c).injectCrash(CrashReason::uncorrectableError);
+        EXPECT_FALSE(manager.recoverCrashed()[0].abandoned);
+        chip.core(c).injectCrash(CrashReason::uncorrectableError);
+        EXPECT_TRUE(manager.recoverCrashed()[0].abandoned);
+    }
+    EXPECT_EQ(manager.abandonedCores(), chip.numCores());
+    EXPECT_TRUE(manager.recoverCrashed().empty());
+    for (unsigned c = 0; c < chip.numCores(); ++c) {
+        EXPECT_TRUE(manager.isAbandoned(c));
+        EXPECT_TRUE(chip.core(c).crashed());
+    }
+}
+
+TEST(RecoveryManagerEdge, SimulationSurvivesEveryCoreAbandoned)
+{
+    // Integration level: a DUE storm against a one-recovery budget
+    // abandons cores as it goes; the simulation must still run to its
+    // horizon (no hang, no abort) with the terminal state latched and
+    // every tick-level invariant intact.
+    setInformEnabled(false);
+    const Seconds duration = 30.0;
+
+    FaultInjector::Config faults;
+    faults.dueFlipsPerHour = 7200.0;  // ~60 expected in 30 s.
+
+    Chip chip(testChipConfig());
+    auto setup = harness::armHardware(chip);
+    harness::assignSuite(chip, Suite::coreMark, 10.0);
+    auto cfg = testRecoveryConfig();
+    cfg.maxRecoveriesPerCore = 1;
+    auto recovery = harness::armRecovery(chip, cfg);
+    Simulator sim(chip, 0.005);
+    sim.attachControlSystem(setup.control.get());
+    auto injector =
+        harness::armFaultInjector(chip, faults, &sim.eventLog());
+    sim.attachFaultInjector(injector.get());
+    sim.attachRecoveryManager(recovery.get());
+
+    InvariantAuditor auditor;
+    auditor.attach(sim);
+    sim.run(duration);
+
+    EXPECT_NEAR(sim.now(), duration, 1e-9);
+    EXPECT_GE(recovery->abandonedCores(), 1u);
+    EXPECT_TRUE(sim.anyCrashed());  // abandoned latches stay set
+    EXPECT_LE(recovery->abandonedCores(), chip.numCores());
+    EXPECT_TRUE(auditor.clean()) << auditor.violations().front();
+    EXPECT_GT(auditor.checksRun(), 0u);
+}
+
+TEST(RecoveryManagerEdge, RecoveryLandsOnTheTickOfTheDue)
+{
+    // A DUE injected at tick T is serviced inside the same step():
+    // the injector phase runs before the recovery phase, so with an
+    // unlimited budget no tick ever *ends* with a crashed core.
+    setInformEnabled(false);
+
+    FaultInjector::Config faults;
+    faults.dueFlipsPerHour = 7200.0;
+
+    Chip chip(testChipConfig());
+    auto setup = harness::armHardware(chip);
+    harness::assignSuite(chip, Suite::coreMark, 10.0);
+    auto cfg = testRecoveryConfig();
+    cfg.maxRecoveriesPerCore = 0;
+    auto recovery = harness::armRecovery(chip, cfg);
+    Simulator sim(chip, 0.005);
+    sim.attachControlSystem(setup.control.get());
+    auto injector =
+        harness::armFaultInjector(chip, faults, &sim.eventLog());
+    sim.attachFaultInjector(injector.get());
+    sim.attachRecoveryManager(recovery.get());
+
+    for (int tick = 0; tick < 4000; ++tick) {
+        sim.runTicks(1);
+        ASSERT_FALSE(sim.anyCrashed())
+            << "tick " << tick << " ended with an unserviced crash";
+    }
+    // The storm actually fired, and every DUE was serviced same-tick.
+    EXPECT_GE(recovery->duesSeen(), 1u);
+    EXPECT_EQ(recovery->recoveries(), recovery->duesSeen());
+}
+
+TEST(RecoveryManagerEdge, ZeroAgeCheckpointLosesOnlyTheLatency)
+{
+    // Crash on the exact tick of a fresh checkpoint: lost work is the
+    // recovery latency alone, with no rollback component.
+    Chip chip(testChipConfig());
+    RecoveryManager manager(testRecoveryConfig());
+    manager.manage(chip.core(0), chip.domainOf(0).regulator());
+
+    manager.advance(2.0);  // lands exactly on the checkpoint interval
+    chip.core(0).injectCrash(CrashReason::uncorrectableError);
+    const auto events = manager.recoverCrashed();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_NEAR(events[0].lostWork, 0.5, 1e-9);  // latency only
 }
 
 } // namespace

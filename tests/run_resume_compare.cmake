@@ -1,0 +1,65 @@
+# Kill/restore/run-to-end equivalence for a checkpointable bench.
+# Invoked by the resume_* CTest entries:
+#
+#   cmake -DBENCH=<binary> -DFULL_ARGS=<str> -DHALT_ARGS=<str>
+#         -DRESUME_ARGS=<str> -DSNAP=<file> -DOUT=<prefix>
+#         -P run_resume_compare.cmake
+#
+# Three runs of the same bench: (1) uninterrupted — the reference
+# output; (2) halted mid-run by --halt-at/--halt-after, leaving only
+# the snapshot file behind; (3) resumed from that snapshot and run to
+# completion. The resumed stdout must be byte-identical to the
+# uninterrupted one — every RNG cursor, counter and accumulator in the
+# snapshot replayed exactly.
+
+foreach(var BENCH FULL_ARGS HALT_ARGS RESUME_ARGS SNAP OUT)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "run_resume_compare.cmake: ${var} not set")
+    endif()
+endforeach()
+
+file(REMOVE ${SNAP} ${OUT}.full ${OUT}.halted ${OUT}.resumed)
+
+separate_arguments(full_list UNIX_COMMAND "${FULL_ARGS}")
+execute_process(
+    COMMAND ${BENCH} ${full_list}
+    OUTPUT_FILE ${OUT}.full
+    RESULT_VARIABLE full_rc)
+if(NOT full_rc EQUAL 0)
+    message(FATAL_ERROR
+        "reference run ${BENCH} ${FULL_ARGS} exited with ${full_rc}")
+endif()
+
+separate_arguments(halt_list UNIX_COMMAND "${HALT_ARGS}")
+execute_process(
+    COMMAND ${BENCH} ${halt_list}
+    OUTPUT_FILE ${OUT}.halted
+    RESULT_VARIABLE halt_rc)
+if(NOT halt_rc EQUAL 0)
+    message(FATAL_ERROR
+        "halted run ${BENCH} ${HALT_ARGS} exited with ${halt_rc}")
+endif()
+if(NOT EXISTS ${SNAP})
+    message(FATAL_ERROR
+        "halted run ${BENCH} ${HALT_ARGS} left no snapshot at ${SNAP}")
+endif()
+
+separate_arguments(resume_list UNIX_COMMAND "${RESUME_ARGS}")
+execute_process(
+    COMMAND ${BENCH} ${resume_list}
+    OUTPUT_FILE ${OUT}.resumed
+    RESULT_VARIABLE resume_rc)
+if(NOT resume_rc EQUAL 0)
+    message(FATAL_ERROR
+        "resumed run ${BENCH} ${RESUME_ARGS} exited with ${resume_rc}")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT}.full ${OUT}.resumed
+    RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+    message(FATAL_ERROR
+        "resumed output differs from the uninterrupted run "
+        "(reference ${OUT}.full, resumed ${OUT}.resumed, "
+        "snapshot ${SNAP})")
+endif()

@@ -1,0 +1,467 @@
+/**
+ * @file
+ * Tests for the snapshot/restore subsystem: the StateWriter/StateReader
+ * container (round-trips, checksums, hostile input), RNG stream
+ * restoration including the Box-Muller cache, and bit-identical replay
+ * of Simulator and Fleet snapshots across sampling modes and
+ * worker-thread counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "fleet/fleet.hh"
+#include "platform/chip.hh"
+#include "platform/experiment_pool.hh"
+#include "platform/harness.hh"
+#include "platform/simulator.hh"
+#include "resilience/fault_injector.hh"
+#include "resilience/recovery_manager.hh"
+#include "snapshot/state_io.hh"
+
+namespace vspec
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Container round-trips and hostile input.
+
+TEST(StateIo, RoundTripsEveryValueType)
+{
+    StateWriter w;
+    w.beginSection("alpha");
+    w.putBool(true);
+    w.putBool(false);
+    w.putU8(0xAB);
+    w.putU32(0xDEADBEEFu);
+    w.putU64(0x0123456789ABCDEFull);
+    w.putI64(-42);
+    w.putDouble(3.14159);
+    w.putString("hello snapshot");
+    w.putU64Vector({1, 2, 3});
+    w.putDoubleVector({0.5, -0.5});
+    w.endSection();
+    w.beginSection("beta");
+    w.putU64(7);
+    w.endSection();
+
+    StateReader r(w.finish());
+    r.beginSection("alpha");
+    EXPECT_TRUE(r.getBool());
+    EXPECT_FALSE(r.getBool());
+    EXPECT_EQ(r.getU8(), 0xAB);
+    EXPECT_EQ(r.getU32(), 0xDEADBEEFu);
+    EXPECT_EQ(r.getU64(), 0x0123456789ABCDEFull);
+    EXPECT_EQ(r.getI64(), -42);
+    EXPECT_DOUBLE_EQ(r.getDouble(), 3.14159);
+    EXPECT_EQ(r.getString(), "hello snapshot");
+    EXPECT_EQ(r.getU64Vector(), (std::vector<std::uint64_t>{1, 2, 3}));
+    EXPECT_EQ(r.getDoubleVector(), (std::vector<double>{0.5, -0.5}));
+    r.endSection();
+    r.beginSection("beta");
+    EXPECT_EQ(r.getU64(), 7u);
+    r.endSection();
+    EXPECT_TRUE(r.atEnd());
+}
+
+std::vector<std::uint8_t>
+sampleContainer()
+{
+    StateWriter w;
+    w.beginSection("section");
+    w.putU64(123456789);
+    w.putString("payload under test");
+    w.putDoubleVector({1.0, 2.0, 3.0});
+    w.endSection();
+    return w.finish();
+}
+
+TEST(StateIo, RejectsABitFlippedPayload)
+{
+    // Flip one bit in the last payload byte: the per-section CRC32
+    // must catch it at construction (eager validation).
+    auto bytes = sampleContainer();
+    bytes.back() ^= 0x01;
+    EXPECT_THROW(StateReader reader(std::move(bytes)), SnapshotError);
+}
+
+TEST(StateIo, RejectsTruncationAtEveryLength)
+{
+    // Cutting the container anywhere must throw — never crash, never
+    // read out of bounds (the asan suite runs this whole binary).
+    const auto bytes = sampleContainer();
+    for (std::size_t n = 0; n < bytes.size(); ++n) {
+        std::vector<std::uint8_t> cut(bytes.begin(),
+                                      bytes.begin() + std::ptrdiff_t(n));
+        EXPECT_THROW(StateReader reader(std::move(cut)), SnapshotError)
+            << "truncation to " << n << " bytes was accepted";
+    }
+}
+
+TEST(StateIo, RejectsWrongMagicAndWrongVersion)
+{
+    auto wrong_magic = sampleContainer();
+    wrong_magic[0] ^= 0xFF;
+    EXPECT_THROW(StateReader reader(std::move(wrong_magic)),
+                 SnapshotError);
+
+    auto wrong_version = sampleContainer();
+    wrong_version[8] += 1; // u32 format version follows the 8-byte magic
+    try {
+        StateReader reader(std::move(wrong_version));
+        FAIL() << "wrong format version was accepted";
+    } catch (const SnapshotError &e) {
+        // The diagnostic must name the version mismatch, not crash.
+        EXPECT_NE(std::string(e.what()).find("version"),
+                  std::string::npos);
+    }
+}
+
+TEST(StateIo, RejectsTypeConfusionAndOverreads)
+{
+    auto bytes = sampleContainer();
+    StateReader r(std::move(bytes));
+    r.beginSection("section");
+    EXPECT_THROW(r.getString(), SnapshotError); // next value is a u64
+}
+
+TEST(StateIo, EndSectionDemandsFullConsumption)
+{
+    auto bytes = sampleContainer();
+    StateReader r(std::move(bytes));
+    r.beginSection("section");
+    (void)r.getU64();
+    EXPECT_THROW(r.endSection(), SnapshotError); // string + vector unread
+}
+
+TEST(StateIo, SectionNameMismatchIsDiagnosed)
+{
+    auto bytes = sampleContainer();
+    StateReader r(std::move(bytes));
+    EXPECT_THROW(r.beginSection("elsewhere"), SnapshotError);
+}
+
+TEST(StateIo, MissingFileIsACleanError)
+{
+    EXPECT_THROW(StateReader::fromFile("/nonexistent/vspec.snap"),
+                 SnapshotError);
+}
+
+TEST(StateIo, WriteFileRoundTripsThroughDisk)
+{
+    const std::string path = ::testing::TempDir() + "state_io_rt.snap";
+    StateWriter w;
+    w.beginSection("disk");
+    w.putU64(0xFEEDF00Dull);
+    w.endSection();
+    w.writeFile(path);
+
+    StateReader r = StateReader::fromFile(path);
+    r.beginSection("disk");
+    EXPECT_EQ(r.getU64(), 0xFEEDF00Dull);
+    r.endSection();
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// RNG stream restoration.
+
+TEST(RngSnapshot, RestoredStreamIsBitIdentical)
+{
+    Rng rng(0x5EED);
+    for (int i = 0; i < 100; ++i)
+        (void)rng.uniform();
+
+    StateWriter w;
+    w.beginSection("rng");
+    rng.saveState(w);
+    w.endSection();
+    const auto bytes = w.finish();
+
+    std::vector<double> want;
+    for (int i = 0; i < 50; ++i)
+        want.push_back(rng.uniform());
+
+    Rng other(0xD1FF); // different seed: loadState must fully overlay
+    StateReader r(bytes);
+    r.beginSection("rng");
+    other.loadState(r);
+    r.endSection();
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(other.uniform(), want[std::size_t(i)]);
+}
+
+TEST(RngSnapshot, MidGaussianPairSurvivesTheSnapshot)
+{
+    // gaussian() draws Box-Muller pairs and caches the second value.
+    // Snapshot after an odd number of draws: the restored stream must
+    // first replay the cached half of the in-flight pair.
+    Rng rng(0xBEEF);
+    (void)rng.gaussian(); // half of a pair is now cached
+
+    StateWriter w;
+    w.beginSection("rng");
+    rng.saveState(w);
+    w.endSection();
+    const auto bytes = w.finish();
+
+    const double want_cached = rng.gaussian();
+    const double want_next = rng.gaussian();
+
+    Rng restored(1);
+    StateReader r(bytes);
+    r.beginSection("rng");
+    restored.loadState(r);
+    r.endSection();
+    EXPECT_EQ(restored.gaussian(), want_cached);
+    EXPECT_EQ(restored.gaussian(), want_next);
+}
+
+// ---------------------------------------------------------------------
+// Simulator snapshot/restore replay.
+
+struct CampaignSim
+{
+    std::unique_ptr<Chip> chip;
+    HardwareSpeculationSetup setup;
+    std::unique_ptr<RecoveryManager> recovery;
+    std::unique_ptr<FaultInjector> injector;
+    std::unique_ptr<Simulator> sim;
+};
+
+CampaignSim
+buildCampaign(SamplingMode sampling)
+{
+    CampaignSim c;
+    ChipConfig cfg;
+    cfg.seed = 42;
+    c.chip = std::make_unique<Chip>(cfg);
+    Calibrator::Config calibration;
+    calibration.sampling = sampling;
+    c.setup =
+        harness::armHardware(*c.chip, ControlPolicy(), calibration);
+    harness::assignSuite(*c.chip, Suite::coreMark, 5.0);
+
+    RecoveryManager::Config recovery_cfg;
+    recovery_cfg.checkpointInterval = 0.5;
+    recovery_cfg.recoveryLatency = 0.1;
+    c.recovery = harness::armRecovery(*c.chip, recovery_cfg);
+
+    c.sim = std::make_unique<Simulator>(*c.chip, 0.005);
+    c.sim->setSamplingMode(sampling);
+    c.sim->enableTrace(0.1);
+    c.sim->attachControlSystem(c.setup.control.get());
+
+    FaultInjector::Config faults;
+    faults.bitFlipsPerHour = 2000.0;
+    faults.dueFlipsPerHour = 600.0;
+    faults.droopsPerHour = 1200.0;
+    faults.droopMagnitudeMv = 25.0;
+    faults.droopDuration = 0.05;
+    faults.monitorDropoutsPerHour = 300.0;
+    faults.dropoutDuration = 0.3;
+    faults.stuckRegulatorsPerHour = 300.0;
+    faults.stuckDuration = 0.3;
+    c.injector = harness::armFaultInjector(*c.chip, faults,
+                                           &c.sim->eventLog());
+    c.sim->attachFaultInjector(c.injector.get());
+    c.sim->attachRecoveryManager(c.recovery.get());
+    return c;
+}
+
+std::vector<std::uint8_t>
+simState(const Simulator &sim)
+{
+    StateWriter w;
+    sim.snapshot(w);
+    return w.finish();
+}
+
+class SimulatorReplay : public ::testing::TestWithParam<SamplingMode>
+{
+};
+
+TEST_P(SimulatorReplay, RestorePlusNTicksMatchesUninterruptedRun)
+{
+    const SamplingMode sampling = GetParam();
+
+    CampaignSim ref = buildCampaign(sampling);
+    ref.sim->runTicks(700);
+    const auto want = simState(*ref.sim);
+
+    CampaignSim victim = buildCampaign(sampling);
+    victim.sim->runTicks(333);
+    const auto mid = simState(*victim.sim);
+
+    CampaignSim revived = buildCampaign(sampling);
+    StateReader r(mid);
+    revived.sim->restore(r);
+    EXPECT_DOUBLE_EQ(revived.sim->now(), victim.sim->now());
+    revived.sim->runTicks(700 - 333);
+    EXPECT_EQ(simState(*revived.sim), want);
+}
+
+TEST_P(SimulatorReplay, SnapshotAtEveryPhaseBoundaryStillReplays)
+{
+    // Kill at several different ticks of the same campaign; each
+    // restore must land on the identical end state.
+    const SamplingMode sampling = GetParam();
+
+    CampaignSim ref = buildCampaign(sampling);
+    ref.sim->runTicks(400);
+    const auto want = simState(*ref.sim);
+
+    for (std::uint64_t kill : {1ull, 57ull, 200ull, 399ull}) {
+        CampaignSim victim = buildCampaign(sampling);
+        victim.sim->runTicks(kill);
+        const auto mid = simState(*victim.sim);
+
+        CampaignSim revived = buildCampaign(sampling);
+        StateReader r(mid);
+        revived.sim->restore(r);
+        revived.sim->runTicks(400 - kill);
+        EXPECT_EQ(simState(*revived.sim), want)
+            << "kill at tick " << kill << " diverged";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(SamplingModes, SimulatorReplay,
+                         ::testing::Values(SamplingMode::exact,
+                                           SamplingMode::batched));
+
+TEST(SimulatorSnapshot, RestoreVerifiesTickSize)
+{
+    CampaignSim a = buildCampaign(SamplingMode::exact);
+    a.sim->runTicks(10);
+    const auto bytes = simState(*a.sim);
+
+    // Same chip construction, different tick: must be rejected with a
+    // diagnostic, not silently replayed on the wrong grid.
+    CampaignSim b = buildCampaign(SamplingMode::exact);
+    b.sim = std::make_unique<Simulator>(*b.chip, 0.001);
+    b.sim->setSamplingMode(SamplingMode::exact);
+    b.sim->enableTrace(0.1);
+    b.sim->attachControlSystem(b.setup.control.get());
+    b.sim->attachFaultInjector(b.injector.get());
+    b.sim->attachRecoveryManager(b.recovery.get());
+    StateReader r(bytes);
+    EXPECT_THROW(b.sim->restore(r), SnapshotError);
+}
+
+TEST(SimulatorSnapshot, RestoreVerifiesAttachmentPresence)
+{
+    CampaignSim a = buildCampaign(SamplingMode::exact);
+    a.sim->runTicks(10);
+    const auto bytes = simState(*a.sim);
+
+    // A simulator without the control system attached cannot absorb a
+    // snapshot that carries control state.
+    ChipConfig cfg;
+    cfg.seed = 42;
+    Chip bare_chip(cfg);
+    harness::assignSuite(bare_chip, Suite::coreMark, 5.0);
+    Simulator bare(bare_chip, 0.005);
+    bare.enableTrace(0.1);
+    StateReader r(bytes);
+    EXPECT_THROW(bare.restore(r), SnapshotError);
+}
+
+TEST(SimulatorSnapshot, CorruptedSimStateIsRejectedNotReplayed)
+{
+    CampaignSim a = buildCampaign(SamplingMode::exact);
+    a.sim->runTicks(20);
+    auto bytes = simState(*a.sim);
+    bytes[bytes.size() / 2] ^= 0x40;
+    EXPECT_THROW(StateReader reader(std::move(bytes)), SnapshotError);
+}
+
+// ---------------------------------------------------------------------
+// Fleet snapshot/restore replay.
+
+FleetConfig
+replayFleetConfig()
+{
+    FleetConfig cfg;
+    cfg.numChips = 2;
+    cfg.seed = 42;
+    cfg.policy = SchedulerPolicy::marginAware;
+    cfg.jobs.arrivalsPerSecond = 10.0;
+    cfg.jobs.firstArrival = 0.2;
+    cfg.jobs.seed = 0xCAFE;
+    cfg.governor.fleetBudget = 44.0;
+    cfg.governor.interval = 0.5;
+    cfg.governor.minChipCap = 5.0;
+    cfg.recovery.checkpointInterval = 0.5;
+    cfg.recovery.recoveryLatency = 0.1;
+    cfg.faults.dueFlipsPerHour = 600.0;
+    cfg.faults.bitFlipsPerHour = 2000.0;
+    return cfg;
+}
+
+std::vector<std::uint8_t>
+fleetState(const Fleet &fleet)
+{
+    StateWriter w;
+    fleet.snapshot(w);
+    return w.finish();
+}
+
+TEST(FleetSnapshot, RestorePlusNSlicesMatchesUninterruptedRun)
+{
+    const FleetConfig cfg = replayFleetConfig();
+    ExperimentPool pool(2);
+
+    Fleet ref(cfg);
+    ref.run(3.0, pool);
+    const auto want = fleetState(ref);
+
+    Fleet victim(cfg);
+    victim.run(1.3, pool);
+    const auto mid = fleetState(victim);
+
+    // Restore on a pool with a different worker count: fleet replay
+    // must be thread-count invariant.
+    ExperimentPool other_pool(4);
+    Fleet revived(cfg);
+    StateReader r(mid);
+    revived.restore(r, other_pool);
+    revived.run(3.0 - revived.now(), other_pool);
+    EXPECT_EQ(fleetState(revived), want);
+}
+
+TEST(FleetSnapshot, BatchedSamplingReplaysToo)
+{
+    FleetConfig cfg = replayFleetConfig();
+    cfg.sampling = SamplingMode::batched;
+    ExperimentPool pool(2);
+
+    Fleet ref(cfg);
+    ref.run(2.0, pool);
+    const auto want = fleetState(ref);
+
+    Fleet victim(cfg);
+    victim.run(0.85, pool);
+    const auto mid = fleetState(victim);
+
+    Fleet revived(cfg);
+    StateReader r(mid);
+    revived.restore(r, pool);
+    revived.run(2.0 - revived.now(), pool);
+    EXPECT_EQ(fleetState(revived), want);
+}
+
+TEST(FleetSnapshot, SnapshotBeforeRunIsRefused)
+{
+    const FleetConfig cfg = replayFleetConfig();
+    Fleet fleet(cfg);
+    StateWriter w;
+    EXPECT_DEATH((void)fleet.snapshot(w), "nodes");
+}
+
+} // namespace
+} // namespace vspec
