@@ -13,7 +13,8 @@ namespace vspec
 CacheArray::CacheArray(const CacheGeometry &geometry,
                        const VcDistribution &dist, Millivolt v_floor,
                        Rng &rng)
-    : geo(geometry), eccCodec(geometry.eccDataBits),
+    : geo(geometry),
+      eccCodec(&wordCodec(geometry.eccScheme, geometry.eccDataBits)),
       cells(geometry.name, geometry.totalCells(), dist, v_floor,
             /*aging_headroom=*/0.5 * dist.sigmaRandom, rng),
       store(geometry.numLines() * geometry.wordsPerLine()),
@@ -23,7 +24,7 @@ CacheArray::CacheArray(const CacheGeometry &geometry,
     geo.validate();
     // Initialize every line with an encoded zero word so reads of
     // untouched lines decode cleanly.
-    const Codeword zero = eccCodec.encode(0);
+    const Codeword zero = eccCodec->encode(0);
     std::fill(store.begin(), store.end(), zero);
 
     // Hoist the per-line weak-cell ranges: the population is sorted by
@@ -100,7 +101,7 @@ CacheArray::encodeCached(std::uint64_t data) const
                                          ? secondary
                                          : primary];
     victim.data = data;
-    victim.encoded = eccCodec.encode(data);
+    victim.encoded = eccCodec->encode(data);
     victim.valid = true;
     return victim.encoded;
 }
@@ -147,7 +148,7 @@ CacheArray::readLine(std::uint64_t set, unsigned way, Millivolt v_eff,
 
     // Flips come out in ascending cell order, i.e. already grouped by
     // codeword — walk them with a single cursor while iterating words.
-    const unsigned cw_bits = eccCodec.codewordBits();
+    const unsigned cw_bits = eccCodec->codewordBits();
     std::size_t next_flip = 0;
 
     const std::uint64_t word_base = lineIndex(set, way) * geo.wordsPerLine();
@@ -159,7 +160,7 @@ CacheArray::readLine(std::uint64_t set, unsigned way, Millivolt v_eff,
             ++next_flip;
         }
 
-        const DecodeResult decoded = eccCodec.decode(observed);
+        const DecodeResult decoded = eccCodec->decode(observed);
         result.data[w] = decoded.data;
 
         if (decoded.status != EccStatus::ok) {
@@ -184,28 +185,40 @@ CacheArray::computeLineEventProbabilities(std::uint64_t set, unsigned way,
                                           double &p_correctable,
                                           double &p_uncorrectable) const
 {
-    // Per-word: probability of exactly one flip (correctable event) and
-    // of two-or-more flips (uncorrectable event). Weak cells arrive in
-    // ascending index order, so cells of the same codeword are
-    // adjacent — the per-word statistics fold incrementally with no
-    // allocation.
-    const unsigned cw_bits = eccCodec.codewordBits();
+    // Per-word: probability of a correctable event (1..t flips, where
+    // t is the codec's correction radius) and of an uncorrectable one
+    // (> t flips). Weak cells arrive in ascending index order, so cells
+    // of the same codeword are adjacent — the per-word statistics fold
+    // incrementally with no allocation. For t = 1 (the SECDED default)
+    // the recurrence below performs operation-for-operation the same
+    // arithmetic as the historical (none, exactly_one) fold, keeping
+    // the default path bit-identical.
+    const unsigned cw_bits = eccCodec->codewordBits();
+    const unsigned t = eccCodec->correctableBits();
+    if (t == 0 || t > maxFoldRadius)
+        panic("cache '", geo.name, "': correction radius ", t,
+              " outside the per-word fold's supported range");
     const std::uint64_t base = lineCellBase(set, way);
 
     double e_corr = 0.0;        // Expected correctable events/access.
     double p_no_uncorr = 1.0;   // P(no word raises an uncorrectable).
 
     std::uint64_t cur_word = ~std::uint64_t(0);
-    // Running per-word state: product of (1-pi) and sum of
-    // pi * prod_{j != i} (1 - pj), updated cell by cell.
-    double none = 1.0, exactly_one = 0.0;
+    // Running per-word state: e[k] = P(exactly k of the cells folded
+    // so far flipped), k = 0..t, updated cell by cell.
+    double e[maxFoldRadius + 1] = {1.0, 0.0, 0.0, 0.0};
 
     auto fold_word = [&]() {
         if (cur_word == ~std::uint64_t(0))
             return;
-        const double multi =
-            std::max(0.0, 1.0 - none - exactly_one);
-        e_corr += exactly_one;
+        double rem = 1.0;
+        for (unsigned k = 0; k <= t; ++k)
+            rem -= e[k];
+        double corr = 0.0;
+        for (unsigned k = 1; k <= t; ++k)
+            corr += e[k];
+        const double multi = std::max(0.0, rem);
+        e_corr += corr;
         p_no_uncorr *= (1.0 - multi);
     };
 
@@ -217,11 +230,13 @@ CacheArray::computeLineEventProbabilities(std::uint64_t set, unsigned way,
         if (word != cur_word) {
             fold_word();
             cur_word = word;
-            none = 1.0;
-            exactly_one = 0.0;
+            e[0] = 1.0;
+            for (unsigned k = 1; k <= t; ++k)
+                e[k] = 0.0;
         }
-        exactly_one = exactly_one * (1.0 - p) + p * none;
-        none *= (1.0 - p);
+        for (unsigned k = t; k >= 1; --k)
+            e[k] = e[k] * (1.0 - p) + p * e[k - 1];
+        e[0] *= (1.0 - p);
     }
     fold_word();
 
@@ -252,8 +267,7 @@ CacheArray::cachedProbabilities(std::uint64_t set, unsigned way,
         probCacheGeneration = cells.generation();
     }
 
-    const std::int64_t bucket =
-        std::int64_t(std::llround(v_eff / probQuantMv));
+    const std::int64_t bucket = probBucketIndex(v_eff);
     // In quantized mode every voltage in the bucket evaluates at the
     // bucket center; in exact mode the bucket only forms the key and a
     // hit additionally requires the exact stored voltage.
@@ -359,7 +373,7 @@ CacheArray::flipStoredBit(std::uint64_t set, unsigned way,
                           std::uint64_t bit_index)
 {
     checkLocation(set, way);
-    const unsigned cw_bits = eccCodec.codewordBits();
+    const unsigned cw_bits = eccCodec->codewordBits();
     const std::uint64_t word = bit_index / cw_bits;
     if (word >= geo.wordsPerLine())
         panic("cache '", geo.name, "': flipStoredBit bit ", bit_index,
@@ -399,6 +413,13 @@ CacheArray::weakestLine() const
 void
 CacheArray::saveState(StateWriter &w) const
 {
+    // Codec identity guard: the stored codewords are only meaningful
+    // to the codec that produced them, so a restore into an array
+    // built with a different protection tier must be refused rather
+    // than decoded as garbage.
+    w.putU8(std::uint8_t(geo.eccScheme));
+    w.putU8(std::uint8_t(geo.eccDataBits));
+
     cells.saveState(w);
 
     // Run-length encode the codeword store: runs of identical
@@ -431,6 +452,17 @@ CacheArray::saveState(StateWriter &w) const
 void
 CacheArray::loadState(StateReader &r)
 {
+    const std::uint8_t scheme = r.getU8();
+    const std::uint8_t data_bits = r.getU8();
+    if (scheme != std::uint8_t(geo.eccScheme) ||
+        data_bits != geo.eccDataBits)
+        throw SnapshotError(
+            "cache '" + geo.name + "' codec mismatch: snapshot holds " +
+            "scheme id " + std::to_string(scheme) + " (" +
+            std::to_string(data_bits) + "-bit words), array is built " +
+            "with " + schemeName(geo.eccScheme) + " (" +
+            std::to_string(geo.eccDataBits) + "-bit words)");
+
     cells.loadState(r);
 
     const std::uint64_t store_size = r.getU64();
@@ -449,6 +481,11 @@ CacheArray::loadState(StateReader &r)
                                 "' codeword runs overflow the store");
         const Codeword cw = Codeword::fromWords(runs[k + 1],
                                                 runs[k + 2]);
+        if (!cw.fitsWidth(eccCodec->codewordBits()))
+            throw SnapshotError("cache '" + geo.name +
+                                "' codeword carries bits beyond the " +
+                                std::to_string(eccCodec->codewordBits()) +
+                                "-bit codeword");
         for (std::uint64_t n = 0; n < count; ++n)
             store[pos++] = cw;
     }

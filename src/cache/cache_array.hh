@@ -21,6 +21,7 @@
 #ifndef VSPEC_CACHE_CACHE_ARRAY_HH
 #define VSPEC_CACHE_CACHE_ARRAY_HH
 
+#include <cmath>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -30,7 +31,7 @@
 #include "common/rng.hh"
 #include "common/sampling.hh"
 #include "common/units.hh"
-#include "ecc/secded.hh"
+#include "ecc/codec.hh"
 #include "sram/sram_array.hh"
 
 namespace vspec
@@ -81,7 +82,8 @@ class CacheArray
     const CacheGeometry &geometry() const { return geo; }
     const SramArray &sram() const { return cells; }
     SramArray &sram() { return cells; }
-    const SecdedCodec &codec() const { return eccCodec; }
+    /** The protection codec (shared registry instance, geo.eccScheme). */
+    const EccCodec &codec() const { return *eccCodec; }
 
     /** Store a full line of data words (encodes each word). */
     void writeLine(std::uint64_t set, unsigned way,
@@ -139,6 +141,23 @@ class CacheArray
 
     /** Voltage quantization grid of the probability LUT (mV). */
     static constexpr Millivolt probQuantMv = 0.25;
+
+    /**
+     * The single bucketing convention of the probability LUT:
+     * round-half-up (toward +infinity), i.e. floor(v / probQuantMv
+     * + 0.5). A voltage landing exactly on a bucket edge (an odd
+     * multiple of probQuantMv / 2) therefore always maps to the
+     * *upper* bucket, regardless of sign — unlike llround/round,
+     * whose round-half-away-from-zero breaks that symmetry for the
+     * negative-offset voltages aging shifts can produce. Every
+     * bucket-index computation must go through this helper so exact
+     * and quantized modes can never disagree on the bucket of the
+     * same v_eff.
+     */
+    static std::int64_t probBucketIndex(Millivolt v_eff)
+    {
+        return std::int64_t(std::floor(v_eff / probQuantMv + 0.5));
+    }
 
     /** Weak cells of one line (positions relative to the line). */
     std::vector<WeakCell> lineWeakCells(std::uint64_t set,
@@ -204,7 +223,8 @@ class CacheArray
 
   private:
     CacheGeometry geo;
-    SecdedCodec eccCodec;
+    /** Shared immutable codec from the registry (never null). */
+    const EccCodec *eccCodec;
     SramArray cells;
     /** Stored codewords, wordsPerLine() per line. */
     std::vector<Codeword> store;
@@ -257,6 +277,13 @@ class CacheArray
 
     /** Scratch for readLine's flip sampling (no per-call allocation). */
     mutable std::vector<std::uint64_t> flipScratch;
+
+    /**
+     * Largest correction radius the allocation-free probability fold
+     * supports (covers every word-level codec in the zoo; the block
+     * codec never reaches this path).
+     */
+    static constexpr unsigned maxFoldRadius = 3;
 
     const Codeword &encodeCached(std::uint64_t data) const;
 

@@ -1,7 +1,7 @@
 #include "cache/geometry.hh"
 
 #include "common/logging.hh"
-#include "ecc/secded.hh"
+#include "ecc/codec.hh"
 
 namespace vspec
 {
@@ -27,8 +27,8 @@ CacheGeometry::wordsPerLine() const
 std::uint64_t
 CacheGeometry::cellsPerLine() const
 {
-    const SecdedCodec codec(eccDataBits);
-    return std::uint64_t(wordsPerLine()) * codec.codewordBits();
+    return std::uint64_t(wordsPerLine()) *
+           codecTraits(eccScheme, eccDataBits).codewordBits;
 }
 
 std::uint64_t
@@ -52,6 +52,9 @@ CacheGeometry::validate() const
         (lineBytes * 8) % eccDataBits != 0)
         fatal("cache '", name, "': line must hold a whole number of ECC "
               "words of ", eccDataBits, " bits");
+    if (eccScheme == EccScheme::bchLarge512)
+        fatal("cache '", name, "': bchLarge512 is a block codec and "
+              "cannot serve the per-word cache data path");
 }
 
 namespace itanium9560

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <string>
 
+#include "ecc/codec.hh"
 #include "variation/process_variation.hh"
 
 namespace vspec
@@ -26,6 +27,12 @@ struct CacheGeometry
     unsigned lineBytes = 0;
     /** ECC data word width in bits (one codeword per word). */
     unsigned eccDataBits = 64;
+    /**
+     * Protection scheme for the data array (the codec zoo tier).
+     * Must be a word-level scheme; bchLarge512 protects whole blocks
+     * and does not fit the per-word storage path.
+     */
+    EccScheme eccScheme = EccScheme::hamming;
     /** Load-to-use latency in cycles (documentation/bench only). */
     unsigned latencyCycles = 1;
     /** Cell sizing class of the data array. */

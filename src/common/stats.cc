@@ -118,6 +118,12 @@ Histogram::add(double x)
 void
 Histogram::merge(const Histogram &other)
 {
+    // Merging an empty histogram is a no-op regardless of geometry:
+    // shard maps routinely hold default-shaped empties for streams
+    // that never recorded a sample, and folding one in must neither
+    // panic on the shape nor perturb this histogram's bounds.
+    if (other.total == 0)
+        return;
     if (other.counts.size() != counts.size() || other.rangeLo != rangeLo ||
         other.rangeHi != rangeHi) {
         panic("Histogram::merge requires identical geometry, got [",
@@ -155,6 +161,16 @@ Histogram::quantile(double q) const
     if (total == 0)
         return rangeLo;
     q = std::clamp(q, 0.0, 1.0);
+    // q = 1.0 must name the highest populated bin, never fall off the
+    // cumulative walk into rangeHi on accumulation round-off; resolve
+    // it (and the single-bin case with it) by direct scan from the top.
+    if (q >= 1.0) {
+        for (std::size_t i = counts.size(); i-- > 0;) {
+            if (counts[i] > 0)
+                return binLow(i) + binWidth * 0.5;
+        }
+        return rangeHi;
+    }
     const double target = q * double(total);
     double cum = 0.0;
     for (std::size_t i = 0; i < counts.size(); ++i) {

@@ -83,6 +83,19 @@ class EccMonitor : public CountingFeedbackSource
     const Config &config() const { return cfg; }
 
     /**
+     * Rescale the emergency interrupt threshold. The harness calls
+     * this for stronger codec tiers, whose tolerated-correctable band
+     * sits above the default ceiling — an unscaled emergency path
+     * would keep firing +emergencyStepMv interrupts against the floor
+     * the codec earned.
+     */
+    void setEmergencyCeiling(double ceiling)
+    {
+        cfg.emergencyCeiling = ceiling;
+        CountingFeedbackSource::setEmergencyCeiling(ceiling);
+    }
+
+    /**
      * Serialize counters, probe carry, pattern cursor and the
      * activation flag. loadState overlays fields directly — it never
      * runs activate()'s side effects (line deconfiguration, pattern

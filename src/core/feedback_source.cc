@@ -26,6 +26,14 @@ CountingFeedbackSource::accumulate(const ProbeStats &stats,
 }
 
 void
+CountingFeedbackSource::setEmergencyCeiling(double ceiling)
+{
+    if (ceiling <= 0.0 || ceiling > 1.0)
+        fatal("ErrorFeedbackSource emergency ceiling must be in (0, 1]");
+    emergencyCeiling = ceiling;
+}
+
+void
 CountingFeedbackSource::resetCounters()
 {
     accesses = 0;

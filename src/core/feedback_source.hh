@@ -98,6 +98,14 @@ class CountingFeedbackSource : public ErrorFeedbackSource
     /** Full counter reset, including the uncorrectable latch. */
     void resetCounters();
 
+    /**
+     * Rescale the emergency threshold after construction — used by the
+     * harness when a stronger codec tier raises the whole tolerated-
+     * correctable band above the default emergency ceiling (the ceiling
+     * must move with the band or emergencies fight the earned floor).
+     */
+    void setEmergencyCeiling(double ceiling);
+
   private:
     double emergencyCeiling;
     std::uint64_t emergencyMinSamples;

@@ -14,9 +14,10 @@ namespace
 
 /** Build one ECC-protected cache level for this core. */
 std::unique_ptr<Cache>
-buildCache(const CacheGeometry &geo, const Core::Config &cfg,
+buildCache(CacheGeometry geo, const Core::Config &cfg,
            const VariationModel &variation, Rng &rng)
 {
+    geo.eccScheme = cfg.eccScheme;
     const VcDistribution dist = variation.cellDistribution(
         geo.cellClass, cfg.operatingPoint.frequency, cfg.coreId,
         cfg.temperature);
@@ -57,8 +58,9 @@ Core::Core(const Config &config, const VariationModel &variation, Rng &rng)
         buildCache(itanium9560::l1Data(), cfg, variation, rng),
         buildCache(itanium9560::l2Data(), cfg, variation, rng));
 
-    const CacheGeometry rf_geo =
-        registerFileGeometry(cfg.registerFileBytes);
+    CacheGeometry rf_geo = registerFileGeometry(cfg.registerFileBytes);
+    rf_geo.eccScheme = cfg.eccScheme;
+    rf_geo.validate();
     const VcDistribution rf_dist = variation.cellDistribution(
         rf_geo.cellClass, cfg.operatingPoint.frequency, cfg.coreId,
         cfg.temperature);

@@ -79,6 +79,11 @@ class Core
          * effective event rate is far below the raw operand-read rate.
          */
         double rfAccessSensitization = 3e-5;
+        /**
+         * Protection tier of every ECC-protected array on this core
+         * (caches and register file). Must be a word-level scheme.
+         */
+        EccScheme eccScheme = EccScheme::hamming;
     };
 
     Core(const Config &config, const VariationModel &variation, Rng &rng);

@@ -1,0 +1,185 @@
+#include "ecc/codec.hh"
+
+#include <bit>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "common/logging.hh"
+#include "ecc/bch.hh"
+#include "ecc/hsiao.hh"
+#include "ecc/secded.hh"
+
+namespace vspec
+{
+
+bool
+Codeword::bit(unsigned idx) const
+{
+    if (idx >= 128)
+        panic("Codeword bit index out of range: ", idx);
+    return (words[idx >> 6] >> (idx & 63)) & 1;
+}
+
+void
+Codeword::setBit(unsigned idx, bool value)
+{
+    if (idx >= 128)
+        panic("Codeword bit index out of range: ", idx);
+    const std::uint64_t mask = std::uint64_t(1) << (idx & 63);
+    if (value)
+        words[idx >> 6] |= mask;
+    else
+        words[idx >> 6] &= ~mask;
+}
+
+void
+Codeword::flipBit(unsigned idx)
+{
+    if (idx >= 128)
+        panic("Codeword bit index out of range: ", idx);
+    words[idx >> 6] ^= std::uint64_t(1) << (idx & 63);
+}
+
+unsigned
+Codeword::popcount() const
+{
+    return std::popcount(words[0]) + std::popcount(words[1]);
+}
+
+bool
+Codeword::fitsWidth(unsigned codeword_bits) const
+{
+    if (codeword_bits >= 128)
+        return true;
+    if (codeword_bits == 0)
+        return words[0] == 0 && words[1] == 0;
+    // Shift amounts stay in [1, 64); the 64-bit boundary cases are
+    // handled without shifting to avoid shift-width UB.
+    if (codeword_bits == 64)
+        return words[1] == 0;
+    if (codeword_bits < 64)
+        return words[1] == 0 && (words[0] >> 1 >> (codeword_bits - 1)) == 0;
+    return (words[1] >> (codeword_bits - 64)) == 0;
+}
+
+const EccCodec &
+wordCodec(EccScheme scheme, unsigned data_bits)
+{
+    static std::mutex mutex;
+    static std::map<std::pair<EccScheme, unsigned>,
+                    std::unique_ptr<EccCodec>>
+        registry;
+
+    std::lock_guard<std::mutex> lock(mutex);
+    auto &slot = registry[{scheme, data_bits}];
+    if (!slot) {
+        switch (scheme) {
+          case EccScheme::hamming:
+            slot = std::make_unique<SecdedCodec>(data_bits);
+            break;
+          case EccScheme::hsiao:
+            slot = std::make_unique<HsiaoCodec>(data_bits);
+            break;
+          case EccScheme::bch2:
+            slot = std::make_unique<BchWordCodec>(2, data_bits);
+            break;
+          case EccScheme::bch3:
+            slot = std::make_unique<BchWordCodec>(3, data_bits);
+            break;
+          case EccScheme::bchLarge512:
+            fatal("bchLarge512 is a block codec; it has no word-level "
+                  "form (use bchLarge512() from ecc/bch.hh)");
+          default:
+            fatal("unknown ECC scheme id ", unsigned(scheme));
+        }
+    }
+    return *slot;
+}
+
+CodecTraits
+codecTraits(EccScheme scheme, unsigned data_bits)
+{
+    if (scheme == EccScheme::bchLarge512)
+        return bchLarge512().traits();
+    return wordCodec(scheme, data_bits).traits();
+}
+
+const char *
+schemeName(EccScheme scheme)
+{
+    switch (scheme) {
+      case EccScheme::hamming:
+        return "hamming";
+      case EccScheme::hsiao:
+        return "hsiao";
+      case EccScheme::bch2:
+        return "bch2";
+      case EccScheme::bch3:
+        return "bch3";
+      case EccScheme::bchLarge512:
+        return "bchLarge512";
+    }
+    fatal("unknown ECC scheme id ", unsigned(scheme));
+}
+
+EccScheme
+schemeFromName(const std::string &name)
+{
+    for (EccScheme scheme :
+         {EccScheme::hamming, EccScheme::hsiao, EccScheme::bch2,
+          EccScheme::bch3, EccScheme::bchLarge512}) {
+        if (name == schemeName(scheme))
+            return scheme;
+    }
+    fatal("unknown ECC scheme name \"", name, "\"");
+}
+
+namespace
+{
+
+/** ln C(n, k), exact enough for the budget ratio. */
+double
+logBinomial(unsigned n, unsigned k)
+{
+    double sum = 0.0;
+    for (unsigned i = 0; i < k; ++i)
+        sum += std::log(double(n - i)) - std::log(double(i + 1));
+    return sum;
+}
+
+/**
+ * Tolerated per-word correctable rate at uncorrectable budget u for a
+ * code of length n correcting t bits: n * (u / C(n, t+1))^(1/(t+1)).
+ */
+double
+toleratedRate(unsigned n, unsigned t, double u)
+{
+    const double log_tol =
+        (std::log(u) - logBinomial(n, t + 1)) / double(t + 1);
+    return double(n) * std::exp(log_tol);
+}
+
+} // namespace
+
+double
+correctableBudgetScale(const CodecTraits &traits,
+                       double target_uncorrectable)
+{
+    const CodecTraits baseline =
+        codecTraits(EccScheme::hamming, traits.dataBits);
+    // Same radius and length as the Hamming baseline (hamming itself,
+    // hsiao): identical tolerance — return exactly 1.0 so default-path
+    // behavior is bit-for-bit unchanged.
+    if (traits.correctableBits == baseline.correctableBits &&
+        traits.codewordBits == baseline.codewordBits)
+        return 1.0;
+    return toleratedRate(traits.codewordBits, traits.correctableBits,
+                         target_uncorrectable) /
+           toleratedRate(baseline.codewordBits, baseline.correctableBits,
+                         target_uncorrectable);
+}
+
+} // namespace vspec

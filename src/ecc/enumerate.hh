@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Combinatorial error-pattern enumeration for the codec correctness
+ * sweeps (tests/codec_enum_*.cc).
+ *
+ * The decode path is the only feedback channel the speculation
+ * controller has, so its contract — every <= t-bit pattern corrects to
+ * the right word, every (t+1)-bit pattern is at least detected, and
+ * *nothing* is ever silently miscorrected — is proven by exhaustively
+ * walking every k-subset of codeword bit positions (or a uniform
+ * sample of them where C(n, k) is astronomically large).
+ */
+
+#ifndef VSPEC_ECC_ENUMERATE_HH
+#define VSPEC_ECC_ENUMERATE_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace vspec
+{
+namespace enumerate
+{
+
+/**
+ * Visit every k-subset of {0, ..., n-1} in lexicographic order. The
+ * callback receives the current index vector (valid only during the
+ * call). k = 0 visits the empty pattern once.
+ */
+template <typename Fn>
+void
+forEachCombination(unsigned n, unsigned k, Fn &&fn)
+{
+    if (k > n)
+        return;
+    std::vector<unsigned> idx(k);
+    for (unsigned i = 0; i < k; ++i)
+        idx[i] = i;
+    while (true) {
+        fn(const_cast<const std::vector<unsigned> &>(idx));
+        // Advance: find the rightmost index that can still move up.
+        unsigned i = k;
+        while (i > 0 && idx[i - 1] == n - k + (i - 1))
+            --i;
+        if (i == 0)
+            return;
+        ++idx[i - 1];
+        for (unsigned j = i; j < k; ++j)
+            idx[j] = idx[j - 1] + 1;
+    }
+}
+
+/**
+ * Draw a uniform random k-subset of {0, ..., n-1} (partial
+ * Fisher–Yates over an index pool), sorted ascending.
+ */
+inline std::vector<unsigned>
+sampleCombination(Rng &rng, unsigned n, unsigned k)
+{
+    std::vector<unsigned> pool(n);
+    for (unsigned i = 0; i < n; ++i)
+        pool[i] = i;
+    std::vector<unsigned> out;
+    out.reserve(k);
+    for (unsigned i = 0; i < k; ++i) {
+        const unsigned j =
+            i + unsigned(rng.uniformInt(std::uint64_t(n - i)));
+        std::swap(pool[i], pool[j]);
+        out.push_back(pool[i]);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+/** Exact C(n, k) in 64 bits (callers keep n, k small). */
+inline std::uint64_t
+binomial(unsigned n, unsigned k)
+{
+    if (k > n)
+        return 0;
+    std::uint64_t result = 1;
+    for (unsigned i = 0; i < k; ++i) {
+        result *= n - i;
+        result /= i + 1;
+    }
+    return result;
+}
+
+} // namespace enumerate
+} // namespace vspec
+
+#endif // VSPEC_ECC_ENUMERATE_HH

@@ -1,0 +1,165 @@
+#include "ecc/hsiao.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace vspec
+{
+namespace
+{
+
+/** Number of r-bit columns with odd weight >= 3. */
+unsigned
+oddColumnCount(unsigned r)
+{
+    unsigned count = 0;
+    for (unsigned v = 0; v < (1u << r); ++v) {
+        const unsigned w = unsigned(std::popcount(v));
+        if (w >= 3 && (w & 1))
+            ++count;
+    }
+    return count;
+}
+
+} // namespace
+
+HsiaoCodec::HsiaoCodec(unsigned data_bits)
+{
+    if (data_bits == 0 || data_bits > 64)
+        fatal("Hsiao data width must be in [1, 64], got ", data_bits);
+
+    // Smallest r offering data_bits distinct odd-weight->=3 columns.
+    // Matches the Hamming shapes at the widths that matter: r=8 for 64
+    // data bits (C(8,3)=56 weight-3 + weight-5 columns) and r=7 for 32
+    // (35 weight-3 columns suffice).
+    unsigned r = 3;
+    while (oddColumnCount(r) < data_bits)
+        ++r;
+    numCheck = r;
+
+    traits_.scheme = EccScheme::hsiao;
+    traits_.name = "hsiao";
+    traits_.dataBits = data_bits;
+    traits_.checkBits = r;
+    traits_.codewordBits = r + data_bits;
+    traits_.correctableBits = 1;
+    traits_.detectableBits = 2;
+    // Single-level syndrome match; no parity arbitration step.
+    traits_.decodeLatencyCycles = 1;
+
+    // Assign columns lowest-weight-first (weight 3, then 5, ...), each
+    // weight class in increasing numeric order, to balance and minimize
+    // the parity trees per Hsiao's recipe.
+    columns.reserve(data_bits);
+    for (unsigned w = 3; w <= r && columns.size() < data_bits; w += 2) {
+        for (unsigned v = 0; v < (1u << r) && columns.size() < data_bits;
+             ++v) {
+            if (unsigned(std::popcount(v)) == w)
+                columns.push_back(v);
+        }
+    }
+    if (columns.size() != data_bits)
+        panic("Hsiao construction mismatch: ", columns.size(),
+              " columns for ", data_bits, " data bits");
+
+    columnToPosition.assign(1u << r, 0);
+    for (unsigned j = 0; j < r; ++j)
+        columnToPosition[1u << j] = j + 1;
+    for (unsigned i = 0; i < data_bits; ++i)
+        columnToPosition[columns[i]] = r + i + 1;
+}
+
+Codeword
+HsiaoCodec::encode(std::uint64_t data) const
+{
+    Codeword word;
+    for (unsigned i = 0; i < dataBits(); ++i)
+        word.setBit(numCheck + i, (data >> i) & 1);
+
+    for (unsigned j = 0; j < numCheck; ++j) {
+        bool parity = false;
+        for (unsigned i = 0; i < dataBits(); ++i) {
+            if ((columns[i] >> j) & 1)
+                parity ^= word.bit(numCheck + i);
+        }
+        word.setBit(j, parity);
+    }
+    return word;
+}
+
+unsigned
+HsiaoCodec::computeSyndrome(const Codeword &word) const
+{
+    // Syndrome = XOR of the columns of all set codeword positions.
+    unsigned syndrome = 0;
+    for (unsigned j = 0; j < numCheck; ++j) {
+        if (word.bit(j))
+            syndrome ^= 1u << j;
+    }
+    for (unsigned i = 0; i < dataBits(); ++i) {
+        if (word.bit(numCheck + i))
+            syndrome ^= columns[i];
+    }
+    return syndrome;
+}
+
+std::uint64_t
+HsiaoCodec::extractData(const Codeword &word) const
+{
+    std::uint64_t data = 0;
+    for (unsigned i = 0; i < dataBits(); ++i) {
+        if (word.bit(numCheck + i))
+            data |= std::uint64_t(1) << i;
+    }
+    return data;
+}
+
+DecodeResult
+HsiaoCodec::decode(const Codeword &word) const
+{
+    const unsigned syndrome = computeSyndrome(word);
+
+    DecodeResult result;
+    if (syndrome == 0) {
+        result.status = EccStatus::ok;
+        result.data = extractData(word);
+        return result;
+    }
+
+    // Every column is odd-weight, so an even-weight syndrome can only
+    // come from an even number of flips: uncorrectable by construction.
+    // An odd-weight syndrome matching a column is the single error at
+    // that column's position; an odd-weight non-column syndrome is a
+    // >= 3-bit error (never miscorrected).
+    const unsigned pos_plus_one = columnToPosition[syndrome];
+    if ((std::popcount(syndrome) & 1) && pos_plus_one != 0) {
+        Codeword fixed = word;
+        fixed.flipBit(pos_plus_one - 1);
+        result.status = EccStatus::correctedSingle;
+        result.correctedBit = pos_plus_one - 1;
+        result.correctedCount = 1;
+        result.data = extractData(fixed);
+        return result;
+    }
+
+    result.status = EccStatus::uncorrectable;
+    result.data = extractData(word);
+    return result;
+}
+
+const HsiaoCodec &
+hsiao72()
+{
+    static const HsiaoCodec codec(64);
+    return codec;
+}
+
+const HsiaoCodec &
+hsiao39()
+{
+    static const HsiaoCodec codec(32);
+    return codec;
+}
+
+} // namespace vspec

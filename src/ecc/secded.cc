@@ -1,46 +1,9 @@
 #include "ecc/secded.hh"
 
-#include <bit>
-
 #include "common/logging.hh"
 
 namespace vspec
 {
-
-bool
-Codeword::bit(unsigned idx) const
-{
-    if (idx >= 128)
-        panic("Codeword bit index out of range: ", idx);
-    return (words[idx >> 6] >> (idx & 63)) & 1;
-}
-
-void
-Codeword::setBit(unsigned idx, bool value)
-{
-    if (idx >= 128)
-        panic("Codeword bit index out of range: ", idx);
-    const std::uint64_t mask = std::uint64_t(1) << (idx & 63);
-    if (value)
-        words[idx >> 6] |= mask;
-    else
-        words[idx >> 6] &= ~mask;
-}
-
-void
-Codeword::flipBit(unsigned idx)
-{
-    if (idx >= 128)
-        panic("Codeword bit index out of range: ", idx);
-    words[idx >> 6] ^= std::uint64_t(1) << (idx & 63);
-}
-
-unsigned
-Codeword::popcount() const
-{
-    return std::popcount(words[0]) + std::popcount(words[1]);
-}
-
 namespace
 {
 
@@ -53,7 +16,6 @@ isPowerOfTwo(unsigned x)
 } // namespace
 
 SecdedCodec::SecdedCodec(unsigned data_bits)
-    : numDataBits(data_bits)
 {
     if (data_bits == 0 || data_bits > 64)
         fatal("SECDED data width must be in [1, 64], got ", data_bits);
@@ -66,8 +28,15 @@ SecdedCodec::SecdedCodec(unsigned data_bits)
     // Hamming positions run 1..(m + r); position 0 holds the overall
     // parity bit of the extended code.
     const unsigned hamming_len = data_bits + r;
-    numCheckBits = r + 1;
-    numTotalBits = hamming_len + 1;
+    traits_.scheme = EccScheme::hamming;
+    traits_.name = "hamming";
+    traits_.dataBits = data_bits;
+    traits_.checkBits = r + 1;
+    traits_.codewordBits = hamming_len + 1;
+    traits_.correctableBits = 1;
+    traits_.detectableBits = 2;
+    // Two-step resolve: syndrome decode, then overall-parity arbitration.
+    traits_.decodeLatencyCycles = 2;
 
     for (unsigned pos = 1; pos <= hamming_len; ++pos) {
         if (isPowerOfTwo(pos))
@@ -86,13 +55,13 @@ SecdedCodec::encode(std::uint64_t data) const
     Codeword word;
 
     // Place data bits at their Hamming positions.
-    for (unsigned i = 0; i < numDataBits; ++i)
+    for (unsigned i = 0; i < dataBits(); ++i)
         word.setBit(dataPositions[i], (data >> i) & 1);
 
     // Compute each Hamming check bit: parity over covered positions.
     for (unsigned check : checkPositions) {
         bool parity = false;
-        for (unsigned pos = 1; pos < numTotalBits; ++pos) {
+        for (unsigned pos = 1; pos < codewordBits(); ++pos) {
             if ((pos & check) && !isPowerOfTwo(pos))
                 parity ^= word.bit(pos);
         }
@@ -101,7 +70,7 @@ SecdedCodec::encode(std::uint64_t data) const
 
     // Overall parity over every other bit of the codeword.
     bool overall = false;
-    for (unsigned pos = 1; pos < numTotalBits; ++pos)
+    for (unsigned pos = 1; pos < codewordBits(); ++pos)
         overall ^= word.bit(pos);
     word.setBit(0, overall);
 
@@ -114,7 +83,7 @@ SecdedCodec::computeSyndrome(const Codeword &word) const
     unsigned syndrome = 0;
     for (unsigned check : checkPositions) {
         bool parity = false;
-        for (unsigned pos = 1; pos < numTotalBits; ++pos) {
+        for (unsigned pos = 1; pos < codewordBits(); ++pos) {
             if (pos & check)
                 parity ^= word.bit(pos);
         }
@@ -128,7 +97,7 @@ std::uint64_t
 SecdedCodec::extractData(const Codeword &word) const
 {
     std::uint64_t data = 0;
-    for (unsigned i = 0; i < numDataBits; ++i) {
+    for (unsigned i = 0; i < dataBits(); ++i) {
         if (word.bit(dataPositions[i]))
             data |= std::uint64_t(1) << i;
     }
@@ -141,7 +110,7 @@ SecdedCodec::decode(const Codeword &word) const
     const unsigned syndrome = computeSyndrome(word);
 
     bool overall = false;
-    for (unsigned pos = 0; pos < numTotalBits; ++pos)
+    for (unsigned pos = 0; pos < codewordBits(); ++pos)
         overall ^= word.bit(pos);
     const bool parity_error = overall;  // Even parity expected.
 
@@ -157,6 +126,7 @@ SecdedCodec::decode(const Codeword &word) const
         // The overall parity bit itself flipped; data is intact.
         result.status = EccStatus::correctedSingle;
         result.correctedBit = 0;
+        result.correctedCount = 1;
         result.data = extractData(word);
         return result;
     }
@@ -164,11 +134,12 @@ SecdedCodec::decode(const Codeword &word) const
     if (parity_error) {
         // Odd number of flipped bits with a nonzero syndrome: a single
         // error at the syndrome position (if it names a valid position).
-        if (syndrome < numTotalBits) {
+        if (syndrome < codewordBits()) {
             Codeword fixed = word;
             fixed.flipBit(syndrome);
             result.status = EccStatus::correctedSingle;
             result.correctedBit = syndrome;
+            result.correctedCount = 1;
             result.data = extractData(fixed);
             return result;
         }

@@ -13,72 +13,21 @@
  * power-of-two positions plus one overall-parity bit. For 64 data bits
  * this yields a (72, 64) code — 7 Hamming check bits + 1 parity — the
  * same ratio used by commodity ECC SRAM/DRAM. A (39, 32) variant covers
- * narrower structures (e.g. register files).
+ * narrower structures (e.g. register files). This is the EccScheme::
+ * hamming member of the codec zoo (see ecc/codec.hh) and the baseline
+ * every other scheme's budget scale is normalized against.
  */
 
 #ifndef VSPEC_ECC_SECDED_HH
 #define VSPEC_ECC_SECDED_HH
 
-#include <array>
 #include <cstdint>
 #include <vector>
 
+#include "ecc/codec.hh"
+
 namespace vspec
 {
-
-/**
- * A codeword of up to 128 bits, stored little-endian across two 64-bit
- * words. Bit index 0 is the overall-parity position.
- */
-class Codeword
-{
-  public:
-    Codeword() : words{0, 0} {}
-
-    bool bit(unsigned idx) const;
-    void setBit(unsigned idx, bool value);
-
-    /** Invert one bit — the fault-injection hook used by the SRAM model. */
-    void flipBit(unsigned idx);
-
-    /** Number of set bits. */
-    unsigned popcount() const;
-
-    bool operator==(const Codeword &other) const = default;
-
-    std::uint64_t word(unsigned i) const { return words.at(i); }
-
-    /** Rebuild from the two raw words (snapshot restore). */
-    static Codeword fromWords(std::uint64_t w0, std::uint64_t w1)
-    {
-        Codeword cw;
-        cw.words = {w0, w1};
-        return cw;
-    }
-
-  private:
-    std::array<std::uint64_t, 2> words;
-};
-
-/** Outcome of decoding one codeword. */
-enum class EccStatus
-{
-    /** Codeword clean; data returned as stored. */
-    ok,
-    /** Single-bit upset corrected; a correctable event fires. */
-    correctedSingle,
-    /** Double-bit (or worse) upset detected; data is not trustworthy. */
-    uncorrectable,
-};
-
-/** Decode result: status, recovered data, and the corrected position. */
-struct DecodeResult
-{
-    EccStatus status = EccStatus::ok;
-    std::uint64_t data = 0;
-    /** Codeword bit position corrected (valid iff correctedSingle). */
-    unsigned correctedBit = 0;
-};
 
 /**
  * SECDED codec for a configurable data width (up to 64 bits).
@@ -86,32 +35,16 @@ struct DecodeResult
  * The codec precomputes the data/check bit position maps at
  * construction so encode/decode are straight bit manipulation.
  */
-class SecdedCodec
+class SecdedCodec : public EccCodec
 {
   public:
     /** Build a codec for the given data width (1..64 bits). */
     explicit SecdedCodec(unsigned data_bits);
 
-    /** Encode a data word into a codeword. */
-    Codeword encode(std::uint64_t data) const;
-
-    /** Decode a (possibly corrupted) codeword. */
-    DecodeResult decode(const Codeword &word) const;
-
-    /** Number of data bits per codeword. */
-    unsigned dataBits() const { return numDataBits; }
-
-    /** Number of check bits, including the overall parity bit. */
-    unsigned checkBits() const { return numCheckBits; }
-
-    /** Total codeword length in bits. */
-    unsigned codewordBits() const { return numTotalBits; }
+    Codeword encode(std::uint64_t data) const override;
+    DecodeResult decode(const Codeword &word) const override;
 
   private:
-    unsigned numDataBits;
-    unsigned numCheckBits;  // Hamming check bits + 1 overall parity.
-    unsigned numTotalBits;
-
     /** Codeword position (1-based Hamming position) of each data bit. */
     std::vector<unsigned> dataPositions;
     /** Hamming positions of the check bits (powers of two). */

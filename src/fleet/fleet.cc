@@ -53,7 +53,24 @@ FleetNode::FleetNode(const FleetConfig &config, unsigned index)
 {
     ChipConfig chip_cfg = config.chip;
     chip_cfg.seed = mix64(config.seed, index);
+    if (!config.nodeSchemes.empty())
+        chip_cfg.eccScheme =
+            config.nodeSchemes[index % config.nodeSchemes.size()];
     chip_ = std::make_unique<Chip>(chip_cfg);
+
+    // Throughput cost of the node's protection tier: extra decode
+    // cycles relative to the Hamming baseline stretch every job's
+    // service time (Hsiao's shallower decode shrinks it slightly).
+    {
+        const unsigned data_bits = itanium9560::l2Data().eccDataBits;
+        const double lat = codecTraits(chip_cfg.eccScheme, data_bits)
+                               .decodeLatencyCycles;
+        const double base_lat =
+            codecTraits(EccScheme::hamming, data_bits)
+                .decodeLatencyCycles;
+        eccServiceFactor =
+            1.0 + (lat - base_lat) * config.eccLatencyServiceWeight;
+    }
 
     Calibrator::Config calibration;
     calibration.sampling = config.sampling;
@@ -124,6 +141,8 @@ FleetNode::placeJob(unsigned core, const Job &job)
         panic("FleetNode: placing on abandoned core ", core);
     slot.job = job;
     slot.remaining = job.serviceTime;
+    if (eccServiceFactor != 1.0)
+        slot.remaining *= eccServiceFactor;
     slot.energyMark = sim->coreEnergy(core).energy();
     chip_->core(core).setWorkload(
         benchmarks::suiteSequence(classTableEntry(job).suite,

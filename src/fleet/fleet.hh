@@ -63,6 +63,25 @@ struct FleetConfig
     /** Master seed for chip sampling (the job stream has its own). */
     std::uint64_t seed = 0xF1EE7ULL;
 
+    /**
+     * Heterogeneous protection tiers: when non-empty, chip i overrides
+     * the template's eccScheme with nodeSchemes[i % size]. Strong
+     * (multi-bit) codes on critical-serving nodes earn deeper floors;
+     * cheap SECDED stays on the error-tolerant batch pool. Empty (the
+     * default) keeps the fleet homogeneous on chip.eccScheme.
+     */
+    std::vector<EccScheme> nodeSchemes;
+
+    /**
+     * Service-time stretch per extra decode-latency cycle a codec
+     * costs relative to the Hamming baseline (fractional; feeds
+     * throughput accounting). A node running a tier with decode
+     * latency L serves each job in serviceTime * (1 + (L - L_hamming)
+     * * this). The Hamming factor is exactly 1.0 (baseline untouched);
+     * Hsiao's shallower decode lands slightly below 1, BCH above.
+     */
+    double eccLatencyServiceWeight = 0.004;
+
     /** Scheduling quantum (s): arrivals, placement, merges. */
     Seconds slice = 0.05;
     /** Simulator tick within a slice (s). */
@@ -199,6 +218,14 @@ class FleetNode
     std::vector<Job> requeued;
     FleetMetrics shard;
     EnergyAccount::Snapshot powerMark;
+
+    /**
+     * Per-job service-time multiplier of this node's codec tier
+     * (1 + extra decode cycles * eccLatencyServiceWeight); exactly
+     * 1.0 on the Hamming baseline, where placeJob skips the multiply
+     * so default arithmetic is untouched.
+     */
+    double eccServiceFactor = 1.0;
 };
 
 /** Fleet-wide results of a run. */

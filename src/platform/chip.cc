@@ -34,6 +34,7 @@ Chip::Chip(const ChipConfig &config)
         core_cfg.operatingPoint = cfg.operatingPoint;
         core_cfg.temperature = cfg.temperature;
         core_cfg.materializeZ = cfg.materializeZ;
+        core_cfg.eccScheme = cfg.eccScheme;
 
         Rng core_rng = chipRng.fork(0x1000 + i);
         cores_.push_back(
@@ -93,16 +94,45 @@ Chip::monitorFor(const CacheArray &array)
           "' is not an L2 array of this chip");
 }
 
+double
+Chip::extraEccCheckMbit() const
+{
+    // Check cells a non-baseline codec adds beyond Hamming SECDED,
+    // summed over one core's protected arrays. Zero for the default
+    // tier, so the calibrated baseline power is untouched.
+    if (cfg.eccScheme == EccScheme::hamming)
+        return 0.0;
+    const Core &c = *cores_.front();
+    double extra_bits = 0.0;
+    for (const CacheArray *array :
+         {&c.l2iArray(), &c.l2dArray(), &c.rfArray()}) {
+        const CacheGeometry &geo = array->geometry();
+        const unsigned base_check =
+            codecTraits(EccScheme::hamming, geo.eccDataBits).checkBits;
+        const unsigned check = array->codec().checkBits();
+        extra_bits += double(geo.numLines()) * geo.wordsPerLine() *
+                      (double(check) - double(base_check));
+    }
+    return extra_bits / 1e6;
+}
+
 Watt
 Chip::corePower(unsigned core_id, Seconds t) const
 {
     const Core &c = core(core_id);
     const VoltageDomain &dom = domains_.at(domainIndexOf(core_id));
     const WorkloadSample sample = c.workloadSampleAt(t);
-    return powerModel.corePower(dom.regulator().output(),
-                                cfg.operatingPoint.frequency,
-                                sample.activity.meanActivity,
-                                cfg.temperature);
+    Watt power = powerModel.corePower(dom.regulator().output(),
+                                     cfg.operatingPoint.frequency,
+                                     sample.activity.meanActivity,
+                                     cfg.temperature);
+    // Charge the stronger tiers' additional check-bit storage; skipped
+    // entirely at zero so the Hamming path stays byte-identical.
+    const double extra_mbit = extraEccCheckMbit();
+    if (extra_mbit != 0.0)
+        power += powerModel.eccCheckCellPower(extra_mbit,
+                                              dom.regulator().output());
+    return power;
 }
 
 Watt

@@ -39,6 +39,14 @@ struct ChipConfig
     PowerModel::Params power;
     VoltageRegulator::Params regulator;
     EccMonitor::Config monitor;
+    /**
+     * Protection tier of every core's ECC-protected arrays (the codec
+     * zoo scheme; see ecc/codec.hh). Stronger codes cost check-cell
+     * leakage (power model) and decode latency but earn the
+     * speculation controller a proportionally larger tolerated-
+     * correctable budget, i.e. deeper Vdd floors.
+     */
+    EccScheme eccScheme = EccScheme::hamming;
 };
 
 /** One core-pair power rail with its regulator and activity state. */
@@ -114,6 +122,11 @@ class Chip
     Watt totalPower(Seconds t) const;
     /** One core's power right now. */
     Watt corePower(unsigned core_id, Seconds t) const;
+    /**
+     * Check-bit SRAM this chip's codec tier carries per core beyond
+     * the Hamming SECDED baseline (Mbit; 0 for the default tier).
+     */
+    double extraEccCheckMbit() const;
 
     /**
      * Serialize every stateful chip component: the chip RNG, the PDN

@@ -18,6 +18,29 @@ armHardware(Chip &chip, ControlPolicy base_policy,
     setup.control = std::make_unique<VoltageControlSystem>();
     base_policy.maxVdd = chip.config().operatingPoint.nominalVdd;
 
+    // Codec-aware speculation floors: translate the chip tier's
+    // correction strength into a tolerated-correctable budget. A code
+    // correcting t > 1 bits per word sustains a far higher correctable
+    // rate at the same uncorrectable budget, so its control band —
+    // and the emergency ceiling guarding it — scale up together,
+    // letting the controller settle measurably deeper. The scale is
+    // exactly 1.0 for the Hamming/Hsiao tiers, leaving the baseline
+    // behavior bit-for-bit untouched.
+    const double budget_scale = correctableBudgetScale(codecTraits(
+        chip.config().eccScheme, itanium9560::l2Data().eccDataBits));
+    ControlPolicy domain_policy = base_policy;
+    double emergency_ceiling = -1.0;
+    if (budget_scale != 1.0) {
+        domain_policy.ceilingRate =
+            std::min(0.5, base_policy.ceilingRate * budget_scale);
+        domain_policy.floorRate =
+            std::min(domain_policy.ceilingRate * 0.5,
+                     base_policy.floorRate * budget_scale);
+        emergency_ceiling =
+            std::min(1.0, chip.config().monitor.emergencyCeiling *
+                              budget_scale);
+    }
+
     const Calibrator calibrator(calibration);
     Rng rng = chip.rng().fork(0xCA11B007ULL);
 
@@ -35,8 +58,10 @@ armHardware(Chip &chip, ControlPolicy base_policy,
 
         EccMonitor &monitor = chip.monitorFor(*target->array);
         monitor.activate(*target->array, target->set, target->way);
+        if (emergency_ceiling > 0.0)
+            monitor.setEmergencyCeiling(emergency_ceiling);
 
-        setup.control->addDomain(dom.regulator(), monitor, base_policy);
+        setup.control->addDomain(dom.regulator(), monitor, domain_policy);
         setup.targets.push_back(*target);
 
         inform("domain ", d, ": monitoring ", target->cacheName,

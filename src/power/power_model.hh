@@ -39,6 +39,15 @@ class PowerModel
         Celsius referenceTemp = 60.0;
         /** Fixed uncore power at nominal (W per chip). */
         Watt uncorePower = 12.0;
+        /**
+         * Leakage of ECC check-bit SRAM cells (W per Mbit at the
+         * nominal voltage, scaling linearly with V). Only the check
+         * cells a codec adds *beyond* the Hamming SECDED baseline are
+         * charged through this term — the baseline's check bits are
+         * already inside the calibrated core figures above, so the
+         * default tier sees exactly zero delta.
+         */
+        double eccCheckCellLeakWPerMbit = 0.2;
     };
 
     PowerModel();
@@ -56,6 +65,16 @@ class PowerModel
 
     /** Uncore power (fixed rail). */
     Watt uncorePower() const { return modelParams.uncorePower; }
+
+    /**
+     * Leakage of @p extra_mbit of codec check cells beyond the SECDED
+     * baseline at supply v (W). Zero for the baseline tiers.
+     */
+    Watt eccCheckCellPower(double extra_mbit, Millivolt v) const
+    {
+        return modelParams.eccCheckCellLeakWPerMbit * extra_mbit *
+               (v / modelParams.nominalMv);
+    }
 
     const Params &params() const { return modelParams; }
 

@@ -46,8 +46,13 @@ class SnapshotError : public std::runtime_error
 /** CRC-32 (IEEE 802.3 polynomial, reflected) of a byte range. */
 std::uint32_t crc32(const std::uint8_t *data, std::size_t n);
 
-/** Current snapshot container format version. */
-constexpr std::uint32_t snapshotFormatVersion = 1;
+/**
+ * Current snapshot container format version. Version 2 added the
+ * codec identity prefix (scheme id + word width) to every CacheArray
+ * payload; version-1 containers predate the codec zoo and are
+ * rejected rather than decoded against the wrong codec.
+ */
+constexpr std::uint32_t snapshotFormatVersion = 2;
 
 /**
  * Serializer: open a section, put values, close it, repeat; then

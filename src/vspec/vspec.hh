@@ -36,6 +36,10 @@
 #include "core/voltage_controller.hh"
 #include "cpu/core_model.hh"
 #include "cpu/operating_point.hh"
+#include "ecc/bch.hh"
+#include "ecc/codec.hh"
+#include "ecc/enumerate.hh"
+#include "ecc/hsiao.hh"
 #include "ecc/secded.hh"
 #include "fleet/fleet.hh"
 #include "fleet/fleet_metrics.hh"

@@ -279,5 +279,112 @@ TEST(Cache, InvalidateAllDropsResidency)
     EXPECT_FALSE(cache.probeTag(0x1000));
 }
 
+/**
+ * The LUT bucket convention (round-half-up): a voltage landing exactly
+ * on a bucket edge — an odd multiple of probQuantMv / 2 — maps to the
+ * upper bucket on BOTH sides of zero, and voltages epsilon either side
+ * of the edge land in adjacent buckets. Negative inputs matter: an
+ * aged cell population can push (v_eff - reference) offsets below
+ * zero, where llround's half-away-from-zero convention would disagree.
+ */
+TEST(CacheArray, ProbBucketIndexEdgeConvention)
+{
+    constexpr Millivolt q = CacheArray::probQuantMv;
+    ASSERT_DOUBLE_EQ(q, 0.25);
+
+    // Bucket centers map to themselves.
+    EXPECT_EQ(CacheArray::probBucketIndex(0.0), 0);
+    EXPECT_EQ(CacheArray::probBucketIndex(q), 1);
+    EXPECT_EQ(CacheArray::probBucketIndex(-q), -1);
+    EXPECT_EQ(CacheArray::probBucketIndex(600.0), 2400);
+
+    // Exact edges go UP, on both sides of zero.
+    EXPECT_EQ(CacheArray::probBucketIndex(0.125), 1);
+    EXPECT_EQ(CacheArray::probBucketIndex(-0.125), 0);
+    EXPECT_EQ(CacheArray::probBucketIndex(0.375), 2);
+    EXPECT_EQ(CacheArray::probBucketIndex(-0.375), -1);
+    EXPECT_EQ(CacheArray::probBucketIndex(600.125), 2401);
+    EXPECT_EQ(CacheArray::probBucketIndex(-600.125), -2400);
+
+    // Epsilon on each side of an edge lands in adjacent buckets.
+    EXPECT_EQ(CacheArray::probBucketIndex(0.125 - 1e-9), 0);
+    EXPECT_EQ(CacheArray::probBucketIndex(0.125 + 1e-9), 1);
+    EXPECT_EQ(CacheArray::probBucketIndex(-0.125 - 1e-9), -1);
+    EXPECT_EQ(CacheArray::probBucketIndex(-0.125 + 1e-9), 0);
+}
+
+/**
+ * Exact and quantized probability paths must agree on the bucket of
+ * the same v_eff: a voltage just below an edge and the center of its
+ * bucket produce identical quantized probabilities, while the far
+ * side of the edge may differ. This is the determinism the batched
+ * sampling mode's byte-identical replay rests on.
+ */
+TEST(CacheArray, QuantizedProbabilitiesShareBucketAcrossEdge)
+{
+    Rng rng(23);
+    CacheArray array(smallGeometry(), noisyDist(), 465.0, rng);
+    const WeakLineInfo weakest = array.weakestLine();
+    ASSERT_GT(weakest.weakCellCount, 0u);
+    array.writePattern(weakest.set, weakest.way, 0);
+
+    constexpr Millivolt q = CacheArray::probQuantMv;
+    const Millivolt center = 480.0;  // A bucket center (multiple of q).
+    const Millivolt edge = center + q / 2;
+
+    double pc_center, pu_center, pc_below, pu_below, pc_edge, pu_edge;
+    array.lineEventProbabilitiesQuantized(weakest.set, weakest.way,
+                                          center, pc_center, pu_center);
+    array.lineEventProbabilitiesQuantized(weakest.set, weakest.way,
+                                          edge - 1e-6, pc_below, pu_below);
+    array.lineEventProbabilitiesQuantized(weakest.set, weakest.way,
+                                          edge, pc_edge, pu_edge);
+
+    // Just-below-edge shares center's bucket bit-for-bit...
+    EXPECT_EQ(pc_below, pc_center);
+    EXPECT_EQ(pu_below, pu_center);
+    // ...and the exact edge belongs to the upper bucket (center + q).
+    double pc_up, pu_up;
+    array.lineEventProbabilitiesQuantized(weakest.set, weakest.way,
+                                          center + q, pc_up, pu_up);
+    EXPECT_EQ(pc_edge, pc_up);
+    EXPECT_EQ(pu_edge, pu_up);
+}
+
+/** A codec-aware array: BCH-2 geometry yields 79-bit codewords. */
+TEST(CacheArray, Bch2GeometryAndDecode)
+{
+    CacheGeometry geo = smallGeometry();
+    geo.eccScheme = EccScheme::bch2;
+    geo.validate();
+    EXPECT_EQ(geo.cellsPerLine(), geo.wordsPerLine() * 79u);
+
+    Rng rng(31);
+    CacheArray array(geo, quietDist(), 150.0, rng);
+    EXPECT_EQ(array.codec().traits().scheme, EccScheme::bch2);
+    EXPECT_EQ(array.codec().codewordBits(), 79u);
+
+    std::vector<std::uint64_t> words(geo.wordsPerLine());
+    for (std::size_t i = 0; i < words.size(); ++i)
+        words[i] = 0x0123456789ABCDEFULL * (i + 1);
+    array.writeLine(1, 1, words);
+
+    // Two flips in one codeword: fatal for SECDED, corrected by BCH-2.
+    array.flipStoredBit(1, 1, 5);
+    array.flipStoredBit(1, 1, 41);
+    Rng draw(32);
+    const LineReadResult read = array.readLine(1, 1, 800.0, draw);
+    EXPECT_FALSE(read.uncorrectable);
+    ASSERT_EQ(read.events.size(), 1u);
+    EXPECT_EQ(read.events[0].status, EccStatus::correctedSingle);
+    EXPECT_EQ(read.data, words);
+
+    // A third flip in the same codeword exceeds the radius.
+    array.flipStoredBit(1, 1, 63);
+    Rng draw2(33);
+    const LineReadResult read2 = array.readLine(1, 1, 800.0, draw2);
+    EXPECT_TRUE(read2.uncorrectable);
+}
+
 } // namespace
 } // namespace vspec

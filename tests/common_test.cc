@@ -5,7 +5,9 @@
  * accumulators.
  */
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -325,6 +327,80 @@ TEST(Stats, HistogramMerge)
     Histogram zero(0.0, 10.0, 10);
     a.merge(zero);
     EXPECT_EQ(a.totalCount(), 4u);
+}
+
+/**
+ * Merging an empty histogram is a no-op even when its geometry
+ * differs: fleet shards carry default-shaped empties for streams that
+ * never recorded, and folding one in must neither panic nor perturb
+ * the accumulating histogram's bounds or counts.
+ */
+TEST(Stats, HistogramMergeEmptyIntoNonemptyIsNoOp)
+{
+    Histogram a(0.0, 10.0, 10);
+    a.add(3.5);
+    a.add(7.5);
+
+    Histogram other_shape(0.0, 1.0, 4);  // Empty, different geometry.
+    a.merge(other_shape);
+    EXPECT_EQ(a.totalCount(), 2u);
+    EXPECT_EQ(a.binCount(3), 1u);
+    EXPECT_EQ(a.binCount(7), 1u);
+    EXPECT_EQ(a.quantile(0.0), 3.5);
+    EXPECT_EQ(a.quantile(1.0), 7.5);
+
+    // A nonempty geometry mismatch is still an error, not a merge.
+    Histogram populated(0.0, 1.0, 4);
+    populated.add(0.5);
+    EXPECT_DEATH(a.merge(populated), "geometry");
+}
+
+/** Single-bucket histogram: every quantile names the one bin center. */
+TEST(Stats, HistogramQuantileSingleBucket)
+{
+    Histogram h(0.0, 1.0, 1);
+    h.add(0.25);
+    h.add(0.75);
+    h.add(100.0);  // Clamped into the only bin.
+    for (double q : {0.0, 0.25, 0.5, 0.99, 1.0})
+        EXPECT_EQ(h.quantile(q), 0.5) << "q = " << q;
+}
+
+/**
+ * Brute-force reference: for samples placed at bin centers, the
+ * histogram quantile must equal the exact sorted-sample quantile
+ * (ceil-rank convention) at every q, including both endpoints.
+ */
+TEST(Stats, HistogramQuantileMatchesSortedSampleReference)
+{
+    Rng rng(0x9A17);
+    Histogram h(0.0, 16.0, 32);
+    const double half_bin = 0.25;
+    std::vector<double> samples;
+    for (int i = 0; i < 500; ++i) {
+        // Snap each sample to its bin center so binning is lossless
+        // and the reference comparison is exact, not approximate.
+        const std::size_t bin = std::size_t(rng.uniformInt(32));
+        const double x = double(bin) * 0.5 + half_bin;
+        samples.push_back(x);
+        h.add(x);
+    }
+    std::sort(samples.begin(), samples.end());
+
+    for (double q : {0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+        double expected;
+        if (q <= 0.0) {
+            expected = samples.front();
+        } else if (q >= 1.0) {
+            expected = samples.back();
+        } else {
+            // Smallest index with (index+1)/N >= q.
+            const std::size_t rank = std::size_t(
+                std::ceil(q * double(samples.size())) - 1);
+            expected = samples[rank];
+        }
+        EXPECT_EQ(h.quantile(q), expected) << "q = " << q;
+    }
 }
 
 } // namespace

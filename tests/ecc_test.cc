@@ -165,5 +165,71 @@ TEST(SecdedCodec, ParityBitOnlyFlip)
     EXPECT_EQ(out.correctedBit, 0u);
 }
 
+/**
+ * Bit indices at or past the 128-bit storage must fail loudly, never
+ * wrap onto word 0 and corrupt the wrong bit. 127 is the last legal
+ * index; 128 and a would-have-wrapped 128+5 must abort on every
+ * accessor, read or write.
+ */
+TEST(CodewordDeathTest, IndexAtOrPast128Panics)
+{
+    Codeword w;
+    w.setBit(127, true);
+    EXPECT_TRUE(w.bit(127));
+    EXPECT_DEATH((void)w.bit(128), "Codeword");
+    EXPECT_DEATH(w.setBit(128, true), "Codeword");
+    EXPECT_DEATH(w.flipBit(128), "Codeword");
+    EXPECT_DEATH(w.flipBit(133), "Codeword");
+    EXPECT_DEATH((void)w.bit(~0u), "Codeword");
+}
+
+/**
+ * fitsWidth must be exact at every boundary its callers (snapshot
+ * restore) can hit, including the shift-UB traps at widths 0, 64 and
+ * 128 where a naive (1 << width) mask computation is undefined.
+ */
+TEST(Codeword, FitsWidthBoundaries)
+{
+    Codeword empty;
+    EXPECT_TRUE(empty.fitsWidth(0));
+    EXPECT_TRUE(empty.fitsWidth(64));
+    EXPECT_TRUE(empty.fitsWidth(128));
+
+    Codeword bit0;
+    bit0.setBit(0, true);
+    EXPECT_FALSE(bit0.fitsWidth(0));
+    EXPECT_TRUE(bit0.fitsWidth(1));
+
+    Codeword bit63;
+    bit63.setBit(63, true);
+    EXPECT_FALSE(bit63.fitsWidth(63));
+    EXPECT_TRUE(bit63.fitsWidth(64));
+
+    Codeword bit64;
+    bit64.setBit(64, true);
+    EXPECT_FALSE(bit64.fitsWidth(64));
+    EXPECT_TRUE(bit64.fitsWidth(65));
+
+    Codeword bit71;
+    bit71.setBit(71, true);
+    EXPECT_FALSE(bit71.fitsWidth(71));
+    EXPECT_TRUE(bit71.fitsWidth(72));
+
+    Codeword bit127;
+    bit127.setBit(127, true);
+    EXPECT_FALSE(bit127.fitsWidth(127));
+    EXPECT_TRUE(bit127.fitsWidth(128));
+}
+
+TEST(Codeword, FromWordsRoundTrip)
+{
+    const Codeword w =
+        Codeword::fromWords(0xDEADBEEFCAFEF00DULL, 0xFFULL);
+    EXPECT_EQ(w.word(0), 0xDEADBEEFCAFEF00DULL);
+    EXPECT_EQ(w.word(1), 0xFFULL);
+    EXPECT_TRUE(w.fitsWidth(72));
+    EXPECT_FALSE(w.fitsWidth(71));
+}
+
 } // namespace
 } // namespace vspec

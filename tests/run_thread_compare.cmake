@@ -1,0 +1,37 @@
+# Run a bench binary at several worker-thread counts and byte-compare
+# the outputs against each other. Invoked by thread-identity CTest
+# entries:
+#
+#   cmake -DBENCH=<binary> -DARGS=<base args> -DTHREADS=1;4;8
+#         -DOUT=<prefix> -P run_thread_compare.cmake
+#
+# Unlike run_golden_compare.cmake there is no committed reference: the
+# invariant proven here is that the document is a pure function of the
+# configuration, not of the worker count that computed it.
+
+separate_arguments(args_list UNIX_COMMAND "${ARGS}")
+
+set(reference "")
+foreach(nthreads ${THREADS})
+    set(out ${OUT}.threads${nthreads})
+    execute_process(
+        COMMAND ${BENCH} ${args_list} --threads ${nthreads}
+        OUTPUT_FILE ${out}
+        RESULT_VARIABLE run_rc)
+    if(NOT run_rc EQUAL 0)
+        message(FATAL_ERROR
+            "${BENCH} ${ARGS} --threads ${nthreads} exited with ${run_rc}")
+    endif()
+    if(reference STREQUAL "")
+        set(reference ${out})
+        continue()
+    endif()
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} -E compare_files ${out} ${reference}
+        RESULT_VARIABLE diff_rc)
+    if(NOT diff_rc EQUAL 0)
+        message(FATAL_ERROR
+            "output of ${BENCH} ${ARGS} differs between --threads "
+            "${nthreads} and the reference (${reference} vs ${out})")
+    endif()
+endforeach()

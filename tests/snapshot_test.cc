@@ -11,7 +11,10 @@
 
 #include <cstdio>
 #include <memory>
+#include <utility>
 
+#include "cache/cache_array.hh"
+#include "cache/geometry.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "fleet/fleet.hh"
@@ -461,6 +464,178 @@ TEST(FleetSnapshot, SnapshotBeforeRunIsRefused)
     Fleet fleet(cfg);
     StateWriter w;
     EXPECT_DEATH((void)fleet.snapshot(w), "nodes");
+}
+
+// ---------------------------------------------------------------------
+// Codec identity guard: stored codewords only mean something to the
+// codec that produced them.
+
+CacheGeometry
+codecTestGeometry(EccScheme scheme)
+{
+    CacheGeometry g;
+    g.name = "codec-guard";
+    g.sizeBytes = 32 * 1024;
+    g.associativity = 4;
+    g.lineBytes = 128;
+    g.cellClass = CellClass::denseL2;
+    g.eccScheme = scheme;
+    g.validate();
+    return g;
+}
+
+VcDistribution
+codecTestDist()
+{
+    VcDistribution d;
+    d.mean = 300.0;
+    d.sigmaRandom = 55.0;
+    d.sigmaDynamic = 10.0;
+    return d;
+}
+
+TEST(CodecSnapshot, SameTierRoundTripsExactly)
+{
+    Rng rng(0x7E57);
+    CacheArray a(codecTestGeometry(EccScheme::bch2), codecTestDist(),
+                 465.0, rng);
+    a.writePattern(3, 1, 0xA5A5A5A5A5A5A5A5ULL);
+    a.deconfigureLine(5, 0);
+
+    StateWriter w;
+    w.beginSection("array");
+    a.saveState(w);
+    w.endSection();
+
+    Rng rng2(0x7E57);
+    CacheArray b(codecTestGeometry(EccScheme::bch2), codecTestDist(),
+                 465.0, rng2);
+    StateReader r(w.finish());
+    r.beginSection("array");
+    b.loadState(r);
+    r.endSection();
+    EXPECT_TRUE(b.isDeconfigured(5, 0));
+    Rng draw(1);
+    const LineReadResult read = b.readLine(3, 1, 800.0, draw);
+    for (std::uint64_t word : read.data)
+        EXPECT_EQ(word, 0xA5A5A5A5A5A5A5A5ULL);
+}
+
+/**
+ * A tier-A snapshot must refuse to land in a tier-B array: the stored
+ * codewords would decode as garbage under the other codec. Both
+ * directions, and also across same-shape SECDED variants (hamming and
+ * hsiao share (72, 64) but scramble each other's check equations).
+ */
+TEST(CodecSnapshot, CrossTierRestoreIsRefused)
+{
+    const std::pair<EccScheme, EccScheme> pairs[] = {
+        {EccScheme::hamming, EccScheme::bch2},
+        {EccScheme::bch2, EccScheme::hamming},
+        {EccScheme::hamming, EccScheme::hsiao},
+        {EccScheme::bch3, EccScheme::bch2},
+    };
+    for (const auto &[from, to] : pairs) {
+        Rng rng(0x7E58);
+        CacheArray a(codecTestGeometry(from), codecTestDist(), 465.0,
+                     rng);
+        StateWriter w;
+        w.beginSection("array");
+        a.saveState(w);
+        w.endSection();
+
+        Rng rng2(0x7E58);
+        CacheArray b(codecTestGeometry(to), codecTestDist(), 465.0,
+                     rng2);
+        StateReader r(w.finish());
+        r.beginSection("array");
+        EXPECT_THROW(b.loadState(r), SnapshotError)
+            << schemeName(from) << " -> " << schemeName(to);
+    }
+}
+
+/**
+ * A codeword run carrying bits at or beyond codewordBits() is rejected
+ * even when the codec identity matches — defense in depth against a
+ * snapshot assembled by a newer/wider writer. The section is built
+ * by hand: real SRAM state, then one run whose second word sets bit
+ * 72 of a 72-bit hamming codeword.
+ */
+TEST(CodecSnapshot, StrayBitsBeyondCodewordAreRefused)
+{
+    const CacheGeometry geo = codecTestGeometry(EccScheme::hamming);
+    Rng rng(0x7E59);
+    CacheArray a(geo, codecTestDist(), 465.0, rng);
+    const std::uint64_t store_words =
+        std::uint64_t(geo.numLines()) * geo.wordsPerLine();
+
+    StateWriter w;
+    w.beginSection("array");
+    w.putU8(std::uint8_t(EccScheme::hamming));
+    w.putU8(std::uint8_t(geo.eccDataBits));
+    a.sram().saveState(w);
+    w.putU64(store_words);
+    // One run filling the store; word1 bit 8 is codeword bit 72.
+    w.putU64Vector({store_words, 0, std::uint64_t(1) << 8});
+    w.putU64(geo.numLines());
+    w.putU64Vector({});
+    w.endSection();
+
+    Rng rng2(0x7E59);
+    CacheArray b(geo, codecTestDist(), 465.0, rng2);
+    StateReader r(w.finish());
+    r.beginSection("array");
+    EXPECT_THROW(b.loadState(r), SnapshotError);
+
+    // The same container with the stray bit cleared is accepted — the
+    // rejection above is the width check, not a framing accident.
+    StateWriter w2;
+    w2.beginSection("array");
+    w2.putU8(std::uint8_t(EccScheme::hamming));
+    w2.putU8(std::uint8_t(geo.eccDataBits));
+    a.sram().saveState(w2);
+    w2.putU64(store_words);
+    w2.putU64Vector({store_words, 0, std::uint64_t(0xFF)});
+    w2.putU64(geo.numLines());
+    w2.putU64Vector({});
+    w2.endSection();
+    Rng rng3(0x7E59);
+    CacheArray c(geo, codecTestDist(), 465.0, rng3);
+    StateReader r2(w2.finish());
+    r2.beginSection("array");
+    c.loadState(r2);
+    r2.endSection();
+}
+
+/**
+ * The guard holds at chip scale: a simulation armed on a BCH-2 chip
+ * cannot absorb a hamming chip's snapshot, even with identical seeds
+ * and shapes everywhere else.
+ */
+TEST(CodecSnapshot, ChipTierMismatchIsRefused)
+{
+    ChipConfig cfg_a;
+    cfg_a.seed = 42;
+    Chip chip_a(cfg_a);
+    auto setup_a = harness::armHardware(chip_a);
+    harness::assignSuite(chip_a, Suite::coreMark, 5.0);
+    Simulator sim_a(chip_a, 0.005);
+    sim_a.attachControlSystem(setup_a.control.get());
+    sim_a.runTicks(10);
+    StateWriter w;
+    sim_a.snapshot(w);
+    const auto bytes = w.finish();
+
+    ChipConfig cfg_b;
+    cfg_b.seed = 42;
+    cfg_b.eccScheme = EccScheme::bch2;
+    Chip chip_b(cfg_b);
+    auto setup_b = harness::armHardware(chip_b);
+    harness::assignSuite(chip_b, Suite::coreMark, 5.0);
+    Simulator sim_b(chip_b, 0.005);
+    sim_b.attachControlSystem(setup_b.control.get());
+    StateReader r(bytes);
+    EXPECT_THROW(sim_b.restore(r), SnapshotError);
 }
 
 } // namespace
