@@ -160,6 +160,18 @@ parseJson(int argc, char **argv)
     return false;
 }
 
+/** True when the bare flag "--name" is present. */
+inline bool
+parseBoolFlag(int argc, char **argv, const std::string &name)
+{
+    const std::string flag = "--" + name;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == flag)
+            return true;
+    }
+    return false;
+}
+
 /**
  * Minimal JSON document builder for the bench binaries: explicit
  * object/array nesting with automatic comma placement and string

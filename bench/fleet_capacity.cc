@@ -30,12 +30,31 @@
  *                              results for the interrupted policy
  *   --resume FILE              reload completed policies and the
  *                              in-flight fleet, run to completion
+ *
+ * Datacenter scale (the hot SoA path, see fleet/shard.hh):
+ *   --chips N         run the sharded scale fleet with N chips instead
+ *                     of the 4-chip full-simulation row. Same policy
+ *                     sweep, same deterministic guarantee (the report
+ *                     is byte-identical for every --threads value);
+ *                     traffic comes from the diurnal + flash-crowd +
+ *                     closed-loop TrafficGenerator over a multi-million
+ *                     user population. Checkpoint flags do not apply.
+ *   --latency-exact   arm the exact-histogram validation mode in every
+ *                     metrics shard and assert that the sketch p50/p99
+ *                     agree with the exact-histogram quantiles within
+ *                     the documented quantization bounds.
+ *   --perf FILE       write wall-clock throughput (chip-slices/s) as
+ *                     JSON to FILE. Perf numbers are non-deterministic,
+ *                     so they never go to the byte-compared stdout.
  */
 
+#include <chrono>
 #include <cmath>
+#include <fstream>
 #include <optional>
 
 #include "bench_util.hh"
+#include "fleet/shard.hh"
 
 using namespace vspec;
 using namespace vspec_bench;
@@ -166,6 +185,216 @@ writeCheckpoint(const std::string &path, SamplingMode sampling,
     w.writeFile(path);
 }
 
+/**
+ * Scale-fleet configuration: every rate scales linearly with the chip
+ * count, so the per-chip operating point (utilization ~35%, a governor
+ * budget ~10% under the nominal fleet draw) is the same at 1k and 100k
+ * chips and policy comparisons stay meaningful across sizes.
+ */
+ScaleFleetConfig
+scaleConfig(unsigned chips, Seconds duration, SchedulerPolicy policy,
+            bool latency_exact)
+{
+    ScaleFleetConfig cfg;
+    cfg.numChips = chips;
+    cfg.seed = evalSeed;
+    cfg.policy = policy;
+    cfg.slice = 0.1;
+    cfg.horizon = duration;
+    cfg.exactLatencyValidation = latency_exact;
+
+    // ~1.85 open-loop + ~0.15 closed-loop jobs/s per chip against 8
+    // cores at 1.4 s mean service: ~35% utilization before the diurnal
+    // swing and flash crowds push on it. The stream opens after a 5 s
+    // warmup so placement sees settled (earned) rails.
+    cfg.traffic.baseArrivalsPerSecond = 1.85 * double(chips);
+    cfg.traffic.users = std::uint64_t(chips) * 20;
+    cfg.traffic.hotSessionFraction = 0.1;
+    cfg.traffic.hotSessions = std::max<std::uint64_t>(64, chips / 2);
+    cfg.traffic.diurnalAmplitude = 0.25;
+    cfg.traffic.diurnalPeriod = 20.0;
+    cfg.traffic.flashesPerHour = 240.0;
+    cfg.traffic.flashMagnitude = 1.5;
+    cfg.traffic.flashDecayTau = 5.0;
+    cfg.traffic.closedUsers = 0.3 * double(chips);
+    cfg.traffic.thinkTime = 2.0;
+    cfg.traffic.firstArrival = 5.0;
+    cfg.traffic.seed = 0xCAFE;
+
+    // Budget under the ~10.6 W/chip nominal draw, so the governor has
+    // demand to arbitrate at every size.
+    cfg.governor.fleetBudget = 9.5 * double(chips);
+    cfg.governor.interval = 0.5;
+    cfg.governor.minChipCap = 2.0;
+    return cfg;
+}
+
+/**
+ * Sketch-vs-exact quantile agreement: both estimators name the bin of
+ * the same ceil(q*n)-th order statistic v, the sketch within
+ * relativeErrorBound()*v (log bins) and the histogram within half a
+ * linear bin (0.05 s at the 0.1 s default). Returns false (and
+ * complains on stderr) when the difference exceeds the two bounds.
+ */
+bool
+checkSketchAgainstExact(const FleetMetrics &merged, double q,
+                        const char *policy)
+{
+    const Seconds sketch_q = merged.latencyQuantile(q);
+    const Seconds exact_q = merged.exactLatencyQuantile(q);
+    const Histogram &hist = merged.latencyHistogram();
+    const Seconds half_bin = 0.5 * (hist.binHigh(0) - hist.binLow(0));
+    if (exact_q + half_bin >= hist.binHigh(hist.numBins() - 1))
+        return true; // exact estimate saturated its range cap
+    const double bound =
+        merged.latencySketch().relativeErrorBound() *
+            (exact_q + half_bin) +
+        half_bin;
+    if (std::abs(sketch_q - exact_q) <= bound)
+        return true;
+    std::fprintf(stderr,
+                 "latency validation failed (%s): sketch p%.0f "
+                 "%.6f s vs exact %.6f s exceeds bound %.6f s\n",
+                 policy, 100.0 * q, sketch_q, exact_q, bound);
+    return false;
+}
+
+int
+runScale(unsigned chips, Seconds duration, unsigned threads, bool json,
+         bool latency_exact, const std::string &perf_path)
+{
+    ExperimentPool pool(threads);
+    std::vector<PolicyResult> results;
+    std::uint64_t total_slices = 0;
+    const auto wall_start = std::chrono::steady_clock::now();
+
+    if (!json) {
+        banner("Fleet capacity (scale)",
+               "sharded SoA fleet, shared power cap, one run per "
+               "policy");
+        std::printf("%u chips, duration %.0f s (first 5 s warmup), "
+                    "%.0f jobs/s open-loop, %.0f kW budget\n\n",
+                    chips, duration, 1.85 * double(chips),
+                    9.5 * double(chips) / 1000.0);
+        std::printf("%-14s %10s %9s %9s %9s %10s %10s %7s\n", "policy",
+                    "completed", "p50 (s)", "p99 (s)", "SLA-miss",
+                    "energy/job", "mean kW", "thrott");
+    }
+
+    for (SchedulerPolicy policy : policyOrder()) {
+        ShardedFleet fleet(
+            scaleConfig(chips, duration, policy, latency_exact));
+        fleet.run(duration, pool);
+        total_slices +=
+            std::uint64_t(std::llround(duration / 0.1)) * chips;
+        if (latency_exact) {
+            const FleetMetrics merged = fleet.mergedMetrics();
+            if (!checkSketchAgainstExact(merged, 0.50,
+                                         policyName(policy)) ||
+                !checkSketchAgainstExact(merged, 0.99,
+                                         policyName(policy)))
+                return 1;
+        }
+        results.push_back({policy, fleet.report()});
+        if (!json) {
+            const FleetReport &r = results.back().report;
+            std::printf("%-14s %10llu %9.3f %9.3f %9llu %9.2fJ "
+                        "%10.1f %7llu\n",
+                        policyName(policy),
+                        (unsigned long long)r.completed, r.p50Latency,
+                        r.p99Latency,
+                        (unsigned long long)r.slaViolations,
+                        r.energyPerJob, r.meanFleetPower / 1000.0,
+                        (unsigned long long)r.throttleEpisodes);
+        }
+    }
+
+    const double wall_sec =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+
+    if (json) {
+        JsonWriter doc;
+        doc.beginObject();
+        doc.key("artifact").value("fleet_capacity");
+        doc.key("mode").value("scale");
+        doc.key("numChips").value(std::uint64_t(chips));
+        doc.key("durationSec").value(duration);
+        doc.key("fleetBudgetWatts").value(9.5 * double(chips));
+        doc.key("policies").beginArray();
+        for (const PolicyResult &res : results) {
+            const FleetReport &r = res.report;
+            doc.beginObject();
+            doc.key("policy").value(policyName(res.policy));
+            doc.key("submitted").value(r.submitted);
+            doc.key("completed").value(r.completed);
+            doc.key("completedCritical").value(r.completedCritical);
+            doc.key("pendingAtEnd").value(r.pendingAtEnd);
+            doc.key("slaViolations").value(r.slaViolations);
+            doc.key("throughputPerSec").value(r.throughputPerSec);
+            doc.key("meanLatencySec").value(r.meanLatency);
+            doc.key("p50LatencySec").value(r.p50Latency);
+            doc.key("p99LatencySec").value(r.p99Latency);
+            doc.key("fleetEnergyJoules").value(r.fleetEnergy);
+            doc.key("energyPerJobJoules").value(r.energyPerJob);
+            doc.key("meanFleetPowerWatts").value(r.meanFleetPower);
+            doc.key("availability").value(r.availability);
+            doc.key("recoveries").value(r.recoveries);
+            doc.key("throttleEpisodes").value(r.throttleEpisodes);
+            doc.endObject();
+        }
+        doc.endArray();
+        doc.endObject();
+        doc.print();
+    }
+
+    if (!perf_path.empty()) {
+        // Reference measurement: the cold (full-simulation) fleet's
+        // chip-slice throughput on this same machine. Absolute wall
+        // times are runner-dependent; the hot/cold throughput ratio is
+        // a ratio of two measurements on the same hardware, so it is
+        // the number the CI perf gate can hold to a threshold.
+        const Seconds cold_duration = 4.0;
+        const auto cold_start = std::chrono::steady_clock::now();
+        FleetConfig cold_cfg =
+            capacityConfig(SchedulerPolicy::roundRobin);
+        Fleet cold_fleet(cold_cfg);
+        cold_fleet.run(cold_duration, pool);
+        const double cold_wall =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - cold_start)
+                .count();
+        const double cold_slices =
+            double(cold_cfg.numChips) * (cold_duration / cold_cfg.slice);
+        const double cold_rate =
+            cold_wall > 0.0 ? cold_slices / cold_wall : 0.0;
+        const double hot_rate =
+            wall_sec > 0.0 ? double(total_slices) / wall_sec : 0.0;
+
+        JsonWriter perf;
+        perf.beginObject();
+        perf.key("artifact").value("fleet_capacity_scale_perf");
+        perf.key("numChips").value(std::uint64_t(chips));
+        perf.key("durationSec").value(duration);
+        perf.key("policies").value(std::uint64_t(results.size()));
+        perf.key("wallSec").value(wall_sec);
+        perf.key("chipSlicesPerSec").value(hot_rate);
+        perf.key("coldChipSlicesPerSec").value(cold_rate);
+        perf.key("hotVsColdSpeedup")
+            .value(cold_rate > 0.0 ? hot_rate / cold_rate : 0.0);
+        perf.endObject();
+        std::ofstream out(perf_path);
+        out << perf.str() << "\n";
+        if (!out) {
+            std::fprintf(stderr, "cannot write perf file '%s'\n",
+                         perf_path.c_str());
+            return 1;
+        }
+    }
+    return 0;
+}
+
 void
 printPolicyRow(SchedulerPolicy policy, const FleetReport &r)
 {
@@ -199,6 +428,20 @@ main(int argc, char **argv)
         std::fprintf(stderr, "--halt-at/--checkpoint-every require "
                              "--checkpoint FILE\n");
         return 2;
+    }
+
+    const double chips_arg = parseDoubleArg(argc, argv, "chips", 0.0);
+    if (chips_arg > 0.0) {
+        if (!snap_path.empty() || !resume_path.empty()) {
+            std::fprintf(stderr, "--chips (scale mode) does not take "
+                                 "checkpoint/resume flags; snapshotting "
+                                 "the sharded fleet is a library-level "
+                                 "operation\n");
+            return 2;
+        }
+        return runScale(unsigned(chips_arg), duration, threads, json,
+                        parseBoolFlag(argc, argv, "latency-exact"),
+                        parseStringArg(argc, argv, "perf", ""));
     }
 
     ExperimentPool pool(threads);

@@ -1,0 +1,155 @@
+#include "common/quantile_sketch.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "snapshot/state_io.hh"
+
+namespace vspec
+{
+
+QuantileSketch::QuantileSketch() : QuantileSketch(Geometry()) {}
+
+QuantileSketch::QuantileSketch(const Geometry &geometry) : geo(geometry)
+{
+    if (geo.minValue <= 0.0)
+        panic("QuantileSketch needs a positive minValue, got ",
+              geo.minValue);
+    if (geo.decades == 0 || geo.binsPerDecade == 0)
+        panic("QuantileSketch needs at least one decade and one bin "
+              "per decade");
+    invLogWidth = double(geo.binsPerDecade) / std::log(10.0);
+    counts.assign(std::size_t(geo.decades) * geo.binsPerDecade + 2, 0);
+}
+
+void
+QuantileSketch::add(double x)
+{
+    std::size_t idx;
+    const std::size_t regular = counts.size() - 2;
+    if (!(x >= geo.minValue)) {
+        // Below range (or non-positive / NaN): underflow bin.
+        idx = 0;
+    } else {
+        const double pos = std::log(x / geo.minValue) * invLogWidth;
+        if (pos >= double(regular)) {
+            idx = counts.size() - 1; // overflow
+        } else {
+            idx = 1 + std::size_t(pos);
+            idx = std::min(idx, regular); // guard FP edge at the top
+        }
+    }
+    ++counts[idx];
+    ++total;
+}
+
+void
+QuantileSketch::merge(const QuantileSketch &other)
+{
+    // An empty sketch folds in as a no-op regardless of geometry:
+    // shard maps routinely hold default-shaped empties for streams
+    // that never recorded a sample.
+    if (other.total == 0)
+        return;
+    if (!(other.geo == geo)) {
+        panic("QuantileSketch::merge requires identical geometry, got "
+              "min ",
+              geo.minValue, " x", geo.decades, " decades x",
+              geo.binsPerDecade, " vs min ", other.geo.minValue, " x",
+              other.geo.decades, " decades x", other.geo.binsPerDecade);
+    }
+    for (std::size_t i = 0; i < counts.size(); ++i)
+        counts[i] += other.counts[i];
+    total += other.total;
+}
+
+void
+QuantileSketch::reset()
+{
+    std::fill(counts.begin(), counts.end(), 0);
+    total = 0;
+}
+
+double
+QuantileSketch::maxValue() const
+{
+    return geo.minValue * std::pow(10.0, double(geo.decades));
+}
+
+double
+QuantileSketch::relativeErrorBound() const
+{
+    const double ratio = std::pow(10.0, 1.0 / double(geo.binsPerDecade));
+    return std::sqrt(ratio) - 1.0;
+}
+
+double
+QuantileSketch::binValue(std::size_t idx) const
+{
+    if (idx == 0)
+        return geo.minValue;
+    if (idx == counts.size() - 1)
+        return maxValue();
+    // Geometric centre of regular bin idx: minValue * r^(idx-1+0.5).
+    return geo.minValue *
+           std::pow(10.0, (double(idx - 1) + 0.5) /
+                              double(geo.binsPerDecade));
+}
+
+double
+QuantileSketch::quantile(double q) const
+{
+    if (total == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Same ceil-rank convention as Histogram::quantile: q = 1 names the
+    // highest populated bin via a top-down scan (never falls off the
+    // cumulative walk on accumulation round-off).
+    if (q >= 1.0) {
+        for (std::size_t i = counts.size(); i-- > 0;) {
+            if (counts[i] > 0)
+                return binValue(i);
+        }
+        return maxValue();
+    }
+    const double target = q * double(total);
+    double cum = 0.0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        cum += double(counts[i]);
+        // Require a populated bin: with q == 0 the target is 0 and an
+        // empty leading bin would otherwise satisfy cum >= target.
+        if (counts[i] > 0 && cum >= target)
+            return binValue(i);
+    }
+    return maxValue();
+}
+
+void
+QuantileSketch::saveState(StateWriter &w) const
+{
+    w.putDouble(geo.minValue);
+    w.putU32(geo.decades);
+    w.putU32(geo.binsPerDecade);
+    w.putU64Vector(counts);
+    w.putU64(total);
+}
+
+void
+QuantileSketch::loadState(StateReader &r)
+{
+    Geometry in;
+    in.minValue = r.getDouble();
+    in.decades = r.getU32();
+    in.binsPerDecade = r.getU32();
+    if (!(in == geo))
+        throw SnapshotError(
+            "quantile sketch geometry mismatch (snapshot was taken "
+            "with a different configuration)");
+    counts = r.getU64Vector();
+    if (counts.size() != std::size_t(geo.decades) * geo.binsPerDecade + 2)
+        throw SnapshotError("quantile sketch bin count mismatch");
+    total = r.getU64();
+}
+
+} // namespace vspec

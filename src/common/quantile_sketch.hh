@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Mergeable streaming latency-quantile sketch.
+ *
+ * Fleet-scale runs track arrival-to-completion latency for millions of
+ * jobs across hundreds of metric shards. A full-resolution linear
+ * Histogram per shard is both memory-heavy (1200 x 8 B bins per shard)
+ * and range-limited: everything past the configured upper edge
+ * collapses into one saturating bin, silently biasing the reported p99
+ * of a congested run. The sketch replaces it with a fixed-size
+ * log-spaced bin table:
+ *
+ *  - bins are geometric: bin k covers [minValue*r^k, minValue*r^(k+1))
+ *    with r = 10^(1/binsPerDecade), so the relative quantization error
+ *    of a quantile estimate (reported at the geometric bin centre) is
+ *    bounded by sqrt(r) - 1 everywhere in the covered range —
+ *    ~0.9% at the default 128 bins/decade — independent of whether the
+ *    sample was 2 ms or 2000 s;
+ *  - the sketch is a pure counts table, so merging is element-wise
+ *    addition: commutative, associative, and bit-exact regardless of
+ *    the order shards are folded in. Fleet reports merge shards in
+ *    task order and stay byte-identical for every worker-thread count,
+ *    and a merged sketch's quantile() equals the quantile of a single
+ *    sketch fed the union of the samples — exactly, not approximately;
+ *  - the footprint is fixed at construction (decades * binsPerDecade
+ *    + under/overflow bins), independent of the sample count, so a
+ *    100k-chip campaign carries a few KB per shard instead of an
+ *    unbounded reservoir.
+ *
+ * quantile() uses the same ceil-rank convention as Histogram::quantile
+ * (the value of the ceil(q*n)-th order statistic's bin, never an
+ * unpopulated bin), so sketch-vs-exact validation compares two
+ * estimates of the *same* order statistic and the observed difference
+ * is bounded by the two quantization errors added together.
+ */
+
+#ifndef VSPEC_COMMON_QUANTILE_SKETCH_HH
+#define VSPEC_COMMON_QUANTILE_SKETCH_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace vspec
+{
+
+class StateWriter;
+class StateReader;
+
+class QuantileSketch
+{
+  public:
+    /** Geometry of the log-spaced bin table. */
+    struct Geometry
+    {
+        /** Lower edge of the first regular bin; samples below it land
+         *  in the underflow bin and report as minValue. */
+        double minValue = 1e-3;
+        /** Covered dynamic range in decades above minValue. */
+        unsigned decades = 7;
+        /** Resolution: bins per decade (relative error ~ ln10/(2*bpd)). */
+        unsigned binsPerDecade = 128;
+
+        bool operator==(const Geometry &o) const
+        {
+            return minValue == o.minValue && decades == o.decades &&
+                   binsPerDecade == o.binsPerDecade;
+        }
+    };
+
+    QuantileSketch();
+    explicit QuantileSketch(const Geometry &geometry);
+
+    /** Record one sample (values <= 0 count into the underflow bin). */
+    void add(double x);
+
+    /**
+     * Fold another sketch into this one (element-wise count addition).
+     * Merging an empty sketch is a no-op regardless of geometry;
+     * merging non-empty sketches of differing geometry panics.
+     */
+    void merge(const QuantileSketch &other);
+
+    /** Discard all samples. */
+    void reset();
+
+    std::uint64_t totalCount() const { return total; }
+    std::size_t numBins() const { return counts.size(); }
+    std::uint64_t binCount(std::size_t i) const { return counts.at(i); }
+    const Geometry &geometry() const { return geo; }
+
+    /**
+     * Estimate of the sample value at cumulative quantile q in [0, 1]:
+     * the geometric centre of the bin holding the ceil(q*n)-th order
+     * statistic. q = 1 names the highest populated bin; an empty
+     * sketch reports 0.
+     */
+    double quantile(double q) const;
+
+    /**
+     * Documented accuracy of quantile(): the estimate e of a true
+     * in-range sample v satisfies |e - v| <= bound * v, with
+     * bound = sqrt(r) - 1 and r = 10^(1/binsPerDecade). Underflow
+     * (v < minValue) reports minValue; overflow (v >= the top edge)
+     * reports the top edge — both clamps, not interpolations.
+     */
+    double relativeErrorBound() const;
+
+    /** Lower edge of the covered range (= geometry().minValue). */
+    double minValue() const { return geo.minValue; }
+    /** Upper edge of the covered range, minValue * 10^decades. */
+    double maxValue() const;
+
+    /**
+     * Serialize geometry and counts. Geometry is construction state and
+     * is verified, not overwritten, by loadState: restoring into a
+     * sketch with a different geometry throws SnapshotError.
+     */
+    void saveState(StateWriter &w) const;
+    void loadState(StateReader &r);
+
+  private:
+    Geometry geo;
+    /** Precomputed binsPerDecade / ln(10), the log-index scale. */
+    double invLogWidth;
+    /** counts[0] = underflow, counts[1..n] = regular, counts[n+1] = overflow. */
+    std::vector<std::uint64_t> counts;
+    std::uint64_t total = 0;
+
+    double binValue(std::size_t idx) const;
+};
+
+} // namespace vspec
+
+#endif // VSPEC_COMMON_QUANTILE_SKETCH_HH

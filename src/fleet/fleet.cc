@@ -89,6 +89,8 @@ FleetNode::FleetNode(const FleetConfig &config, unsigned index)
 
     harness::assignIdle(*chip_);
     slots.resize(chip_->numCores());
+    if (config.exactLatencyValidation)
+        shard.enableExactHistogram();
     powerMark = sim->chipEnergy().snapshot();
 }
 
@@ -223,12 +225,14 @@ FleetNode::takeRequeued()
     return jobs;
 }
 
-Watt
+PowerCapGovernor::Measurement
 FleetNode::drainIntervalPower()
 {
     const Watt power = sim->chipEnergy().meanPowerSince(powerMark);
-    powerMark = sim->chipEnergy().snapshot();
-    return power;
+    const EnergyAccount::Snapshot now = sim->chipEnergy().snapshot();
+    const Seconds covered = now.elapsed - powerMark.elapsed;
+    powerMark = now;
+    return {power, covered};
 }
 
 void
@@ -380,7 +384,7 @@ Fleet::run(Seconds duration, ExperimentPool &pool)
         // would seed the demand estimates with zeros.
         if (governor_.enabled() && sliceIndex > 0 &&
             sliceIndex % governor_slices == 0) {
-            std::vector<Watt> power;
+            std::vector<PowerCapGovernor::Measurement> power;
             power.reserve(nodes.size());
             for (auto &node : nodes)
                 power.push_back(node->drainIntervalPower());
@@ -441,6 +445,18 @@ Fleet::report() const
     for (const Job &job : pending) {
         if (job.deadline < now_)
             ++rep.slaViolations;
+    }
+    // Jobs bumped off abandoned cores in the final slice sit in their
+    // node's requeue buffer until the next slice start; at report time
+    // they are still in flight. Without this they would vanish from
+    // the conservation identity (submitted == completed + pending +
+    // running) and from the overdue count.
+    for (const auto &node : nodes) {
+        for (const Job &job : node->pendingRequeues()) {
+            ++rep.pendingAtEnd;
+            if (job.deadline < now_)
+                ++rep.slaViolations;
+        }
     }
     if (now_ > 0.0) {
         rep.throughputPerSec = double(rep.completed) / now_;

@@ -112,6 +112,14 @@ struct FleetConfig
      */
     SamplingMode sampling = SamplingMode::exact;
 
+    /**
+     * Opt-in latency validation: record completions into the exact
+     * full-resolution linear histogram alongside the quantile sketch,
+     * so a cross-check run can compare exactLatencyQuantile against
+     * the sketch estimate. Off by default (sketch only).
+     */
+    bool exactLatencyValidation = false;
+
     /** Risk-score decay time constant (s). */
     Seconds riskTau = 5.0;
     /** Risk added per workload correctable event. */
@@ -166,8 +174,17 @@ class FleetNode
     /** Jobs bumped off abandoned cores last slice, oldest first. */
     std::vector<Job> takeRequeued();
 
-    /** Mean chip power since the last call (governor telemetry). */
-    Watt drainIntervalPower();
+    /** Jobs awaiting pickup by the fleet driver (report accounting:
+     *  a job bumped off an abandoned core in the final slice is still
+     *  in flight, not lost). */
+    const std::vector<Job> &pendingRequeues() const { return requeued; }
+
+    /**
+     * Mean chip power since the last call plus the accounted span the
+     * mean covers (governor telemetry; a partial span tells the
+     * governor not to seed its demand EWMA from this measurement).
+     */
+    PowerCapGovernor::Measurement drainIntervalPower();
 
     /** Append this node's per-core status rows, in core order. */
     void appendStatus(std::vector<CoreStatus> &out,

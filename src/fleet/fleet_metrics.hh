@@ -1,20 +1,36 @@
 /**
  * @file
- * Mergeable per-node fleet telemetry.
+ * Mergeable per-shard fleet telemetry.
  *
- * Each FleetNode records the jobs it completes into its own shard —
- * latency histogram (for p50/p99), latency running stats, completion
- * and SLA-violation counts, split by latency-critical vs batch. Shards
- * merge in node order at report time (Histogram::merge /
- * RunningStats::merge), so the fleet-wide numbers are identical for
- * every worker-thread count.
+ * Each fleet metric shard (one per FleetNode in the full-simulation
+ * fleet, one per chip shard in the sharded scale fleet) records the
+ * jobs it completes: latency quantiles, latency running stats,
+ * completion and SLA-violation counts, split by latency-critical vs
+ * batch, plus the marginal energy attributed to completed jobs.
+ *
+ * Latency quantiles come from a fixed-size mergeable QuantileSketch
+ * (log-spaced bins, ~0.9% relative quantization error — see
+ * common/quantile_sketch.hh). The sketch is a pure counts table, so
+ * shard merges are element-wise additions: commutative, associative,
+ * and bit-exact in any fold order. Fleet reports merge shards in task
+ * order and are byte-identical for every worker-thread count, and a
+ * merged shard's latencyQuantile(q) equals the single-shard value on
+ * the union of the samples — exactly.
+ *
+ * The previous full-resolution linear Histogram survives as an opt-in
+ * validation mode (enableExactHistogram): when armed, every sample is
+ * recorded into both structures and exactLatencyQuantile() exposes the
+ * histogram's estimate, so a cross-check run can assert that sketch
+ * and exact quantiles agree within the two quantization bounds.
  */
 
 #ifndef VSPEC_FLEET_FLEET_METRICS_HH
 #define VSPEC_FLEET_FLEET_METRICS_HH
 
 #include <cstdint>
+#include <memory>
 
+#include "common/quantile_sketch.hh"
 #include "common/stats.hh"
 #include "common/units.hh"
 #include "fleet/job.hh"
@@ -25,12 +41,21 @@ namespace vspec
 class FleetMetrics
 {
   public:
+    FleetMetrics();
+    FleetMetrics(const FleetMetrics &other);
+    FleetMetrics &operator=(const FleetMetrics &other);
+
     /**
-     * @param max_latency upper edge of the latency histogram (s);
-     *        completions beyond it land in the saturating top bin.
+     * Arm the opt-in exact-histogram validation mode: alongside the
+     * sketch, samples are recorded into a full-resolution linear
+     * histogram over [0, max_latency) (completions beyond it land in
+     * the saturating top bin — the range cap the sketch does not
+     * have). Must be armed before the first recordCompletion, and
+     * merge() requires both shards to agree on the mode.
      */
-    explicit FleetMetrics(Seconds max_latency = 120.0,
-                          std::size_t bins = 1200);
+    void enableExactHistogram(Seconds max_latency = 120.0,
+                              std::size_t bins = 1200);
+    bool exactHistogramEnabled() const { return bool(exactHistogram); }
 
     /**
      * Record one completed job. @p job_energy is the energy the job's
@@ -53,17 +78,27 @@ class FleetMetrics
         return criticalViolations;
     }
 
-    /** Arrival-to-completion latency quantile (s). */
+    /** Arrival-to-completion latency quantile (s), sketch estimate. */
     Seconds latencyQuantile(double q) const;
+    /**
+     * Validation-mode quantile from the exact linear histogram (s);
+     * panics unless enableExactHistogram was armed.
+     */
+    Seconds exactLatencyQuantile(double q) const;
+
     const RunningStats &latencyStats() const { return latency; }
-    const Histogram &latencyHistogram() const { return histogram; }
+    const QuantileSketch &latencySketch() const { return sketch; }
+    /** Validation-mode histogram; panics unless armed. */
+    const Histogram &latencyHistogram() const;
 
     /** Serialize the latency shard and completion/violation counts. */
     void saveState(StateWriter &w) const;
     void loadState(StateReader &r);
 
   private:
-    Histogram histogram;
+    QuantileSketch sketch;
+    /** Armed only in validation mode; null on the default path. */
+    std::unique_ptr<Histogram> exactHistogram;
     RunningStats latency;
     Joule jobEnergyTotal = 0.0;
     std::uint64_t completedJobs = 0;

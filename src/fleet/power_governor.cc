@@ -11,7 +11,7 @@ namespace vspec
 PowerCapGovernor::PowerCapGovernor(const Config &config,
                                    unsigned num_chips)
     : cfg(config), demandEwma(num_chips, 0.0), caps(num_chips, 0.0),
-      throttled_(num_chips, false)
+      throttled_(num_chips, false), seededChips(num_chips, false)
 {
     if (num_chips == 0)
         fatal("PowerCapGovernor needs at least one chip");
@@ -27,7 +27,7 @@ PowerCapGovernor::PowerCapGovernor(const Config &config,
 }
 
 void
-PowerCapGovernor::update(const std::vector<Watt> &chip_power)
+PowerCapGovernor::update(const std::vector<Measurement> &chip_power)
 {
     if (chip_power.size() != caps.size())
         panic("PowerCapGovernor: ", chip_power.size(),
@@ -36,26 +36,48 @@ PowerCapGovernor::update(const std::vector<Watt> &chip_power)
         return;
 
     for (std::size_t i = 0; i < chip_power.size(); ++i) {
-        // The first measurement seeds the EWMA so startup demand does
-        // not creep up from zero over several intervals.
-        demandEwma[i] = seeded
-                            ? cfg.demandAlpha * chip_power[i] +
-                                  (1.0 - cfg.demandAlpha) * demandEwma[i]
-                            : chip_power[i];
+        const bool full_interval =
+            chip_power[i].elapsed >= fullIntervalFraction * cfg.interval;
+        if (seededChips[i]) {
+            demandEwma[i] =
+                cfg.demandAlpha * chip_power[i].power +
+                (1.0 - cfg.demandAlpha) * demandEwma[i];
+        } else if (full_interval) {
+            // Seed from the first full interval. A partial-interval
+            // mean (node admitted mid-slice, fleet measured right
+            // after restore) is biased low on chips idle for part of
+            // the span and would over-throttle them for several
+            // intervals; until a full interval lands, redistribute()
+            // imputes a neutral demand instead.
+            demandEwma[i] = chip_power[i].power;
+            seededChips[i] = true;
+        }
     }
-    seeded = true;
 
     redistribute();
 
     for (std::size_t i = 0; i < chip_power.size(); ++i) {
-        if (!throttled_[i] && chip_power[i] > caps[i]) {
+        const bool full_interval =
+            chip_power[i].elapsed >= fullIntervalFraction * cfg.interval;
+        if (!throttled_[i] && seededChips[i] && full_interval &&
+            chip_power[i].power > caps[i]) {
             throttled_[i] = true;
             ++episodes;
         } else if (throttled_[i] &&
-                   chip_power[i] <= cfg.resumeFraction * caps[i]) {
+                   chip_power[i].power <=
+                       cfg.resumeFraction * caps[i]) {
             throttled_[i] = false;
         }
     }
+}
+
+void
+PowerCapGovernor::update(const std::vector<Watt> &chip_power)
+{
+    std::vector<Measurement> measurements(chip_power.size());
+    for (std::size_t i = 0; i < chip_power.size(); ++i)
+        measurements[i] = {chip_power[i], cfg.interval};
+    update(measurements);
 }
 
 void
@@ -71,14 +93,30 @@ PowerCapGovernor::redistribute()
         return;
     }
 
+    // Unseeded chips have no trustworthy demand estimate yet; impute
+    // the mean demand of the seeded chips (equal share when none are)
+    // so a cold chip competes from a neutral position instead of being
+    // pinned to the floor cap.
+    Watt seeded_demand = 0.0;
+    std::size_t seeded_count = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (seededChips[i]) {
+            seeded_demand += demandEwma[i];
+            ++seeded_count;
+        }
+    }
+    const Watt imputed =
+        seeded_count > 0 ? seeded_demand / double(seeded_count) : 0.0;
+
     Watt total_demand = 0.0;
-    for (Watt d : demandEwma)
-        total_demand += d;
+    for (std::size_t i = 0; i < n; ++i)
+        total_demand += seededChips[i] ? demandEwma[i] : imputed;
 
     const Watt spare = cfg.fleetBudget - floors;
     for (std::size_t i = 0; i < n; ++i) {
+        const Watt demand_i = seededChips[i] ? demandEwma[i] : imputed;
         const double share = total_demand > 0.0
-                                 ? demandEwma[i] / total_demand
+                                 ? demand_i / total_demand
                                  : 1.0 / double(n);
         caps[i] = cfg.minChipCap + spare * share;
     }
@@ -96,6 +134,12 @@ bool
 PowerCapGovernor::throttled(unsigned chip) const
 {
     return throttled_.at(chip);
+}
+
+bool
+PowerCapGovernor::demandSeeded(unsigned chip) const
+{
+    return seededChips.at(chip);
 }
 
 unsigned
@@ -122,8 +166,11 @@ PowerCapGovernor::saveState(StateWriter &w) const
     for (std::size_t i = 0; i < throttled_.size(); ++i)
         flags[i] = throttled_[i] ? 1 : 0;
     w.putU64Vector(flags);
+    std::vector<std::uint64_t> seeded_flags(seededChips.size());
+    for (std::size_t i = 0; i < seededChips.size(); ++i)
+        seeded_flags[i] = seededChips[i] ? 1 : 0;
+    w.putU64Vector(seeded_flags);
     w.putU64(episodes);
-    w.putBool(seeded);
 }
 
 void
@@ -132,9 +179,11 @@ PowerCapGovernor::loadState(StateReader &r)
     const std::vector<double> ewma = r.getDoubleVector();
     const std::vector<double> snap_caps = r.getDoubleVector();
     const std::vector<std::uint64_t> flags = r.getU64Vector();
+    const std::vector<std::uint64_t> seeded_flags = r.getU64Vector();
     if (ewma.size() != demandEwma.size() ||
         snap_caps.size() != caps.size() ||
-        flags.size() != throttled_.size())
+        flags.size() != throttled_.size() ||
+        seeded_flags.size() != seededChips.size())
         throw SnapshotError(
             "governor chip count mismatch: snapshot has " +
             std::to_string(ewma.size()) + ", governor has " +
@@ -143,8 +192,9 @@ PowerCapGovernor::loadState(StateReader &r)
     caps = snap_caps;
     for (std::size_t i = 0; i < flags.size(); ++i)
         throttled_[i] = flags[i] != 0;
+    for (std::size_t i = 0; i < seeded_flags.size(); ++i)
+        seededChips[i] = seeded_flags[i] != 0;
     episodes = r.getU64();
-    seeded = r.getBool();
 }
 
 } // namespace vspec

@@ -50,6 +50,18 @@ class PowerCapGovernor
         double resumeFraction = 0.9;
     };
 
+    /**
+     * One interval's telemetry for one chip: mean power over the
+     * measured span, and how much accounted time the span actually
+     * covered. A chip admitted mid-interval (or measured right after a
+     * snapshot restore) reports elapsed < the governor interval.
+     */
+    struct Measurement
+    {
+        Watt power = 0.0;
+        Seconds elapsed = 0.0;
+    };
+
     PowerCapGovernor(const Config &config, unsigned num_chips);
 
     bool enabled() const { return cfg.fleetBudget > 0.0; }
@@ -60,6 +72,24 @@ class PowerCapGovernor
      * chip order); updates the demand EWMAs, redistributes the caps and
      * refreshes the throttle flags. A disabled governor ignores the
      * measurements and throttles nothing.
+     *
+     * Cold-start contract: a chip's demand EWMA is seeded from its
+     * first *full*-interval measurement (elapsed >= fullIntervalFraction
+     * of the configured interval). A partial-interval mean — a node
+     * admitted mid-slice, a fleet measured right after restore — is
+     * statistically noisy and systematically light on chips that were
+     * idle for part of the span; seeding the EWMA with it over-throttles
+     * the chip for several intervals. Until seeded, a chip's demand is
+     * imputed as the mean demand of the seeded chips (equal share when
+     * none are), and its throttle flag is never raised on a partial
+     * measurement.
+     */
+    void update(const std::vector<Measurement> &chip_power);
+
+    /**
+     * Convenience overload for full-interval telemetry: every
+     * measurement is treated as covering a complete interval (the
+     * pre-admission-control behaviour, unchanged).
      */
     void update(const std::vector<Watt> &chip_power);
 
@@ -73,19 +103,26 @@ class PowerCapGovernor
     /** Demand estimate the last redistribution used (W). */
     Watt demand(unsigned chip) const;
 
+    /** True once the chip's EWMA was seeded from a full interval. */
+    bool demandSeeded(unsigned chip) const;
+
     const Config &config() const { return cfg; }
 
     /** Serialize demand EWMAs, caps, throttle flags and episodes. */
     void saveState(StateWriter &w) const;
     void loadState(StateReader &r);
 
+    /** A measurement covering at least this fraction of the governor
+     *  interval counts as a full interval (tick-grid slack). */
+    static constexpr double fullIntervalFraction = 0.95;
+
   private:
     Config cfg;
     std::vector<Watt> demandEwma;
     std::vector<Watt> caps;
     std::vector<bool> throttled_;
+    std::vector<bool> seededChips;
     std::uint64_t episodes = 0;
-    bool seeded = false;
 
     void redistribute();
 };

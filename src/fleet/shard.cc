@@ -1,0 +1,514 @@
+#include "fleet/shard.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "snapshot/state_io.hh"
+
+namespace vspec
+{
+
+namespace
+{
+
+/** Event-rate ceilings: a rail stuck below minSafe must produce a
+ *  storm, not an overflowing Poisson mean. */
+constexpr double maxCorrRate = 2000.0;
+constexpr double maxDueRate = 5.0;
+
+double
+sq(double x)
+{
+    return x * x;
+}
+
+} // namespace
+
+ShardedFleet::ShardedFleet(const ScaleFleetConfig &config)
+    : cfg(config), coldConfig(config.cold), traffic_(config.traffic),
+      governor_(config.governor, config.numChips)
+{
+    if (cfg.numChips == 0)
+        fatal("ShardedFleet needs at least one chip");
+    if (cfg.chipsPerShard == 0)
+        fatal("ShardedFleet needs a positive shard size");
+    if (cfg.slice <= 0.0 || cfg.horizon <= 0.0)
+        fatal("ShardedFleet slice and horizon must be positive");
+    if (cfg.placementCandidates == 0)
+        fatal("ShardedFleet needs at least one placement candidate");
+    if (cfg.riskTau <= 0.0)
+        fatal("ShardedFleet risk tau must be positive");
+    const ScaleChipModel &m = cfg.chip;
+    if (m.coresPerChip == 0)
+        fatal("ScaleChipModel needs at least one core per chip");
+    if (m.nominalVdd <= 0.0 || m.floorMv <= 0.0 ||
+        m.floorMv >= m.nominalVdd)
+        fatal("ScaleChipModel rail range is inverted");
+    if (m.stepMv <= 0.0 || m.backoffMv <= 0.0 || m.corrScaleMv <= 0.0 ||
+        m.dueScaleMv <= 0.0)
+        fatal("ScaleChipModel voltage constants must be positive");
+    if (m.corrRateAtMinSafe < 0.0 || m.dueRateAtMinSafe < 0.0 ||
+        m.recoveryPenalty < 0.0)
+        fatal("ScaleChipModel rates must be non-negative");
+
+    coldConfig.seed = cfg.seed;
+    coldConfig.numChips = cfg.numChips;
+
+    const unsigned n = cfg.numChips;
+    railMv_.assign(n, m.nominalVdd);
+    minSafeMv_.assign(n, 0.0);
+    earnedFloorMv_.assign(n, m.nominalVdd);
+    backlog_.assign(n, 0.0);
+    risk_.assign(n, 0.0);
+    energyJ_.assign(n, 0.0);
+    energyMark_.assign(n, 0.0);
+    holdoff_.assign(n, 0);
+
+    // Each chip's hidden minimum safe Vdd comes from its own
+    // mix64(seed, chip) identity — the derivation the full-simulation
+    // FleetNode uses for its variation sampling — so chip i's
+    // population draw does not depend on the shard cut.
+    for (unsigned i = 0; i < n; ++i) {
+        Rng chip_rng(chipSeed(i));
+        const double safe =
+            chip_rng.gaussian(m.minSafeMeanMv, m.minSafeSigmaMv);
+        minSafeMv_[i] =
+            std::clamp(safe, m.floorMv * 0.5, m.nominalVdd - m.stepMv);
+    }
+
+    const unsigned num_shards = (n + cfg.chipsPerShard - 1) /
+                                cfg.chipsPerShard;
+    shards.resize(num_shards);
+    for (unsigned s = 0; s < num_shards; ++s) {
+        shards[s].lo = s * cfg.chipsPerShard;
+        shards[s].hi = std::min(n, (s + 1) * cfg.chipsPerShard);
+        shards[s].rng = Rng(mix64(mix64(cfg.seed, 0x5A4DULL), s));
+        if (cfg.exactLatencyValidation)
+            shards[s].metrics.enableExactHistogram();
+    }
+}
+
+void
+ShardedFleet::advanceShard(Shard &shard, Seconds slice)
+{
+    const ScaleChipModel &m = cfg.chip;
+    const double risk_decay = std::exp(-slice / cfg.riskTau);
+    const double inv_nominal = 1.0 / m.nominalVdd;
+    const Seconds drain_capacity = double(m.coresPerChip) * slice;
+
+    for (unsigned i = shard.lo; i < shard.hi; ++i) {
+        risk_[i] *= risk_decay;
+
+        // ECC feedback: event rates are exponential in the margin the
+        // rail keeps above the chip's hidden minimum safe Vdd. Both
+        // draws always happen, so the shard RNG's position per chip
+        // per slice is fixed regardless of outcomes.
+        const double margin = railMv_[i] - minSafeMv_[i];
+        const double corr_rate = std::min(
+            m.corrRateAtMinSafe * std::exp(-margin / m.corrScaleMv),
+            maxCorrRate);
+        const std::uint64_t corr =
+            shard.rng.poisson(corr_rate * slice);
+        const double due_rate = std::min(
+            m.dueRateAtMinSafe * std::exp(-margin / m.dueScaleMv),
+            maxDueRate);
+        const std::uint64_t dues = shard.rng.poisson(due_rate * slice);
+        shard.corrEvents += corr;
+
+        if (dues > 0) {
+            // Crash + recovery: replay penalty on the queue, rail back
+            // to nominal, speculation restarts from scratch.
+            shard.dueRecoveries += dues;
+            const Seconds loss = m.recoveryPenalty * double(dues);
+            shard.recoveryLoss += loss;
+            backlog_[i] += loss;
+            railMv_[i] = m.nominalVdd;
+            holdoff_[i] = m.holdSlices;
+            risk_[i] += cfg.riskPerRecovery * double(dues);
+        } else if (corr > m.toleratedCorrPerSlice) {
+            ++shard.backoffs;
+            railMv_[i] =
+                std::min(m.nominalVdd, railMv_[i] + m.backoffMv);
+            holdoff_[i] = m.holdSlices;
+            risk_[i] += cfg.riskPerError * double(corr);
+        } else if (holdoff_[i] > 0) {
+            --holdoff_[i];
+        } else {
+            railMv_[i] = std::max(m.floorMv, railMv_[i] - m.stepMv);
+        }
+        earnedFloorMv_[i] = std::min(earnedFloorMv_[i], railMv_[i]);
+
+        // Queue drain and the quadratic power dividend.
+        const Seconds drained = std::min(backlog_[i], drain_capacity);
+        backlog_[i] -= drained;
+        const double util =
+            drain_capacity > 0.0 ? drained / drain_capacity : 0.0;
+        const Watt power = double(m.coresPerChip) *
+                           (m.idlePowerPerCore +
+                            m.activePowerPerCore * util) *
+                           sq(railMv_[i] * inv_nominal);
+        energyJ_[i] += power * slice;
+    }
+}
+
+unsigned
+ShardedFleet::chooseChip(const TrafficArrival &arrival,
+                         const JobClass &cls)
+{
+    const ScaleChipModel &m = cfg.chip;
+    const unsigned n = cfg.numChips;
+    const unsigned num_candidates =
+        std::min(cfg.placementCandidates, n);
+    // The session's home chip is candidate 0; alternates are further
+    // hashes of the same session key, so a session's candidate set is
+    // stable across the whole run (cache/session affinity).
+    const std::uint64_t key =
+        mix64(mix64(cfg.seed, 0xAFF1ULL), arrival.session);
+
+    unsigned best = unsigned(mix64(key, 0) % n);
+    bool have_best = false;
+    double best_score = 0.0;
+    unsigned fallback = best;
+    double fallback_score = 0.0;
+    bool have_fallback = false;
+
+    for (unsigned k = 0; k < num_candidates; ++k) {
+        const unsigned c = unsigned(mix64(key, k) % n);
+        const bool throttled = governor_.throttled(c);
+        const bool risky = cfg.policy == SchedulerPolicy::riskAware &&
+                           risk_[c] > cfg.riskThreshold;
+
+        double score = 0.0;
+        switch (cfg.policy) {
+          case SchedulerPolicy::roundRobin:
+            // Pure affinity: first admissible candidate wins.
+            score = -double(k);
+            break;
+          case SchedulerPolicy::leastLoaded:
+          case SchedulerPolicy::riskAware:
+            score = -backlog_[c];
+            break;
+          case SchedulerPolicy::marginAware:
+            // Critical jobs chase the deepest earned rail (cheapest
+            // joules per request); batch balances load.
+            score = cls.latencyCritical ? (m.nominalVdd - railMv_[c])
+                                        : -backlog_[c];
+            break;
+        }
+
+        if (!have_fallback || score > fallback_score) {
+            fallback = c;
+            fallback_score = score;
+            have_fallback = true;
+        }
+        if (throttled || risky)
+            continue;
+        if (!have_best || score > best_score) {
+            best = c;
+            best_score = score;
+            have_best = true;
+        }
+        if (cfg.policy == SchedulerPolicy::roundRobin)
+            break; // home chip admissible: stop probing
+    }
+    return have_best ? best : fallback;
+}
+
+void
+ShardedFleet::placeArrivals()
+{
+    Seconds latency_sum = 0.0;
+    std::uint64_t placed = 0;
+    const ScaleChipModel &m = cfg.chip;
+
+    for (const TrafficArrival &arrival : arrivalBuf) {
+        const JobClass &cls = traffic_.classes().at(arrival.classIndex);
+        const unsigned c = chooseChip(arrival, cls);
+
+        // Queue-drain latency model: the job waits behind the chip's
+        // current backlog, then holds one core for its service time.
+        // Same-slice arrivals to the same chip stack up, because the
+        // placement itself grows the backlog.
+        const Seconds wait = backlog_[c] / double(m.coresPerChip);
+        const Seconds job_latency = wait + arrival.serviceTime;
+        const Seconds completion = arrival.arrival + job_latency;
+        backlog_[c] += arrival.serviceTime;
+
+        // Marginal energy attribution at the chip's current operating
+        // point: the deeper the earned rail, the cheaper the joules.
+        const Joule job_energy = arrival.serviceTime *
+                                 m.activePowerPerCore *
+                                 sq(railMv_[c] / m.nominalVdd);
+
+        ++submitted_;
+        latency_sum += job_latency;
+        ++placed;
+
+        if (completion <= cfg.horizon) {
+            Job job;
+            job.id = arrival.id;
+            job.classIndex = arrival.classIndex;
+            job.arrival = arrival.arrival;
+            job.serviceTime = arrival.serviceTime;
+            job.deadline = arrival.deadline;
+            shards[shardOf(c)].metrics.recordCompletion(
+                job, cls, completion, job_energy);
+        } else {
+            ++pendingAtEnd_;
+            if (arrival.deadline < cfg.horizon)
+                ++pendingViolations_;
+        }
+    }
+
+    if (placed > 0) {
+        const Seconds mean = latency_sum / double(placed);
+        if (!latencySeeded_) {
+            latencyEwma_ = mean;
+            latencySeeded_ = true;
+        } else {
+            latencyEwma_ = cfg.latencyFeedbackAlpha * mean +
+                           (1.0 - cfg.latencyFeedbackAlpha) *
+                               latencyEwma_;
+        }
+    }
+}
+
+void
+ShardedFleet::updateGovernor()
+{
+    if (!governor_.enabled())
+        return;
+    const Seconds span = now_ - governorMark_;
+    if (span + 1e-9 < governor_.config().interval)
+        return;
+    measureBuf.resize(cfg.numChips);
+    for (unsigned i = 0; i < cfg.numChips; ++i) {
+        const Joule delta = energyJ_[i] - energyMark_[i];
+        measureBuf[i] = {span > 0.0 ? delta / span : 0.0, span};
+        energyMark_[i] = energyJ_[i];
+    }
+    governor_.update(measureBuf);
+    governorMark_ = now_;
+}
+
+void
+ShardedFleet::run(Seconds duration, ExperimentPool &pool)
+{
+    const double slices_exact = duration / cfg.slice;
+    const std::uint64_t slices =
+        std::uint64_t(std::llround(slices_exact));
+    if (std::abs(slices_exact - double(slices)) > 1e-6)
+        fatal("ShardedFleet::run duration ", duration,
+              " is not a whole number of ", cfg.slice, " s slices");
+
+    for (std::uint64_t s = 0; s < slices; ++s) {
+        // Serial phase 1: traffic and placement, fed by last slice's
+        // latency EWMA.
+        arrivalBuf.clear();
+        traffic_.generateSlice(now_, now_ + cfg.slice,
+                               latencySeeded_ ? latencyEwma_ : 0.0,
+                               arrivalBuf);
+        placeArrivals();
+
+        // Parallel phase: one pool task per shard; each task touches
+        // only its shard struct and its [lo, hi) spans of the hot
+        // arrays. The batch seed is consumed by the pool's per-task
+        // context, not by the shards (their RNGs are construction
+        // state), so any value keeps determinism; derive it anyway.
+        const auto outcomes = pool.run(
+            mix64(cfg.seed, sliceIndex_), shards.size(),
+            [this](ExperimentTaskContext &ctx) {
+                advanceShard(shards[ctx.index], cfg.slice);
+                return 0;
+            });
+        for (const auto &outcome : outcomes) {
+            if (!outcome.ok())
+                fatal("shard advance failed: ", outcome.error);
+        }
+
+        now_ += cfg.slice;
+        ++sliceIndex_;
+
+        // Serial phase 2: the governor reads the energy integrals.
+        updateGovernor();
+    }
+}
+
+FleetMetrics
+ShardedFleet::mergedMetrics() const
+{
+    FleetMetrics merged;
+    for (const Shard &shard : shards)
+        merged.merge(shard.metrics);
+    return merged;
+}
+
+FleetReport
+ShardedFleet::report() const
+{
+    FleetReport rep;
+    rep.simulated = now_;
+    rep.submitted = submitted_;
+    rep.requeued = 0;
+    rep.pendingAtEnd = pendingAtEnd_;
+    rep.runningAtEnd = 0;
+
+    const FleetMetrics merged = mergedMetrics();
+    rep.completed = merged.completed();
+    rep.completedCritical = merged.completedCritical();
+    rep.slaViolations = merged.slaViolations() + pendingViolations_;
+    if (now_ > 0.0)
+        rep.throughputPerSec = double(rep.completed) / now_;
+    rep.meanLatency = merged.latencyStats().mean();
+    rep.p50Latency = merged.latencyQuantile(0.50);
+    rep.p99Latency = merged.latencyQuantile(0.99);
+    if (rep.completed > 0)
+        rep.energyPerJob = merged.jobEnergy() / double(rep.completed);
+
+    Joule fleet_energy = 0.0;
+    for (double e : energyJ_)
+        fleet_energy += e;
+    rep.fleetEnergy = fleet_energy;
+    if (now_ > 0.0)
+        rep.meanFleetPower = fleet_energy / now_;
+
+    Seconds lost = 0.0;
+    for (const Shard &shard : shards) {
+        rep.recoveries += shard.dueRecoveries;
+        lost += shard.recoveryLoss;
+    }
+    if (now_ > 0.0) {
+        const Seconds fleet_core_time =
+            double(cfg.numChips) * double(cfg.chip.coresPerChip) * now_;
+        rep.availability =
+            std::clamp(1.0 - lost / fleet_core_time, 0.0, 1.0);
+    }
+    rep.abandonedCores = 0;
+    rep.throttleEpisodes = governor_.throttleEpisodes();
+    return rep;
+}
+
+std::unique_ptr<FleetNode>
+ShardedFleet::materializeNode(unsigned chip) const
+{
+    if (chip >= cfg.numChips)
+        fatal("materializeNode: chip ", chip, " out of range");
+    return std::make_unique<FleetNode>(coldConfig, chip);
+}
+
+void
+ShardedFleet::snapshot(StateWriter &w) const
+{
+    w.beginSection("scale_fleet");
+    w.putU64(cfg.numChips);
+    w.putU64(cfg.chipsPerShard);
+    w.putDouble(cfg.slice);
+    w.putDouble(cfg.horizon);
+    w.putU64(cfg.seed);
+    w.putDouble(now_);
+    w.putU64(sliceIndex_);
+    w.putU64(submitted_);
+    w.putU64(pendingAtEnd_);
+    w.putU64(pendingViolations_);
+    w.putDouble(governorMark_);
+    w.putDouble(latencyEwma_);
+    w.putBool(latencySeeded_);
+    traffic_.saveState(w);
+    governor_.saveState(w);
+    w.endSection();
+
+    // One self-contained flat section per shard (the container format
+    // does not nest sections), so shards serialize independently.
+    for (const Shard &shard : shards) {
+        w.beginSection("shard");
+        w.putU64(shard.lo);
+        w.putU64(shard.hi);
+        shard.rng.saveState(w);
+        shard.metrics.saveState(w);
+        w.putU64(shard.corrEvents);
+        w.putU64(shard.dueRecoveries);
+        w.putU64(shard.backoffs);
+        w.putDouble(shard.recoveryLoss);
+
+        const auto span = [&](const std::vector<double> &v) {
+            w.putDoubleVector(std::vector<double>(v.begin() + shard.lo,
+                                                  v.begin() + shard.hi));
+        };
+        span(railMv_);
+        span(minSafeMv_);
+        span(earnedFloorMv_);
+        span(backlog_);
+        span(risk_);
+        span(energyJ_);
+        span(energyMark_);
+        std::vector<std::uint64_t> hold(shard.hi - shard.lo);
+        for (unsigned i = shard.lo; i < shard.hi; ++i)
+            hold[i - shard.lo] = holdoff_[i];
+        w.putU64Vector(hold);
+        w.endSection();
+    }
+}
+
+void
+ShardedFleet::restore(StateReader &r)
+{
+    r.beginSection("scale_fleet");
+    if (r.getU64() != cfg.numChips || r.getU64() != cfg.chipsPerShard)
+        throw SnapshotError("scale fleet geometry mismatch (snapshot "
+                            "was taken with a different chip count or "
+                            "shard size)");
+    if (r.getDouble() != cfg.slice || r.getDouble() != cfg.horizon)
+        throw SnapshotError("scale fleet slice/horizon mismatch");
+    if (r.getU64() != cfg.seed)
+        throw SnapshotError("scale fleet seed mismatch");
+    now_ = r.getDouble();
+    sliceIndex_ = r.getU64();
+    submitted_ = r.getU64();
+    pendingAtEnd_ = r.getU64();
+    pendingViolations_ = r.getU64();
+    governorMark_ = r.getDouble();
+    latencyEwma_ = r.getDouble();
+    latencySeeded_ = r.getBool();
+    traffic_.loadState(r);
+    governor_.loadState(r);
+    r.endSection();
+
+    for (Shard &shard : shards) {
+        r.beginSection("shard");
+        const std::uint64_t lo = r.getU64();
+        const std::uint64_t hi = r.getU64();
+        if (lo != shard.lo || hi != shard.hi)
+            throw SnapshotError("shard span mismatch at chips [" +
+                                std::to_string(lo) + ", " +
+                                std::to_string(hi) + ")");
+        shard.rng.loadState(r);
+        shard.metrics.loadState(r);
+        shard.corrEvents = r.getU64();
+        shard.dueRecoveries = r.getU64();
+        shard.backoffs = r.getU64();
+        shard.recoveryLoss = r.getDouble();
+
+        const auto span = [&](std::vector<double> &v) {
+            const std::vector<double> vals = r.getDoubleVector();
+            if (vals.size() != shard.hi - shard.lo)
+                throw SnapshotError("shard array span size mismatch");
+            std::copy(vals.begin(), vals.end(), v.begin() + shard.lo);
+        };
+        span(railMv_);
+        span(minSafeMv_);
+        span(earnedFloorMv_);
+        span(backlog_);
+        span(risk_);
+        span(energyJ_);
+        span(energyMark_);
+        const std::vector<std::uint64_t> hold = r.getU64Vector();
+        if (hold.size() != shard.hi - shard.lo)
+            throw SnapshotError("shard holdoff span size mismatch");
+        for (unsigned i = shard.lo; i < shard.hi; ++i)
+            holdoff_[i] = std::uint32_t(hold[i - shard.lo]);
+        r.endSection();
+    }
+}
+
+} // namespace vspec

@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Datacenter-scale fleet: structure-of-arrays chip shards.
+ *
+ * The full-simulation Fleet arms every chip with a calibrated Chip +
+ * Simulator + RecoveryManager — the *cold* path: exact per-line ECC
+ * accounting, tick-level rail control, fault injection. That fidelity
+ * costs ~100 ms of calibration and megabytes of state per chip, which
+ * caps it at tens of chips. A capacity study over 100k chips needs the
+ * opposite trade: keep the fleet-level feedback structure of the paper
+ * (ECC-guided rail descent, correctable-burst backoff, rare DUE
+ * recovery, power capping, margin-aware placement) but compress each
+ * chip to a handful of scalars stepped by a closed-form behavioral
+ * model — the *hot* path.
+ *
+ * ShardedFleet is that hot path. The per-chip hot state lives in
+ * global contiguous arrays (rail Vdd, hidden min-safe Vdd, earned rail
+ * floor, descent holdoff, job-queue depth, risk score, energy
+ * integral), not in per-chip objects: one slice of fleet time walks
+ * each array span linearly — SoA layout, no pointer chasing, the loop
+ * the hardware prefetcher wants. The arrays are cut into fixed-size
+ * shards of chipsPerShard consecutive chips; each shard owns a private
+ * RNG (forked from mix64(seed, shard index), drawn in chip order) and
+ * a private FleetMetrics accumulator, and one ExperimentPool task
+ * advances one shard. Because the shard cut depends only on
+ * chipsPerShard — never on the worker-thread count — and all
+ * cross-shard decisions (traffic, placement, the governor) run
+ * serially between slices with shard merges folded in shard order, a
+ * run is byte-identical for every --threads value.
+ *
+ * Behavioral chip model (per chip, per slice):
+ *
+ *   - the rail descends stepMv per slice toward floorMv while the ECC
+ *     feedback stays quiet (this is the paper's speculation loop in
+ *     aggregate: margin earned at runtime, not set by worst-case
+ *     guardband);
+ *   - correctable ECC events arrive Poisson with a rate exponential in
+ *     the (rail - minSafe) margin — each chip's minSafe is an
+ *     independently sampled Gaussian, so each chip earns a different
+ *     equilibrium floor, exactly the per-die variation the fleet
+ *     schedulers exploit;
+ *   - a slice with more correctables than the tolerated band backs the
+ *     rail off backoffMv and holds descent for holdSlices;
+ *   - detected-uncorrectable events (much steeper exponential) trigger
+ *     a recovery: backlog takes a replay penalty, the rail resets to
+ *     nominal, and the chip's risk score jumps;
+ *   - the chip drains its job backlog at cores_per_chip core-seconds
+ *     per second and integrates power = cores * (idle + active*util) *
+ *     (rail/nominal)^2 — the quadratic CMOS dividend that makes the
+ *     earned margin worth scheduling toward.
+ *
+ * Jobs come from a TrafficGenerator (diurnal + flash-crowd + closed
+ * loop, session identities over millions of users) and are placed
+ * serially with session affinity and power-of-two-choices: a job's
+ * session hashes to a home chip plus alternate candidates, and the
+ * configured SchedulerPolicy picks among them (round-robin = pure
+ * affinity, least-loaded = min backlog, margin-aware = deepest earned
+ * rail for critical jobs, risk-aware = skip risky chips). Latency is
+ * computed at placement from the queue-drain model (wait = backlog /
+ * cores + service), so completions, SLA checks and the latency sketch
+ * are deterministic and classified against the configured horizon —
+ * independent of how run() chunks the campaign.
+ */
+
+#ifndef VSPEC_FLEET_SHARD_HH
+#define VSPEC_FLEET_SHARD_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/units.hh"
+#include "fleet/fleet.hh"
+#include "fleet/fleet_metrics.hh"
+#include "fleet/power_governor.hh"
+#include "fleet/scheduler.hh"
+#include "fleet/traffic.hh"
+#include "platform/experiment_pool.hh"
+
+namespace vspec
+{
+
+class StateWriter;
+class StateReader;
+
+/** Closed-form behavioral constants of one scale-model chip. */
+struct ScaleChipModel
+{
+    unsigned coresPerChip = 8;
+    /** Nominal rail; chips reset here after a recovery. */
+    Millivolt nominalVdd = 1050.0;
+    /** Hidden per-chip minimum safe Vdd ~ N(mean, sigma); the control
+     *  loop never sees it, only the ECC feedback it produces. */
+    Millivolt minSafeMeanMv = 880.0;
+    Millivolt minSafeSigmaMv = 18.0;
+    /** The policy's absolute lowest rail (safety floor). */
+    Millivolt floorMv = 780.0;
+    /** Per-slice descent step while ECC is quiet. */
+    Millivolt stepMv = 5.0;
+    /** Backoff applied on a correctable burst. */
+    Millivolt backoffMv = 15.0;
+    /** Slices descent is held after a backoff or recovery. */
+    unsigned holdSlices = 8;
+    /** Correctable event rate with the rail at minSafe (events/s). */
+    double corrRateAtMinSafe = 50.0;
+    /** e-folding of the correctable rate per mV of margin. */
+    Millivolt corrScaleMv = 12.0;
+    /** Corrections tolerated per slice before backing off. */
+    unsigned toleratedCorrPerSlice = 2;
+    /** DUE rate with the rail at minSafe (events/s). */
+    double dueRateAtMinSafe = 0.02;
+    /** e-folding of the DUE rate per mV of margin (steeper). */
+    Millivolt dueScaleMv = 6.0;
+    /** Core-seconds of lost + replayed work per DUE recovery. */
+    Seconds recoveryPenalty = 0.25;
+    Watt idlePowerPerCore = 0.6;
+    /** Extra power of a fully busy core at nominal Vdd. */
+    Watt activePowerPerCore = 2.4;
+};
+
+struct ScaleFleetConfig
+{
+    unsigned numChips = 1024;
+    /**
+     * Chips per shard — the parallel work grain AND the merge grain.
+     * Fixed by config, never derived from the thread count, so the
+     * shard cut (and therefore every RNG stream and every metrics
+     * merge order) is identical for all --threads values.
+     */
+    unsigned chipsPerShard = 2048;
+    /** Scheduling quantum (s): traffic, placement, shard advance. */
+    Seconds slice = 0.1;
+    /**
+     * Completion-classification horizon (s): a placed job whose
+     * predicted completion lands beyond it counts as pending-at-end
+     * rather than completed. Fixed by config (not by where run()
+     * happens to stop), so chunked and resumed campaigns classify
+     * identically.
+     */
+    Seconds horizon = 30.0;
+    std::uint64_t seed = 0xF1EE7ULL;
+
+    SchedulerPolicy policy = SchedulerPolicy::roundRobin;
+    /** Power-of-two-choices candidates probed per placement. */
+    unsigned placementCandidates = 3;
+    /** Risk-aware: avoid chips scoring above this. */
+    double riskThreshold = 5.0;
+    /** Risk-score decay time constant (s). */
+    Seconds riskTau = 5.0;
+    double riskPerError = 0.5;
+    double riskPerRecovery = 10.0;
+
+    /** EWMA weight of each slice's mean placement latency in the
+     *  closed-loop feedback signal. */
+    double latencyFeedbackAlpha = 0.3;
+
+    ScaleChipModel chip;
+    TrafficGenerator::Config traffic;
+    PowerCapGovernor::Config governor;
+
+    /** Arm the exact-histogram latency cross-check in every shard. */
+    bool exactLatencyValidation = false;
+
+    /**
+     * Cold-path template for materializeNode(): the full-simulation
+     * FleetNode configuration a scale-model chip is promoted to for
+     * inspection. Its seed/numChips are overridden from this config.
+     */
+    FleetConfig cold;
+};
+
+class ShardedFleet
+{
+  public:
+    explicit ShardedFleet(const ScaleFleetConfig &config);
+
+    ShardedFleet(const ShardedFleet &) = delete;
+    ShardedFleet &operator=(const ShardedFleet &) = delete;
+
+    /**
+     * Advance the fleet by @p duration (a whole number of slices) on
+     * the pool. May be called repeatedly; time accumulates. Chunking a
+     * horizon into several calls yields the same state as one call.
+     */
+    void run(Seconds duration, ExperimentPool &pool);
+
+    /** Fleet-wide results so far (same report type as the cold Fleet). */
+    FleetReport report() const;
+
+    Seconds now() const { return now_; }
+    unsigned numChips() const { return cfg.numChips; }
+    unsigned numShards() const { return unsigned(shards.size()); }
+
+    /** Hot-state inspection (tests, dashboards). */
+    Millivolt railMv(unsigned chip) const { return railMv_.at(chip); }
+    Millivolt minSafeMv(unsigned chip) const
+    {
+        return minSafeMv_.at(chip);
+    }
+    /** Deepest rail the chip has sustained (its earned floor). */
+    Millivolt earnedFloorMv(unsigned chip) const
+    {
+        return earnedFloorMv_.at(chip);
+    }
+    /** Queued work on the chip (core-seconds). */
+    Seconds queueDepth(unsigned chip) const { return backlog_.at(chip); }
+    double riskScore(unsigned chip) const { return risk_.at(chip); }
+
+    const PowerCapGovernor &governor() const { return governor_; }
+    const TrafficGenerator &traffic() const { return traffic_; }
+    const FleetMetrics &shardMetrics(unsigned shard) const
+    {
+        return shards.at(shard).metrics;
+    }
+    /** Shards folded in shard order (the report's merge). */
+    FleetMetrics mergedMetrics() const;
+
+    /** Chip i's stochastic identity: mix64(seed, i) — the same
+     *  derivation the full-simulation FleetNode uses. */
+    std::uint64_t chipSeed(unsigned chip) const
+    {
+        return mix64(cfg.seed, chip);
+    }
+
+    /**
+     * Cold-path bridge: arm chip i as a full-simulation FleetNode
+     * (calibrated Chip + Simulator + recovery) built from the cold
+     * template and the same mix64(seed, i) identity. Expensive —
+     * intended for spot inspection of individual chips, not for the
+     * fleet loop. The returned node references this fleet's cold
+     * config, which outlives it.
+     */
+    std::unique_ptr<FleetNode> materializeNode(unsigned chip) const;
+
+    const ScaleFleetConfig &config() const { return cfg; }
+
+    /**
+     * Shard-exchange snapshot: fleet-level scalars, the traffic and
+     * governor state, then one self-contained section per shard (its
+     * RNG, metrics and the shard's spans of every hot array), so
+     * shards serialize and restore independently. restore() expects a
+     * fleet constructed from the identical config and throws
+     * SnapshotError on any geometry mismatch.
+     */
+    void snapshot(StateWriter &w) const;
+    void restore(StateReader &r);
+
+  private:
+    struct Shard
+    {
+        unsigned lo = 0;
+        unsigned hi = 0;
+        Rng rng;
+        FleetMetrics metrics;
+        std::uint64_t corrEvents = 0;
+        std::uint64_t dueRecoveries = 0;
+        std::uint64_t backoffs = 0;
+        /** Core-seconds of work lost + replayed in recoveries. */
+        Seconds recoveryLoss = 0.0;
+
+        Shard() : rng(0) {}
+    };
+
+    ScaleFleetConfig cfg;
+    /** Cold template with seed/numChips bound; materializeNode's
+     *  FleetNode keeps a pointer into it. */
+    FleetConfig coldConfig;
+    TrafficGenerator traffic_;
+    PowerCapGovernor governor_;
+
+    /** Hot per-chip state, SoA: shard s owns index span [lo, hi). */
+    std::vector<double> railMv_;
+    std::vector<double> minSafeMv_;
+    std::vector<double> earnedFloorMv_;
+    std::vector<double> backlog_;
+    std::vector<double> risk_;
+    std::vector<double> energyJ_;
+    /** Energy reading at the governor's last measurement. */
+    std::vector<double> energyMark_;
+    std::vector<std::uint32_t> holdoff_;
+
+    std::vector<Shard> shards;
+
+    Seconds now_ = 0.0;
+    std::uint64_t sliceIndex_ = 0;
+    std::uint64_t submitted_ = 0;
+    /** Placed jobs whose predicted completion exceeds the horizon. */
+    std::uint64_t pendingAtEnd_ = 0;
+    /** Pending-at-end jobs whose deadline precedes the horizon. */
+    std::uint64_t pendingViolations_ = 0;
+    /** Accounted time at the governor's last measurement. */
+    Seconds governorMark_ = 0.0;
+    /** Closed-loop feedback: EWMA of per-slice mean latency. */
+    Seconds latencyEwma_ = 0.0;
+    bool latencySeeded_ = false;
+
+    /** Reused arrival buffer (cleared each slice). */
+    std::vector<TrafficArrival> arrivalBuf;
+    /** Reused governor telemetry buffer. */
+    std::vector<PowerCapGovernor::Measurement> measureBuf;
+
+    void advanceShard(Shard &shard, Seconds slice);
+    void placeArrivals();
+    unsigned chooseChip(const TrafficArrival &arrival,
+                        const JobClass &cls);
+    void updateGovernor();
+    std::size_t shardOf(unsigned chip) const
+    {
+        return chip / cfg.chipsPerShard;
+    }
+};
+
+} // namespace vspec
+
+#endif // VSPEC_FLEET_SHARD_HH

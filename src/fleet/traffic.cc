@@ -1,0 +1,176 @@
+#include "fleet/traffic.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "snapshot/state_io.hh"
+
+namespace vspec
+{
+
+namespace
+{
+
+constexpr double pi = 3.14159265358979323846;
+
+} // namespace
+
+TrafficGenerator::TrafficGenerator(const Config &config)
+    : cfg(config),
+      classTable(config.classes.empty() ? defaultJobClasses()
+                                        : config.classes),
+      countRng(mix64(config.seed, 0x71)),
+      flashRng(mix64(config.seed, 0x72)),
+      sessionRng(mix64(config.seed, 0x73)),
+      classRng(mix64(config.seed, 0x74)),
+      serviceRng(mix64(config.seed, 0x75))
+{
+    if (cfg.baseArrivalsPerSecond < 0.0 || cfg.closedUsers < 0.0)
+        fatal("TrafficGenerator rates must be non-negative");
+    if (cfg.users == 0)
+        fatal("TrafficGenerator needs a non-empty user population");
+    if (cfg.diurnalAmplitude < 0.0 || cfg.diurnalAmplitude >= 1.0)
+        fatal("TrafficGenerator diurnal amplitude must be in [0, 1)");
+    if (cfg.diurnalPeriod <= 0.0 || cfg.flashDecayTau <= 0.0 ||
+        cfg.thinkTime <= 0.0)
+        fatal("TrafficGenerator time constants must be positive");
+    if (cfg.hotSessionFraction < 0.0 || cfg.hotSessionFraction > 1.0)
+        fatal("TrafficGenerator hot-session fraction must be in [0, 1]");
+    if (cfg.hotSessions == 0 || cfg.hotSessions > cfg.users)
+        fatal("TrafficGenerator hot-session set must be non-empty and "
+              "within the population");
+
+    totalWeight = 0.0;
+    for (const JobClass &cls : classTable) {
+        if (cls.arrivalWeight < 0.0)
+            fatal("job class '", cls.name,
+                  "' has a negative arrival weight");
+        totalWeight += cls.arrivalWeight;
+    }
+    if (classTable.empty() || totalWeight <= 0.0)
+        fatal("TrafficGenerator needs at least one weighted job class");
+}
+
+double
+TrafficGenerator::openLoopRate(Seconds t) const
+{
+    if (t < cfg.firstArrival)
+        return 0.0;
+    double factor = 1.0;
+    if (cfg.diurnalAmplitude > 0.0) {
+        const double phase = 2.0 * pi *
+                             (t - cfg.firstArrival - cfg.diurnalPhase) /
+                             cfg.diurnalPeriod;
+        factor += cfg.diurnalAmplitude * std::sin(phase);
+    }
+    return cfg.baseArrivalsPerSecond * factor;
+}
+
+unsigned
+TrafficGenerator::pickClass()
+{
+    double pick = classRng.uniform() * totalWeight;
+    for (std::size_t i = 0; i < classTable.size(); ++i) {
+        pick -= classTable[i].arrivalWeight;
+        if (pick < 0.0)
+            return unsigned(i);
+    }
+    return unsigned(classTable.size() - 1);
+}
+
+void
+TrafficGenerator::generateSlice(Seconds slice_start, Seconds slice_end,
+                                Seconds feedback_latency,
+                                std::vector<TrafficArrival> &out)
+{
+    if (slice_end <= slice_start)
+        return;
+
+    // Flash-crowd state evolves over the whole slice even before the
+    // stream opens, so the flash RNG's position depends only on the
+    // number of slices visited, not on firstArrival.
+    const Seconds width = slice_end - slice_start;
+    flashBoost_ *= std::exp(-width / cfg.flashDecayTau);
+    if (flashBoost_ < 1e-9)
+        flashBoost_ = 0.0;
+    if (cfg.flashesPerHour > 0.0) {
+        const std::uint64_t onsets =
+            flashRng.poisson(cfg.flashesPerHour / 3600.0 * width);
+        flashBoost_ += double(onsets) * cfg.flashMagnitude;
+    }
+
+    const Seconds open = std::max(slice_start, cfg.firstArrival);
+    const Seconds active = slice_end - open;
+    if (active <= 0.0)
+        return;
+
+    // Open-loop rate at the midpoint of the active window, scaled by
+    // any live flash crowds; closed-loop users self-throttle on the
+    // latency the fleet reported for the previous slice.
+    const double open_rate =
+        openLoopRate(open + 0.5 * active) * (1.0 + flashBoost_);
+    const double closed_rate =
+        cfg.closedUsers > 0.0
+            ? cfg.closedUsers /
+                  (cfg.thinkTime + std::max(0.0, feedback_latency))
+            : 0.0;
+    const double mean = (open_rate + closed_rate) * active;
+    const std::uint64_t count = countRng.poisson(mean);
+    if (count == 0)
+        return;
+
+    out.reserve(out.size() + count);
+    const std::uint64_t cold_sessions =
+        cfg.users > cfg.hotSessions ? cfg.users - cfg.hotSessions : 1;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        TrafficArrival a;
+        a.id = nextId++;
+        // Evenly spaced within the active window: arrival *order* is
+        // what placement consumes; sub-slice jitter would spend RNG
+        // draws without changing any decision.
+        a.arrival =
+            open + active * (double(i) + 0.5) / double(count);
+
+        const bool hot = cfg.hotSessionFraction > 0.0 &&
+                         sessionRng.bernoulli(cfg.hotSessionFraction);
+        a.session = hot ? sessionRng.uniformInt(cfg.hotSessions)
+                        : cfg.hotSessions +
+                              sessionRng.uniformInt(cold_sessions);
+
+        a.classIndex = pickClass();
+        const JobClass &cls = classTable[a.classIndex];
+        const double u = serviceRng.uniform();
+        a.serviceTime =
+            std::max(cls.minServiceTime,
+                     -cls.meanServiceTime * std::log1p(-u));
+        a.deadline = a.arrival + cls.deadline;
+        out.push_back(a);
+    }
+}
+
+void
+TrafficGenerator::saveState(StateWriter &w) const
+{
+    countRng.saveState(w);
+    flashRng.saveState(w);
+    sessionRng.saveState(w);
+    classRng.saveState(w);
+    serviceRng.saveState(w);
+    w.putDouble(flashBoost_);
+    w.putU64(nextId);
+}
+
+void
+TrafficGenerator::loadState(StateReader &r)
+{
+    countRng.loadState(r);
+    flashRng.loadState(r);
+    sessionRng.loadState(r);
+    classRng.loadState(r);
+    serviceRng.loadState(r);
+    flashBoost_ = r.getDouble();
+    nextId = r.getU64();
+}
+
+} // namespace vspec

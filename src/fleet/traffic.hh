@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Deterministic datacenter traffic generator.
+ *
+ * The single-rate Poisson JobQueue is the right source for a four-chip
+ * row; a 100k-chip capacity study needs the load shapes production
+ * fleets actually see. TrafficGenerator models a population of
+ * millions of users offering work to the fleet:
+ *
+ *  - an open-loop stream whose rate follows a diurnal curve
+ *    (sinusoidal modulation with configurable amplitude, period and
+ *    phase — compress the period to fit a day's swing inside a short
+ *    simulated horizon);
+ *  - flash crowds: Poisson-scheduled onset events that multiply the
+ *    open-loop rate and decay exponentially, stacking if they overlap;
+ *  - a closed-loop share: a pool of users that each wait out a think
+ *    time after a response before issuing the next request, modeled in
+ *    aggregate as rate = closedUsers / (thinkTime + observed latency)
+ *    — when the fleet slows down, closed-loop users back off, the
+ *    classic self-throttling the open-loop stream does not have;
+ *  - session identity: every arrival carries a stable session id drawn
+ *    from the user population (with an optional hot-session fraction
+ *    concentrated on a small set of heavy hitters), which the sharded
+ *    fleet hashes to a home chip for cache/session affinity.
+ *
+ * Determinism: every stochastic choice draws from one of the
+ * generator's private RNG streams, forked from the config seed in a
+ * fixed order (arrival counts, flash onsets, session ids, class picks,
+ * service times). A slice's arrivals are a pure function of (config,
+ * slice index, feedback latency), so fleet campaigns stay
+ * byte-identical across worker-thread counts, and the stream is
+ * invariant to how the horizon is chunked into generateSlice calls of
+ * equal slice width.
+ */
+
+#ifndef VSPEC_FLEET_TRAFFIC_HH
+#define VSPEC_FLEET_TRAFFIC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/units.hh"
+#include "fleet/job.hh"
+
+namespace vspec
+{
+
+class StateWriter;
+class StateReader;
+
+/** One request offered to the fleet. */
+struct TrafficArrival
+{
+    std::uint64_t id = 0;
+    /** Stable user/session identity — the placement affinity key. */
+    std::uint64_t session = 0;
+    /** Index into the generator's job-class table. */
+    unsigned classIndex = 0;
+    Seconds arrival = 0.0;
+    /** Core-seconds of work the request needs. */
+    Seconds serviceTime = 0.0;
+    /** Absolute completion deadline (s). */
+    Seconds deadline = 0.0;
+};
+
+class TrafficGenerator
+{
+  public:
+    struct Config
+    {
+        /** Open-loop fleet-wide mean arrival rate at the diurnal
+         *  midpoint (jobs/s). */
+        double baseArrivalsPerSecond = 100.0;
+
+        /** Modeled user population sessions are drawn from. */
+        std::uint64_t users = 1'000'000;
+        /** Fraction of session draws concentrated on the hot set. */
+        double hotSessionFraction = 0.0;
+        /** Size of the hot (heavy-hitter) session set. */
+        std::uint64_t hotSessions = 1024;
+
+        /** Diurnal modulation depth in [0, 1): rate swings between
+         *  base*(1-A) and base*(1+A). Zero disables the curve. */
+        double diurnalAmplitude = 0.0;
+        /** Period of the diurnal curve (s); compress to taste. */
+        Seconds diurnalPeriod = 86400.0;
+        /** Phase offset (s): the curve peaks a quarter period after
+         *  firstArrival + this offset. */
+        Seconds diurnalPhase = 0.0;
+
+        /** Flash-crowd onset rate (events/hour); zero disables. */
+        double flashesPerHour = 0.0;
+        /** Rate multiplier added at each onset (stacks additively). */
+        double flashMagnitude = 3.0;
+        /** Exponential decay constant of a flash crowd (s). */
+        Seconds flashDecayTau = 20.0;
+
+        /** Users in the closed think-loop; zero disables. */
+        double closedUsers = 0.0;
+        /** Think time between a response and the next request (s). */
+        Seconds thinkTime = 2.0;
+
+        /** The stream opens at this time; nothing arrives earlier. */
+        Seconds firstArrival = 0.0;
+
+        /** Job classes; empty selects defaultJobClasses(). */
+        std::vector<JobClass> classes;
+        std::uint64_t seed = 0x7A5C0ULL;
+    };
+
+    explicit TrafficGenerator(const Config &config);
+
+    /**
+     * Append the arrivals of [slice_start, slice_end) to @p out (not
+     * cleared), in arrival order. @p feedback_latency is the fleet's
+     * recent mean response latency (s), which throttles the
+     * closed-loop share; pass 0 when unknown. Slices must be visited
+     * in order, each exactly once.
+     */
+    void generateSlice(Seconds slice_start, Seconds slice_end,
+                       Seconds feedback_latency,
+                       std::vector<TrafficArrival> &out);
+
+    /**
+     * Deterministic open-loop rate component at time t (diurnal curve
+     * only — flash and closed-loop contributions are stochastic or
+     * feedback state): base * (1 + A*sin(...)), 0 before firstArrival.
+     */
+    double openLoopRate(Seconds t) const;
+
+    /** Current stacked flash-crowd boost (rate multiplier - 1). */
+    double flashBoost() const { return flashBoost_; }
+
+    const std::vector<JobClass> &classes() const { return classTable; }
+    std::uint64_t generated() const { return nextId; }
+
+    const Config &config() const { return cfg; }
+
+    /**
+     * Serialize the stream position: the five RNG streams, the flash
+     * state and the next arrival id. The class table and rate shapes
+     * are construction state.
+     */
+    void saveState(StateWriter &w) const;
+    void loadState(StateReader &r);
+
+  private:
+    Config cfg;
+    std::vector<JobClass> classTable;
+    double totalWeight = 0.0;
+
+    /** Forked streams, one per stochastic purpose (fixed draw order
+     *  within a slice keeps the stream chunk-invariant). */
+    Rng countRng;
+    Rng flashRng;
+    Rng sessionRng;
+    Rng classRng;
+    Rng serviceRng;
+
+    /** Stacked flash-crowd boost; decays exponentially per slice. */
+    double flashBoost_ = 0.0;
+    std::uint64_t nextId = 0;
+
+    unsigned pickClass();
+};
+
+} // namespace vspec
+
+#endif // VSPEC_FLEET_TRAFFIC_HH

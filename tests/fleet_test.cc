@@ -17,6 +17,7 @@
 #include "fleet/scheduler.hh"
 #include "platform/experiment_pool.hh"
 #include "platform/invariant_auditor.hh"
+#include "snapshot/state_io.hh"
 
 namespace vspec
 {
@@ -109,6 +110,45 @@ TEST(JobQueue, ServiceTimesRespectTheClassFloorAndMean)
     // Exponential mean 4.0 with a 0.5 floor: the observed mean sits a
     // little above 4.
     EXPECT_NEAR(batch_sum / double(batch_count), 4.0, 0.6);
+}
+
+TEST(JobQueue, WarmupOffsetSurvivesSnapshotResume)
+{
+    // The regression this pins: a queue with a firstArrival warmup
+    // offset serializes its *absolute* next-arrival time, so a resume
+    // mid-warmup (or mid-stream) continues the identical stream instead
+    // of re-applying the offset.
+    JobQueue::Config cfg = testJobConfig();
+    cfg.firstArrival = 5.0;
+
+    JobQueue whole(cfg);
+    const std::vector<Job> all = whole.drainArrivalsUpTo(40.0);
+    ASSERT_FALSE(all.empty());
+    EXPECT_GE(all.front().arrival, 5.0);
+
+    for (Seconds halt_at : {3.0, 12.0}) { // mid-warmup and mid-stream
+        JobQueue halted(cfg);
+        std::vector<Job> pieces = halted.drainArrivalsUpTo(halt_at);
+
+        StateWriter w;
+        w.beginSection("jobs");
+        halted.saveState(w);
+        w.endSection();
+        JobQueue resumed(cfg);
+        StateReader r(w.finish());
+        r.beginSection("jobs");
+        resumed.loadState(r);
+        r.endSection();
+
+        for (const Job &job : resumed.drainArrivalsUpTo(40.0))
+            pieces.push_back(job);
+        ASSERT_EQ(pieces.size(), all.size()) << "halt at " << halt_at;
+        for (std::size_t i = 0; i < all.size(); ++i) {
+            EXPECT_EQ(pieces[i].id, all[i].id);
+            EXPECT_DOUBLE_EQ(pieces[i].arrival, all[i].arrival);
+            EXPECT_DOUBLE_EQ(pieces[i].serviceTime, all[i].serviceTime);
+        }
+    }
 }
 
 /** A hand-built fleet view: two chips of two cores each. */
@@ -345,6 +385,83 @@ TEST(PowerCapGovernor, DisabledGovernorNeverThrottles)
     EXPECT_TRUE(std::isinf(governor.cap(0)));
 }
 
+TEST(PowerCapGovernor, ColdStartSeedsOnlyFromFullIntervals)
+{
+    // The cold-start bias fix: a partial-interval mean (node admitted
+    // mid-slice, fleet measured right after restore) must neither seed
+    // the demand EWMA nor raise the throttle flag, no matter how large
+    // the instantaneous reading is.
+    PowerCapGovernor governor(testGovernorConfig(40.0), 2);
+    const Seconds interval = governor.config().interval;
+
+    governor.update({{500.0, 0.1 * interval}, {500.0, 0.1 * interval}});
+    EXPECT_FALSE(governor.demandSeeded(0));
+    EXPECT_FALSE(governor.demandSeeded(1));
+    EXPECT_FALSE(governor.throttled(0));
+    EXPECT_FALSE(governor.throttled(1));
+    EXPECT_EQ(governor.throttleEpisodes(), 0u);
+    // No seeded demand anywhere: equal-share caps.
+    EXPECT_DOUBLE_EQ(governor.cap(0), 20.0);
+    EXPECT_DOUBLE_EQ(governor.cap(1), 20.0);
+
+    // The first full interval seeds (the 0.95 grid-slack band counts
+    // as full), and from then on the EWMA tracks measurements.
+    governor.update({{30.0, 0.96 * interval}, {10.0, interval}});
+    EXPECT_TRUE(governor.demandSeeded(0));
+    EXPECT_TRUE(governor.demandSeeded(1));
+    EXPECT_DOUBLE_EQ(governor.demand(0), 30.0);
+    EXPECT_DOUBLE_EQ(governor.demand(1), 10.0);
+    EXPECT_DOUBLE_EQ(governor.cap(0), 5.0 + 30.0 * 0.75);
+    EXPECT_DOUBLE_EQ(governor.cap(1), 5.0 + 30.0 * 0.25);
+}
+
+TEST(PowerCapGovernor, UnseededChipsCompeteWithImputedDemand)
+{
+    // A chip still waiting for its first full interval competes with
+    // the mean demand of the seeded chips, not from the floor.
+    PowerCapGovernor governor(testGovernorConfig(100.0), 4);
+    const Seconds interval = governor.config().interval;
+    governor.update({{30.0, interval},
+                     {30.0, interval},
+                     {900.0, 0.2 * interval},
+                     {0.0, 0.2 * interval}});
+    EXPECT_TRUE(governor.demandSeeded(0));
+    EXPECT_FALSE(governor.demandSeeded(2));
+    EXPECT_FALSE(governor.demandSeeded(3));
+    // Imputed demand 30 for chips 2 and 3: all four caps equal.
+    for (unsigned i = 0; i < 4; ++i)
+        EXPECT_DOUBLE_EQ(governor.cap(i), 25.0);
+}
+
+TEST(PowerCapGovernor, HysteresisEdgesAreExact)
+{
+    // The edge semantics the fleet relies on: power exactly *at* the
+    // cap does not throttle (strict >), and power exactly at
+    // resumeFraction x cap resumes (inclusive <=).
+    PowerCapGovernor governor(testGovernorConfig(40.0), 2);
+
+    governor.update({30.0, 10.0}); // caps 27.5 / 12.5
+    EXPECT_TRUE(governor.throttled(0));
+    EXPECT_EQ(governor.throttleEpisodes(), 1u);
+
+    // Equal demands put both caps at 20. Just above the resume edge
+    // (0.9 x 20 = 18): stays throttled.
+    governor.update({18.0001, 18.0001});
+    EXPECT_TRUE(governor.throttled(0));
+    EXPECT_FALSE(governor.throttled(1));
+
+    // Exactly at the edge: resumes.
+    governor.update({18.0, 18.0});
+    EXPECT_FALSE(governor.throttled(0));
+    EXPECT_EQ(governor.throttleEpisodes(), 1u);
+
+    // Exactly at the cap: no new episode.
+    governor.update({20.0, 20.0});
+    EXPECT_FALSE(governor.throttled(0));
+    EXPECT_FALSE(governor.throttled(1));
+    EXPECT_EQ(governor.throttleEpisodes(), 1u);
+}
+
 TEST(FleetMetrics, MergeMatchesSerialRecording)
 {
     const JobClass critical = criticalClass();
@@ -383,6 +500,58 @@ TEST(FleetMetrics, MergeMatchesSerialRecording)
     EXPECT_DOUBLE_EQ(merged.latencyStats().mean(),
                      serial.latencyStats().mean());
     EXPECT_GT(merged.slaViolations(), 0u);
+}
+
+TEST(FleetMetrics, MergeIsOrderInvariantAndAdoptsIntoFreshState)
+{
+    // The merge-order regression: report() folds shard accumulators in
+    // shard order, and the result must not depend on that order — the
+    // sketch bins, counters and moments are all commutative.
+    const JobClass critical = criticalClass();
+    const JobClass batch = batchClass();
+
+    std::vector<FleetMetrics> shards(4);
+    for (std::uint64_t i = 0; i < 400; ++i) {
+        Job job;
+        job.id = i;
+        job.arrival = 0.25 * double(i);
+        job.deadline = job.arrival + 3.0;
+        const Seconds completion =
+            job.arrival + 0.05 + double(i % 97) * 0.07;
+        shards[i % shards.size()].recordCompletion(
+            job, (i % 4 == 0) ? critical : batch, completion);
+    }
+
+    FleetMetrics forward;
+    for (std::size_t s = 0; s < shards.size(); ++s)
+        forward.merge(shards[s]);
+    FleetMetrics backward;
+    for (std::size_t s = shards.size(); s-- > 0;)
+        backward.merge(shards[s]);
+    FleetMetrics shuffled;
+    for (std::size_t s : {2u, 0u, 3u, 1u})
+        shuffled.merge(shards[s]);
+
+    for (const FleetMetrics *other : {&backward, &shuffled}) {
+        EXPECT_EQ(forward.completed(), other->completed());
+        EXPECT_EQ(forward.slaViolations(), other->slaViolations());
+        EXPECT_EQ(forward.latencyQuantile(0.5),
+                  other->latencyQuantile(0.5));
+        EXPECT_EQ(forward.latencyQuantile(0.99),
+                  other->latencyQuantile(0.99));
+        // The running-stats mean is a floating-point fold, so merge
+        // order moves its last bit; report() always folds in shard
+        // order, which is what keeps runs byte-identical.
+        EXPECT_DOUBLE_EQ(forward.latencyStats().mean(),
+                         other->latencyStats().mean());
+    }
+
+    // Merging an empty accumulator changes nothing; merging *into* a
+    // fresh one adopts the other's state wholesale.
+    const double before = forward.latencyQuantile(0.99);
+    forward.merge(FleetMetrics());
+    EXPECT_EQ(forward.latencyQuantile(0.99), before);
+    EXPECT_EQ(forward.completed(), 400u);
 }
 
 FleetConfig
@@ -504,6 +673,10 @@ TEST(Fleet, RequeuesJobsOffAbandonedCoresAndReportsAvailability)
     EXPECT_GT(report.requeued, 0u);
     EXPECT_LT(report.availability, 1.0);
     EXPECT_GT(report.availability, 0.0);
+    // Conservation even under a DUE storm: every submitted job is
+    // completed, still queued (requeued ones included) or running.
+    EXPECT_EQ(report.submitted, report.completed + report.pendingAtEnd +
+                                    report.runningAtEnd);
 }
 
 TEST(Fleet, GovernorThrottlesUnderATightCapAndWorkStillCompletes)

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * QuantileSketch: the mergeable latency sketch the fleet metrics ride
+ * on. The determinism tests are exact (EXPECT_EQ on doubles, by
+ * design): sharded and merged sketches must be *bit-identical* to the
+ * single-shard sketch, not merely close, because fleet reports are
+ * byte-compared across worker-thread counts.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/quantile_sketch.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "snapshot/state_io.hh"
+
+using namespace vspec;
+
+namespace
+{
+
+/** Latency-shaped sample set: lognormal body with a heavy tail. */
+std::vector<double>
+latencySamples(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<double> samples;
+    samples.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double x = std::exp(rng.gaussian(-0.5, 0.8));
+        if (rng.bernoulli(0.02))
+            x *= 20.0; // stragglers
+        samples.push_back(x);
+    }
+    return samples;
+}
+
+/** The ceil-rank order statistic the sketch estimates. */
+double
+exactQuantile(std::vector<double> sorted, double q)
+{
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t n = sorted.size();
+    const std::size_t rank = std::min(
+        n - 1, std::size_t(std::ceil(q * double(n))) -
+                   (q > 0.0 ? 1 : 0));
+    return sorted[rank];
+}
+
+} // namespace
+
+TEST(QuantileSketch, EmptySketchReportsZero)
+{
+    QuantileSketch sketch;
+    EXPECT_EQ(sketch.totalCount(), 0u);
+    EXPECT_EQ(sketch.quantile(0.5), 0.0);
+    EXPECT_EQ(sketch.quantile(1.0), 0.0);
+}
+
+TEST(QuantileSketch, ErrorBoundHoldsAgainstSortedSamples)
+{
+    const auto samples = latencySamples(20000, 0xBEEF);
+    QuantileSketch sketch;
+    for (double x : samples)
+        sketch.add(x);
+    ASSERT_EQ(sketch.totalCount(), samples.size());
+
+    const double bound = sketch.relativeErrorBound();
+    EXPECT_NEAR(bound, 0.009, 0.002); // ~0.9% at 128 bins/decade
+    for (double q : {0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 0.999}) {
+        const double truth = exactQuantile(samples, q);
+        const double est = sketch.quantile(q);
+        EXPECT_LE(std::abs(est - truth), bound * truth * 1.0000001)
+            << "q=" << q << " truth=" << truth << " est=" << est;
+    }
+}
+
+TEST(QuantileSketch, MergeIsIdenticalForEveryShardCount)
+{
+    const auto samples = latencySamples(5000, 0x5EED);
+    QuantileSketch reference;
+    for (double x : samples)
+        reference.add(x);
+
+    for (std::size_t num_shards : {2u, 3u, 8u, 16u}) {
+        // Round-robin the identical stream over the shards, then fold
+        // in shard order — the exact structure of a fleet report.
+        std::vector<QuantileSketch> shards(num_shards);
+        for (std::size_t i = 0; i < samples.size(); ++i)
+            shards[i % num_shards].add(samples[i]);
+        QuantileSketch merged;
+        for (const QuantileSketch &shard : shards)
+            merged.merge(shard);
+
+        ASSERT_EQ(merged.totalCount(), reference.totalCount());
+        for (std::size_t b = 0; b < reference.numBins(); ++b)
+            ASSERT_EQ(merged.binCount(b), reference.binCount(b))
+                << "bin " << b << " with " << num_shards << " shards";
+        for (double q : {0.0, 0.25, 0.5, 0.99, 1.0})
+            EXPECT_EQ(merged.quantile(q), reference.quantile(q));
+    }
+}
+
+TEST(QuantileSketch, MergeOrderDoesNotMatter)
+{
+    const auto samples = latencySamples(3000, 0xC0DE);
+    std::vector<QuantileSketch> shards(5);
+    for (std::size_t i = 0; i < samples.size(); ++i)
+        shards[i % shards.size()].add(samples[i]);
+
+    QuantileSketch forward;
+    for (std::size_t s = 0; s < shards.size(); ++s)
+        forward.merge(shards[s]);
+    QuantileSketch backward;
+    for (std::size_t s = shards.size(); s-- > 0;)
+        backward.merge(shards[s]);
+
+    for (std::size_t b = 0; b < forward.numBins(); ++b)
+        ASSERT_EQ(forward.binCount(b), backward.binCount(b));
+    for (double q : {0.5, 0.9, 0.99})
+        EXPECT_EQ(forward.quantile(q), backward.quantile(q));
+}
+
+TEST(QuantileSketch, EmptyMergeIsANoOpEvenAcrossGeometries)
+{
+    QuantileSketch sketch;
+    sketch.add(1.0);
+    sketch.add(2.0);
+    const double before = sketch.quantile(0.5);
+
+    QuantileSketch empty_same;
+    sketch.merge(empty_same);
+    QuantileSketch::Geometry other_geo;
+    other_geo.binsPerDecade = 16;
+    QuantileSketch empty_other(other_geo);
+    sketch.merge(empty_other); // different shape, but empty: no-op
+
+    EXPECT_EQ(sketch.totalCount(), 2u);
+    EXPECT_EQ(sketch.quantile(0.5), before);
+}
+
+TEST(QuantileSketch, UnderAndOverflowClampToTheRangeEdges)
+{
+    QuantileSketch sketch;
+    sketch.add(0.0);    // below minValue
+    sketch.add(-3.0);   // nonsense input still counts, as underflow
+    sketch.add(1e12);   // beyond the 7-decade range
+    EXPECT_EQ(sketch.totalCount(), 3u);
+    EXPECT_EQ(sketch.quantile(0.0), sketch.minValue());
+    EXPECT_EQ(sketch.quantile(1.0), sketch.maxValue());
+}
+
+TEST(QuantileSketch, AgreesWithLinearHistogramWithinBothQuantizations)
+{
+    // The validation-mode cross-check the fleet runs with
+    // --latency-exact: both estimators name the bin of the same
+    // ceil-rank order statistic, so they can differ by at most the log
+    // bin's relative error plus the linear bin's half width.
+    const auto samples = latencySamples(10000, 0xFACE);
+    QuantileSketch sketch;
+    Histogram hist(0.0, 120.0, 1200);
+    for (double x : samples) {
+        sketch.add(x);
+        hist.add(x);
+    }
+    const double half_bin = 0.05;
+    for (double q : {0.5, 0.9, 0.99}) {
+        const double s = sketch.quantile(q);
+        const double h = hist.quantile(q);
+        EXPECT_LE(std::abs(s - h),
+                  sketch.relativeErrorBound() * (h + half_bin) + half_bin)
+            << "q=" << q;
+    }
+}
+
+TEST(QuantileSketch, SnapshotRoundTripsAndChecksGeometry)
+{
+    const auto samples = latencySamples(1000, 0xABCD);
+    QuantileSketch sketch;
+    for (double x : samples)
+        sketch.add(x);
+
+    StateWriter w;
+    w.beginSection("sketch");
+    sketch.saveState(w);
+    w.endSection();
+    {
+        StateReader r(w.finish());
+        r.beginSection("sketch");
+        QuantileSketch restored;
+        restored.loadState(r);
+        r.endSection();
+        ASSERT_EQ(restored.totalCount(), sketch.totalCount());
+        for (std::size_t b = 0; b < sketch.numBins(); ++b)
+            ASSERT_EQ(restored.binCount(b), sketch.binCount(b));
+        for (double q : {0.5, 0.99})
+            EXPECT_EQ(restored.quantile(q), sketch.quantile(q));
+    }
+    {
+        StateReader r(w.finish());
+        r.beginSection("sketch");
+        QuantileSketch::Geometry narrow;
+        narrow.decades = 4;
+        QuantileSketch wrong(narrow);
+        EXPECT_THROW(wrong.loadState(r), SnapshotError);
+    }
+}
