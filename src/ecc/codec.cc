@@ -1,5 +1,6 @@
 #include "ecc/codec.hh"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <map>
@@ -168,8 +169,12 @@ double
 correctableBudgetScale(const CodecTraits &traits,
                        double target_uncorrectable)
 {
-    const CodecTraits baseline =
-        codecTraits(EccScheme::hamming, traits.dataBits);
+    // The block codec protects a 4096-bit line; word-level Hamming can
+    // only be built up to 64 data bits, so the baseline is the SECDED
+    // word of the same width capped at the monitored-word size. For
+    // every word-level scheme the cap is an identity.
+    const CodecTraits baseline = codecTraits(
+        EccScheme::hamming, std::min(traits.dataBits, 64u));
     // Same radius and length as the Hamming baseline (hamming itself,
     // hsiao): identical tolerance — return exactly 1.0 so default-path
     // behavior is bit-for-bit unchanged.

@@ -56,6 +56,9 @@ FleetNode::FleetNode(const FleetConfig &config, unsigned index)
     if (!config.nodeSchemes.empty())
         chip_cfg.eccScheme =
             config.nodeSchemes[index % config.nodeSchemes.size()];
+    if (!config.nodeMemDomains.empty())
+        chip_cfg.memDomains =
+            config.nodeMemDomains[index % config.nodeMemDomains.size()];
     chip_ = std::make_unique<Chip>(chip_cfg);
 
     // Throughput cost of the node's protection tier: extra decode
@@ -92,6 +95,52 @@ FleetNode::FleetNode(const FleetConfig &config, unsigned index)
     if (config.exactLatencyValidation)
         shard.enableExactHistogram();
     powerMark = sim->chipEnergy().snapshot();
+}
+
+double
+FleetNode::memServiceFactor() const
+{
+    const unsigned n = chip_->numMemDomains();
+    if (n == 0)
+        return 1.0;
+    // Mean relative access-latency growth across the node's memory
+    // domains at their live rail voltages: undervolted memory serves
+    // every job a little slower (Voltron's latency-reliability trade).
+    double ratio_sum = 0.0;
+    for (unsigned m = 0; m < n; ++m) {
+        const MemDomain &md = chip_->memDomain(m);
+        ratio_sum += md.array().accessLatencyNs(md.effectiveVoltage()) /
+                     md.array().accessLatencyNs(md.nominalMv());
+    }
+    const double mean_ratio = ratio_sum / double(n);
+    return 1.0 + (mean_ratio - 1.0) * cfg->memLatencyServiceWeight;
+}
+
+Joule
+FleetNode::memEnergy() const
+{
+    Joule total = 0.0;
+    for (unsigned m = 0; m < chip_->numMemDomains(); ++m)
+        total += sim->memEnergy(m).energy();
+    return total;
+}
+
+std::uint64_t
+FleetNode::memRecoveries() const
+{
+    std::uint64_t total = 0;
+    for (unsigned m = 0; m < chip_->numMemDomains(); ++m)
+        total += chip_->memDomain(m).recoveries();
+    return total;
+}
+
+std::uint64_t
+FleetNode::memCorrectableEvents() const
+{
+    std::uint64_t total = 0;
+    for (unsigned m = 0; m < chip_->numMemDomains(); ++m)
+        total += sim->memCorrectableEvents(m);
+    return total;
 }
 
 unsigned
@@ -145,6 +194,9 @@ FleetNode::placeJob(unsigned core, const Job &job)
     slot.remaining = job.serviceTime;
     if (eccServiceFactor != 1.0)
         slot.remaining *= eccServiceFactor;
+    const double mem_factor = memServiceFactor();
+    if (mem_factor != 1.0)
+        slot.remaining *= mem_factor;
     slot.energyMark = sim->coreEnergy(core).energy();
     chip_->core(core).setWorkload(
         benchmarks::suiteSequence(classTableEntry(job).suite,
@@ -435,6 +487,9 @@ Fleet::report() const
             rep.injectedBitFlips += inj->stats().bitFlips;
             rep.injectedDues += inj->stats().dues;
         }
+        rep.memEnergy += node->memEnergy();
+        rep.memRecoveries += node->memRecoveries();
+        rep.memCorrectable += node->memCorrectableEvents();
     }
     if (!nodes.empty())
         rep.availability /= double(nodes.size());

@@ -82,6 +82,25 @@ struct FleetConfig
      */
     double eccLatencyServiceWeight = 0.004;
 
+    /**
+     * Heterogeneous memory configs: when non-empty, chip i gets
+     * nodeMemDomains[i % size] as its mem-domain list (possibly an
+     * empty entry, meaning "this tier has no undervolted memory").
+     * Empty (the default) leaves every chip with the template's
+     * memDomains — normally none.
+     */
+    std::vector<std::vector<MemDomainConfig>> nodeMemDomains;
+
+    /**
+     * Service-time stretch per unit of relative mem access-latency
+     * growth: a node whose memory domains run (on average) at
+     * accessLatencyNs(v) = r * accessLatencyNs(nominal) serves each
+     * job in serviceTime * (1 + (r - 1) * this). Nodes without mem
+     * domains have a factor of exactly 1.0 (skip-multiply, baseline
+     * arithmetic untouched).
+     */
+    double memLatencyServiceWeight = 0.02;
+
     /** Scheduling quantum (s): arrivals, placement, merges. */
     Seconds slice = 0.05;
     /** Simulator tick within a slice (s). */
@@ -193,6 +212,18 @@ class FleetNode
     Joule chipEnergy() const { return sim->chipEnergy().energy(); }
 
     /**
+     * Live service-time multiplier from the node's memory domains'
+     * current latency stretch (1.0 when the node has none).
+     */
+    double memServiceFactor() const;
+    /** Sum of mem-domain energy accounts (J; 0 without domains). */
+    Joule memEnergy() const;
+    /** Sum of mem-domain DUE recoveries. */
+    std::uint64_t memRecoveries() const;
+    /** Sum of mem-domain workload correctable events. */
+    std::uint64_t memCorrectableEvents() const;
+
+    /**
      * Serialize the node's job slots, requeue list, metrics shard,
      * governor power mark and the full chip simulation (via
      * Simulator::snapshot). loadState expects a freshly constructed
@@ -276,6 +307,12 @@ struct FleetReport
     std::uint64_t throttleEpisodes = 0;
     std::uint64_t injectedBitFlips = 0;
     std::uint64_t injectedDues = 0;
+    /** Energy drawn by the fleet's memory domains (J). */
+    Joule memEnergy = 0.0;
+    /** Mem-domain DUE recoveries (rail-to-nominal re-fetches). */
+    std::uint64_t memRecoveries = 0;
+    /** Mem-domain workload correctable events. */
+    std::uint64_t memCorrectable = 0;
 };
 
 class Fleet

@@ -53,6 +53,16 @@ Chip::Chip(const ChipConfig &config)
             domains_.back().addCore(
                 cores_[d * cfg.coresPerDomain + j].get());
     }
+
+    // Off-chip memory domains are opt-in (memDomains defaults empty),
+    // and their RNG forks live inside this loop so a mem-less chip
+    // draws exactly the same stream it always has.
+    memDomains_.reserve(cfg.memDomains.size());
+    for (std::size_t m = 0; m < cfg.memDomains.size(); ++m) {
+        Rng mem_rng = chipRng.fork(0x3E30ULL + m);
+        memDomains_.push_back(std::make_unique<MemDomain>(
+            cfg.memDomains[m], unsigned(m), mem_rng));
+    }
 }
 
 unsigned
@@ -141,6 +151,8 @@ Chip::totalPower(Seconds t) const
     Watt total = powerModel.uncorePower();
     for (unsigned i = 0; i < numCores(); ++i)
         total += corePower(i, t);
+    for (const auto &md : memDomains_)
+        total += md->totalPower(powerModel);
     return total;
 }
 
@@ -176,6 +188,9 @@ Chip::saveState(StateWriter &w) const
     w.putU64(monitors_.size());
     for (const auto &m : monitors_)
         m->saveState(w);
+    w.putU64(memDomains_.size());
+    for (const auto &md : memDomains_)
+        md->saveState(w);
 }
 
 void
@@ -204,6 +219,13 @@ Chip::loadState(StateReader &r)
                             std::to_string(monitors_.size()));
     for (auto &m : monitors_)
         m->loadState(r);
+    const std::uint64_t n_mem = r.getU64();
+    if (n_mem != memDomains_.size())
+        throw SnapshotError("mem domain count mismatch: snapshot has " +
+                            std::to_string(n_mem) + ", chip has " +
+                            std::to_string(memDomains_.size()));
+    for (auto &md : memDomains_)
+        md->loadState(r);
 }
 
 } // namespace vspec

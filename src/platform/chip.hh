@@ -17,6 +17,7 @@
 #include "common/rng.hh"
 #include "core/ecc_monitor.hh"
 #include "cpu/core_model.hh"
+#include "mem/mem_domain.hh"
 #include "pdn/pdn_model.hh"
 #include "pdn/regulator.hh"
 #include "power/power_model.hh"
@@ -47,6 +48,13 @@ struct ChipConfig
      * correctable budget, i.e. deeper Vdd floors.
      */
     EccScheme eccScheme = EccScheme::hamming;
+    /**
+     * Off-chip memory speculation domains (DRAM/HBM arrays with their
+     * own rails, block-codec ECC feedback and latency coupling).
+     * Empty by default: a mem-less chip is bit-identical to every
+     * pre-mem-domain configuration.
+     */
+    std::vector<MemDomainConfig> memDomains;
 };
 
 /** One core-pair power rail with its regulator and activity state. */
@@ -115,6 +123,17 @@ class Chip
     /** Monitor owning the given array; panic if not an L2 array. */
     EccMonitor &monitorFor(const CacheArray &array);
 
+    /** Off-chip memory speculation domains (empty unless configured). */
+    unsigned numMemDomains() const
+    {
+        return unsigned(memDomains_.size());
+    }
+    MemDomain &memDomain(unsigned i) { return *memDomains_.at(i); }
+    const MemDomain &memDomain(unsigned i) const
+    {
+        return *memDomains_.at(i);
+    }
+
     /** Deterministic chip-level RNG stream (forked per use). */
     Rng &rng() { return chipRng; }
 
@@ -149,6 +168,7 @@ class Chip
     std::vector<VoltageDomain> domains_;
     /** 2 monitors per core: [2*i] = L2I, [2*i + 1] = L2D. */
     std::vector<std::unique_ptr<EccMonitor>> monitors_;
+    std::vector<std::unique_ptr<MemDomain>> memDomains_;
 };
 
 } // namespace vspec

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "ecc/bch.hh"
 
 namespace vspec
 {
@@ -68,6 +69,50 @@ armHardware(Chip &chip, ControlPolicy base_policy,
                " line (set ", target->set, ", way ", target->way,
                ") of core ", target->coreId, ", first error at ",
                target->firstErrorVdd, " mV");
+    }
+
+    // Memory domains join the same control system: one controller per
+    // mem rail, its monitor pointed at the array's analytically
+    // weakest codeword line. The block codec's budget scale is large
+    // (t=8 over 4201 bits), so the band clamps bind — the mem tiers
+    // run at the deepest earned floors the policy allows.
+    if (chip.numMemDomains() > 0) {
+        const double mem_scale =
+            correctableBudgetScale(bchLarge512().traits());
+        for (unsigned m = 0; m < chip.numMemDomains(); ++m) {
+            MemDomain &md = chip.memDomain(m);
+            ControlPolicy mem_policy = base_policy;
+            mem_policy.maxVdd = md.nominalMv();
+            if (mem_scale != 1.0) {
+                mem_policy.ceilingRate =
+                    std::min(0.5, base_policy.ceilingRate * mem_scale);
+                mem_policy.floorRate =
+                    std::min(mem_policy.ceilingRate * 0.5,
+                             base_policy.floorRate * mem_scale);
+                md.monitor().setEmergencyCeiling(std::min(
+                    1.0,
+                    md.config().monitor.emergencyCeiling * mem_scale));
+            }
+
+            const MemArray::WeakLineRef weakest =
+                md.array().weakestLine();
+            md.monitor().activate(md.array(), weakest.bank,
+                                  weakest.line);
+            setup.control->addDomain(md.rail(), md.monitor(),
+                                     mem_policy);
+
+            MemDomainTarget target;
+            target.domainIndex = m;
+            target.name = md.name();
+            target.bank = weakest.bank;
+            target.line = weakest.line;
+            target.firstErrorVdd = md.array().firstErrorVoltage();
+            setup.memTargets.push_back(target);
+
+            inform("mem domain ", md.name(), ": monitoring bank ",
+                   weakest.bank, " line ", weakest.line,
+                   ", first error at ", target.firstErrorVdd, " mV");
+        }
     }
     return setup;
 }

@@ -30,11 +30,25 @@
 namespace vspec
 {
 
+/** Designated monitor line of one memory speculation domain. */
+struct MemDomainTarget
+{
+    unsigned domainIndex = 0;
+    /** Domain name ("dram0", "hbm1", ...). */
+    std::string name;
+    unsigned bank = 0;
+    std::uint64_t line = 0;
+    /** Analytic first-error voltage of the designated line (mV). */
+    Millivolt firstErrorVdd = 0.0;
+};
+
 /** Everything created when the hardware speculation system is armed. */
 struct HardwareSpeculationSetup
 {
     /** The designated weakest line of every voltage domain. */
     std::vector<WeakLineTarget> targets;
+    /** The designated line of every memory domain (if any). */
+    std::vector<MemDomainTarget> memTargets;
     /** Control system wired to those domains' monitors. */
     std::unique_ptr<VoltageControlSystem> control;
 };

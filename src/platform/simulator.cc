@@ -13,6 +13,9 @@ Simulator::Simulator(Chip &chip, Seconds tick)
       coreEnergy_(chip.numCores()),
       coreEvents(chip.numCores(), 0),
       traceProbeAccum(chip.numDomains()),
+      memProbeAccum(chip.numMemDomains()),
+      memEvents_(chip.numMemDomains(), 0),
+      memEnergy_(chip.numMemDomains()),
       simRng(chip.rng().fork(0x51B7ULL))
 {
     if (tick <= 0.0)
@@ -163,6 +166,22 @@ Simulator::step(Seconds dt)
         }
     }
 
+    // 4b. Memory domains: aggregate demand traffic, then the domain
+    // monitor's probe burst — the mem analogue of phases 3-4. Both
+    // draw from simRng inline, after every core draw, so a mem-less
+    // chip's stream is untouched.
+    for (unsigned m = 0; m < chip_->numMemDomains(); ++m) {
+        MemDomain &md = chip_->memDomain(m);
+        const MemDomain::TickResult traffic =
+            md.tickTraffic(dt, simRng);
+        memEvents_[m] += traffic.correctable;
+        traceWorkloadErrors += traffic.correctable;
+        if (md.monitor().active()) {
+            memProbeAccum[m] += md.monitor().runProbes(
+                dt, md.effectiveVoltage(), simRng);
+        }
+    }
+
     // 5. Recovery first — a core that crashed this tick is restored
     // before the controllers run, so the post-recovery backoff applies
     // within the same tick — then controllers and hooks.
@@ -181,6 +200,21 @@ Simulator::step(Seconds dt)
             }
             if (softwareSpecs[d])
                 softwareSpecs[d]->notifyRecovery();
+        }
+    }
+    // Memory DUEs are serviced locally (rail to nominal + re-fetch):
+    // they back off the mem domain's own controller and never touch
+    // the cores' recovery manager or their earned floors.
+    for (unsigned m = 0; m < chip_->numMemDomains(); ++m) {
+        MemDomain &md = chip_->memDomain(m);
+        if (!md.duePending())
+            continue;
+        md.serviceDue();
+        if (controlSystem) {
+            DomainController *controller =
+                controlSystem->controllerFor(md.rail());
+            if (controller)
+                controller->notifyRecovery();
         }
     }
     if (controlSystem)
@@ -212,6 +246,15 @@ Simulator::step(Seconds dt)
             coreEnergy_[core->id()].addSample(
                 chip_->corePower(core->id(), t), dt, core_overhead);
         }
+    }
+    for (unsigned m = 0; m < chip_->numMemDomains(); ++m) {
+        MemDomain &md = chip_->memDomain(m);
+        md.rail().advance(dt);
+        memEnergy_[m].addSample(
+            md.refreshPower() + md.checkCellPower(chip_->power()), dt,
+            0.0, EnergyCategory::memRefresh);
+        memEnergy_[m].addEnergy(md.accessStreamPower() * dt,
+                                EnergyCategory::memAccess);
     }
     chipEnergy_.addSample(chip_->totalPower(t), dt);
     if (recovery)
@@ -283,6 +326,13 @@ Simulator::snapshot(StateWriter &w) const
         w.putBool(spec != nullptr);
     w.putBool(recovery != nullptr);
     w.putBool(injector != nullptr);
+    w.putU64(memProbeAccum.size());
+    for (const ProbeStats &s : memProbeAccum) {
+        w.putU64(s.accesses);
+        w.putU64(s.correctableEvents);
+        w.putU64(s.uncorrectableEvents);
+    }
+    w.putU64Vector(memEvents_);
     w.endSection();
 
     w.beginSection("chip");
@@ -294,6 +344,9 @@ Simulator::snapshot(StateWriter &w) const
     for (const EnergyAccount &account : coreEnergy_)
         account.saveState(w);
     chipEnergy_.saveState(w);
+    w.putU64(memEnergy_.size());
+    for (const EnergyAccount &account : memEnergy_)
+        account.saveState(w);
     w.endSection();
 
     w.beginSection("log");
@@ -386,6 +439,21 @@ Simulator::restore(StateReader &r)
         throw SnapshotError("recovery manager attachment mismatch");
     if (has_injector != (injector != nullptr))
         throw SnapshotError("fault injector attachment mismatch");
+    const std::uint64_t n_mem_accum = r.getU64();
+    if (n_mem_accum != memProbeAccum.size())
+        throw SnapshotError(
+            "mem domain probe accumulator count mismatch: snapshot has " +
+            std::to_string(n_mem_accum) + ", simulator has " +
+            std::to_string(memProbeAccum.size()));
+    for (ProbeStats &s : memProbeAccum) {
+        s.accesses = r.getU64();
+        s.correctableEvents = r.getU64();
+        s.uncorrectableEvents = r.getU64();
+    }
+    const std::vector<std::uint64_t> mem_events = r.getU64Vector();
+    if (mem_events.size() != memEvents_.size())
+        throw SnapshotError("mem event counter count mismatch");
+    memEvents_ = mem_events;
     r.endSection();
 
     r.beginSection("chip");
@@ -399,6 +467,11 @@ Simulator::restore(StateReader &r)
     for (EnergyAccount &account : coreEnergy_)
         account.loadState(r);
     chipEnergy_.loadState(r);
+    const std::uint64_t n_mem_accounts = r.getU64();
+    if (n_mem_accounts != memEnergy_.size())
+        throw SnapshotError("mem energy account count mismatch");
+    for (EnergyAccount &account : memEnergy_)
+        account.loadState(r);
     r.endSection();
 
     r.beginSection("log");

@@ -122,6 +122,26 @@ class Simulator
     }
 
     /**
+     * Per-mem-domain accumulated energy (refresh + check-cell leakage
+     * under EnergyCategory::memRefresh, the demand access stream under
+     * EnergyCategory::memAccess).
+     */
+    const EnergyAccount &memEnergy(unsigned mem_domain) const
+    {
+        return memEnergy_.at(mem_domain);
+    }
+    /** Cumulative monitor probe traffic for one mem domain. */
+    const ProbeStats &memProbeStats(unsigned mem_domain) const
+    {
+        return memProbeAccum.at(mem_domain);
+    }
+    /** Cumulative correctable events from mem-domain traffic. */
+    std::uint64_t memCorrectableEvents(unsigned mem_domain) const
+    {
+        return memEvents_.at(mem_domain);
+    }
+
+    /**
      * Serialize the full dynamic state of the simulation into named,
      * checksummed sections: the chip (RNGs, PDN transient, regulators,
      * cores, monitors), the simulator's own clock/energy/telemetry and
@@ -155,6 +175,12 @@ class Simulator
 
     /** Monitor probe stats per domain, accumulated per trace interval. */
     std::vector<ProbeStats> traceProbeAccum;
+    /** Mem-domain monitor probe stats, accumulated since start. */
+    std::vector<ProbeStats> memProbeAccum;
+    /** Cumulative mem-domain workload correctable events. */
+    std::vector<std::uint64_t> memEvents_;
+    /** Per-mem-domain energy accounts. */
+    std::vector<EnergyAccount> memEnergy_;
     std::uint64_t traceWorkloadErrors = 0;
     Seconds traceInterval = 0.0;
     Seconds sinceTraceSample = 0.0;

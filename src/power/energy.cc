@@ -1,5 +1,7 @@
 #include "power/energy.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 #include "snapshot/state_io.hh"
 
@@ -7,7 +9,8 @@ namespace vspec
 {
 
 void
-EnergyAccount::addSample(Watt power, Seconds dt, double overhead_fraction)
+EnergyAccount::addSample(Watt power, Seconds dt, double overhead_fraction,
+                         EnergyCategory category)
 {
     if (dt < 0.0)
         panic("EnergyAccount: negative sample duration");
@@ -16,14 +19,16 @@ EnergyAccount::addSample(Watt power, Seconds dt, double overhead_fraction)
     const Seconds stretched = dt * (1.0 + overhead_fraction);
     totalEnergy += power * stretched;
     totalTime += stretched;
+    categories[std::size_t(category)] += power * stretched;
 }
 
 void
-EnergyAccount::addEnergy(Joule energy)
+EnergyAccount::addEnergy(Joule energy, EnergyCategory category)
 {
     if (energy < 0.0)
         panic("EnergyAccount: negative energy");
     totalEnergy += energy;
+    categories[std::size_t(category)] += energy;
 }
 
 Watt
@@ -46,6 +51,7 @@ EnergyAccount::reset()
 {
     totalEnergy = 0.0;
     totalTime = 0.0;
+    categories.fill(0.0);
 }
 
 void
@@ -53,6 +59,8 @@ EnergyAccount::saveState(StateWriter &w) const
 {
     w.putDouble(totalEnergy);
     w.putDouble(totalTime);
+    w.putDoubleVector(
+        std::vector<double>(categories.begin(), categories.end()));
 }
 
 void
@@ -60,6 +68,13 @@ EnergyAccount::loadState(StateReader &r)
 {
     totalEnergy = r.getDouble();
     totalTime = r.getDouble();
+    const std::vector<double> cats = r.getDoubleVector();
+    if (cats.size() != categories.size())
+        throw SnapshotError(
+            "energy category count mismatch: snapshot has " +
+            std::to_string(cats.size()) + ", account has " +
+            std::to_string(categories.size()));
+    std::copy(cats.begin(), cats.end(), categories.begin());
 }
 
 } // namespace vspec

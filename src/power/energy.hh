@@ -10,6 +10,8 @@
 #ifndef VSPEC_POWER_ENERGY_HH
 #define VSPEC_POWER_ENERGY_HH
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -23,7 +25,22 @@ class StateWriter;
 class StateReader;
 
 /**
- * Accumulates energy from (power, dt) samples.
+ * What an energy deposit paid for. Core compute is the default;
+ * memory-domain refresh (background, always on) and the access stream
+ * (demand-proportional) are split out so the mem-domain benches can
+ * report where undervolting the rails actually saves energy.
+ */
+enum class EnergyCategory : std::uint8_t
+{
+    core = 0,
+    memRefresh = 1,
+    memAccess = 2,
+};
+
+constexpr std::size_t kNumEnergyCategories = 3;
+
+/**
+ * Accumulates energy from (power, dt) samples, split by category.
  */
 class EnergyAccount
 {
@@ -31,17 +48,25 @@ class EnergyAccount
     EnergyAccount() = default;
 
     /** Add a sample: power held for dt, with optional runtime stretch. */
-    void addSample(Watt power, Seconds dt, double overhead_fraction = 0.0);
+    void addSample(Watt power, Seconds dt, double overhead_fraction = 0.0,
+                   EnergyCategory category = EnergyCategory::core);
 
     /**
      * Add a fixed amount of energy with no accounted time — used for
      * discrete events such as crash recovery (checkpoint restore burns
      * energy while the core makes no forward progress).
      */
-    void addEnergy(Joule energy);
+    void addEnergy(Joule energy,
+                   EnergyCategory category = EnergyCategory::core);
 
     /** Total accumulated energy (J). */
     Joule energy() const { return totalEnergy; }
+
+    /** Energy accumulated under one category (J). */
+    Joule energyIn(EnergyCategory category) const
+    {
+        return categories[std::size_t(category)];
+    }
 
     /** Total accounted (stretched) time (s). */
     Seconds elapsed() const { return totalTime; }
@@ -75,6 +100,7 @@ class EnergyAccount
   private:
     Joule totalEnergy = 0.0;
     Seconds totalTime = 0.0;
+    std::array<Joule, kNumEnergyCategories> categories{};
 };
 
 } // namespace vspec

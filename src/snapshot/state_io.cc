@@ -266,6 +266,7 @@ StateReader::StateReader(std::vector<std::uint8_t> bytes)
         throw SnapshotError("bad magic (not a vspec snapshot)");
 
     const std::uint64_t version = readLe(4, "format version");
+    fileVersion = std::uint32_t(version);
     if (version != snapshotFormatVersion)
         throw SnapshotError(
             "unsupported format version " + std::to_string(version) +
@@ -343,12 +344,20 @@ StateReader::beginSection(const std::string &name)
 {
     if (inSection)
         fail("beginSection('" + name + "') inside an open section");
+    // Section drift is how format skew shows up in chaos-campaign
+    // artifacts, so both diagnostics name the offending section tag
+    // and the format-version pair (file vs reader).
+    const std::string versions =
+        " (file format version " + std::to_string(fileVersion) +
+        ", reader expects " + std::to_string(snapshotFormatVersion) +
+        ")";
     if (atEnd())
         throw SnapshotError("missing section '" + name +
-                            "' (snapshot ends early)");
+                            "' (snapshot ends early)" + versions);
     if (sections[sectionCursor].name != name)
         throw SnapshotError("expected section '" + name + "', found '" +
-                            sections[sectionCursor].name + "'");
+                            sections[sectionCursor].name + "'" +
+                            versions);
     inSection = true;
     payloadCursor = 0;
 }

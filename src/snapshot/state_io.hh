@@ -50,9 +50,12 @@ std::uint32_t crc32(const std::uint8_t *data, std::size_t n);
  * Current snapshot container format version. Version 2 added the
  * codec identity prefix (scheme id + word width) to every CacheArray
  * payload; version-1 containers predate the codec zoo and are
- * rejected rather than decoded against the wrong codec.
+ * rejected rather than decoded against the wrong codec. Version 3
+ * added the off-chip memory domains (mem-domain count + state in the
+ * chip payload, mem probe/energy accounting in the simulator payload,
+ * per-category energy vectors in every EnergyAccount).
  */
-constexpr std::uint32_t snapshotFormatVersion = 2;
+constexpr std::uint32_t snapshotFormatVersion = 3;
 
 /**
  * Serializer: open a section, put values, close it, repeat; then
@@ -126,6 +129,9 @@ class StateReader
     const std::string &peekSectionName() const;
     bool atEnd() const { return sectionCursor == sections.size(); }
 
+    /** Format version the container was written with. */
+    std::uint32_t formatVersion() const { return fileVersion; }
+
     bool getBool();
     std::uint8_t getU8();
     std::uint32_t getU32();
@@ -144,6 +150,7 @@ class StateReader
     };
 
     std::vector<Section> sections;
+    std::uint32_t fileVersion = 0;
     std::size_t sectionCursor = 0;
     std::size_t payloadCursor = 0;
     bool inSection = false;

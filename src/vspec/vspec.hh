@@ -46,6 +46,8 @@
 #include "fleet/job.hh"
 #include "fleet/power_governor.hh"
 #include "fleet/scheduler.hh"
+#include "mem/mem_array.hh"
+#include "mem/mem_domain.hh"
 #include "pdn/pdn_model.hh"
 #include "pdn/regulator.hh"
 #include "platform/chip.hh"

@@ -125,6 +125,73 @@ TEST(StateIo, RejectsWrongMagicAndWrongVersion)
     }
 }
 
+TEST(StateIo, VersionRefusalNamesBothVersions)
+{
+    // Forward-compat diagnostics: a reader refusing a different-version
+    // file must name BOTH versions, so skew across a fleet of
+    // checkpoint artifacts is debuggable from the message alone.
+    auto wrong_version = sampleContainer();
+    wrong_version[8] += 2;
+    const auto file_version = snapshotFormatVersion + 2;
+    try {
+        StateReader reader(std::move(wrong_version));
+        FAIL() << "wrong format version was accepted";
+    } catch (const SnapshotError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find(std::to_string(file_version)),
+                  std::string::npos)
+            << what;
+        EXPECT_NE(what.find(std::to_string(snapshotFormatVersion)),
+                  std::string::npos)
+            << what;
+    }
+}
+
+TEST(StateIo, UnknownSectionNamesTagAndVersionPair)
+{
+    // A same-version container with an unexpected section layout is
+    // how a *newer* writer's extra sections show up; the diagnostic
+    // must name the section tags and the format-version pair.
+    auto bytes = sampleContainer();
+    StateReader r(std::move(bytes));
+    EXPECT_EQ(r.formatVersion(), snapshotFormatVersion);
+    try {
+        r.beginSection("mem0");
+        FAIL() << "mismatched section tag was accepted";
+    } catch (const SnapshotError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("'mem0'"), std::string::npos) << what;
+        EXPECT_NE(what.find("'section'"), std::string::npos) << what;
+        EXPECT_NE(what.find("file format version " +
+                            std::to_string(snapshotFormatVersion)),
+                  std::string::npos)
+            << what;
+        EXPECT_NE(what.find("reader expects " +
+                            std::to_string(snapshotFormatVersion)),
+                  std::string::npos)
+            << what;
+    }
+
+    // Running off the end of the container is the other face of the
+    // same skew; it carries the same version pair.
+    auto more = sampleContainer();
+    StateReader r2(std::move(more));
+    r2.beginSection("section");
+    (void)r2.getU64();
+    (void)r2.getString();
+    (void)r2.getDoubleVector();
+    r2.endSection();
+    try {
+        r2.beginSection("mem1");
+        FAIL() << "section past the end was accepted";
+    } catch (const SnapshotError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("'mem1'"), std::string::npos) << what;
+        EXPECT_NE(what.find("file format version"), std::string::npos)
+            << what;
+    }
+}
+
 TEST(StateIo, RejectsTypeConfusionAndOverreads)
 {
     auto bytes = sampleContainer();
