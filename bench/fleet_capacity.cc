@@ -21,7 +21,11 @@
  * The campaign is checkpointable at scheduling-slice granularity; a
  * run killed at any slice and resumed is byte-identical to the
  * uninterrupted run, for any worker-thread count:
- *   --sampling exact|batched   per-node fidelity (default exact)
+ *   --sampling exact|batched|chip-batched
+ *                 per-node fidelity (default exact). chip-batched
+ *                 collapses each chip (row mode) or each margin bucket
+ *                 of a shard (scale mode) to one aggregate draw pair
+ *                 per slice.
  *   --checkpoint FILE          snapshot target path
  *   --checkpoint-every T       snapshot cadence, in global simulated
  *                              seconds (accumulated across policies)
@@ -193,7 +197,7 @@ writeCheckpoint(const std::string &path, SamplingMode sampling,
  */
 ScaleFleetConfig
 scaleConfig(unsigned chips, Seconds duration, SchedulerPolicy policy,
-            bool latency_exact)
+            bool latency_exact, SamplingMode sampling)
 {
     ScaleFleetConfig cfg;
     cfg.numChips = chips;
@@ -202,6 +206,7 @@ scaleConfig(unsigned chips, Seconds duration, SchedulerPolicy policy,
     cfg.slice = 0.1;
     cfg.horizon = duration;
     cfg.exactLatencyValidation = latency_exact;
+    cfg.sampling = sampling;
 
     // ~1.85 open-loop + ~0.15 closed-loop jobs/s per chip against 8
     // cores at 1.4 s mean service: ~35% utilization before the diurnal
@@ -261,7 +266,8 @@ checkSketchAgainstExact(const FleetMetrics &merged, double q,
 
 int
 runScale(unsigned chips, Seconds duration, unsigned threads, bool json,
-         bool latency_exact, const std::string &perf_path)
+         bool latency_exact, SamplingMode sampling,
+         const std::string &perf_path)
 {
     ExperimentPool pool(threads);
     std::vector<PolicyResult> results;
@@ -282,8 +288,8 @@ runScale(unsigned chips, Seconds duration, unsigned threads, bool json,
     }
 
     for (SchedulerPolicy policy : policyOrder()) {
-        ShardedFleet fleet(
-            scaleConfig(chips, duration, policy, latency_exact));
+        ShardedFleet fleet(scaleConfig(chips, duration, policy,
+                                       latency_exact, sampling));
         fleet.run(duration, pool);
         total_slices +=
             std::uint64_t(std::llround(duration / 0.1)) * chips;
@@ -441,6 +447,7 @@ main(int argc, char **argv)
         }
         return runScale(unsigned(chips_arg), duration, threads, json,
                         parseBoolFlag(argc, argv, "latency-exact"),
+                        sampling,
                         parseStringArg(argc, argv, "perf", ""));
     }
 
@@ -460,7 +467,12 @@ main(int argc, char **argv)
             if (bench != "fleet_capacity")
                 throw SnapshotError("snapshot belongs to bench '" +
                                     bench + "', not fleet_capacity");
-            sampling = SamplingMode(reader->getU8());
+            const std::uint8_t mode_u8 = reader->getU8();
+            if (mode_u8 > std::uint8_t(SamplingMode::chipBatched))
+                throw SnapshotError(
+                    "snapshot carries invalid sampling mode " +
+                    std::to_string(unsigned(mode_u8)));
+            sampling = SamplingMode(mode_u8);
             duration = reader->getDouble();
             const std::uint64_t n_reports = reader->getU64();
             resume_fleet = reader->getBool();

@@ -8,17 +8,25 @@
  *
  *  1. probe: per-line event-probability queries in the access pattern
  *     of the ECC monitors (a small working set of weak lines revisited
- *     across a voltage grid). Measured twice — through the production
- *     LUT path (lineEventProbabilities) and through a reference
+ *     across a voltage grid). Measured three ways — through the
+ *     production LUT path (lineEventProbabilities), through the
+ *     vectorized no-LUT recompute (lineEventProbabilitiesVec: one
+ *     simd::normalCdfBatch per line), and through a reference
  *     reimplementation of the pre-LUT cost (copy-returning weak-cell
- *     range query + per-cell normalCdf fold on every call). The ratio
- *     is the speedup the span index + probability LUT buy.
- *  2. sweep: full data + instruction calibration sweeps of one L2D/L2I
- *     pair, exact vs SamplingMode::batched.
+ *     range query + per-cell normalCdf fold on every call). The ratios
+ *     are the speedups the span index + LUT and the SIMD lanes buy.
+ *  2. sweep: full data calibration sweeps of one L2D array — naive
+ *     reference, current exact, SamplingMode::batched, and the
+ *     chip-batched aggregate path (two draws per pass over cached
+ *     whole-array rates).
  *  3. burst: a fig13-style probe-burst voltage sweep over four cores of
  *     a fixed chip (throughput of the whole probeLine stack).
  *  4. fleet: a 2-chip fleet slice (construction + calibration + run),
- *     exact vs batched.
+ *     exact vs batched vs chip-batched.
+ *
+ * Every lane is timed three times and reports the median run, so a
+ * scheduler hiccup in one repetition cannot sink (or inflate) a
+ * speedup ratio.
  *
  * Options:
  *   --json                machine-readable output (BENCH_hotpath.json).
@@ -30,10 +38,13 @@
  * (ratios are stable across machines; absolute times are not).
  */
 
+#include <algorithm>
+#include <array>
 #include <chrono>
 #include <cmath>
 
 #include "bench_util.hh"
+#include "common/simd.hh"
 
 using namespace vspec;
 using namespace vspec_bench;
@@ -108,6 +119,26 @@ struct Measure
     std::uint64_t work = 0;  // Calls / probes / simulated things.
 };
 
+/**
+ * Median-of-3 lane timer: runs the lane three times and returns the
+ * median wall time. Side effects (checksums, event counters, RNG
+ * advancement) accumulate across all three repetitions, so paired
+ * lanes stay comparable — both accumulate 3x.
+ */
+template <typename Fn>
+double
+medianMs(Fn &&fn)
+{
+    std::array<double, 3> times;
+    for (double &t : times) {
+        const double start = nowMs();
+        fn();
+        t = nowMs() - start;
+    }
+    std::sort(times.begin(), times.end());
+    return times[1];
+}
+
 FleetConfig
 fleetSliceConfig(SamplingMode sampling)
 {
@@ -159,37 +190,55 @@ main(int argc, char **argv)
     double max_abs_err = 0.0;
 
     double checksum_naive = 0.0;
-    double t0 = nowMs();
-    for (unsigned it = 0; it < probeIters; ++it) {
-        for (const WeakLineInfo &line : lines) {
-            for (const Millivolt v : grid) {
-                double pc = 0.0, pu = 0.0;
-                naiveLineEventProbabilities(l2d, line.set, line.way, v,
-                                            pc, pu);
-                checksum_naive += pc + pu;
+    const double naive_ms = medianMs([&] {
+        for (unsigned it = 0; it < probeIters; ++it) {
+            for (const WeakLineInfo &line : lines) {
+                for (const Millivolt v : grid) {
+                    double pc = 0.0, pu = 0.0;
+                    naiveLineEventProbabilities(l2d, line.set, line.way, v,
+                                                pc, pu);
+                    checksum_naive += pc + pu;
+                }
             }
         }
-    }
-    const double naive_ms = nowMs() - t0;
+    });
     const std::uint64_t probe_calls =
         std::uint64_t(probeIters) * lines.size() * grid.size();
     measures.push_back({"probe_naive", naive_ms, probe_calls});
 
     double checksum_lut = 0.0;
-    t0 = nowMs();
-    for (unsigned it = 0; it < probeIters; ++it) {
-        for (const WeakLineInfo &line : lines) {
-            for (const Millivolt v : grid) {
-                double pc = 0.0, pu = 0.0;
-                l2d.lineEventProbabilities(line.set, line.way, v, pc, pu);
-                checksum_lut += pc + pu;
+    const double lut_ms = medianMs([&] {
+        for (unsigned it = 0; it < probeIters; ++it) {
+            for (const WeakLineInfo &line : lines) {
+                for (const Millivolt v : grid) {
+                    double pc = 0.0, pu = 0.0;
+                    l2d.lineEventProbabilities(line.set, line.way, v, pc,
+                                               pu);
+                    checksum_lut += pc + pu;
+                }
             }
         }
-    }
-    const double lut_ms = nowMs() - t0;
+    });
     measures.push_back({"probe_lut", lut_ms, probe_calls});
 
-    // The LUT path must be numerically identical to the reference.
+    double checksum_simd = 0.0;
+    const double simd_ms = medianMs([&] {
+        for (unsigned it = 0; it < probeIters; ++it) {
+            for (const WeakLineInfo &line : lines) {
+                for (const Millivolt v : grid) {
+                    double pc = 0.0, pu = 0.0;
+                    l2d.lineEventProbabilitiesVec(line.set, line.way, v,
+                                                  pc, pu);
+                    checksum_simd += pc + pu;
+                }
+            }
+        }
+    });
+    measures.push_back({"probe_simd", simd_ms, probe_calls});
+
+    // The LUT path must be numerically identical to the reference; the
+    // vectorized path uses West's Phi instead of libm erfc, so it only
+    // has to agree to the CDF approximation's accuracy.
     max_abs_err = std::abs(checksum_naive - checksum_lut);
     if (max_abs_err > 1e-9 * std::max(1.0, std::abs(checksum_naive))) {
         std::fprintf(stderr,
@@ -198,8 +247,17 @@ main(int argc, char **argv)
                      checksum_lut, checksum_naive);
         return 1;
     }
+    if (std::abs(checksum_naive - checksum_simd) >
+        1e-6 * std::max(1.0, std::abs(checksum_naive))) {
+        std::fprintf(stderr,
+                     "FAIL: SIMD probe path diverged from reference "
+                     "(%.17g vs %.17g)\n",
+                     checksum_simd, checksum_naive);
+        return 1;
+    }
 
     const double probe_speedup = naive_ms / std::max(lut_ms, 1e-6);
+    const double probe_simd_speedup = naive_ms / std::max(simd_ms, 1e-6);
 
     // ---------------------------------------------------------------
     // Section 2: calibration data sweep — pre-optimization reference
@@ -221,75 +279,110 @@ main(int argc, char **argv)
     std::uint64_t naive_events = 0;
     Rng rng_naive(0x5EEDULL);
     const auto &geo = l2d.geometry();
-    t0 = nowMs();
-    for (unsigned r = 0; r < sweepReps; ++r) {
-        for (std::uint64_t pattern : sweep::dataPatterns) {
-            for (std::uint64_t set = 0; set < geo.numSets(); ++set) {
-                for (unsigned way = 0; way < geo.associativity; ++way) {
-                    // Pre-optimization behavior: copy the line's weak
-                    // cells out to test for emptiness.
-                    const std::uint64_t base = l2d.lineCellBase(set, way);
-                    if (l2d.sram()
-                            .weakCellsInRange(base,
-                                              base + geo.cellsPerLine())
-                            .empty()) {
-                        continue;
+    const double sweep_naive_ms = medianMs([&] {
+        for (unsigned r = 0; r < sweepReps; ++r) {
+            for (std::uint64_t pattern : sweep::dataPatterns) {
+                for (std::uint64_t set = 0; set < geo.numSets(); ++set) {
+                    for (unsigned way = 0; way < geo.associativity;
+                         ++way) {
+                        // Pre-optimization behavior: copy the line's
+                        // weak cells out to test for emptiness.
+                        const std::uint64_t base =
+                            l2d.lineCellBase(set, way);
+                        if (l2d.sram()
+                                .weakCellsInRange(base,
+                                                  base +
+                                                      geo.cellsPerLine())
+                                .empty()) {
+                            continue;
+                        }
+                        l2d.writePattern(set, way, pattern);
+                        double pc = 0.0, pu = 0.0;
+                        naiveLineEventProbabilities(l2d, set, way,
+                                                    v_sweep, pc, pu);
+                        const std::uint64_t whole = std::uint64_t(pc);
+                        naive_events +=
+                            whole * readsPerPattern +
+                            rng_naive.binomial(readsPerPattern,
+                                               pc - double(whole));
+                        rng_naive.binomial(readsPerPattern, pu);
                     }
-                    l2d.writePattern(set, way, pattern);
-                    double pc = 0.0, pu = 0.0;
-                    naiveLineEventProbabilities(l2d, set, way, v_sweep,
-                                                pc, pu);
-                    const std::uint64_t whole = std::uint64_t(pc);
-                    naive_events +=
-                        whole * readsPerPattern +
-                        rng_naive.binomial(readsPerPattern, pc - double(whole));
-                    rng_naive.binomial(readsPerPattern, pu);
                 }
             }
         }
-    }
-    const double sweep_naive_ms = nowMs() - t0;
+    });
     measures.push_back({"sweep_naive", sweep_naive_ms, sweepReps});
 
-    std::uint64_t exact_events = 0, batched_events = 0;
-    Rng rng_exact(0x5EEDULL), rng_batched(0x5EEDULL);
+    std::uint64_t exact_events = 0, batched_events = 0, vec_events = 0;
+    Rng rng_exact(0x5EEDULL), rng_batched(0x5EEDULL), rng_vec(0x5EEDULL);
 
-    t0 = nowMs();
-    for (unsigned r = 0; r < sweepReps; ++r) {
-        exact_events += sweep::dataSweep(l2d, v_sweep, readsPerPattern,
-                                         rng_exact)
-                            .totalCorrectable;
-    }
-    const double sweep_exact_ms = nowMs() - t0;
+    const double sweep_exact_ms = medianMs([&] {
+        for (unsigned r = 0; r < sweepReps; ++r) {
+            exact_events += sweep::dataSweep(l2d, v_sweep,
+                                             readsPerPattern, rng_exact)
+                                .totalCorrectable;
+        }
+    });
     measures.push_back({"sweep_exact", sweep_exact_ms, sweepReps});
 
-    t0 = nowMs();
-    for (unsigned r = 0; r < sweepReps; ++r) {
-        batched_events +=
-            sweep::dataSweep(l2d, v_sweep, readsPerPattern, rng_batched,
-                             SamplingMode::batched)
-                .totalCorrectable;
-    }
-    const double sweep_batched_ms = nowMs() - t0;
+    const double sweep_batched_ms = medianMs([&] {
+        for (unsigned r = 0; r < sweepReps; ++r) {
+            batched_events += sweep::dataSweep(l2d, v_sweep,
+                                               readsPerPattern,
+                                               rng_batched,
+                                               SamplingMode::batched)
+                                  .totalCorrectable;
+        }
+    });
     measures.push_back({"sweep_batched", sweep_batched_ms, sweepReps});
+
+    // The aggregate sweep costs microseconds per pass, so it needs far
+    // more repetitions than the walking lanes for a stable median; the
+    // speedup normalizes per pass.
+    constexpr unsigned vecReps = 10000;
+    const double sweep_vec_ms = medianMs([&] {
+        for (unsigned r = 0; r < vecReps; ++r) {
+            vec_events += sweep::dataSweep(l2d, v_sweep, readsPerPattern,
+                                           rng_vec,
+                                           SamplingMode::chipBatched)
+                              .totalCorrectable;
+        }
+    });
+    measures.push_back({"sweep_vectorized", sweep_vec_ms, vecReps});
 
     const double sweep_speedup =
         sweep_naive_ms / std::max(sweep_batched_ms, 1e-6);
     const double sweep_exact_speedup =
         sweep_naive_ms / std::max(sweep_exact_ms, 1e-6);
-    // Distributional sanity: same mean event count within 5 sigma of
-    // the Poisson-scale noise.
-    const double mean = 0.5 * double(exact_events + batched_events);
-    const double tolerance = 5.0 * std::sqrt(std::max(mean, 1.0));
-    if (std::abs(double(exact_events) - double(batched_events)) >
-        tolerance) {
-        std::fprintf(stderr,
-                     "FAIL: batched sweep event count diverged "
-                     "(%llu exact vs %llu batched, tolerance %.0f)\n",
-                     (unsigned long long)exact_events,
-                     (unsigned long long)batched_events, tolerance);
+    const double sweep_vec_speedup =
+        (sweep_naive_ms / double(sweepReps)) /
+        std::max(sweep_vec_ms / double(vecReps), 1e-9);
+    // Distributional sanity: same mean event count per sweep within
+    // 5 sigma of the Poisson-scale noise, for both fast modes. Each
+    // lane accumulated over 3 timed repetitions of its rep count.
+    const auto check_events = [&](std::uint64_t got, unsigned got_reps,
+                                  const char *label) -> bool {
+        const double n_exact = 3.0 * sweepReps;
+        const double n_got = 3.0 * got_reps;
+        const double m_exact = double(exact_events) / n_exact;
+        const double m_got = double(got) / n_got;
+        const double pooled = 0.5 * (m_exact + m_got);
+        const double tolerance =
+            5.0 * std::sqrt(std::max(pooled, 1.0) *
+                            (1.0 / n_exact + 1.0 / n_got));
+        if (std::abs(m_exact - m_got) > tolerance) {
+            std::fprintf(stderr,
+                         "FAIL: %s sweep event rate diverged "
+                         "(%.1f exact vs %.1f %s per sweep, "
+                         "tolerance %.2f)\n",
+                         label, m_exact, m_got, label, tolerance);
+            return false;
+        }
+        return true;
+    };
+    if (!check_events(batched_events, sweepReps, "batched") ||
+        !check_events(vec_events, vecReps, "chip-batched"))
         return 1;
-    }
 
     // ---------------------------------------------------------------
     // Section 3: fig13-style probe-burst voltage sweep, fixed chip.
@@ -298,45 +391,52 @@ main(int argc, char **argv)
     constexpr unsigned burstReps = 5;
     std::uint64_t burst_events = 0;
     Rng rng_burst(0xB1A5ULL);
-    t0 = nowMs();
-    for (unsigned r = 0; r < burstReps; ++r) {
-        for (unsigned c : {0u, 2u, 4u, 6u}) {
-            CacheArray &array = chip.core(c).l2dArray();
-            const WeakLineInfo target = array.weakestLine();
-            for (Millivolt v = target.weakestVc + 10.0;
-                 v > target.weakestVc - 50.0; v -= 5.0) {
-                burst_events += array
-                                    .probeLine(target.set, target.way, v,
-                                               probesPerPoint, rng_burst)
-                                    .correctableEvents;
+    const double burst_ms = medianMs([&] {
+        for (unsigned r = 0; r < burstReps; ++r) {
+            for (unsigned c : {0u, 2u, 4u, 6u}) {
+                CacheArray &array = chip.core(c).l2dArray();
+                const WeakLineInfo target = array.weakestLine();
+                for (Millivolt v = target.weakestVc + 10.0;
+                     v > target.weakestVc - 50.0; v -= 5.0) {
+                    burst_events +=
+                        array
+                            .probeLine(target.set, target.way, v,
+                                       probesPerPoint, rng_burst)
+                            .correctableEvents;
+                }
             }
         }
-    }
-    const double burst_ms = nowMs() - t0;
+    });
     const std::uint64_t burst_probes =
         std::uint64_t(burstReps) * 4 * 12 * probesPerPoint;
     measures.push_back({"fig13_burst", burst_ms, burst_probes});
 
     // ---------------------------------------------------------------
-    // Section 4: fleet slice, exact vs batched.
+    // Section 4: fleet slice, exact vs batched vs chip-batched.
     // ---------------------------------------------------------------
     ExperimentPool pool(parseThreads(argc, argv));
     constexpr Seconds fleetDuration = 2.0;
 
-    t0 = nowMs();
-    Fleet fleet_exact(fleetSliceConfig(SamplingMode::exact));
-    fleet_exact.run(fleetDuration, pool);
-    const double fleet_exact_ms = nowMs() - t0;
+    const auto fleet_lane = [&](SamplingMode mode) {
+        return medianMs([&] {
+            Fleet fleet(fleetSliceConfig(mode));
+            fleet.run(fleetDuration, pool);
+        });
+    };
+
+    const double fleet_exact_ms = fleet_lane(SamplingMode::exact);
     measures.push_back({"fleet_exact", fleet_exact_ms, 2});
 
-    t0 = nowMs();
-    Fleet fleet_batched(fleetSliceConfig(SamplingMode::batched));
-    fleet_batched.run(fleetDuration, pool);
-    const double fleet_batched_ms = nowMs() - t0;
+    const double fleet_batched_ms = fleet_lane(SamplingMode::batched);
     measures.push_back({"fleet_batched", fleet_batched_ms, 2});
+
+    const double fleet_chip_ms = fleet_lane(SamplingMode::chipBatched);
+    measures.push_back({"fleet_chipbatched", fleet_chip_ms, 2});
 
     const double fleet_speedup =
         fleet_exact_ms / std::max(fleet_batched_ms, 1e-6);
+    const double fleet_chip_speedup =
+        fleet_exact_ms / std::max(fleet_chip_ms, 1e-6);
 
     // ---------------------------------------------------------------
     // Report.
@@ -356,16 +456,21 @@ main(int argc, char **argv)
         doc.endArray();
         doc.key("speedups").beginObject();
         doc.key("probeLutVsNaive").value(probe_speedup);
+        doc.key("probeSimdVsNaive").value(probe_simd_speedup);
         doc.key("sweepExactVsNaive").value(sweep_exact_speedup);
         doc.key("sweepBatchedVsNaive").value(sweep_speedup);
+        doc.key("sweepVectorizedVsNaive").value(sweep_vec_speedup);
         doc.key("fleetBatchedVsExact").value(fleet_speedup);
+        doc.key("fleetChipBatchedVsExact").value(fleet_chip_speedup);
         doc.endObject();
         doc.key("checks").beginObject();
         doc.key("probeChecksumAbsError").value(max_abs_err);
         doc.key("sweepNaiveEvents").value(naive_events);
         doc.key("sweepExactEvents").value(exact_events);
         doc.key("sweepBatchedEvents").value(batched_events);
+        doc.key("sweepVectorizedEvents").value(vec_events);
         doc.key("burstEvents").value(burst_events);
+        doc.key("simdBackend").value(simd::backendName());
         doc.endObject();
         doc.endObject();
         doc.print();
@@ -381,10 +486,14 @@ main(int argc, char **argv)
                                              m.work, 1)));
         }
         std::printf("\nspeedups vs pre-optimization reference: probe LUT "
-                    "%.1fx, sweep exact %.1fx, sweep batched %.1fx; "
-                    "fleet batched vs exact %.1fx\n",
-                    probe_speedup, sweep_exact_speedup, sweep_speedup,
-                    fleet_speedup);
+                    "%.1fx, probe SIMD %.1fx, sweep exact %.1fx, sweep "
+                    "batched %.1fx, sweep vectorized %.1fx; fleet "
+                    "batched vs exact %.1fx, fleet chip-batched vs "
+                    "exact %.1fx [%s]\n",
+                    probe_speedup, probe_simd_speedup,
+                    sweep_exact_speedup, sweep_speedup, sweep_vec_speedup,
+                    fleet_speedup, fleet_chip_speedup,
+                    simd::backendName());
     }
 
     if (min_probe > 0.0 && probe_speedup < min_probe) {

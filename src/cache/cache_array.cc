@@ -5,7 +5,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/counter_rng.hh"
 #include "common/logging.hh"
+#include "common/simd.hh"
 
 namespace vspec
 {
@@ -134,9 +136,10 @@ CacheArray::lineWeakCells(std::uint64_t set, unsigned way) const
     return weak;
 }
 
+template <typename RngT>
 LineReadResult
-CacheArray::readLine(std::uint64_t set, unsigned way, Millivolt v_eff,
-                     Rng &rng) const
+CacheArray::readLineImpl(std::uint64_t set, unsigned way, Millivolt v_eff,
+                         RngT &rng) const
 {
     checkLocation(set, way);
     LineReadResult result;
@@ -176,6 +179,20 @@ CacheArray::readLine(std::uint64_t set, unsigned way, Millivolt v_eff,
         }
     }
     return result;
+}
+
+LineReadResult
+CacheArray::readLine(std::uint64_t set, unsigned way, Millivolt v_eff,
+                     Rng &rng) const
+{
+    return readLineImpl(set, way, v_eff, rng);
+}
+
+LineReadResult
+CacheArray::readLine(std::uint64_t set, unsigned way, Millivolt v_eff,
+                     CounterRng &rng) const
+{
+    return readLineImpl(set, way, v_eff, rng);
 }
 
 void
@@ -296,6 +313,141 @@ CacheArray::cachedProbabilities(std::uint64_t set, unsigned way,
 }
 
 void
+CacheArray::foldSpanProbabilities(const WeakCell *first,
+                                  const WeakCell *last, const double *probs,
+                                  std::uint64_t base, double &p_correctable,
+                                  double &p_uncorrectable) const
+{
+    // Same per-word recurrence as computeLineEventProbabilities, with
+    // the per-cell failure probabilities already evaluated (by the
+    // batched Phi kernel) instead of computed inline.
+    const unsigned cw_bits = eccCodec->codewordBits();
+    const unsigned t = eccCodec->correctableBits();
+    if (t == 0 || t > maxFoldRadius)
+        panic("cache '", geo.name, "': correction radius ", t,
+              " outside the per-word fold's supported range");
+
+    double e_corr = 0.0;
+    double p_no_uncorr = 1.0;
+
+    std::uint64_t cur_word = ~std::uint64_t(0);
+    double e[maxFoldRadius + 1] = {1.0, 0.0, 0.0, 0.0};
+
+    auto fold_word = [&]() {
+        if (cur_word == ~std::uint64_t(0))
+            return;
+        double rem = 1.0;
+        for (unsigned k = 0; k <= t; ++k)
+            rem -= e[k];
+        double corr = 0.0;
+        for (unsigned k = 1; k <= t; ++k)
+            corr += e[k];
+        const double multi = std::max(0.0, rem);
+        e_corr += corr;
+        p_no_uncorr *= (1.0 - multi);
+    };
+
+    for (const WeakCell *cell = first; cell != last; ++cell) {
+        const double p = probs[cell - first];
+        if (p <= 0.0)
+            continue;
+        const std::uint64_t word = (cell->cellIndex - base) / cw_bits;
+        if (word != cur_word) {
+            fold_word();
+            cur_word = word;
+            e[0] = 1.0;
+            for (unsigned k = 1; k <= t; ++k)
+                e[k] = 0.0;
+        }
+        for (unsigned k = t; k >= 1; --k)
+            e[k] = e[k] * (1.0 - p) + p * e[k - 1];
+        e[0] *= (1.0 - p);
+    }
+    fold_word();
+
+    p_correctable = e_corr;
+    p_uncorrectable = 1.0 - p_no_uncorr;
+}
+
+void
+CacheArray::lineEventProbabilitiesVec(std::uint64_t set, unsigned way,
+                                      Millivolt v_eff,
+                                      double &p_correctable,
+                                      double &p_uncorrectable) const
+{
+    const WeakCellSpan span = lineWeakSpan(set, way);
+    if (span.empty()) {
+        p_correctable = 0.0;
+        p_uncorrectable = 0.0;
+        return;
+    }
+    const double sigma = cells.distribution().sigmaDynamic;
+    zScratch.resize(span.size());
+    for (std::size_t i = 0; i < span.size(); ++i)
+        zScratch[i] = (span[i].vc - v_eff) / sigma;
+    phiScratch.resize(span.size());
+    simd::normalCdfBatch(zScratch.data(), zScratch.size(),
+                         phiScratch.data());
+    foldSpanProbabilities(span.begin(), span.end(), phiScratch.data(),
+                          lineCellBase(set, way), p_correctable,
+                          p_uncorrectable);
+}
+
+void
+CacheArray::aggregateEventRates(Millivolt v_eff, double &sum_correctable,
+                                double &sum_uncorrectable) const
+{
+    const std::int64_t bucket = probBucketIndex(v_eff);
+    if (aggCache.empty())
+        aggCache.resize(aggCacheSlots);
+    AggSlot &slot = aggCache[std::uint64_t(bucket) & (aggCacheSlots - 1)];
+    if (slot.valid && slot.bucket == bucket &&
+        slot.generation == cells.generation()) {
+        sum_correctable = slot.sumCorrectable;
+        sum_uncorrectable = slot.sumUncorrectable;
+        return;
+    }
+
+    // Miss: evaluate every weak cell of the array at the bucket center
+    // with one batched Phi call, then fold line by line. The line set
+    // matches the sweep engines' (every line with weak cells, whether
+    // or not deconfigured — sweeps probe deconfigured lines too).
+    const Millivolt v_eval = Millivolt(bucket) * probQuantMv;
+    const auto &weak = cells.weakCells();
+    const double sigma = cells.distribution().sigmaDynamic;
+    zScratch.resize(weak.size());
+    for (std::size_t i = 0; i < weak.size(); ++i)
+        zScratch[i] = (weak[i].vc - v_eval) / sigma;
+    phiScratch.resize(weak.size());
+    simd::normalCdfBatch(zScratch.data(), zScratch.size(),
+                         phiScratch.data());
+
+    sum_correctable = 0.0;
+    sum_uncorrectable = 0.0;
+    const WeakCell *base_cell = weak.data();
+    for (std::uint64_t line = 0; line < lineWeakIndex.size(); ++line) {
+        const auto &[begin, end] = lineWeakIndex[line];
+        if (begin == end)
+            continue;
+        double p_corr = 0.0, p_uncorr = 0.0;
+        foldSpanProbabilities(base_cell + begin, base_cell + end,
+                              phiScratch.data() + begin,
+                              line * geo.cellsPerLine(), p_corr, p_uncorr);
+        // Correctable: expected events add. Uncorrectable: the per-line
+        // probability accumulates as a hazard rate, the same
+        // approximation the core traffic model's batched mode uses.
+        sum_correctable += p_corr;
+        sum_uncorrectable += p_uncorr;
+    }
+
+    slot.bucket = bucket;
+    slot.generation = cells.generation();
+    slot.sumCorrectable = sum_correctable;
+    slot.sumUncorrectable = sum_uncorrectable;
+    slot.valid = true;
+}
+
+void
 CacheArray::lineEventProbabilities(std::uint64_t set, unsigned way,
                                    Millivolt v_eff, double &p_correctable,
                                    double &p_uncorrectable) const
@@ -324,7 +476,7 @@ CacheArray::probeLine(std::uint64_t set, unsigned way, Millivolt v_eff,
 
     double p_corr = 0.0, p_uncorr = 0.0;
     cachedProbabilities(set, way, v_eff,
-                        /*quantized=*/mode == SamplingMode::batched,
+                        /*quantized=*/mode != SamplingMode::exact,
                         p_corr, p_uncorr);
 
     // p_corr is an expected event count per access; it can slightly
@@ -387,6 +539,7 @@ CacheArray::deconfigureLine(std::uint64_t set, unsigned way)
 {
     checkLocation(set, way);
     deconfigured[lineIndex(set, way)] = true;
+    ++deconfGen;
 }
 
 bool
@@ -401,13 +554,23 @@ CacheArray::reconfigureLine(std::uint64_t set, unsigned way)
 {
     checkLocation(set, way);
     deconfigured[lineIndex(set, way)] = false;
+    ++deconfGen;
 }
 
 WeakLineInfo
 CacheArray::weakestLine() const
 {
-    const auto lines = weakLines();
-    return lines.empty() ? WeakLineInfo{} : lines.front();
+    // Memoized on the SRAM generation (the ranking depends only on the
+    // cell critical voltages): the full weakest-first sort runs once
+    // per aging epoch instead of once per caller.
+    if (!weakestMemoValid ||
+        weakestMemoGeneration != cells.generation()) {
+        const auto lines = weakLines();
+        weakestMemo = lines.empty() ? WeakLineInfo{} : lines.front();
+        weakestMemoGeneration = cells.generation();
+        weakestMemoValid = true;
+    }
+    return weakestMemo;
 }
 
 void
@@ -506,14 +669,20 @@ CacheArray::loadState(StateReader &r)
                                 "' deconfigured line out of range");
         deconfigured[line] = true;
     }
+    ++deconfGen;
 
     // The probability LUT keys on the SRAM generation, but entries
     // computed against the pre-restore population could alias a
     // restored generation value; drop them outright. The encode cache
-    // is a pure function of the data word and stays valid.
+    // is a pure function of the data word and stays valid. The
+    // aggregate-rate and weakest-line memos have the same aliasing
+    // exposure, so they drop too.
     if (!probCache.empty())
         std::fill(probCache.begin(), probCache.end(), ProbSlot{});
     probCacheGeneration = cells.generation();
+    if (!aggCache.empty())
+        std::fill(aggCache.begin(), aggCache.end(), AggSlot{});
+    weakestMemoValid = false;
 }
 
 } // namespace vspec

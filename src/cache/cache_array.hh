@@ -39,6 +39,7 @@ namespace vspec
 
 class StateWriter;
 class StateReader;
+class CounterRng;
 
 /** A weak line summary: where it is and how weak. */
 struct WeakLineInfo
@@ -98,9 +99,19 @@ class CacheArray
                             Millivolt v_eff, Rng &rng) const;
 
     /**
+     * Counter-stream flavor of the bit-accurate read: the per-cell
+     * survival draws run through the SIMD bernoulliMask lanes (see
+     * SramArray::sampleAccessFlipsInto's CounterRng overload). Same
+     * flip distribution and decode path; different draw sequence.
+     */
+    LineReadResult readLine(std::uint64_t set, unsigned way,
+                            Millivolt v_eff, CounterRng &rng) const;
+
+    /**
      * Aggregate probe of one line: n_accesses full-line reads. With
-     * SamplingMode::batched the per-access probabilities come from the
-     * quantized (bucket-center) LUT instead of the exact voltage.
+     * SamplingMode::batched (or chipBatched) the per-access
+     * probabilities come from the quantized (bucket-center) LUT
+     * instead of the exact voltage.
      */
     ProbeStats probeLine(std::uint64_t set, unsigned way, Millivolt v_eff,
                          std::uint64_t n_accesses, Rng &rng,
@@ -138,6 +149,32 @@ class CacheArray
                                          Millivolt v_eff,
                                          double &p_correctable,
                                          double &p_uncorrectable) const;
+
+    /**
+     * Vectorized no-LUT recompute of one line's event probabilities:
+     * all the line's z-scores go through one simd::normalCdfBatch call
+     * (West's Phi, not libm erfc) before the per-word fold. Not
+     * numerically interchangeable with lineEventProbabilities — this is
+     * the probe path of the vectorized sampling modes and the
+     * probe_simd bench lane. Byte-identical across SIMD backends.
+     */
+    void lineEventProbabilitiesVec(std::uint64_t set, unsigned way,
+                                   Millivolt v_eff, double &p_correctable,
+                                   double &p_uncorrectable) const;
+
+    /**
+     * Whole-array aggregate event rates at the bucket center of
+     * v_eff's quantization bucket: the sum over every weak line of the
+     * per-access expected correctable events and of the per-access
+     * uncorrectable probability (used as a hazard rate, matching the
+     * core traffic model's batched accumulation). Backed by a small
+     * per-bucket cache invalidated by the SRAM generation, so a
+     * steady-rail sweep costs two loads per pass instead of a walk
+     * over every weak line. The fill is the vectorized fold above —
+     * one normalCdfBatch over the entire weak-cell population.
+     */
+    void aggregateEventRates(Millivolt v_eff, double &sum_correctable,
+                             double &sum_uncorrectable) const;
 
     /** Voltage quantization grid of the probability LUT (mV). */
     static constexpr Millivolt probQuantMv = 0.25;
@@ -211,6 +248,14 @@ class CacheArray
     void reconfigureLine(std::uint64_t set, unsigned way);
 
     /**
+     * Bumped whenever any line's deconfiguration flag changes (and on
+     * loadState): consumers caching deconfiguration-dependent
+     * aggregates — e.g. Core's per-array traffic rate memo — key on
+     * this alongside the SRAM generation.
+     */
+    std::uint64_t deconfGeneration() const { return deconfGen; }
+
+    /**
      * Serialize the array's dynamic state: the SRAM population (aged
      * critical voltages), the stored codewords (run-length encoded —
      * the store is dominated by repeated pattern/zero encodings) and
@@ -230,6 +275,8 @@ class CacheArray
     std::vector<Codeword> store;
     /** Per-line deconfiguration flags. */
     std::vector<bool> deconfigured;
+    /** See deconfGeneration(). */
+    std::uint64_t deconfGen = 0;
 
     /**
      * Per-line [begin, end) offsets into the sorted weak-cell
@@ -278,6 +325,35 @@ class CacheArray
     /** Scratch for readLine's flip sampling (no per-call allocation). */
     mutable std::vector<std::uint64_t> flipScratch;
 
+    /** Scratch for the vectorized probability folds: z-scores in,
+     *  batched Phi values out. */
+    mutable std::vector<double> zScratch;
+    mutable std::vector<double> phiScratch;
+
+    /**
+     * Per-bucket aggregate event-rate cache for aggregateEventRates:
+     * direct-mapped on the voltage bucket, invalidated by the SRAM
+     * generation. A descending calibration sweep touches a handful of
+     * buckets, so a few slots give a ~100% steady-state hit rate.
+     */
+    struct AggSlot
+    {
+        std::int64_t bucket = 0;
+        std::uint64_t generation = 0;
+        double sumCorrectable = 0.0;
+        double sumUncorrectable = 0.0;
+        bool valid = false;
+    };
+    static constexpr std::size_t aggCacheSlots = 16;
+    mutable std::vector<AggSlot> aggCache;
+
+    /** Memoized weakestLine() result (the chip-batched sweep path
+     *  attributes its aggregate events there every pass; recomputing
+     *  the full weakest-first sort each time would dominate). */
+    mutable WeakLineInfo weakestMemo;
+    mutable std::uint64_t weakestMemoGeneration = 0;
+    mutable bool weakestMemoValid = false;
+
     /**
      * Largest correction radius the allocation-free probability fold
      * supports (covers every word-level codec in the zoo; the block
@@ -298,6 +374,22 @@ class CacheArray
                                        WeakCellSpan span, Millivolt v_eff,
                                        double &p_correctable,
                                        double &p_uncorrectable) const;
+
+    /**
+     * The same per-word fold over cells [first, last) with failure
+     * probabilities already evaluated into @p probs (one per cell).
+     * Shared by the vectorized per-line and whole-array paths.
+     */
+    void foldSpanProbabilities(const WeakCell *first, const WeakCell *last,
+                               const double *probs, std::uint64_t base,
+                               double &p_correctable,
+                               double &p_uncorrectable) const;
+
+    /** Shared body of the two readLine overloads (defined in the .cc;
+     *  only the flip-sampling RNG flavor differs). */
+    template <typename RngT>
+    LineReadResult readLineImpl(std::uint64_t set, unsigned way,
+                                Millivolt v_eff, RngT &rng) const;
 
     std::uint64_t lineIndex(std::uint64_t set, unsigned way) const;
     void checkLocation(std::uint64_t set, unsigned way) const;

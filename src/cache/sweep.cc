@@ -1,6 +1,7 @@
 #include "cache/sweep.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.hh"
 
@@ -102,12 +103,49 @@ sweepAllLines(CacheArray &array, Millivolt v_eff, std::uint64_t reads,
     return result;
 }
 
+/**
+ * Whole-array aggregate sweep (SamplingMode::chipBatched): two draws
+ * per pass — one Poisson over the summed correctable rate, one
+ * survival Bernoulli over the summed uncorrectable hazard — instead of
+ * a draw per weak line. The correctable events are attributed to the
+ * array's weakest line: per-line attribution fidelity drops (the
+ * calibrator's worstLine() sees the statistically most likely worst
+ * line instead of a sampled one), which is the documented trade of the
+ * chip-granularity mode.
+ */
+SweepResult
+sweepAggregate(CacheArray &array, Millivolt v_eff, std::uint64_t reads,
+               Rng &rng)
+{
+    SweepResult result;
+    result.linesTested = array.geometry().numLines();
+
+    double sum_corr = 0.0, sum_uncorr = 0.0;
+    array.aggregateEventRates(v_eff, sum_corr, sum_uncorr);
+
+    const std::uint64_t events =
+        rng.poisson(double(reads) * sum_corr);
+    if (events > 0) {
+        const WeakLineInfo target = array.weakestLine();
+        result.correctablePerLine[{target.set, target.way}] = events;
+        result.totalCorrectable = events;
+    }
+    result.uncorrectable =
+        rng.bernoulli(-std::expm1(-double(reads) * sum_uncorr));
+    return result;
+}
+
 } // namespace
 
 SweepResult
 dataSweep(CacheArray &array, Millivolt v_eff,
           std::uint64_t reads_per_pattern, Rng &rng, SamplingMode mode)
 {
+    if (mode == SamplingMode::chipBatched) {
+        return sweepAggregate(array, v_eff,
+                              reads_per_pattern * dataPatterns.size(),
+                              rng);
+    }
     if (mode == SamplingMode::batched) {
         // One aggregate pass over all patterns: same per-line access
         // count, one binomial epoch draw instead of one per pattern.
@@ -132,6 +170,8 @@ SweepResult
 instructionSweep(CacheArray &array, Millivolt v_eff,
                  std::uint64_t reads_per_line, Rng &rng, SamplingMode mode)
 {
+    if (mode == SamplingMode::chipBatched)
+        return sweepAggregate(array, v_eff, reads_per_line, rng);
     if (mode == SamplingMode::batched) {
         return sweepAllLines(array, v_eff, reads_per_line, rng, mode,
                              [](std::uint64_t, unsigned) {});

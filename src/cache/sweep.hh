@@ -97,6 +97,11 @@ constexpr std::array<std::uint64_t, 4> dataPatterns = {
  * and skips the simulated pattern writes entirely — cell failures are
  * content-independent, so the event-count distribution is unchanged
  * (the per-line draw count and stored line contents are not).
+ *
+ * SamplingMode::chipBatched goes one level further: the whole array
+ * collapses to two draws per pass over cached aggregate rates
+ * (CacheArray::aggregateEventRates), with correctable events
+ * attributed to the weakest line.
  */
 SweepResult dataSweep(CacheArray &array, Millivolt v_eff,
                       std::uint64_t reads_per_pattern, Rng &rng,

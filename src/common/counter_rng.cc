@@ -1,0 +1,246 @@
+#include "common/counter_rng.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/mathutil.hh"
+#include "common/rng.hh"
+#include "snapshot/state_io.hh"
+
+namespace vspec
+{
+
+namespace
+{
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+/** Threefry-2x64 rotation schedule (Salmon et al., SC'11). */
+constexpr int rot[8] = {16, 42, 12, 31, 16, 32, 24, 21};
+/** Skein key-schedule parity constant. */
+constexpr std::uint64_t keyParity = 0x1BD11BDAA9FC1A22ULL;
+
+} // namespace
+
+void
+CounterRng::block(std::uint64_t key0, std::uint64_t key1,
+                  std::uint64_t ctr0, std::uint64_t ctr1,
+                  std::uint64_t out[2])
+{
+    const std::uint64_t ks[3] = {key0, key1, keyParity ^ key0 ^ key1};
+    std::uint64_t x0 = ctr0 + ks[0];
+    std::uint64_t x1 = ctr1 + ks[1];
+
+    // 20 rounds, key injection every 4. Unrolled by injection group so
+    // the rotation constants are immediates (and so the SIMD versions
+    // can mirror the exact same structure).
+    for (unsigned inj = 0; inj < 5; ++inj) {
+        const int *r = rot + (inj & 1) * 4;
+        x0 += x1; x1 = rotl(x1, r[0]); x1 ^= x0;
+        x0 += x1; x1 = rotl(x1, r[1]); x1 ^= x0;
+        x0 += x1; x1 = rotl(x1, r[2]); x1 ^= x0;
+        x0 += x1; x1 = rotl(x1, r[3]); x1 ^= x0;
+        x0 += ks[(inj + 1) % 3];
+        x1 += ks[(inj + 2) % 3] + inj + 1;
+    }
+    out[0] = x0;
+    out[1] = x1;
+}
+
+CounterRng::CounterRng(std::uint64_t seed)
+    : counter(0), bufPos(2), cachedGaussian(0.0), hasCachedGaussian(false)
+{
+    // splitmix64 expansion of the seed into the 128-bit key — the same
+    // derivation Rng uses for its state words.
+    std::uint64_t s = seed;
+    for (auto &word : key) {
+        s += 0x9e3779b97f4a7c15ULL;
+        word = mix64(s);
+    }
+}
+
+CounterRng
+CounterRng::fork(std::uint64_t stream_id)
+{
+    // Mirror Rng::fork: key the child through mix64 from the parent's
+    // next output and the stream id, with an empty Box-Muller cache.
+    CounterRng child(mix64(next() ^ mix64(stream_id)));
+    return child;
+}
+
+std::uint64_t
+CounterRng::reserveBlocks(std::uint64_t n_blocks)
+{
+    bufPos = 2;
+    const std::uint64_t first = counter;
+    counter += n_blocks;
+    return first;
+}
+
+std::uint64_t
+CounterRng::next()
+{
+    if (bufPos >= 2) {
+        block(key[0], key[1], counter, 0, buf);
+        ++counter;
+        bufPos = 0;
+    }
+    return buf[bufPos++];
+}
+
+double
+CounterRng::uniform()
+{
+    return toUniform(next());
+}
+
+double
+CounterRng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+CounterRng::uniformInt(std::uint64_t n)
+{
+    if (n == 0)
+        panic("CounterRng::uniformInt called with n == 0");
+    // Rejection sampling to remove modulo bias (as Rng::uniformInt).
+    const std::uint64_t limit = n * ((~std::uint64_t(0)) / n);
+    std::uint64_t x;
+    do {
+        x = next();
+    } while (x >= limit);
+    return x % n;
+}
+
+// The distribution helpers below mirror Rng's implementations
+// method-for-method (only the underlying uniform source differs), so
+// the statistical regression suite pins both generators to the same
+// sampled distributions.
+
+double
+CounterRng::gaussian()
+{
+    if (hasCachedGaussian) {
+        hasCachedGaussian = false;
+        return cachedGaussian;
+    }
+    double u1, u2;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * math::pi * u2;
+    cachedGaussian = r * std::sin(theta);
+    hasCachedGaussian = true;
+    return r * std::cos(theta);
+}
+
+double
+CounterRng::gaussian(double mean, double sigma)
+{
+    return mean + sigma * gaussian();
+}
+
+bool
+CounterRng::bernoulli(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+std::uint64_t
+CounterRng::binomial(std::uint64_t n, double p)
+{
+    if (n == 0 || p <= 0.0)
+        return 0;
+    if (p >= 1.0)
+        return n;
+
+    const double mean = double(n) * p;
+
+    if (n <= 32) {
+        std::uint64_t count = 0;
+        for (std::uint64_t i = 0; i < n; ++i)
+            count += bernoulli(p) ? 1 : 0;
+        return count;
+    }
+
+    if (mean < 32.0 && p < 0.05) {
+        const std::uint64_t k = poisson(mean);
+        return k > n ? n : k;
+    }
+
+    if (mean >= 32.0 && double(n) * (1.0 - p) >= 32.0) {
+        const double sigma = std::sqrt(mean * (1.0 - p));
+        const double draw = std::round(gaussian(mean, sigma));
+        if (draw < 0.0)
+            return 0;
+        if (draw > double(n))
+            return n;
+        return std::uint64_t(draw);
+    }
+
+    std::uint64_t count = 0;
+    for (std::uint64_t i = 0; i < n; ++i)
+        count += bernoulli(p) ? 1 : 0;
+    return count;
+}
+
+std::uint64_t
+CounterRng::poisson(double mean)
+{
+    if (mean <= 0.0)
+        return 0;
+    if (mean < 30.0) {
+        const double limit = std::exp(-mean);
+        double prod = uniform();
+        std::uint64_t k = 0;
+        while (prod > limit) {
+            prod *= uniform();
+            ++k;
+        }
+        return k;
+    }
+    const double draw = std::round(gaussian(mean, std::sqrt(mean)));
+    return draw < 0.0 ? 0 : std::uint64_t(draw);
+}
+
+void
+CounterRng::saveState(StateWriter &w) const
+{
+    w.putU64(key[0]);
+    w.putU64(key[1]);
+    w.putU64(counter);
+    w.putU64(buf[0]);
+    w.putU64(buf[1]);
+    w.putU8(std::uint8_t(bufPos));
+    w.putDouble(cachedGaussian);
+    w.putBool(hasCachedGaussian);
+}
+
+void
+CounterRng::loadState(StateReader &r)
+{
+    key[0] = r.getU64();
+    key[1] = r.getU64();
+    counter = r.getU64();
+    buf[0] = r.getU64();
+    buf[1] = r.getU64();
+    bufPos = r.getU8();
+    if (bufPos > 2)
+        throw SnapshotError("CounterRng buffer position out of range");
+    cachedGaussian = r.getDouble();
+    hasCachedGaussian = r.getBool();
+}
+
+} // namespace vspec

@@ -36,13 +36,32 @@ enum class SamplingMode
      * attribution is skipped.
      */
     batched,
+    /**
+     * Chip/slice-granularity batching: one aggregate correctable draw
+     * and one survival draw per chip per tick when every array of the
+     * chip sits in the same quantization bucket (per-fleet-slice
+     * bucket pooling in ShardedFleet), with automatic demotion to the
+     * per-array batched path when buckets differ. Same quantized
+     * probability model as batched, one more level of Poisson
+     * superposition; events are attributed back to lines/cores by
+     * thinning, so per-line fidelity matches batched.
+     */
+    chipBatched,
 };
 
 /** Human-readable mode name (for bench/CLI output). */
 inline const char *
 samplingModeName(SamplingMode mode)
 {
-    return mode == SamplingMode::exact ? "exact" : "batched";
+    switch (mode) {
+      case SamplingMode::exact:
+        return "exact";
+      case SamplingMode::batched:
+        return "batched";
+      case SamplingMode::chipBatched:
+        return "chip-batched";
+    }
+    return "unknown";
 }
 
 } // namespace vspec

@@ -77,6 +77,11 @@ Core::refreshWeakLines()
     weakLines[0] = l2iArray().weakLines();
     weakLines[1] = l2dArray().weakLines();
     weakLines[2] = rfArray().weakLines();
+    // Aging (or a restore) may have moved the population under the
+    // cached aggregate rates; generations usually catch this, but a
+    // restored generation can alias a pre-restore one.
+    for (auto &rc : rateCache)
+        rc.valid = false;
 }
 
 unsigned
@@ -104,6 +109,9 @@ Core::setWorkload(std::shared_ptr<Workload> workload, Seconds start_time)
     workloadStart = start_time;
     for (auto &cache : touchWeightCache)
         cache.clear();
+    // The aggregate rates fold in the workload's touch weights.
+    for (auto &rc : rateCache)
+        rc.valid = false;
 }
 
 const Workload &
@@ -139,7 +147,9 @@ Core::sampleTraffic(CacheArray &array,
 
     auto &weight_cache = touchWeightCache[arraySlot(array)];
 
-    const bool batched = samplingMode == SamplingMode::batched;
+    // chipBatched cores ticked individually (e.g. when the chip's
+    // domains straddle a bucket edge) demote to per-array batching.
+    const bool batched = samplingMode != SamplingMode::exact;
     // Batched mode: per-line Poisson rates superpose into one aggregate
     // correctable rate (sum of independent Poissons is Poisson) and the
     // per-line uncorrectable survival probabilities fold into one
@@ -226,6 +236,109 @@ Core::sampleTraffic(CacheArray &array,
         }
     }
     return correctable;
+}
+
+const Core::ArrayRateCache &
+Core::cachedRates(CacheArray &array,
+                  const std::vector<WeakLineInfo> &lines,
+                  Millivolt v_eff) const
+{
+    const unsigned slot = arraySlot(array);
+    ArrayRateCache &rc = rateCache[slot];
+    const std::int64_t bucket = CacheArray::probBucketIndex(v_eff);
+    const std::uint64_t generation = array.sram().generation();
+    const std::uint64_t deconf = array.deconfGeneration();
+    if (rc.valid && rc.bucket == bucket &&
+        rc.generation == generation && rc.deconfGeneration == deconf)
+        return rc;
+
+    rc.bucket = bucket;
+    rc.generation = generation;
+    rc.deconfGeneration = deconf;
+    rc.corrPerAccess = 0.0;
+    rc.uncorrPerAccess = 0.0;
+    rc.valid = true;
+    if (!appWorkload || lines.empty())
+        return rc;
+
+    const Millivolt sigma_dyn = array.sram().distribution().sigmaDynamic;
+    // Same ~6 sigma line cutoff as sampleTraffic, but anchored at the
+    // bucket center so every voltage in the bucket derives the same
+    // line set (a cache hit must not depend on where in the bucket the
+    // rail sits).
+    const Millivolt v_eval = Millivolt(bucket) * CacheArray::probQuantMv;
+    const Millivolt cutoff = v_eval - 6.0 * sigma_dyn;
+
+    auto &weight_cache = touchWeightCache[slot];
+    for (const auto &line : lines) {
+        if (line.weakestVc < cutoff)
+            break;  // Sorted weakest-first.
+        if (array.isDeconfigured(line.set, line.way))
+            continue;
+
+        const std::uint64_t line_key =
+            line.set * array.geometry().associativity + line.way;
+        auto cached = weight_cache.find(line_key);
+        if (cached == weight_cache.end()) {
+            cached = weight_cache
+                         .emplace(line_key,
+                                  appWorkload->lineTouchWeight(
+                                      array.geometry().name, line.set,
+                                      line.way,
+                                      array.geometry().numLines()))
+                         .first;
+        }
+        const double weight = cached->second;
+        if (weight <= 0.0)
+            continue;
+
+        double p_corr = 0.0, p_uncorr = 0.0;
+        array.lineEventProbabilitiesQuantized(line.set, line.way, v_eff,
+                                              p_corr, p_uncorr);
+        rc.corrPerAccess += weight * p_corr;
+        rc.uncorrPerAccess += weight * p_uncorr;
+    }
+    return rc;
+}
+
+CoreTickResult
+Core::tickRates(Seconds t, Seconds dt, Millivolt v_eff,
+                double &lambda_corr, double &lambda_uncorr)
+{
+    CoreTickResult result;
+
+    const WorkloadSample sample = workloadSampleAt(t);
+    result.activity = sample.activity;
+
+    if (crashed())
+        return result;
+
+    if (v_eff < logicFloorMv) {
+        crashReason = CrashReason::logicFailure;
+        result.crash = crashReason;
+        return result;
+    }
+    if (!appWorkload)
+        return result;
+
+    const double instr_per_sec =
+        sample.ipc * cfg.operatingPoint.frequency * 1e6;
+    const std::array<double, 3> accesses = {
+        sample.l2iAccessesPerSec * dt,
+        sample.l2dAccessesPerSec * dt,
+        instr_per_sec * 2.0 * cfg.rfAccessSensitization * dt,
+    };
+    const std::array<CacheArray *, 3> arrays = {&l2iArray(), &l2dArray(),
+                                                &rfArray()};
+    for (unsigned i = 0; i < 3; ++i) {
+        if (accesses[i] <= 0.0 || weakLines[i].empty())
+            continue;
+        const ArrayRateCache &rc =
+            cachedRates(*arrays[i], weakLines[i], v_eff);
+        lambda_corr += accesses[i] * rc.corrPerAccess;
+        lambda_uncorr += accesses[i] * rc.uncorrPerAccess;
+    }
+    return result;
 }
 
 CoreTickResult

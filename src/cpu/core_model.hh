@@ -136,6 +136,22 @@ class Core
     CoreTickResult tick(Seconds t, Seconds dt, Millivolt v_eff, Rng &rng,
                         EccEventLog *log = nullptr);
 
+    /**
+     * Rate-only flavor of tick for the chip-batched sampling mode: the
+     * crash-floor check and activity accounting run exactly as in
+     * tick(), but instead of drawing events the core adds this tick's
+     * aggregate correctable rate and uncorrectable hazard (at the
+     * quantized bucket-center voltage) to the two accumulators. The
+     * caller (Simulator's chip-granularity branch) performs one
+     * superposed Poisson draw and one survival draw for the whole
+     * chip and attributes events back by thinning. Backed by a
+     * per-array rate cache keyed on the voltage bucket, the SRAM
+     * generation and the deconfiguration generation, so steady-rail
+     * ticks cost three cache hits instead of a weak-line walk.
+     */
+    CoreTickResult tickRates(Seconds t, Seconds dt, Millivolt v_eff,
+                             double &lambda_corr, double &lambda_uncorr);
+
     bool crashed() const { return crashReason != CrashReason::none; }
     CrashReason crashReason_() const { return crashReason; }
     /** Clear the crash latch (used between sweep steps). */
@@ -202,6 +218,29 @@ class Core
      */
     mutable std::array<std::unordered_map<std::uint64_t, double>, 3>
         touchWeightCache;
+
+    /**
+     * Per-array aggregate rate memo for tickRates: the traffic-weighted
+     * per-access correctable rate and uncorrectable hazard at one
+     * voltage bucket's center. Invalidated by rail movement across a
+     * bucket edge, aging (SRAM generation), deconfiguration changes
+     * and workload reassignment (cleared in setWorkload).
+     */
+    struct ArrayRateCache
+    {
+        std::int64_t bucket = 0;
+        std::uint64_t generation = 0;
+        std::uint64_t deconfGeneration = 0;
+        double corrPerAccess = 0.0;
+        double uncorrPerAccess = 0.0;
+        bool valid = false;
+    };
+    mutable std::array<ArrayRateCache, 3> rateCache;
+
+    /** Fill (or reuse) an array's rate cache entry for v_eff's bucket. */
+    const ArrayRateCache &cachedRates(CacheArray &array,
+                                      const std::vector<WeakLineInfo> &lines,
+                                      Millivolt v_eff) const;
 
     unsigned arraySlot(const CacheArray &array) const;
 

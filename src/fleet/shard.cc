@@ -39,6 +39,8 @@ ShardedFleet::ShardedFleet(const ScaleFleetConfig &config)
         fatal("ShardedFleet needs at least one placement candidate");
     if (cfg.riskTau <= 0.0)
         fatal("ShardedFleet risk tau must be positive");
+    if (cfg.marginQuantMv <= 0.0)
+        fatal("ShardedFleet margin quantization must be positive");
     const ScaleChipModel &m = cfg.chip;
     if (m.coresPerChip == 0)
         fatal("ScaleChipModel needs at least one core per chip");
@@ -90,6 +92,52 @@ ShardedFleet::ShardedFleet(const ScaleFleetConfig &config)
 }
 
 void
+ShardedFleet::applyChipSlice(Shard &shard, unsigned i,
+                             std::uint64_t corr, std::uint64_t dues,
+                             Seconds slice, double risk_decay,
+                             double inv_nominal, Seconds drain_capacity)
+{
+    const ScaleChipModel &m = cfg.chip;
+
+    risk_[i] *= risk_decay;
+    shard.corrEvents += corr;
+
+    if (dues > 0) {
+        // Crash + recovery: replay penalty on the queue, rail back
+        // to nominal, speculation restarts from scratch.
+        shard.dueRecoveries += dues;
+        const Seconds loss = m.recoveryPenalty * double(dues);
+        shard.recoveryLoss += loss;
+        backlog_[i] += loss;
+        railMv_[i] = m.nominalVdd;
+        holdoff_[i] = m.holdSlices;
+        risk_[i] += cfg.riskPerRecovery * double(dues);
+    } else if (corr > m.toleratedCorrPerSlice) {
+        ++shard.backoffs;
+        railMv_[i] =
+            std::min(m.nominalVdd, railMv_[i] + m.backoffMv);
+        holdoff_[i] = m.holdSlices;
+        risk_[i] += cfg.riskPerError * double(corr);
+    } else if (holdoff_[i] > 0) {
+        --holdoff_[i];
+    } else {
+        railMv_[i] = std::max(m.floorMv, railMv_[i] - m.stepMv);
+    }
+    earnedFloorMv_[i] = std::min(earnedFloorMv_[i], railMv_[i]);
+
+    // Queue drain and the quadratic power dividend.
+    const Seconds drained = std::min(backlog_[i], drain_capacity);
+    backlog_[i] -= drained;
+    const double util =
+        drain_capacity > 0.0 ? drained / drain_capacity : 0.0;
+    const Watt power = double(m.coresPerChip) *
+                       (m.idlePowerPerCore +
+                        m.activePowerPerCore * util) *
+                       sq(railMv_[i] * inv_nominal);
+    energyJ_[i] += power * slice;
+}
+
+void
 ShardedFleet::advanceShard(Shard &shard, Seconds slice)
 {
     const ScaleChipModel &m = cfg.chip;
@@ -98,8 +146,6 @@ ShardedFleet::advanceShard(Shard &shard, Seconds slice)
     const Seconds drain_capacity = double(m.coresPerChip) * slice;
 
     for (unsigned i = shard.lo; i < shard.hi; ++i) {
-        risk_[i] *= risk_decay;
-
         // ECC feedback: event rates are exponential in the margin the
         // rail keeps above the chip's hidden minimum safe Vdd. Both
         // draws always happen, so the shard RNG's position per chip
@@ -114,41 +160,102 @@ ShardedFleet::advanceShard(Shard &shard, Seconds slice)
             m.dueRateAtMinSafe * std::exp(-margin / m.dueScaleMv),
             maxDueRate);
         const std::uint64_t dues = shard.rng.poisson(due_rate * slice);
-        shard.corrEvents += corr;
 
-        if (dues > 0) {
-            // Crash + recovery: replay penalty on the queue, rail back
-            // to nominal, speculation restarts from scratch.
-            shard.dueRecoveries += dues;
-            const Seconds loss = m.recoveryPenalty * double(dues);
-            shard.recoveryLoss += loss;
-            backlog_[i] += loss;
-            railMv_[i] = m.nominalVdd;
-            holdoff_[i] = m.holdSlices;
-            risk_[i] += cfg.riskPerRecovery * double(dues);
-        } else if (corr > m.toleratedCorrPerSlice) {
-            ++shard.backoffs;
-            railMv_[i] =
-                std::min(m.nominalVdd, railMv_[i] + m.backoffMv);
-            holdoff_[i] = m.holdSlices;
-            risk_[i] += cfg.riskPerError * double(corr);
-        } else if (holdoff_[i] > 0) {
-            --holdoff_[i];
+        applyChipSlice(shard, i, corr, dues, slice, risk_decay,
+                       inv_nominal, drain_capacity);
+    }
+}
+
+void
+ShardedFleet::advanceShardBatched(Shard &shard, Seconds slice)
+{
+    const ScaleChipModel &m = cfg.chip;
+    const double risk_decay = std::exp(-slice / cfg.riskTau);
+    const double inv_nominal = 1.0 / m.nominalVdd;
+    const Seconds drain_capacity = double(m.coresPerChip) * slice;
+    const unsigned n = shard.hi - shard.lo;
+    if (n == 0)
+        return;
+
+    // Phase A: counting-sort the shard's chips by quantized margin
+    // bucket (round-half-up, matching the probability-LUT convention).
+    auto &bucket = shard.bucketScratch;
+    bucket.resize(n);
+    std::int64_t bmin = 0, bmax = 0;
+    for (unsigned k = 0; k < n; ++k) {
+        const unsigned i = shard.lo + k;
+        const double margin = railMv_[i] - minSafeMv_[i];
+        const std::int64_t b =
+            std::int64_t(std::floor(margin / cfg.marginQuantMv + 0.5));
+        bucket[k] = b;
+        if (k == 0 || b < bmin)
+            bmin = b;
+        if (k == 0 || b > bmax)
+            bmax = b;
+    }
+    const std::size_t nb = std::size_t(bmax - bmin) + 1;
+    auto &hist = shard.histScratch;
+    hist.assign(nb + 1, 0);
+    for (unsigned k = 0; k < n; ++k)
+        ++hist[std::size_t(bucket[k] - bmin) + 1];
+    for (std::size_t b = 1; b <= nb; ++b)
+        hist[b] += hist[b - 1];
+    auto &order = shard.orderScratch;
+    order.resize(n);
+    {
+        // hist[b] walks from each bucket's start offset to its end;
+        // chips land in ascending chip order within a bucket.
+        auto cursor = hist;
+        for (unsigned k = 0; k < n; ++k)
+            order[cursor[std::size_t(bucket[k] - bmin)]++] = k;
+    }
+
+    // Phase B: one pooled Poisson per event class per occupied bucket,
+    // thinned to uniform member chips (all members share the bucket-
+    // center rate, so thinning is exact given the quantization). A
+    // bucket in storm — pooled mean far above its population — falls
+    // back to per-chip draws so the thinning loop stays bounded.
+    auto &corr_cnt = shard.corrScratch;
+    auto &due_cnt = shard.dueScratch;
+    corr_cnt.assign(n, 0);
+    due_cnt.assign(n, 0);
+    constexpr double perChipStormMean = 4.0;
+    for (std::size_t b = 0; b < nb; ++b) {
+        const std::uint32_t begin = hist[b];
+        const std::uint32_t end = hist[b + 1];
+        if (begin == end)
+            continue;
+        const std::uint32_t count = end - begin;
+        const double margin_c =
+            double(std::int64_t(b) + bmin) * cfg.marginQuantMv;
+        const double corr_rate = std::min(
+            m.corrRateAtMinSafe * std::exp(-margin_c / m.corrScaleMv),
+            maxCorrRate);
+        const double due_rate = std::min(
+            m.dueRateAtMinSafe * std::exp(-margin_c / m.dueScaleMv),
+            maxDueRate);
+
+        if (corr_rate * slice > perChipStormMean) {
+            for (std::uint32_t k = begin; k < end; ++k) {
+                corr_cnt[order[k]] += std::uint32_t(
+                    shard.rng.poisson(corr_rate * slice));
+            }
         } else {
-            railMv_[i] = std::max(m.floorMv, railMv_[i] - m.stepMv);
+            const std::uint64_t total =
+                shard.rng.poisson(corr_rate * slice * double(count));
+            for (std::uint64_t e = 0; e < total; ++e)
+                ++corr_cnt[order[begin + shard.rng.uniformInt(count)]];
         }
-        earnedFloorMv_[i] = std::min(earnedFloorMv_[i], railMv_[i]);
+        const std::uint64_t dues =
+            shard.rng.poisson(due_rate * slice * double(count));
+        for (std::uint64_t e = 0; e < dues; ++e)
+            ++due_cnt[order[begin + shard.rng.uniformInt(count)]];
+    }
 
-        // Queue drain and the quadratic power dividend.
-        const Seconds drained = std::min(backlog_[i], drain_capacity);
-        backlog_[i] -= drained;
-        const double util =
-            drain_capacity > 0.0 ? drained / drain_capacity : 0.0;
-        const Watt power = double(m.coresPerChip) *
-                           (m.idlePowerPerCore +
-                            m.activePowerPerCore * util) *
-                           sq(railMv_[i] * inv_nominal);
-        energyJ_[i] += power * slice;
+    // Phase C: the unchanged per-chip state machine, in chip order.
+    for (unsigned k = 0; k < n; ++k) {
+        applyChipSlice(shard, shard.lo + k, corr_cnt[k], due_cnt[k],
+                       slice, risk_decay, inv_nominal, drain_capacity);
     }
 }
 
@@ -319,7 +426,10 @@ ShardedFleet::run(Seconds duration, ExperimentPool &pool)
         const auto outcomes = pool.run(
             mix64(cfg.seed, sliceIndex_), shards.size(),
             [this](ExperimentTaskContext &ctx) {
-                advanceShard(shards[ctx.index], cfg.slice);
+                if (cfg.sampling == SamplingMode::chipBatched)
+                    advanceShardBatched(shards[ctx.index], cfg.slice);
+                else
+                    advanceShard(shards[ctx.index], cfg.slice);
                 return 0;
             });
         for (const auto &outcome : outcomes) {

@@ -70,6 +70,7 @@
 #include <vector>
 
 #include "common/rng.hh"
+#include "common/sampling.hh"
 #include "common/units.hh"
 #include "fleet/fleet.hh"
 #include "fleet/fleet_metrics.hh"
@@ -161,6 +162,22 @@ struct ScaleFleetConfig
 
     /** Arm the exact-histogram latency cross-check in every shard. */
     bool exactLatencyValidation = false;
+
+    /**
+     * Hot-loop sampling granularity. exact (and batched, which has no
+     * finer structure to collapse at this scale) draws one Poisson
+     * pair per chip per slice. chipBatched pools the chips of a shard
+     * by quantized (rail - minSafe) margin each slice and draws ONE
+     * pooled Poisson per event class per occupied bucket, thinning the
+     * events to uniform member chips — the fleet-slice analogue of the
+     * Simulator's whole-chip aggregation. Same per-chip rate model
+     * evaluated at the bucket center, so the event-count distribution
+     * matches to the quantization error; per-chip draw sequences (and
+     * therefore exact per-chip trajectories) differ.
+     */
+    SamplingMode sampling = SamplingMode::exact;
+    /** Margin quantization grid of the pooled buckets (mV). */
+    Millivolt marginQuantMv = 1.0;
 
     /**
      * Cold-path template for materializeNode(): the full-simulation
@@ -259,6 +276,13 @@ class ShardedFleet
         /** Core-seconds of work lost + replayed in recoveries. */
         Seconds recoveryLoss = 0.0;
 
+        /** Slice-batched scratch (touched only by this shard's task). */
+        std::vector<std::int64_t> bucketScratch;
+        std::vector<std::uint32_t> histScratch;
+        std::vector<std::uint32_t> orderScratch;
+        std::vector<std::uint32_t> corrScratch;
+        std::vector<std::uint32_t> dueScratch;
+
         Shard() : rng(0) {}
     };
 
@@ -301,6 +325,25 @@ class ShardedFleet
     std::vector<PowerCapGovernor::Measurement> measureBuf;
 
     void advanceShard(Shard &shard, Seconds slice);
+
+    /**
+     * Slice-batched shard advance (ScaleFleetConfig::sampling ==
+     * chipBatched): margin-bucket pooling + thinning instead of two
+     * draws per chip. Shares applyChipSlice with the exact path.
+     */
+    void advanceShardBatched(Shard &shard, Seconds slice);
+
+    /**
+     * The per-chip control state machine for one slice, given this
+     * slice's correctable/DUE event counts (drawn per chip on the
+     * exact path, thinned from the pooled draws on the batched path):
+     * backoff/recovery/descent, queue drain and the energy integral.
+     */
+    void applyChipSlice(Shard &shard, unsigned i, std::uint64_t corr,
+                        std::uint64_t dues, Seconds slice,
+                        double risk_decay, double inv_nominal,
+                        Seconds drain_capacity);
+
     void placeArrivals();
     unsigned chooseChip(const TrafficArrival &arrival,
                         const JobClass &cls);

@@ -1,6 +1,7 @@
 #include "platform/simulator.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.hh"
 #include "snapshot/state_io.hh"
@@ -140,28 +141,55 @@ Simulator::step(Seconds dt)
             injection.events;
         traceWorkloadErrors += injection.events;
     }
-    for (unsigned d = 0; d < chip_->numDomains(); ++d) {
-        auto &dom = chip_->domain(d);
-        const Millivolt v_eff = dom.effectiveVoltage(chip_->pdn());
-
-        for (Core *core : dom.cores()) {
-            const CoreTickResult result =
-                core->tick(t, dt, v_eff, simRng, &log);
-            coreEvents[core->id()] += result.correctableEvents;
-            domainEvents[d] += result.correctableEvents;
-            traceWorkloadErrors += result.correctableEvents;
+    // Chip-granularity batching applies only on ticks where every
+    // domain's effective voltage lands in the same probability-LUT
+    // bucket (so one bucket-center rate sum is valid chip-wide); a
+    // tick whose domains straddle a bucket edge falls through to the
+    // per-domain loop, where chipBatched cores demote to per-array
+    // batching.
+    bool chip_aggregate = false;
+    if (samplingMode_ == SamplingMode::chipBatched &&
+        chip_->numDomains() > 0) {
+        std::vector<Millivolt> &veff = domainVeffScratch;
+        veff.resize(chip_->numDomains());
+        chip_aggregate = true;
+        std::int64_t bucket = 0;
+        for (unsigned d = 0; d < chip_->numDomains(); ++d) {
+            veff[d] = chip_->domain(d).effectiveVoltage(chip_->pdn());
+            const std::int64_t b = CacheArray::probBucketIndex(veff[d]);
+            if (d == 0)
+                bucket = b;
+            else if (b != bucket)
+                chip_aggregate = false;
         }
+    }
 
-        // 4. Monitor probe bursts for this domain's monitors.
-        for (Core *core : dom.cores()) {
-            for (EccMonitor *mon :
-                 {&chip_->l2iMonitor(core->id()),
-                  &chip_->l2dMonitor(core->id())}) {
-                if (!mon->active())
-                    continue;
-                const ProbeStats stats =
-                    mon->runProbes(dt, v_eff, simRng);
-                traceProbeAccum[d] += stats;
+    if (chip_aggregate) {
+        stepChipAggregate(t, dt, domainEvents);
+    } else {
+        for (unsigned d = 0; d < chip_->numDomains(); ++d) {
+            auto &dom = chip_->domain(d);
+            const Millivolt v_eff = dom.effectiveVoltage(chip_->pdn());
+
+            for (Core *core : dom.cores()) {
+                const CoreTickResult result =
+                    core->tick(t, dt, v_eff, simRng, &log);
+                coreEvents[core->id()] += result.correctableEvents;
+                domainEvents[d] += result.correctableEvents;
+                traceWorkloadErrors += result.correctableEvents;
+            }
+
+            // 4. Monitor probe bursts for this domain's monitors.
+            for (Core *core : dom.cores()) {
+                for (EccMonitor *mon :
+                     {&chip_->l2iMonitor(core->id()),
+                      &chip_->l2dMonitor(core->id())}) {
+                    if (!mon->active())
+                        continue;
+                    const ProbeStats stats =
+                        mon->runProbes(dt, v_eff, simRng);
+                    traceProbeAccum[d] += stats;
+                }
             }
         }
     }
@@ -276,6 +304,112 @@ Simulator::step(Seconds dt)
             // per tick; don't let the backlog grow without bound.
             sinceTraceSample = std::min(sinceTraceSample, traceInterval);
             recordTraceSample();
+        }
+    }
+}
+
+void
+Simulator::apportionEvents(std::uint64_t total, double weight_sum)
+{
+    const std::size_t n = coreLambdaCorr.size();
+    coreEventSplit.assign(n, 0);
+    if (n == 0 || total == 0 || weight_sum <= 0.0)
+        return;
+
+    remainderScratch.clear();
+    std::uint64_t assigned = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double quota =
+            double(total) * (coreLambdaCorr[i] / weight_sum);
+        const double fl = std::floor(quota);
+        coreEventSplit[i] = std::uint64_t(fl);
+        assigned += coreEventSplit[i];
+        remainderScratch.emplace_back(quota - fl, std::uint32_t(i));
+    }
+    // Hand the leftover events (floors undershoot the total by fewer
+    // than n) to the cores with the largest fractional remainders;
+    // ties break on core id so the split is fully deterministic.
+    std::sort(remainderScratch.begin(), remainderScratch.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.first != b.first)
+                      return a.first > b.first;
+                  return a.second < b.second;
+              });
+    for (std::size_t k = 0; assigned < total; k = (k + 1) % n) {
+        ++coreEventSplit[remainderScratch[k].second];
+        ++assigned;
+    }
+}
+
+void
+Simulator::stepChipAggregate(Seconds t, Seconds dt,
+                             std::vector<std::uint64_t> &domainEvents)
+{
+    // 3. Per-core rate accumulation (no draws): crashed cores and
+    // logic-floor crashes are handled inside tickRates exactly as in
+    // tick().
+    coreLambdaCorr.assign(chip_->numCores(), 0.0);
+    coreLambdaUnc.assign(chip_->numCores(), 0.0);
+    double chip_corr = 0.0, chip_unc = 0.0;
+    for (unsigned d = 0; d < chip_->numDomains(); ++d) {
+        const Millivolt v_eff = domainVeffScratch[d];
+        for (Core *core : chip_->domain(d).cores()) {
+            double lc = 0.0, lu = 0.0;
+            core->tickRates(t, dt, v_eff, lc, lu);
+            coreLambdaCorr[core->id()] = lc;
+            coreLambdaUnc[core->id()] = lu;
+            chip_corr += lc;
+            chip_unc += lu;
+        }
+    }
+
+    // One superposed Poisson draw for the whole chip's correctable
+    // events, apportioned back to cores by largest remainder. Per-line
+    // event-log attribution is unavailable at this granularity (as in
+    // batched mode, nothing is recorded in the event log).
+    if (chip_corr > 0.0) {
+        const std::uint64_t total = simRng.poisson(chip_corr);
+        if (total > 0) {
+            apportionEvents(total, chip_corr);
+            for (unsigned c = 0; c < chip_->numCores(); ++c) {
+                const std::uint64_t events = coreEventSplit[c];
+                if (events == 0)
+                    continue;
+                coreEvents[c] += events;
+                domainEvents[chip_->domainIndexOf(c)] += events;
+                traceWorkloadErrors += events;
+            }
+        }
+    }
+
+    // One survival draw over the summed uncorrectable hazard; a hit
+    // crashes one core picked with probability proportional to its own
+    // hazard (thinning of the superposed process).
+    if (chip_unc > 0.0 && simRng.bernoulli(-std::expm1(-chip_unc))) {
+        double pick = simRng.uniform() * chip_unc;
+        unsigned victim = 0;
+        for (unsigned c = 0; c < chip_->numCores(); ++c) {
+            if (coreLambdaUnc[c] <= 0.0)
+                continue;
+            victim = c;
+            pick -= coreLambdaUnc[c];
+            if (pick <= 0.0)
+                break;
+        }
+        chip_->core(victim).injectCrash(CrashReason::uncorrectableError);
+    }
+
+    // 4. Monitor probe bursts, in the same per-domain order as the
+    // exact path.
+    for (unsigned d = 0; d < chip_->numDomains(); ++d) {
+        const Millivolt v_eff = domainVeffScratch[d];
+        for (Core *core : chip_->domain(d).cores()) {
+            for (EccMonitor *mon : {&chip_->l2iMonitor(core->id()),
+                                    &chip_->l2dMonitor(core->id())}) {
+                if (!mon->active())
+                    continue;
+                traceProbeAccum[d] += mon->runProbes(dt, v_eff, simRng);
+            }
         }
     }
 }
@@ -396,7 +530,7 @@ Simulator::restore(StateReader &r)
                             std::to_string(snap_tick) +
                             ", simulator has " + std::to_string(tick_));
     const std::uint8_t mode = r.getU8();
-    if (mode > std::uint8_t(SamplingMode::batched))
+    if (mode > std::uint8_t(SamplingMode::chipBatched))
         throw SnapshotError("invalid sampling mode " +
                             std::to_string(unsigned(mode)));
     setSamplingMode(SamplingMode(mode));

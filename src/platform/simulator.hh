@@ -84,7 +84,13 @@ class Simulator
      * per tick instead of one pair per weak line — same event-count
      * distribution, different RNG draw sequence (see
      * common/sampling.hh), so it is opt-in for sweep/fleet drivers that
-     * only consume aggregate statistics.
+     * only consume aggregate statistics. Chip-batched mode goes one
+     * level further: on ticks where every domain's effective voltage
+     * falls in the same probability-LUT bucket, all cores' rates
+     * superpose into ONE whole-chip Poisson draw plus one survival
+     * draw, with events apportioned back to cores by largest remainder
+     * (ticks whose domains straddle a bucket edge demote to per-array
+     * batching automatically).
      */
     void setSamplingMode(SamplingMode mode);
     SamplingMode samplingMode() const { return samplingMode_; }
@@ -196,7 +202,32 @@ class Simulator
     std::vector<FaultInjector::CorrectableInjection> injectedScratch;
     std::vector<std::uint64_t> domainEventsScratch;
 
+    /** Chip-batched scratch: per-domain voltages, per-core rates and
+     *  the largest-remainder event split (reused across ticks). */
+    std::vector<Millivolt> domainVeffScratch;
+    std::vector<double> coreLambdaCorr;
+    std::vector<double> coreLambdaUnc;
+    std::vector<std::uint64_t> coreEventSplit;
+    std::vector<std::pair<double, std::uint32_t>> remainderScratch;
+
     void step(Seconds dt);
+
+    /**
+     * Phases 3-4 of one tick in whole-chip aggregate form (see
+     * setSamplingMode): per-core rate accumulation, one chip-level
+     * Poisson + survival draw, then the monitor bursts in the same
+     * per-domain order as the exact path.
+     */
+    void stepChipAggregate(Seconds t, Seconds dt,
+                           std::vector<std::uint64_t> &domainEvents);
+
+    /**
+     * Largest-remainder apportionment of @p total correctable events
+     * over coreLambdaCorr into coreEventSplit — deterministic given the
+     * aggregate draw, so the split costs no extra randomness.
+     */
+    void apportionEvents(std::uint64_t total, double weight_sum);
+
     void recordTraceSample();
 };
 

@@ -1,0 +1,406 @@
+/**
+ * @file
+ * CounterRng and SIMD-kernel tests: Threefry known-answer vectors,
+ * fork/stream decorrelation (the same contract common_test pins for
+ * the scalar Rng), the distribution helpers' statistics, snapshot
+ * round-trips mid-stream, and byte-identity of the runtime-dispatched
+ * SIMD backend against the portable scalar reference on all three
+ * kernels.
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/counter_rng.hh"
+#include "common/mathutil.hh"
+#include "common/rng.hh"
+#include "common/simd.hh"
+#include "snapshot/state_io.hh"
+
+namespace vspec
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Block function and stream basics.
+
+TEST(CounterRng, ThreefryKnownAnswerVectors)
+{
+    // Random123 reference vectors for Threefry-2x64, 20 rounds.
+    std::uint64_t out[2];
+    CounterRng::block(0, 0, 0, 0, out);
+    EXPECT_EQ(out[0], 0xc2b6e3a8c2c69865ULL);
+    EXPECT_EQ(out[1], 0x6f81ed42f350084dULL);
+
+    const std::uint64_t ff = ~std::uint64_t(0);
+    CounterRng::block(ff, ff, ff, ff, out);
+    EXPECT_EQ(out[0], 0xe02cb7c4d95d277aULL);
+    EXPECT_EQ(out[1], 0xd06633d0893b8b68ULL);
+}
+
+TEST(CounterRng, DeterministicFromSeed)
+{
+    CounterRng a(42), b(42);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(CounterRng, DifferentSeedsDiffer)
+{
+    CounterRng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(CounterRng, NextServesBlockWordsInOrder)
+{
+    CounterRng rng(7);
+    std::uint64_t expect[2];
+    CounterRng::block(rng.key0(), rng.key1(), 0, 0, expect);
+    EXPECT_EQ(rng.next(), expect[0]);
+    EXPECT_EQ(rng.next(), expect[1]);
+    CounterRng::block(rng.key0(), rng.key1(), 1, 0, expect);
+    EXPECT_EQ(rng.next(), expect[0]);
+}
+
+TEST(CounterRng, ReserveBlocksSkipsTheReservedRange)
+{
+    CounterRng rng(7);
+    (void)rng.next();  // Half-consume block 0 (bufPos == 1).
+    const std::uint64_t first = rng.reserveBlocks(4);
+    // The partially consumed buffer is discarded, so the reserved
+    // range starts at the next unconsumed counter.
+    EXPECT_EQ(first, 1u);
+    // The scalar stream resumes after the reserved range.
+    std::uint64_t expect[2];
+    CounterRng::block(rng.key0(), rng.key1(), first + 4, 0, expect);
+    EXPECT_EQ(rng.next(), expect[0]);
+}
+
+TEST(CounterRng, ToUniformHalfOpenUnitInterval)
+{
+    EXPECT_EQ(CounterRng::toUniform(0), 0.0);
+    const double top = CounterRng::toUniform(~std::uint64_t(0));
+    EXPECT_LT(top, 1.0);
+    EXPECT_GT(top, 1.0 - 1e-15);
+}
+
+// ---------------------------------------------------------------------
+// Fork contract: same shape as Rng's (mix64 derivation, decorrelated
+// adjacent stream ids, no inherited Box-Muller cache).
+
+TEST(CounterRng, ForkAdjacentStreamIdsDecorrelated)
+{
+    constexpr int ids = 16;
+    std::vector<CounterRng> children;
+    for (int i = 0; i < ids; ++i) {
+        CounterRng fresh(2024);  // Same parent state for every fork.
+        children.push_back(fresh.fork(std::uint64_t(i)));
+    }
+    for (int a = 0; a < ids; ++a) {
+        for (int b = a + 1; b < ids; ++b) {
+            CounterRng ca = children[a], cb = children[b];
+            int same = 0;
+            for (int i = 0; i < 64; ++i)
+                same += (ca.next() == cb.next());
+            EXPECT_LT(same, 2) << "streams " << a << " and " << b;
+        }
+    }
+}
+
+TEST(CounterRng, ForkDecorrelatedFromParent)
+{
+    CounterRng parent(99);
+    CounterRng child = parent.fork(0);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (parent.next() == child.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(CounterRng, ForkDoesNotInheritGaussianCache)
+{
+    // The second Box-Muller draw is the one served from the cache.
+    CounterRng probe(123);
+    (void)probe.gaussian();
+    const double parents_cached = probe.gaussian();
+    CounterRng parent(123);
+    (void)parent.gaussian();  // Parent now caches `parents_cached`.
+    CounterRng child = parent.fork(5);
+    EXPECT_NE(child.gaussian(), parents_cached);
+    // And the parent's cache is still intact afterwards.
+    EXPECT_EQ(parent.gaussian(), parents_cached);
+}
+
+// ---------------------------------------------------------------------
+// Distribution helpers: the same statistical envelope common_test pins
+// for the scalar Rng (~6 sigma bounds so spurious failures are
+// vanishingly rare).
+
+TEST(CounterRng, UniformInUnitInterval)
+{
+    CounterRng rng(5);
+    double sum = 0.0;
+    constexpr int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    // Mean 0.5, sigma of the mean = 1/sqrt(12 n).
+    const double sigma = 1.0 / std::sqrt(12.0 * n);
+    EXPECT_NEAR(sum / n, 0.5, 6.0 * sigma);
+}
+
+TEST(CounterRng, UniformIntBounds)
+{
+    CounterRng rng(6);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(rng.uniformInt(17), 17u);
+}
+
+TEST(CounterRng, GaussianMoments)
+{
+    CounterRng rng(8);
+    double sum = 0.0, sq = 0.0;
+    constexpr int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 6.0 / std::sqrt(double(n)));
+    EXPECT_NEAR(sq / n, 1.0, 6.0 * std::sqrt(2.0 / double(n)));
+}
+
+TEST(CounterRng, BernoulliEdges)
+{
+    CounterRng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_FALSE(rng.bernoulli(-1.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+        EXPECT_TRUE(rng.bernoulli(2.0));
+    }
+}
+
+TEST(CounterRng, BernoulliMean)
+{
+    CounterRng rng(10);
+    constexpr int n = 200000;
+    constexpr double p = 0.23;
+    int hits = 0;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(p) ? 1 : 0;
+    const double sigma = std::sqrt(p * (1.0 - p) * n);
+    EXPECT_NEAR(double(hits), p * n, 6.0 * sigma);
+}
+
+TEST(CounterRng, PoissonMeanAcrossRegimes)
+{
+    CounterRng rng(11);
+    for (const double mean : {0.05, 3.0, 80.0}) {
+        constexpr int n = 50000;
+        double sum = 0.0;
+        for (int i = 0; i < n; ++i)
+            sum += double(rng.poisson(mean));
+        const double sigma = std::sqrt(mean / n);
+        EXPECT_NEAR(sum / n, mean, 6.0 * sigma) << "mean " << mean;
+    }
+}
+
+TEST(CounterRng, BinomialMeanAcrossRegimes)
+{
+    CounterRng rng(12);
+    // Exact, Poisson-approx and normal-approx regimes.
+    struct Case { std::uint64_t n; double p; };
+    for (const Case c : {Case{20, 0.3}, Case{5000, 1e-4}, Case{4000, 0.4}}) {
+        constexpr int reps = 20000;
+        double sum = 0.0;
+        for (int i = 0; i < reps; ++i)
+            sum += double(rng.binomial(c.n, c.p));
+        const double mean = double(c.n) * c.p;
+        const double sigma =
+            std::sqrt(double(c.n) * c.p * (1.0 - c.p) / reps);
+        EXPECT_NEAR(sum / reps, mean, 6.0 * std::max(sigma, 1e-3))
+            << "n " << c.n << " p " << c.p;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Snapshot round-trip.
+
+TEST(CounterRng, SnapshotRoundTripsMidStream)
+{
+    CounterRng rng(77);
+    // Leave the generator mid-block (odd word count) with a cached
+    // Box-Muller value — the hardest state to restore.
+    for (int i = 0; i < 7; ++i)
+        (void)rng.next();
+    (void)rng.gaussian();
+
+    StateWriter w;
+    w.beginSection("rng");
+    rng.saveState(w);
+    w.endSection();
+
+    CounterRng restored(0);  // Different seed: state must be replaced.
+    StateReader r(w.finish());
+    r.beginSection("rng");
+    restored.loadState(r);
+
+    EXPECT_EQ(restored.gaussian(), rng.gaussian());
+    for (int i = 0; i < 256; ++i)
+        ASSERT_EQ(restored.next(), rng.next());
+    EXPECT_EQ(restored.poisson(4.0), rng.poisson(4.0));
+}
+
+TEST(CounterRng, SnapshotRejectsCorruptBufferPosition)
+{
+    CounterRng rng(77);
+    StateWriter w;
+    w.beginSection("rng");
+    w.putU64(1);
+    w.putU64(2);
+    w.putU64(3);
+    w.putU64(4);
+    w.putU64(5);
+    w.putU8(3);  // bufPos out of range.
+    w.putDouble(0.0);
+    w.putBool(false);
+    w.endSection();
+    StateReader r(w.finish());
+    r.beginSection("rng");
+    EXPECT_THROW(rng.loadState(r), SnapshotError);
+}
+
+// ---------------------------------------------------------------------
+// SIMD kernels: dispatched backend vs portable scalar reference must
+// be byte-identical, and both must match the CounterRng scalar block.
+
+TEST(SimdKernels, ThreefryFillMatchesPortableAndScalarBlock)
+{
+    // Odd count exercises the remainder lane of the vector backends.
+    constexpr std::size_t blocks = 257;
+    constexpr std::uint64_t k0 = 0x0123456789ABCDEFULL;
+    constexpr std::uint64_t k1 = 0xFEDCBA9876543210ULL;
+    constexpr std::uint64_t c0 = 0xDEADBEEF00000000ULL;
+
+    std::vector<std::uint64_t> dispatched(2 * blocks),
+        portable(2 * blocks);
+    simd::threefryFill(k0, k1, c0, blocks, dispatched.data());
+    simd::portable::threefryFill(k0, k1, c0, blocks, portable.data());
+    ASSERT_EQ(dispatched, portable) << "backend " << simd::backendName();
+
+    for (std::size_t i = 0; i < blocks; ++i) {
+        std::uint64_t ref[2];
+        CounterRng::block(k0, k1, c0 + i, 0, ref);
+        ASSERT_EQ(dispatched[2 * i], ref[0]) << "block " << i;
+        ASSERT_EQ(dispatched[2 * i + 1], ref[1]) << "block " << i;
+    }
+}
+
+TEST(SimdKernels, NormalCdfBatchByteIdenticalToPortable)
+{
+    // Dense grid through the bulk plus hand-picked tail/edge points.
+    std::vector<double> z;
+    for (double x = -10.0; x <= 10.0; x += 0.0625)
+        z.push_back(x);
+    for (const double x : {-40.0, -37.5, -12.0, -8.5, 8.5, 12.0, 40.0,
+                           0.0, 1e-12, -1e-12})
+        z.push_back(x);
+
+    std::vector<double> dispatched(z.size()), portable(z.size());
+    simd::normalCdfBatch(z.data(), z.size(), dispatched.data());
+    simd::portable::normalCdfBatch(z.data(), z.size(), portable.data());
+    for (std::size_t i = 0; i < z.size(); ++i) {
+        // Byte identity, not just numeric closeness.
+        ASSERT_EQ(std::memcmp(&dispatched[i], &portable[i],
+                              sizeof(double)),
+                  0)
+            << "z = " << z[i] << " backend " << simd::backendName();
+    }
+}
+
+TEST(SimdKernels, NormalCdfBatchAccurateAgainstLibm)
+{
+    std::vector<double> z;
+    for (double x = -8.0; x <= 8.0; x += 0.03125)
+        z.push_back(x);
+    std::vector<double> got(z.size());
+    simd::normalCdfBatch(z.data(), z.size(), got.data());
+    for (std::size_t i = 0; i < z.size(); ++i) {
+        const double ref = math::normalCdf(z[i]);
+        ASSERT_NEAR(got[i], ref, 1e-13 + 1e-9 * ref) << "z = " << z[i];
+    }
+}
+
+TEST(SimdKernels, BernoulliMaskByteIdenticalToPortable)
+{
+    // Probability vector spanning edge cases: never-fire, always-fire,
+    // negative, tiny and mid-range values; odd length for the
+    // remainder lane.
+    std::vector<double> p;
+    CounterRng gen(0xABCDEF);
+    for (int i = 0; i < 1001; ++i)
+        p.push_back(gen.uniform());
+    p[3] = 0.0;
+    p[4] = -0.5;
+    p[5] = 1.0;
+    p[6] = 1.5;
+    p[7] = 1e-300;
+
+    constexpr std::uint64_t k0 = 0x1111111111111111ULL;
+    constexpr std::uint64_t k1 = 0x2222222222222222ULL;
+    constexpr std::uint64_t c0 = 17;
+
+    std::vector<std::uint8_t> m_dispatched(p.size()),
+        m_portable(p.size());
+    const std::size_t n_dispatched = simd::bernoulliMask(
+        p.data(), p.size(), k0, k1, c0, m_dispatched.data());
+    const std::size_t n_portable = simd::portable::bernoulliMask(
+        p.data(), p.size(), k0, k1, c0, m_portable.data());
+
+    EXPECT_EQ(n_dispatched, n_portable)
+        << "backend " << simd::backendName();
+    ASSERT_EQ(m_dispatched, m_portable);
+
+    // Edge semantics match CounterRng::bernoulli.
+    EXPECT_EQ(m_dispatched[3], 0);
+    EXPECT_EQ(m_dispatched[4], 0);
+    EXPECT_EQ(m_dispatched[5], 1);
+    EXPECT_EQ(m_dispatched[6], 1);
+
+    // The count is the popcount of the mask.
+    std::size_t hits = 0;
+    for (const std::uint8_t b : m_dispatched)
+        hits += b;
+    EXPECT_EQ(hits, n_dispatched);
+}
+
+TEST(SimdKernels, BernoulliMaskTracksProbabilities)
+{
+    // Statistical check on the mask itself: ~200k trials at p = 0.37
+    // must land within 6 sigma.
+    constexpr std::size_t n = 200000;
+    constexpr double p = 0.37;
+    std::vector<double> probs(n, p);
+    std::vector<std::uint8_t> mask(n);
+    CounterRng rng(0x51D);
+    const std::uint64_t c0 = rng.reserveBlocks((n + 1) / 2);
+    const std::size_t hits = simd::bernoulliMask(
+        probs.data(), n, rng.key0(), rng.key1(), c0, mask.data());
+    const double sigma = std::sqrt(p * (1.0 - p) * double(n));
+    EXPECT_NEAR(double(hits), p * double(n), 6.0 * sigma);
+}
+
+} // namespace
+} // namespace vspec

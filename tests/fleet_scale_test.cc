@@ -246,6 +246,63 @@ TEST(ShardedFleet, RunIsIdenticalForEveryWorkerThreadCount)
     }
 }
 
+TEST(ShardedFleet, ChipBatchedRunIsIdenticalForEveryWorkerThreadCount)
+{
+    // The pooled bucket draws live in per-shard RNG streams, so the
+    // chip-batched scale path must stay byte-deterministic across
+    // worker counts exactly like the per-chip path.
+    FleetReport reference;
+    bool have_reference = false;
+    for (unsigned threads : {1u, 4u, 8u}) {
+        ExperimentPool pool(threads);
+        ScaleFleetConfig cfg = scaleTestConfig(2000);
+        cfg.sampling = SamplingMode::chipBatched;
+        ShardedFleet fleet(cfg);
+        fleet.run(8.0, pool);
+        const FleetReport rep = fleet.report();
+        ASSERT_GT(rep.completed, 0u);
+        if (!have_reference) {
+            reference = rep;
+            have_reference = true;
+        } else {
+            expectIdenticalScaleReports(reference, rep);
+        }
+    }
+}
+
+TEST(ShardedFleet, ChipBatchedStatisticallyTracksExact)
+{
+    // Pooled bucket-level Poisson draws thinned onto member chips must
+    // leave the fleet-level closed-loop behavior statistically where
+    // the per-chip draws put it: comparable job accounting and rail
+    // descent, not byte identity.
+    ExperimentPool pool(4);
+    ShardedFleet exact(scaleTestConfig(1000));
+    exact.run(8.0, pool);
+
+    ScaleFleetConfig cfg = scaleTestConfig(1000);
+    cfg.sampling = SamplingMode::chipBatched;
+    ShardedFleet pooled(cfg);
+    pooled.run(8.0, pool);
+
+    const FleetReport re = exact.report();
+    const FleetReport rp = pooled.report();
+    ASSERT_GT(re.completed, 0u);
+    ASSERT_GT(rp.completed, 0u);
+    // Job completion is driven by traffic (shared stream), not noise.
+    EXPECT_NEAR(double(rp.completed), double(re.completed),
+                0.02 * double(re.completed) + 10.0);
+    // Mean descended rail within a couple of regulator steps.
+    double mean_exact = 0.0, mean_pooled = 0.0;
+    for (unsigned c = 0; c < 1000; ++c) {
+        mean_exact += exact.railMv(c);
+        mean_pooled += pooled.railMv(c);
+    }
+    mean_exact /= 1000.0;
+    mean_pooled /= 1000.0;
+    EXPECT_NEAR(mean_pooled, mean_exact, 10.0);
+}
+
 TEST(ShardedFleet, ChunkedRunMatchesStraightRun)
 {
     ExperimentPool pool(4);

@@ -16,6 +16,9 @@
 #include "cache/sweep.hh"
 #include "common/rng.hh"
 #include "cpu/core_model.hh"
+#include "platform/chip.hh"
+#include "platform/harness.hh"
+#include "platform/simulator.hh"
 #include "variation/process_variation.hh"
 #include "workload/benchmarks.hh"
 
@@ -328,6 +331,188 @@ TEST_F(HotPathTest, BatchedSweepIsStatisticallyEquivalent)
     // Event counts are Poisson-scale; 6 sigma of the combined noise.
     const double tolerance = 6.0 * std::sqrt(2.0 * mean);
     EXPECT_NEAR(double(exact_total), double(batched_total), tolerance);
+}
+
+TEST_F(HotPathTest, VectorizedProbeTracksLutPath)
+{
+    ASSERT_FALSE(weakLines.empty());
+    // The vectorized fold goes through West's Phi instead of libm
+    // erfc: not byte-identical to the LUT path, but the absolute
+    // error per cell is ~1e-15, so the folded line probabilities must
+    // agree far tighter than any sampling consumer can resolve.
+    for (const WeakLineInfo &line : weakLines) {
+        for (double dv = -10.0; dv <= 10.0; dv += 1.37) {
+            const Millivolt v = line.weakestVc + dv;
+            double pc = 0.0, pu = 0.0, vc = 0.0, vu = 0.0;
+            array.lineEventProbabilities(line.set, line.way, v, pc, pu);
+            array.lineEventProbabilitiesVec(line.set, line.way, v, vc,
+                                            vu);
+            EXPECT_NEAR(vc, pc, 1e-9);
+            EXPECT_NEAR(vu, pu, 1e-9);
+        }
+    }
+}
+
+TEST_F(HotPathTest, AggregateRatesMatchPerLineQuantizedSum)
+{
+    ASSERT_FALSE(weakLines.empty());
+    const auto &geo = array.geometry();
+    for (const double dv : {-6.0, -2.0, 0.0, 3.0}) {
+        const Millivolt v = weakLines.front().weakestVc + dv;
+        double agg_c = 0.0, agg_u = 0.0;
+        array.aggregateEventRates(v, agg_c, agg_u);
+
+        // Reference: sum the quantized per-line probabilities over the
+        // whole array (both paths evaluate at the bucket center).
+        double sum_c = 0.0, sum_u = 0.0;
+        for (std::uint64_t set = 0; set < geo.numSets(); ++set) {
+            for (unsigned way = 0; way < geo.associativity; ++way) {
+                double pc = 0.0, pu = 0.0;
+                array.lineEventProbabilitiesQuantized(set, way, v, pc,
+                                                      pu);
+                sum_c += pc;
+                sum_u += pu;
+            }
+        }
+        EXPECT_NEAR(agg_c, sum_c, 1e-7 + 1e-7 * sum_c) << "dv " << dv;
+        EXPECT_NEAR(agg_u, sum_u, 1e-7 + 1e-7 * sum_u) << "dv " << dv;
+
+        // A second call must hit the per-bucket cache and return the
+        // identical stored pair.
+        double again_c = 0.0, again_u = 0.0;
+        array.aggregateEventRates(v, again_c, again_u);
+        EXPECT_EQ(agg_c, again_c);
+        EXPECT_EQ(agg_u, again_u);
+    }
+}
+
+TEST_F(HotPathTest, AggregateRatesInvalidateOnAging)
+{
+    ASSERT_FALSE(weakLines.empty());
+    const Millivolt v = weakLines.front().weakestVc;
+    double before_c = 0.0, before_u = 0.0;
+    array.aggregateEventRates(v, before_c, before_u);
+
+    Rng aging_rng(19);
+    array.sram().applyAgingShift(/*mean_shift=*/6.0,
+                                 /*sigma_shift=*/1.0, aging_rng);
+
+    double after_c = 0.0, after_u = 0.0;
+    array.aggregateEventRates(v, after_c, after_u);
+    // Cells only degrade: the aggregate correctable rate must rise.
+    EXPECT_GT(after_c, before_c);
+}
+
+TEST_F(HotPathTest, ChipBatchedSweepIsStatisticallyEquivalent)
+{
+    ASSERT_FALSE(weakLines.empty());
+    const Millivolt v = std::round((weakLines.front().weakestVc - 1.0) /
+                                   CacheArray::probQuantMv) *
+                        CacheArray::probQuantMv;
+
+    constexpr unsigned reps = 30;
+    constexpr std::uint64_t reads = 500;
+    Rng rng_exact(101), rng_chip(101);
+    std::uint64_t exact_total = 0, chip_total = 0;
+    for (unsigned r = 0; r < reps; ++r) {
+        exact_total += sweep::dataSweep(array, v, reads, rng_exact)
+                           .totalCorrectable;
+        chip_total += sweep::dataSweep(array, v, reads, rng_chip,
+                                       SamplingMode::chipBatched)
+                          .totalCorrectable;
+    }
+
+    ASSERT_GT(exact_total, 0u);
+    ASSERT_GT(chip_total, 0u);
+    const double mean = 0.5 * double(exact_total + chip_total);
+    const double tolerance = 6.0 * std::sqrt(2.0 * mean);
+    EXPECT_NEAR(double(exact_total), double(chip_total), tolerance);
+}
+
+TEST(BatchedCore, TickRatesMatchExactTickExpectation)
+{
+    VariationModel variation(42);
+    Rng build_rng(1);
+    Core::Config cfg;
+    cfg.coreId = 0;
+    Core core(cfg, variation, build_rng);
+    core.setWorkload(benchmarks::suiteSequence(Suite::stress, 10.0));
+
+    const Millivolt weakest =
+        std::max(core.l2iArray().weakestLine().weakestVc,
+                 core.l2dArray().weakestLine().weakestVc);
+    const Millivolt v = std::round(weakest / CacheArray::probQuantMv) *
+                        CacheArray::probQuantMv;
+
+    constexpr int ticks = 4000;
+    constexpr Seconds dt = 0.01;
+
+    // Accumulate the chip-batched rate path's expected event count.
+    double lambda_corr_total = 0.0, lambda_unc_total = 0.0;
+    for (int i = 0; i < ticks; ++i) {
+        double lc = 0.0, lu = 0.0;
+        core.tickRates(i * dt, dt, v, lc, lu);
+        lambda_corr_total += lc;
+        lambda_unc_total += lu;
+        core.clearCrash();
+    }
+    ASSERT_GT(lambda_corr_total, 0.0);
+    EXPECT_GE(lambda_unc_total, 0.0);
+
+    // The exact per-line path must realize that expectation within
+    // Poisson noise.
+    Rng draw_exact(23);
+    std::uint64_t exact_total = 0;
+    for (int i = 0; i < ticks; ++i) {
+        exact_total +=
+            core.tick(i * dt, dt, v, draw_exact).correctableEvents;
+        core.clearCrash();
+    }
+    const double tolerance =
+        6.0 * std::sqrt(std::max(lambda_corr_total, 1.0));
+    EXPECT_NEAR(double(exact_total), lambda_corr_total, tolerance);
+}
+
+TEST(ChipBatchedSimulator, EventTotalsStatisticallyMatchExact)
+{
+    // Two identically seeded chips, rails parked at the weakest-line
+    // voltage, no control feedback: the exact per-line tick stream and
+    // the one-draw-per-chip aggregate path must realize the same event
+    // totals within Poisson-scale noise.
+    const auto run = [](SamplingMode mode) -> std::uint64_t {
+        ChipConfig cfg;
+        cfg.seed = 77;
+        Chip chip(cfg);
+        harness::assignSuite(chip, Suite::stress, 10.0);
+
+        Millivolt weakest = 0.0;
+        for (unsigned c = 0; c < chip.numCores(); ++c) {
+            weakest = std::max(
+                weakest, chip.core(c).l2dArray().weakestLine().weakestVc);
+            weakest = std::max(
+                weakest, chip.core(c).l2iArray().weakestLine().weakestVc);
+        }
+        for (unsigned d = 0; d < chip.numDomains(); ++d)
+            chip.domain(d).regulator().request(weakest + 5.0);
+
+        Simulator sim(chip, 0.005);
+        sim.setSamplingMode(mode);
+        sim.run(5.0);
+
+        std::uint64_t total = 0;
+        for (unsigned c = 0; c < chip.numCores(); ++c)
+            total += sim.coreCorrectableEvents(c);
+        return total;
+    };
+
+    const std::uint64_t exact_total = run(SamplingMode::exact);
+    const std::uint64_t chip_total = run(SamplingMode::chipBatched);
+
+    ASSERT_GT(exact_total, 0u);
+    ASSERT_GT(chip_total, 0u);
+    const double mean = 0.5 * double(exact_total + chip_total);
+    const double tolerance = 6.0 * std::sqrt(2.0 * mean);
+    EXPECT_NEAR(double(exact_total), double(chip_total), tolerance);
 }
 
 TEST(BatchedCore, TrafficStatisticallyEquivalentToExact)
