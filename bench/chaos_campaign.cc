@@ -16,8 +16,13 @@
  * sides of the kill.
  *
  * Trials alternate between chip-level campaigns (Simulator snapshot,
- * exact and batched sampling) and fleet-level campaigns (Fleet
- * snapshot: 2 chips, job stream, governor, kill at a random slice).
+ * exact and batched sampling), fleet-level campaigns (Fleet snapshot:
+ * 2 chips, job stream, governor, kill at a random slice) and
+ * scale-fleet campaigns (ShardedFleet snapshot: 96 chips with the
+ * correlated-event injector, health lifecycle and retry queue armed,
+ * so the kill routinely lands mid-quarantine or mid-self-test and the
+ * restored FSM, retry backlog and per-domain attribution must all
+ * resume bit-identically).
  *
  * Options:
  *   --trials N     trials per flavor (default 3)
@@ -37,6 +42,7 @@
 #include <memory>
 
 #include "bench_util.hh"
+#include "fleet/shard.hh"
 
 using namespace vspec;
 using namespace vspec_bench;
@@ -302,6 +308,139 @@ fleetTrial(unsigned trial, std::uint64_t seed, Seconds duration,
     return state_ok && audit_ok;
 }
 
+/**
+ * Scale-fleet flavor: the correlated-event script plus the health
+ * lifecycle keeps chips cycling through quarantine/self-test/probation
+ * for the whole horizon, so the random kill exercises the v4 snapshot
+ * payload (health FSM, retry queue, injector event state, domain
+ * attribution) rather than a quiescent fleet.
+ */
+ScaleFleetConfig
+chaosScaleConfig(std::uint64_t seed)
+{
+    ScaleFleetConfig cfg;
+    cfg.numChips = 96;
+    cfg.seed = seed;
+    cfg.policy = SchedulerPolicy::roundRobin;
+    cfg.slice = 0.1;
+    cfg.horizon = 1e9; // trials pick their own horizon
+    cfg.traffic.baseArrivalsPerSecond = 1.6 * double(cfg.numChips);
+    cfg.traffic.users = cfg.numChips * 20;
+    cfg.traffic.firstArrival = 0.5;
+    cfg.traffic.seed = mix64(seed, 0xF00D);
+    JobClass critical;
+    critical.name = "critical";
+    critical.arrivalWeight = 2.0;
+    critical.meanServiceTime = 0.5;
+    critical.minServiceTime = 0.1;
+    critical.deadline = 2.0;
+    critical.latencyCritical = true;
+    critical.maxRetries = 2;
+    critical.retryBackoff = 0.2;
+    critical.hedge = true;
+    JobClass batch;
+    batch.name = "batch";
+    batch.arrivalWeight = 1.0;
+    batch.meanServiceTime = 2.0;
+    batch.minServiceTime = 0.2;
+    batch.deadline = 15.0;
+    cfg.traffic.classes = {critical, batch};
+    cfg.chip.recoveryPenalty = 2.0;
+    cfg.governor.fleetBudget = 20.0 * double(cfg.numChips);
+    cfg.governor.interval = 0.5;
+    cfg.governor.minChipCap = 2.0;
+    // Dense event script: small domains, storms every few seconds.
+    cfg.chaos.railGroupSize = 8;
+    cfg.chaos.railDroopsPerHour = 240.0;
+    cfg.chaos.railDroopMagnitudeMv = 45.0;
+    cfg.chaos.railDroopDuration = 1.5;
+    cfg.chaos.rackSize = 16;
+    cfg.chaos.dueStormsPerHour = 360.0;
+    cfg.chaos.dueStormRate = 3.0;
+    cfg.chaos.dueStormDuration = 2.0;
+    cfg.chaos.thermalZoneSize = 32;
+    cfg.chaos.thermalEventsPerHour = 120.0;
+    cfg.chaos.thermalMarginPenaltyMv = 25.0;
+    cfg.chaos.thermalDuration = 3.0;
+    cfg.health.enabled = true;
+    cfg.health.windowTau = 2.0;
+    cfg.health.degradeRate = 0.3;
+    cfg.health.quarantineRate = 1.0;
+    cfg.health.quarantineHold = 0.3;
+    cfg.health.selfTestDuration = 1.0;
+    cfg.health.probationDuration = 2.0;
+    cfg.auditEverySlices = 10;
+    return cfg;
+}
+
+std::vector<std::uint8_t>
+scaleEndState(const ShardedFleet &fleet)
+{
+    StateWriter w;
+    fleet.snapshot(w);
+    return w.finish();
+}
+
+bool
+reportScaleAudit(const char *label, const ShardedFleet &fleet)
+{
+    if (fleet.auditViolations().empty())
+        return true;
+    std::printf("  %s: %zu invariant violations\n", label,
+                fleet.auditViolations().size());
+    for (const std::string &message : fleet.auditViolations())
+        std::printf("    %s\n", message.c_str());
+    return false;
+}
+
+/** One scale-fleet kill/restore trial at slice granularity. */
+bool
+scaleTrial(unsigned trial, std::uint64_t seed, Seconds duration,
+           Rng &chaos, ExperimentPool &pool)
+{
+    const ScaleFleetConfig cfg = chaosScaleConfig(seed);
+    const long long total_slices =
+        (long long)std::llround(duration / cfg.slice);
+    const long long kill_slice =
+        1 + (long long)(chaos.uniform() * double(total_slices - 1));
+
+    ShardedFleet ref(cfg);
+    ref.run(duration, pool);
+    ref.audit();
+    const auto want = scaleEndState(ref);
+
+    std::vector<std::uint8_t> snapshot;
+    unsigned offline_at_kill = 0;
+    {
+        ShardedFleet victim(cfg);
+        victim.run(double(kill_slice) * cfg.slice, pool);
+        snapshot = scaleEndState(victim);
+        offline_at_kill = victim.report().offlineChipsAtEnd;
+        if (!reportScaleAudit("victim", victim))
+            return false;
+    }
+
+    ShardedFleet revived(cfg);
+    StateReader r(snapshot);
+    revived.restore(r);
+    revived.run(double(total_slices - kill_slice) * cfg.slice, pool);
+    revived.audit();
+    const auto got = scaleEndState(revived);
+
+    const bool state_ok = got == want;
+    const bool audit_ok = reportScaleAudit("reference", ref) &&
+                          reportScaleAudit("revived", revived);
+    std::printf("scale trial %u  %u chips    kill@%6.2fs/%5.2fs  "
+                "snapshot %6zu B  %u offline at kill  end state %s\n",
+                trial, cfg.numChips, double(kill_slice) * cfg.slice,
+                duration, snapshot.size(), offline_at_kill,
+                state_ok ? "MATCH" : "MISMATCH");
+    if (!state_ok)
+        dumpFailureArtifact("chaos_scale_trial" + std::to_string(trial),
+                            snapshot);
+    return state_ok && audit_ok;
+}
+
 } // namespace
 
 int
@@ -332,6 +471,8 @@ main(int argc, char **argv)
                        chaos) &&
              ok;
         ok = fleetTrial(t, trial_seed, duration / 2.0, chaos, pool) &&
+             ok;
+        ok = scaleTrial(t, trial_seed, duration / 2.0, chaos, pool) &&
              ok;
     }
 

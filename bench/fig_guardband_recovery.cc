@@ -22,6 +22,9 @@
  *   --weeks N        aging horizon in weeks (default 4)
  *   --settle S       simulated seconds per re-convergence (default 6)
  *   --temp-swing C   seasonal temperature amplitude (default 12)
+ *   --sampling exact|batched|chip-batched
+ *                    fault-sampling fidelity of the settle runs (see
+ *                    common/sampling.hh; default exact)
  *
  * Output is byte-identical for every --threads value.
  */
@@ -134,11 +137,12 @@ settleWindow(Chip &chip, Simulator &sim,
 
 ConfigResult
 runConfig(std::size_t config_index, unsigned weeks, Seconds settle,
-          Celsius temp_swing, Rng &rng)
+          Celsius temp_swing, SamplingMode sampling, Rng &rng)
 {
     Chip chip(chipConfigFor(config_index));
     harness::assignSuite(chip, Suite::coreMark, 10.0);
     Simulator sim(chip, 0.002);
+    sim.setSamplingMode(sampling);
 
     const AgingModel aging(
         AgingModel::Params{/*ratePerDecade=*/20.0});
@@ -203,13 +207,14 @@ main(int argc, char **argv)
     const Seconds settle = parseDoubleArg(argc, argv, "settle", 6.0);
     const Celsius temp_swing =
         parseDoubleArg(argc, argv, "temp-swing", 12.0);
+    const SamplingMode sampling = parseSampling(argc, argv);
 
     ExperimentPool pool(threads);
     const auto outcomes = pool.run(
         evalSeed, configOrder().size(),
         [&](ExperimentTaskContext &ctx) {
             return runConfig(ctx.index, weeks, settle, temp_swing,
-                             ctx.rng);
+                             sampling, ctx.rng);
         });
     std::vector<ConfigResult> results;
     for (const auto &outcome : outcomes) {

@@ -21,6 +21,15 @@
  *   --vmin MV     bottom of the sweep (default 1020)
  *   --vstep MV    grid step (default 10)
  *   --temp C      array temperature (default 45)
+ *   --sampling exact|batched|chip-batched
+ *                 probe task granularity. Exact reproduces the
+ *                 historical draws: one pool task per (kind, Vdd),
+ *                 each rebuilding its array. Batched sweeps a whole
+ *                 kind inside one task from a single array build —
+ *                 same statistics, different RNG sequence, ~grid-size
+ *                 fewer array constructions. Chip-batched behaves as
+ *                 batched here (one array per kind already is chip
+ *                 granularity).
  *
  * Output is byte-identical for every --threads value.
  */
@@ -102,36 +111,57 @@ buildArray(MemKind kind, Celsius temp)
 }
 
 ParetoPoint
-runPoint(MemKind kind, Millivolt vdd, Celsius temp,
-         std::uint64_t probes, Rng &rng)
+measurePoint(MemArray &array, MemKind kind, Millivolt vdd,
+             std::uint64_t probes, Rng &rng)
 {
-    auto array = buildArray(kind, temp);
-    const auto weakest = array->weakestLine();
+    const auto weakest = array.weakestLine();
 
     ParetoPoint point;
     point.kind = kind;
     point.vdd = vdd;
 
-    const auto analytic = array->lineEventProbabilities(
+    const auto analytic = array.lineEventProbabilities(
         weakest.bank, weakest.line, vdd, MemArray::kPatternWorst);
     point.pCorrectable = analytic.pCorrectable;
     point.pUncorrectable = analytic.pUncorrectable;
 
     const ProbeStats measured =
-        array->probeLine(weakest.bank, weakest.line, vdd, probes,
-                         MemArray::kPatternWorst, rng);
+        array.probeLine(weakest.bank, weakest.line, vdd, probes,
+                        MemArray::kPatternWorst, rng);
     point.measuredRate = measured.errorRate();
     point.measuredUncorrectable = measured.uncorrectableEvents;
 
-    const auto agg = array->aggregateRates(vdd);
+    const auto agg = array.aggregateRates(vdd);
     point.aggCorrectable = agg.pCorrectable;
     point.aggUncorrectable = agg.pUncorrectable;
 
-    point.accessLatencyNs = array->accessLatencyNs(vdd);
-    point.latencyStretch = array->latencyStretch(vdd);
-    point.refreshPowerW = array->refreshPower(vdd);
-    point.accessEnergyNj = array->accessEnergy(vdd) * 1e9;
+    point.accessLatencyNs = array.accessLatencyNs(vdd);
+    point.latencyStretch = array.latencyStretch(vdd);
+    point.refreshPowerW = array.refreshPower(vdd);
+    point.accessEnergyNj = array.accessEnergy(vdd) * 1e9;
     return point;
+}
+
+/** Exact mode: the historical one-point task, array rebuilt per point. */
+ParetoPoint
+runPoint(MemKind kind, Millivolt vdd, Celsius temp,
+         std::uint64_t probes, Rng &rng)
+{
+    auto array = buildArray(kind, temp);
+    return measurePoint(*array, kind, vdd, probes, rng);
+}
+
+/** Batched modes: one task sweeps a whole kind from a single build. */
+std::vector<ParetoPoint>
+runKind(MemKind kind, const std::vector<Millivolt> &grid, Celsius temp,
+        std::uint64_t probes, Rng &rng)
+{
+    auto array = buildArray(kind, temp);
+    std::vector<ParetoPoint> points;
+    points.reserve(grid.size());
+    for (Millivolt vdd : grid)
+        points.push_back(measurePoint(*array, kind, vdd, probes, rng));
+    return points;
 }
 
 KindSummary
@@ -164,25 +194,46 @@ main(int argc, char **argv)
     const Millivolt vmin = parseDoubleArg(argc, argv, "vmin", 1020.0);
     const Millivolt vstep = parseDoubleArg(argc, argv, "vstep", 10.0);
     const Celsius temp = parseDoubleArg(argc, argv, "temp", 45.0);
+    const SamplingMode sampling = parseSampling(argc, argv);
 
     const std::vector<Millivolt> grid = voltageGrid(vmax, vmin, vstep);
     const std::size_t per_kind = grid.size();
-    const std::size_t num_tasks = kindOrder().size() * per_kind;
 
-    // One task per (kind, Vdd), kind-major; the merged result vector
-    // is in task order, so output is byte-identical for any --threads.
     ExperimentPool pool(threads);
-    const auto outcomes =
-        pool.run(evalSeed, num_tasks, [&](ExperimentTaskContext &ctx) {
-            const MemKind kind = kindOrder()[ctx.index / per_kind];
-            const Millivolt vdd = grid[ctx.index % per_kind];
-            return runPoint(kind, vdd, temp, probes, ctx.rng);
-        });
     std::vector<ParetoPoint> points;
-    for (const auto &outcome : outcomes) {
-        if (!outcome.ok())
-            fatal("mem pareto task failed: ", outcome.error);
-        points.push_back(*outcome.value);
+    if (sampling == SamplingMode::exact) {
+        // One task per (kind, Vdd), kind-major; the merged result
+        // vector is in task order, so output is byte-identical for
+        // any --threads.
+        const std::size_t num_tasks = kindOrder().size() * per_kind;
+        const auto outcomes = pool.run(
+            evalSeed, num_tasks, [&](ExperimentTaskContext &ctx) {
+                const MemKind kind = kindOrder()[ctx.index / per_kind];
+                const Millivolt vdd = grid[ctx.index % per_kind];
+                return runPoint(kind, vdd, temp, probes, ctx.rng);
+            });
+        for (const auto &outcome : outcomes) {
+            if (!outcome.ok())
+                fatal("mem pareto task failed: ", outcome.error);
+            points.push_back(*outcome.value);
+        }
+    } else {
+        // Batched: one task per kind, the array built once and swept
+        // down the voltage axis. Task order is still deterministic, so
+        // output stays byte-identical across --threads — it differs
+        // from exact only in the (documented) draw sequence.
+        const auto outcomes = pool.run(
+            evalSeed, kindOrder().size(),
+            [&](ExperimentTaskContext &ctx) {
+                return runKind(kindOrder()[ctx.index], grid, temp,
+                               probes, ctx.rng);
+            });
+        for (const auto &outcome : outcomes) {
+            if (!outcome.ok())
+                fatal("mem pareto task failed: ", outcome.error);
+            points.insert(points.end(), outcome.value->begin(),
+                          outcome.value->end());
+        }
     }
 
     std::vector<KindSummary> summaries;

@@ -211,6 +211,7 @@ FleetNode::advance(Seconds slice)
     sim->run(slice);
     const Seconds now = sim->now();
     const double decay = std::exp(-slice / cfg->riskTau);
+    std::uint64_t slice_recoveries = 0;
 
     for (unsigned c = 0; c < chip_->numCores(); ++c) {
         CoreSlot &slot = slots[c];
@@ -231,6 +232,7 @@ FleetNode::advance(Seconds slice)
                     cfg->riskPerRecovery * double(rec_delta);
         if (rec_delta > 0)
             slot.lastRecoveryAt = now;
+        slice_recoveries += rec_delta;
 
         if (!slot.job)
             continue;
@@ -267,6 +269,90 @@ FleetNode::advance(Seconds slice)
                 std::make_shared<IdleWorkload>(), now);
         }
     }
+
+    if (cfg->health.enabled)
+        advanceHealth(slice, slice_recoveries);
+}
+
+void
+FleetNode::enterQuarantine()
+{
+    const Seconds now = sim->now();
+    for (unsigned c = 0; c < chip_->numCores(); ++c) {
+        CoreSlot &slot = slots[c];
+        if (!slot.job)
+            continue;
+        // Drain: hand every resident job back through the existing
+        // requeue path (arrival time and accrued energy preserved), so
+        // the fleet re-places it on healthy capacity next slice.
+        slot.job->accruedEnergy +=
+            sim->coreEnergy(c).energy() - slot.energyMark;
+        drainedWork_ += slot.remaining;
+        requeued.push_back(*slot.job);
+        slot.job.reset();
+        slot.remaining = 0.0;
+        chip_->core(c).setWorkload(std::make_shared<IdleWorkload>(),
+                                   now);
+    }
+    health_ = std::uint8_t(ChipHealth::quarantined);
+    healthTimer_ = cfg->health.quarantineHold;
+    ++quarantines_;
+}
+
+void
+FleetNode::advanceHealth(Seconds slice, std::uint64_t slice_recoveries)
+{
+    const HealthConfig &hc = cfg->health;
+    const double decay = std::exp(-slice / hc.windowTau);
+    recoveryWindow_ = recoveryWindow_ * decay +
+                      (1.0 - decay) * (double(slice_recoveries) / slice);
+
+    switch (ChipHealth(health_)) {
+      case ChipHealth::quarantined:
+        offlineTime_ += double(chip_->numCores()) * slice;
+        healthTimer_ -= slice;
+        if (healthTimer_ <= 0.0) {
+            health_ = std::uint8_t(ChipHealth::selfTesting);
+            healthTimer_ = hc.selfTestDuration;
+        }
+        break;
+      case ChipHealth::selfTesting:
+        offlineTime_ += double(chip_->numCores()) * slice;
+        healthTimer_ -= slice;
+        if (healthTimer_ <= 0.0) {
+            if (recoveryWindow_ >= hc.degradeRate) {
+                // Still noisy: run the self-test again.
+                healthTimer_ = hc.selfTestDuration;
+            } else {
+                health_ = std::uint8_t(ChipHealth::probation);
+                healthTimer_ = hc.probationDuration;
+                ++readmissions_;
+            }
+        }
+        break;
+      case ChipHealth::probation:
+        if (slice_recoveries > 0) {
+            // Any recovery during probation sends the chip straight
+            // back to quarantine.
+            enterQuarantine();
+            break;
+        }
+        healthTimer_ -= slice;
+        if (healthTimer_ <= 0.0)
+            health_ = std::uint8_t(ChipHealth::healthy);
+        break;
+      case ChipHealth::healthy:
+      case ChipHealth::degraded:
+        if (recoveryWindow_ >= hc.quarantineRate) {
+            enterQuarantine();
+        } else if (ChipHealth(health_) == ChipHealth::degraded &&
+                   recoveryWindow_ < hc.healthyRate) {
+            health_ = std::uint8_t(ChipHealth::healthy);
+        } else if (recoveryWindow_ >= hc.degradeRate) {
+            health_ = std::uint8_t(ChipHealth::degraded);
+        }
+        break;
+    }
 }
 
 std::vector<Job>
@@ -295,6 +381,7 @@ FleetNode::appendStatus(std::vector<CoreStatus> &out,
     const double load =
         schedulable == 0 ? 1.0 : double(busyCores()) / schedulable;
     const Seconds now = sim->now();
+    const bool node_offline = offline();
 
     for (unsigned c = 0; c < chip_->numCores(); ++c) {
         CoreStatus status;
@@ -302,6 +389,7 @@ FleetNode::appendStatus(std::vector<CoreStatus> &out,
         status.busy = bool(slots[c].job);
         status.abandoned = recoveryMgr->isAbandoned(c);
         status.throttled = chip_throttled;
+        status.quarantined = node_offline;
         status.headroomMv = headroom(c);
         status.riskScore = slots[c].risk;
         status.recentRecovery =
@@ -327,6 +415,20 @@ Fleet::Fleet(const FleetConfig &config)
         fatal("Fleet needs at least one chip");
     if (cfg.slice <= 0.0 || cfg.tick <= 0.0 || cfg.slice < cfg.tick)
         fatal("Fleet needs 0 < tick <= slice");
+    if (cfg.chaos.armed()) {
+        chaos_ = std::make_unique<FleetFaultInjector>(
+            cfg.chaos, cfg.seed, cfg.numChips);
+        thermalHot_.assign(cfg.numChips, false);
+        for (unsigned kk = 0; kk < kNumFailureDomainKinds; ++kk) {
+            const unsigned domains =
+                chaos_->numDomains(FailureDomainKind(kk));
+            domainRecoveries_[kk].assign(domains, 0);
+            domainQuarantines_[kk].assign(domains, 0);
+            domainOffline_[kk].assign(domains, 0.0);
+        }
+        seenRecoveries_.assign(cfg.numChips, 0);
+        seenQuarantines_.assign(cfg.numChips, 0);
+    }
 }
 
 Fleet::~Fleet() = default;
@@ -405,6 +507,66 @@ Fleet::placePending()
 }
 
 void
+Fleet::applyChaos()
+{
+    chaos_->beginSlice(cfg.slice);
+    for (unsigned i = 0; i < cfg.numChips; ++i) {
+        FleetNode &node = *nodes[i];
+
+        // Shared-rail droop: fan the transient out to each member
+        // chip's PDN. Re-injecting every active slice is idempotent
+        // (injectTransient takes the max), and a slice-length duration
+        // keeps the transient exactly as long as the domain event.
+        const Millivolt droop = chaos_->railDroopMv(i);
+        if (droop > 0.0)
+            node.chip().pdn().injectTransient(droop, cfg.slice);
+
+        // Thermal excursion: member mem arrays run hot for the event,
+        // back to reference at expiry. Edge-triggered — setTemperature
+        // invalidates the arrays' rate caches.
+        const Celsius delta = chaos_->thermalDeltaC(i);
+        const bool hot = delta > 0.0;
+        if (hot != thermalHot_[i]) {
+            for (unsigned m = 0; m < node.chip().numMemDomains(); ++m) {
+                MemArray &arr = node.chip().memDomain(m).array();
+                arr.setTemperature(arr.params().referenceTemp +
+                                   (hot ? delta : 0.0));
+            }
+            thermalHot_[i] = hot;
+        }
+    }
+}
+
+void
+Fleet::creditDomains()
+{
+    for (unsigned i = 0; i < cfg.numChips; ++i) {
+        const FleetNode &node = *nodes[i];
+        const std::uint64_t recoveries = node.recovery().recoveries();
+        const std::uint64_t quarantines = node.quarantines();
+        const std::uint64_t rec_delta = recoveries - seenRecoveries_[i];
+        const std::uint64_t q_delta = quarantines - seenQuarantines_[i];
+        seenRecoveries_[i] = recoveries;
+        seenQuarantines_[i] = quarantines;
+        const Seconds offline =
+            node.offline()
+                ? double(node.chip().numCores()) * cfg.slice
+                : 0.0;
+        if (rec_delta == 0 && q_delta == 0 && offline == 0.0)
+            continue;
+        for (unsigned kk = 0; kk < kNumFailureDomainKinds; ++kk) {
+            const auto kind = FailureDomainKind(kk);
+            if (!chaos_->eventActive(kind, i))
+                continue;
+            const unsigned d = chaos_->domainOf(kind, i);
+            domainRecoveries_[kk][d] += rec_delta;
+            domainQuarantines_[kk][d] += q_delta;
+            domainOffline_[kk][d] += offline;
+        }
+    }
+}
+
+void
 Fleet::run(Seconds duration, ExperimentPool &pool)
 {
     if (duration < 0.0)
@@ -418,6 +580,11 @@ Fleet::run(Seconds duration, ExperimentPool &pool)
         1, std::uint64_t(cfg.governor.interval / cfg.slice + 0.5));
 
     for (std::uint64_t s = 0; s < slices; ++s) {
+        // 0. Correlated events: advance the injector's clock and fan
+        // the active events out to member chips (serial phase).
+        if (chaos_)
+            applyChaos();
+
         // 1. Arrivals up to the slice start, then jobs bumped off
         // abandoned cores (they are older, so they go first).
         std::vector<Job> arrivals = queue.drainArrivalsUpTo(now_);
@@ -436,6 +603,12 @@ Fleet::run(Seconds duration, ExperimentPool &pool)
         // would seed the demand estimates with zeros.
         if (governor_.enabled() && sliceIndex > 0 &&
             sliceIndex % governor_slices == 0) {
+            // Quarantined capacity is absent: its demand stops feeding
+            // the EWMA and its cap share redistributes.
+            if (cfg.health.enabled) {
+                for (unsigned i = 0; i < cfg.numChips; ++i)
+                    governor_.setAbsent(i, nodes[i]->offline());
+            }
             std::vector<PowerCapGovernor::Measurement> power;
             power.reserve(nodes.size());
             for (auto &node : nodes)
@@ -461,6 +634,10 @@ Fleet::run(Seconds duration, ExperimentPool &pool)
 
         now_ += cfg.slice;
         ++sliceIndex;
+
+        // 5. Blast-radius attribution from this slice's node deltas.
+        if (chaos_)
+            creditDomains();
     }
 }
 
@@ -480,9 +657,20 @@ Fleet::report() const
         merged.merge(node->metrics());
         rep.runningAtEnd += node->busyCores();
         rep.fleetEnergy += node->chipEnergy();
-        rep.availability += node->recovery().availability(now_);
+        // A node's availability loses both its recovery rollback time
+        // and the core-time it sat quarantined or self-testing.
+        double avail = node->recovery().availability(now_);
+        if (now_ > 0.0 && node->offlineTime() > 0.0)
+            avail -= node->offlineTime() /
+                     (double(node->chip().numCores()) * now_);
+        rep.availability += std::clamp(avail, 0.0, 1.0);
         rep.recoveries += node->recovery().recoveries();
         rep.abandonedCores += node->recovery().abandonedCores();
+        rep.quarantines += node->quarantines();
+        rep.readmissions += node->readmissions();
+        rep.drainedCoreSeconds += node->drainedWork();
+        if (node->offline())
+            ++rep.offlineChipsAtEnd;
         if (const FaultInjector *inj = node->faultInjector()) {
             rep.injectedBitFlips += inj->stats().bitFlips;
             rep.injectedDues += inj->stats().dues;
@@ -526,6 +714,32 @@ Fleet::report() const
         // independent and would bury the scheduler's effect.
         rep.energyPerJob = merged.jobEnergy() / double(rep.completed);
     }
+
+    // Blast-radius attribution rows, one per domain with any action.
+    if (chaos_) {
+        for (unsigned kk = 0; kk < kNumFailureDomainKinds; ++kk) {
+            const auto kind = FailureDomainKind(kk);
+            const unsigned domains = chaos_->numDomains(kind);
+            if (domains == 0)
+                continue;
+            const std::vector<std::uint64_t> &events =
+                chaos_->domainEvents(kind);
+            for (unsigned d = 0; d < domains; ++d) {
+                if (events[d] == 0 && domainRecoveries_[kk][d] == 0 &&
+                    domainQuarantines_[kk][d] == 0 &&
+                    domainOffline_[kk][d] == 0.0)
+                    continue;
+                FleetReport::DomainImpact row;
+                row.kind = kind;
+                row.domain = d;
+                row.events = events[d];
+                row.dues = domainRecoveries_[kk][d];
+                row.quarantines = domainQuarantines_[kk][d];
+                row.offlineCoreSeconds = domainOffline_[kk][d];
+                rep.domainImpact.push_back(row);
+            }
+        }
+    }
     return rep;
 }
 
@@ -554,6 +768,15 @@ FleetNode::saveState(StateWriter &w) const
     shard.saveState(w);
     w.putDouble(powerMark.energy);
     w.putDouble(powerMark.elapsed);
+
+    // Format v4: the node's health FSM.
+    w.putU64(health_);
+    w.putDouble(recoveryWindow_);
+    w.putDouble(healthTimer_);
+    w.putU64(quarantines_);
+    w.putU64(readmissions_);
+    w.putDouble(offlineTime_);
+    w.putDouble(drainedWork_);
     w.endSection();
 
     sim->snapshot(w);
@@ -603,6 +826,17 @@ FleetNode::loadState(StateReader &r)
     shard.loadState(r);
     powerMark.energy = r.getDouble();
     powerMark.elapsed = r.getDouble();
+
+    const std::uint64_t health = r.getU64();
+    if (health > std::uint64_t(ChipHealth::probation))
+        throw SnapshotError("invalid chip health state in snapshot");
+    health_ = std::uint8_t(health);
+    recoveryWindow_ = r.getDouble();
+    healthTimer_ = r.getDouble();
+    quarantines_ = r.getU64();
+    readmissions_ = r.getU64();
+    offlineTime_ = r.getDouble();
+    drainedWork_ = r.getDouble();
     r.endSection();
 
     sim->restore(r);
@@ -626,6 +860,24 @@ Fleet::snapshot(StateWriter &w) const
     w.putU64(pending.size());
     for (const Job &job : pending)
         saveJob(w, job);
+
+    // Format v4: the correlated-event injector and the fleet-level
+    // blast-radius attribution.
+    w.putBool(chaos_ != nullptr);
+    if (chaos_) {
+        chaos_->saveState(w);
+        std::vector<std::uint64_t> hot(thermalHot_.size());
+        for (std::size_t i = 0; i < thermalHot_.size(); ++i)
+            hot[i] = thermalHot_[i] ? 1 : 0;
+        w.putU64Vector(hot);
+        for (unsigned kk = 0; kk < kNumFailureDomainKinds; ++kk) {
+            w.putU64Vector(domainRecoveries_[kk]);
+            w.putU64Vector(domainQuarantines_[kk]);
+            w.putDoubleVector(domainOffline_[kk]);
+        }
+        w.putU64Vector(seenRecoveries_);
+        w.putU64Vector(seenQuarantines_);
+    }
     w.endSection();
 
     for (const auto &node : nodes)
@@ -655,6 +907,40 @@ Fleet::restore(StateReader &r, ExperimentPool &pool)
     const std::uint64_t n_pending = r.getU64();
     for (std::uint64_t i = 0; i < n_pending; ++i)
         pending.push_back(loadJob(r));
+
+    const bool had_chaos = r.getBool();
+    if (had_chaos != (chaos_ != nullptr))
+        throw SnapshotError(
+            "fleet chaos armament mismatch (snapshot was taken with a "
+            "different correlated-event configuration)");
+    if (chaos_) {
+        chaos_->loadState(r);
+        const std::vector<std::uint64_t> hot = r.getU64Vector();
+        if (hot.size() != thermalHot_.size())
+            throw SnapshotError("fleet thermal flag count mismatch");
+        for (std::size_t i = 0; i < hot.size(); ++i)
+            thermalHot_[i] = hot[i] != 0;
+        for (unsigned kk = 0; kk < kNumFailureDomainKinds; ++kk) {
+            const std::vector<std::uint64_t> recs = r.getU64Vector();
+            const std::vector<std::uint64_t> quars = r.getU64Vector();
+            const std::vector<double> off = r.getDoubleVector();
+            if (recs.size() != domainRecoveries_[kk].size() ||
+                quars.size() != domainQuarantines_[kk].size() ||
+                off.size() != domainOffline_[kk].size())
+                throw SnapshotError(
+                    "fleet blast-radius domain count mismatch");
+            domainRecoveries_[kk] = recs;
+            domainQuarantines_[kk] = quars;
+            domainOffline_[kk] = off;
+        }
+        const std::vector<std::uint64_t> seen_r = r.getU64Vector();
+        const std::vector<std::uint64_t> seen_q = r.getU64Vector();
+        if (seen_r.size() != seenRecoveries_.size() ||
+            seen_q.size() != seenQuarantines_.size())
+            throw SnapshotError("fleet baseline counter mismatch");
+        seenRecoveries_ = seen_r;
+        seenQuarantines_ = seen_q;
+    }
     r.endSection();
 
     for (auto &node : nodes)

@@ -30,6 +30,7 @@
 #ifndef VSPEC_FLEET_FLEET_HH
 #define VSPEC_FLEET_FLEET_HH
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -46,6 +47,7 @@
 #include "platform/simulator.hh"
 #include "power/energy.hh"
 #include "resilience/fault_injector.hh"
+#include "resilience/fleet_chaos.hh"
 #include "resilience/recovery_manager.hh"
 
 namespace vspec
@@ -117,6 +119,17 @@ struct FleetConfig
     RecoveryManager::Config recovery;
     /** All-zero rates leave the injector unarmed. */
     FaultInjector::Config faults;
+    /**
+     * Correlated failure-domain events (shared-rail droops fanned out
+     * to member chips' PDNs, thermal excursions on member mem
+     * domains); inert by default. DUE storms are a scale-path event —
+     * the cold path's per-chip FaultInjector covers chip-level DUEs.
+     */
+    FleetChaosConfig chaos;
+    /** Chip health lifecycle, driven by the windowed recovery rate:
+     *  quarantine (drain via the requeue path), self-test at nominal
+     *  Vdd, probationary re-admission. Disabled by default. */
+    HealthConfig health;
 
     /** Benchmark-phase length of the workload a resident job runs. */
     Seconds jobPhaseSeconds = 1.0;
@@ -193,6 +206,19 @@ class FleetNode
     /** Jobs bumped off abandoned cores last slice, oldest first. */
     std::vector<Job> takeRequeued();
 
+    /** Health FSM state (healthy unless FleetConfig::health.enabled). */
+    ChipHealth health() const { return ChipHealth(health_); }
+    /** True while the node takes no placements (health FSM). */
+    bool offline() const { return !healthSchedulable(health()); }
+    /** Windowed recovery-rate estimate driving the health FSM (1/s). */
+    double recoveryWindowRate() const { return recoveryWindow_; }
+    std::uint64_t quarantines() const { return quarantines_; }
+    std::uint64_t readmissions() const { return readmissions_; }
+    /** Core-seconds this node has spent quarantined/self-testing. */
+    Seconds offlineTime() const { return offlineTime_; }
+    /** Core-seconds of in-flight work drained at quarantine entry. */
+    Seconds drainedWork() const { return drainedWork_; }
+
     /** Jobs awaiting pickup by the fleet driver (report accounting:
      *  a job bumped off an abandoned core in the final slice is still
      *  in flight, not lost). */
@@ -267,6 +293,22 @@ class FleetNode
     FleetMetrics shard;
     EnergyAccount::Snapshot powerMark;
 
+    /** Health FSM: state, windowed recovery-rate EWMA and the phase
+     *  timer, advanced node-locally at the end of each advance(). */
+    std::uint8_t health_ = 0;
+    double recoveryWindow_ = 0.0;
+    Seconds healthTimer_ = 0.0;
+    std::uint64_t quarantines_ = 0;
+    std::uint64_t readmissions_ = 0;
+    Seconds offlineTime_ = 0.0;
+    Seconds drainedWork_ = 0.0;
+
+    /** Quarantine entry: drain resident jobs into the requeue buffer
+     *  and start the hold timer. */
+    void enterQuarantine();
+    /** One health-FSM step, fed this slice's recovery count. */
+    void advanceHealth(Seconds slice, std::uint64_t slice_recoveries);
+
     /**
      * Per-job service-time multiplier of this node's codec tier
      * (1 + extra decode cycles * eccLatencyServiceWeight); exactly
@@ -313,6 +355,38 @@ struct FleetReport
     std::uint64_t memRecoveries = 0;
     /** Mem-domain workload correctable events. */
     std::uint64_t memCorrectable = 0;
+
+    /** Health-lifecycle accounting (0 when the FSM is disabled). */
+    std::uint64_t quarantines = 0;
+    std::uint64_t readmissions = 0;
+    /** Chips quarantined or self-testing when the report was taken. */
+    unsigned offlineChipsAtEnd = 0;
+    /** Core-seconds of in-flight work drained off quarantining chips
+     *  and requeued over healthy capacity. */
+    Seconds drainedCoreSeconds = 0.0;
+    /** Deadline-aware retry/hedging accounting. */
+    std::uint64_t retries = 0;
+    std::uint64_t hedgedJobs = 0;
+    std::uint64_t watchdogForced = 0;
+    /** Jobs still in the retry queue when the report was taken
+     *  (included in pendingAtEnd). */
+    std::uint64_t inRetryAtEnd = 0;
+
+    /** Blast-radius attribution of one failure domain: counts
+     *  credited while the domain had an active correlated event. */
+    struct DomainImpact
+    {
+        FailureDomainKind kind = FailureDomainKind::railGroup;
+        unsigned domain = 0;
+        std::uint64_t events = 0;
+        std::uint64_t dues = 0;
+        std::uint64_t quarantines = 0;
+        std::uint64_t slaMisses = 0;
+        Seconds offlineCoreSeconds = 0.0;
+    };
+    /** One row per failure domain that saw at least one event
+     *  (empty when chaos is inert). */
+    std::vector<DomainImpact> domainImpact;
 };
 
 class Fleet
@@ -343,6 +417,12 @@ class Fleet
 
     const FleetConfig &config() const { return cfg; }
 
+    /** The correlated-event injector; null when chaos is inert. */
+    const FleetFaultInjector *chaosInjector() const
+    {
+        return chaos_.get();
+    }
+
     /**
      * Serialize the whole fleet: job-stream position, scheduler state,
      * governor caps, pending queue, slice counters and every node.
@@ -369,9 +449,30 @@ class Fleet
     std::uint64_t submitted = 0;
     std::uint64_t requeueCount = 0;
 
+    /** Correlated-event injector; null when the config is inert. */
+    std::unique_ptr<FleetFaultInjector> chaos_;
+    /** Nodes whose mem arrays currently run at excursion temperature. */
+    std::vector<bool> thermalHot_;
+    /** Blast-radius attribution per failure domain, credited serially
+     *  from per-node counter deltas while the domain's event is live. */
+    std::array<std::vector<std::uint64_t>, kNumFailureDomainKinds>
+        domainRecoveries_;
+    std::array<std::vector<std::uint64_t>, kNumFailureDomainKinds>
+        domainQuarantines_;
+    std::array<std::vector<double>, kNumFailureDomainKinds>
+        domainOffline_;
+    /** Per-node counter baselines for the delta attribution. */
+    std::vector<std::uint64_t> seenRecoveries_;
+    std::vector<std::uint64_t> seenQuarantines_;
+
     void buildNodes(ExperimentPool &pool);
     void placePending();
     std::vector<CoreStatus> fleetStatus() const;
+    /** Serial phase: advance the event clock and fan effects out to
+     *  member chips (PDN transients, mem-array temperatures). */
+    void applyChaos();
+    /** Serial phase: credit domain attribution from node deltas. */
+    void creditDomains();
 };
 
 } // namespace vspec

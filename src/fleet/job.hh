@@ -44,6 +44,21 @@ struct JobClass
     bool latencyCritical = false;
     /** Benchmark suite the job runs while resident on a core. */
     Suite suite = Suite::specJbb2005;
+    /**
+     * Deadline-aware retry budget: a placement predicted to miss its
+     * deadline is deferred and re-placed up to this many times before
+     * the fleet gives up and takes the miss. 0 disables retries.
+     */
+    unsigned maxRetries = 0;
+    /** Base of the exponential backoff between retries (s): attempt k
+     *  waits retryBackoff * 2^k. */
+    Seconds retryBackoff = 0.1;
+    /**
+     * Hedged placement for latency-critical work: submit the job to the
+     * two best candidate chips, keep the first completion, cancel the
+     * loser (whose partial work still charges energy and backlog).
+     */
+    bool hedge = false;
 };
 
 /**

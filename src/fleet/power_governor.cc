@@ -11,7 +11,8 @@ namespace vspec
 PowerCapGovernor::PowerCapGovernor(const Config &config,
                                    unsigned num_chips)
     : cfg(config), demandEwma(num_chips, 0.0), caps(num_chips, 0.0),
-      throttled_(num_chips, false), seededChips(num_chips, false)
+      throttled_(num_chips, false), seededChips(num_chips, false),
+      absent_(num_chips, false)
 {
     if (num_chips == 0)
         fatal("PowerCapGovernor needs at least one chip");
@@ -36,6 +37,8 @@ PowerCapGovernor::update(const std::vector<Measurement> &chip_power)
         return;
 
     for (std::size_t i = 0; i < chip_power.size(); ++i) {
+        if (absent_[i])
+            continue; // self-test draw is not demand; EWMA freezes
         const bool full_interval =
             chip_power[i].elapsed >= fullIntervalFraction * cfg.interval;
         if (seededChips[i]) {
@@ -57,6 +60,12 @@ PowerCapGovernor::update(const std::vector<Measurement> &chip_power)
     redistribute();
 
     for (std::size_t i = 0; i < chip_power.size(); ++i) {
+        if (absent_[i]) {
+            // Absent capacity takes no placements anyway; a stale
+            // throttle flag would only delay its re-admission.
+            throttled_[i] = false;
+            continue;
+        }
         const bool full_interval =
             chip_power[i].elapsed >= fullIntervalFraction * cfg.interval;
         if (!throttled_[i] && seededChips[i] && full_interval &&
@@ -84,12 +93,23 @@ void
 PowerCapGovernor::redistribute()
 {
     const std::size_t n = caps.size();
-    const Watt floors = cfg.minChipCap * double(n);
+    // Absent (quarantined/self-testing) capacity is simply not there:
+    // its cap is zero and its floor folds back into the shared budget.
+    std::size_t present = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        present += absent_[i] ? 0 : 1;
+    if (present == 0) {
+        for (auto &cap : caps)
+            cap = 0.0;
+        return;
+    }
+    const Watt floors = cfg.minChipCap * double(present);
     if (cfg.fleetBudget <= floors) {
         // Budget below the floors: split it evenly; the floor promise
         // is unkeepable.
-        for (auto &cap : caps)
-            cap = cfg.fleetBudget / double(n);
+        for (std::size_t i = 0; i < n; ++i)
+            caps[i] = absent_[i] ? 0.0
+                                 : cfg.fleetBudget / double(present);
         return;
     }
 
@@ -100,7 +120,7 @@ PowerCapGovernor::redistribute()
     Watt seeded_demand = 0.0;
     std::size_t seeded_count = 0;
     for (std::size_t i = 0; i < n; ++i) {
-        if (seededChips[i]) {
+        if (seededChips[i] && !absent_[i]) {
             seeded_demand += demandEwma[i];
             ++seeded_count;
         }
@@ -109,15 +129,21 @@ PowerCapGovernor::redistribute()
         seeded_count > 0 ? seeded_demand / double(seeded_count) : 0.0;
 
     Watt total_demand = 0.0;
-    for (std::size_t i = 0; i < n; ++i)
-        total_demand += seededChips[i] ? demandEwma[i] : imputed;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!absent_[i])
+            total_demand += seededChips[i] ? demandEwma[i] : imputed;
+    }
 
     const Watt spare = cfg.fleetBudget - floors;
     for (std::size_t i = 0; i < n; ++i) {
+        if (absent_[i]) {
+            caps[i] = 0.0;
+            continue;
+        }
         const Watt demand_i = seededChips[i] ? demandEwma[i] : imputed;
         const double share = total_demand > 0.0
                                  ? demand_i / total_demand
-                                 : 1.0 / double(n);
+                                 : 1.0 / double(present);
         caps[i] = cfg.minChipCap + spare * share;
     }
 }
@@ -158,6 +184,27 @@ PowerCapGovernor::demand(unsigned chip) const
 }
 
 void
+PowerCapGovernor::setAbsent(unsigned chip, bool absent)
+{
+    absent_.at(chip) = absent;
+}
+
+bool
+PowerCapGovernor::absent(unsigned chip) const
+{
+    return absent_.at(chip);
+}
+
+unsigned
+PowerCapGovernor::absentChips() const
+{
+    unsigned count = 0;
+    for (bool a : absent_)
+        count += a ? 1 : 0;
+    return count;
+}
+
+void
 PowerCapGovernor::saveState(StateWriter &w) const
 {
     w.putDoubleVector(demandEwma);
@@ -170,6 +217,10 @@ PowerCapGovernor::saveState(StateWriter &w) const
     for (std::size_t i = 0; i < seededChips.size(); ++i)
         seeded_flags[i] = seededChips[i] ? 1 : 0;
     w.putU64Vector(seeded_flags);
+    std::vector<std::uint64_t> absent_flags(absent_.size());
+    for (std::size_t i = 0; i < absent_.size(); ++i)
+        absent_flags[i] = absent_[i] ? 1 : 0;
+    w.putU64Vector(absent_flags);
     w.putU64(episodes);
 }
 
@@ -180,10 +231,12 @@ PowerCapGovernor::loadState(StateReader &r)
     const std::vector<double> snap_caps = r.getDoubleVector();
     const std::vector<std::uint64_t> flags = r.getU64Vector();
     const std::vector<std::uint64_t> seeded_flags = r.getU64Vector();
+    const std::vector<std::uint64_t> absent_flags = r.getU64Vector();
     if (ewma.size() != demandEwma.size() ||
         snap_caps.size() != caps.size() ||
         flags.size() != throttled_.size() ||
-        seeded_flags.size() != seededChips.size())
+        seeded_flags.size() != seededChips.size() ||
+        absent_flags.size() != absent_.size())
         throw SnapshotError(
             "governor chip count mismatch: snapshot has " +
             std::to_string(ewma.size()) + ", governor has " +
@@ -194,6 +247,8 @@ PowerCapGovernor::loadState(StateReader &r)
         throttled_[i] = flags[i] != 0;
     for (std::size_t i = 0; i < seeded_flags.size(); ++i)
         seededChips[i] = seeded_flags[i] != 0;
+    for (std::size_t i = 0; i < absent_flags.size(); ++i)
+        absent_[i] = absent_flags[i] != 0;
     episodes = r.getU64();
 }
 

@@ -93,6 +93,18 @@ class PowerCapGovernor
      */
     void update(const std::vector<Watt> &chip_power);
 
+    /**
+     * Declare a chip's capacity absent (quarantined or self-testing):
+     * its cap drops to zero at the next redistribution, its floor is
+     * released into the shared budget, its demand EWMA freezes (the
+     * self-test draw is not demand), and its throttle flag clears.
+     * Re-marking present lets the chip compete again from its frozen
+     * EWMA. Takes effect at the next update().
+     */
+    void setAbsent(unsigned chip, bool absent);
+    bool absent(unsigned chip) const;
+    unsigned absentChips() const;
+
     /** Current cap of one chip (W); infinite when disabled. */
     Watt cap(unsigned chip) const;
     /** True if the chip is closed to new placements. */
@@ -122,6 +134,8 @@ class PowerCapGovernor
     std::vector<Watt> caps;
     std::vector<bool> throttled_;
     std::vector<bool> seededChips;
+    /** Quarantined/self-testing chips: capacity the budget ignores. */
+    std::vector<bool> absent_;
     std::uint64_t episodes = 0;
 
     void redistribute();

@@ -60,6 +60,8 @@ struct CoreStatus
     bool abandoned = false;
     /** The owning chip is over its power cap; no new placements. */
     bool throttled = false;
+    /** The owning chip is quarantined or self-testing (health FSM). */
+    bool quarantined = false;
     /** Safe undervolt depth the ECC control loop has earned (mV). */
     Millivolt headroomMv = 0.0;
     /** Decaying score of recent correctable bursts and recoveries. */
@@ -69,7 +71,10 @@ struct CoreStatus
     /** Busy fraction of the owning chip's schedulable cores. */
     double chipLoad = 0.0;
 
-    bool schedulable() const { return !busy && !abandoned && !throttled; }
+    bool schedulable() const
+    {
+        return !busy && !abandoned && !throttled && !quarantined;
+    }
 };
 
 enum class SchedulerPolicy

@@ -53,6 +53,24 @@ ShardedFleet::ShardedFleet(const ScaleFleetConfig &config)
     if (m.corrRateAtMinSafe < 0.0 || m.dueRateAtMinSafe < 0.0 ||
         m.recoveryPenalty < 0.0)
         fatal("ScaleChipModel rates must be non-negative");
+    const HealthConfig &hc = cfg.health;
+    if (hc.enabled) {
+        if (hc.windowTau <= 0.0)
+            fatal("HealthConfig window tau must be positive");
+        if (hc.quarantineHold <= 0.0 || hc.selfTestDuration <= 0.0 ||
+            hc.probationDuration <= 0.0)
+            fatal("HealthConfig state durations must be positive");
+        if (hc.healthyRate > hc.degradeRate ||
+            hc.degradeRate > hc.quarantineRate)
+            fatal("HealthConfig thresholds must satisfy healthyRate "
+                  "<= degradeRate <= quarantineRate");
+        if (hc.selfTestBoostMv < 0.0)
+            fatal("HealthConfig self-test boost must be non-negative");
+    }
+    if (cfg.retryWatchdog <= 0.0)
+        fatal("ShardedFleet retry watchdog must be positive");
+    if (cfg.hedgeLoserFraction < 0.0 || cfg.hedgeLoserFraction > 1.0)
+        fatal("ShardedFleet hedge loser fraction must be in [0, 1]");
 
     coldConfig.seed = cfg.seed;
     coldConfig.numChips = cfg.numChips;
@@ -66,6 +84,13 @@ ShardedFleet::ShardedFleet(const ScaleFleetConfig &config)
     energyJ_.assign(n, 0.0);
     energyMark_.assign(n, 0.0);
     holdoff_.assign(n, 0);
+    health_.assign(n, std::uint8_t(ChipHealth::healthy));
+    dueWindow_.assign(n, 0.0);
+    healthTimer_.assign(n, 0.0);
+
+    if (cfg.chaos.armed())
+        chaos_ = std::make_unique<FleetFaultInjector>(cfg.chaos,
+                                                      cfg.seed, n);
 
     // Each chip's hidden minimum safe Vdd comes from its own
     // mix64(seed, chip) identity — the derivation the full-simulation
@@ -83,23 +108,143 @@ ShardedFleet::ShardedFleet(const ScaleFleetConfig &config)
                                 cfg.chipsPerShard;
     shards.resize(num_shards);
     for (unsigned s = 0; s < num_shards; ++s) {
-        shards[s].lo = s * cfg.chipsPerShard;
-        shards[s].hi = std::min(n, (s + 1) * cfg.chipsPerShard);
-        shards[s].rng = Rng(mix64(mix64(cfg.seed, 0x5A4DULL), s));
+        Shard &shard = shards[s];
+        shard.lo = s * cfg.chipsPerShard;
+        shard.hi = std::min(n, (s + 1) * cfg.chipsPerShard);
+        shard.rng = Rng(mix64(mix64(cfg.seed, 0x5A4DULL), s));
         if (cfg.exactLatencyValidation)
-            shards[s].metrics.enableExactHistogram();
+            shard.metrics.enableExactHistogram();
+        if (!chaos_)
+            continue;
+        // Chips are consecutive, so a shard's domains of each kind are
+        // a contiguous id range; the attribution rows cover just it.
+        for (unsigned kk = 0; kk < kNumFailureDomainKinds; ++kk) {
+            const auto kind = FailureDomainKind(kk);
+            if (chaos_->domainSize(kind) == 0)
+                continue;
+            const unsigned base = chaos_->domainOf(kind, shard.lo);
+            const unsigned last = chaos_->domainOf(kind, shard.hi - 1);
+            shard.domainBase[kk] = base;
+            shard.domainDues[kk].assign(last - base + 1, 0);
+            shard.domainQuarantines[kk].assign(last - base + 1, 0);
+            shard.domainOffline[kk].assign(last - base + 1, 0.0);
+        }
     }
+    if (chaos_) {
+        for (unsigned kk = 0; kk < kNumFailureDomainKinds; ++kk) {
+            domainMisses_[kk].assign(
+                chaos_->numDomains(FailureDomainKind(kk)), 0);
+        }
+    }
+}
+
+void
+ShardedFleet::creditDomains(Shard &shard, unsigned i,
+                            std::uint64_t dues,
+                            std::uint64_t quarantines, Seconds offline)
+{
+    for (unsigned kk = 0; kk < kNumFailureDomainKinds; ++kk) {
+        const auto kind = FailureDomainKind(kk);
+        if (!chaos_->eventActive(kind, i))
+            continue;
+        const unsigned d =
+            chaos_->domainOf(kind, i) - shard.domainBase[kk];
+        shard.domainDues[kk][d] += dues;
+        shard.domainQuarantines[kk][d] += quarantines;
+        shard.domainOffline[kk][d] += offline;
+    }
+}
+
+void
+ShardedFleet::enterQuarantine(Shard &shard, unsigned i)
+{
+    // The watchdog declares the chip's queued work lost and requeues
+    // it: the backlog drains into the shard's slice buffer and the
+    // serial phase spreads it over healthy capacity — the scale-path
+    // analogue of the cold fleet's abandonment requeue.
+    shard.sliceDrained += backlog_[i];
+    shard.drainedWork += backlog_[i];
+    if (backlog_[i] > 0.0)
+        ++shard.drainEvents;
+    backlog_[i] = 0.0;
+    health_[i] = std::uint8_t(ChipHealth::quarantined);
+    healthTimer_[i] = cfg.health.quarantineHold;
+    railMv_[i] = cfg.chip.nominalVdd;
+    holdoff_[i] = cfg.chip.holdSlices;
+    ++shard.quarantines;
+    if (chaos_)
+        creditDomains(shard, i, 0, 1, 0.0);
 }
 
 void
 ShardedFleet::applyChipSlice(Shard &shard, unsigned i,
                              std::uint64_t corr, std::uint64_t dues,
                              Seconds slice, double risk_decay,
-                             double inv_nominal, Seconds drain_capacity)
+                             double inv_nominal, Seconds drain_capacity,
+                             double window_decay)
 {
     const ScaleChipModel &m = cfg.chip;
+    const HealthConfig &hc = cfg.health;
 
     risk_[i] *= risk_decay;
+
+    if (hc.enabled) {
+        // Windowed DUE rate: the EWMA the health FSM thresholds read.
+        dueWindow_[i] = dueWindow_[i] * window_decay +
+                        (1.0 - window_decay) * (double(dues) / slice);
+    }
+    if (chaos_ && dues > 0)
+        creditDomains(shard, i, dues, 0, 0.0);
+
+    const ChipHealth state = ChipHealth(health_[i]);
+    if (state == ChipHealth::quarantined ||
+        state == ChipHealth::selfTesting) {
+        // Offline: drained of work, closed to placement. The drain
+        // park rides at nominal; the firmware self-test runs every
+        // core busy at nominal + boost. ECC events cause no recovery
+        // (there is no workload to replay) — they only feed the
+        // windowed rate that gates re-admission, so a storm that
+        // outlasts the self-test keeps the chip inside.
+        healthTimer_[i] -= slice;
+        double util = 0.0;
+        if (state == ChipHealth::quarantined) {
+            railMv_[i] = m.nominalVdd;
+            if (healthTimer_[i] <= 0.0) {
+                health_[i] = std::uint8_t(ChipHealth::selfTesting);
+                healthTimer_[i] = hc.selfTestDuration;
+            }
+        } else {
+            railMv_[i] = m.nominalVdd + hc.selfTestBoostMv;
+            util = 1.0;
+            if (healthTimer_[i] <= 0.0) {
+                if (dueWindow_[i] >= hc.degradeRate) {
+                    healthTimer_[i] = hc.selfTestDuration;
+                } else {
+                    health_[i] = std::uint8_t(ChipHealth::probation);
+                    healthTimer_[i] = hc.probationDuration;
+                    // Probationary earned-floor reset: re-admitted
+                    // capacity re-earns its depth from scratch.
+                    earnedFloorMv_[i] = m.nominalVdd;
+                    railMv_[i] = m.nominalVdd;
+                    holdoff_[i] = m.holdSlices;
+                    risk_[i] = 0.0;
+                    ++shard.readmissions;
+                }
+            }
+        }
+        const Seconds offline_core_time =
+            double(m.coresPerChip) * slice;
+        shard.offlineTime += offline_core_time;
+        if (chaos_)
+            creditDomains(shard, i, 0, 0, offline_core_time);
+        const Watt power = double(m.coresPerChip) *
+                           (m.idlePowerPerCore +
+                            m.activePowerPerCore * util) *
+                           sq(railMv_[i] * inv_nominal);
+        energyJ_[i] += power * slice;
+        return;
+    }
+
     shard.corrEvents += corr;
 
     if (dues > 0) {
@@ -135,6 +280,25 @@ ShardedFleet::applyChipSlice(Shard &shard, unsigned i,
                         m.activePowerPerCore * util) *
                        sq(railMv_[i] * inv_nominal);
     energyJ_[i] += power * slice;
+
+    if (hc.enabled) {
+        if (state == ChipHealth::probation) {
+            healthTimer_[i] -= slice;
+            if (dues > 0) {
+                // One strike on probation sends the chip back inside.
+                enterQuarantine(shard, i);
+            } else if (healthTimer_[i] <= 0.0) {
+                health_[i] = std::uint8_t(ChipHealth::healthy);
+            }
+        } else if (dueWindow_[i] >= hc.quarantineRate) {
+            enterQuarantine(shard, i);
+        } else if (state == ChipHealth::degraded) {
+            if (dueWindow_[i] <= hc.healthyRate)
+                health_[i] = std::uint8_t(ChipHealth::healthy);
+        } else if (dueWindow_[i] >= hc.degradeRate) {
+            health_[i] = std::uint8_t(ChipHealth::degraded);
+        }
+    }
 }
 
 void
@@ -144,13 +308,23 @@ ShardedFleet::advanceShard(Shard &shard, Seconds slice)
     const double risk_decay = std::exp(-slice / cfg.riskTau);
     const double inv_nominal = 1.0 / m.nominalVdd;
     const Seconds drain_capacity = double(m.coresPerChip) * slice;
+    const double window_decay =
+        cfg.health.enabled ? std::exp(-slice / cfg.health.windowTau)
+                           : 1.0;
 
     for (unsigned i = shard.lo; i < shard.hi; ++i) {
         // ECC feedback: event rates are exponential in the margin the
         // rail keeps above the chip's hidden minimum safe Vdd. Both
         // draws always happen, so the shard RNG's position per chip
-        // per slice is fixed regardless of outcomes.
-        const double margin = railMv_[i] - minSafeMv_[i];
+        // per slice is fixed regardless of outcomes. Correlated
+        // events subtract margin (shared-rail droop, hot zone) and
+        // add storm DUEs; the extra storm draw happens only while a
+        // storm is active — the event schedule is serial-phase state,
+        // identical for every worker-thread count, so the stream
+        // position stays deterministic.
+        const double margin = railMv_[i] - minSafeMv_[i] -
+                              (chaos_ ? chaos_->marginPenaltyMv(i)
+                                      : 0.0);
         const double corr_rate = std::min(
             m.corrRateAtMinSafe * std::exp(-margin / m.corrScaleMv),
             maxCorrRate);
@@ -159,10 +333,15 @@ ShardedFleet::advanceShard(Shard &shard, Seconds slice)
         const double due_rate = std::min(
             m.dueRateAtMinSafe * std::exp(-margin / m.dueScaleMv),
             maxDueRate);
-        const std::uint64_t dues = shard.rng.poisson(due_rate * slice);
+        std::uint64_t dues = shard.rng.poisson(due_rate * slice);
+        if (chaos_) {
+            const double storm = chaos_->dueStormRate(i);
+            if (storm > 0.0)
+                dues += shard.rng.poisson(storm * slice);
+        }
 
         applyChipSlice(shard, i, corr, dues, slice, risk_decay,
-                       inv_nominal, drain_capacity);
+                       inv_nominal, drain_capacity, window_decay);
     }
 }
 
@@ -173,18 +352,25 @@ ShardedFleet::advanceShardBatched(Shard &shard, Seconds slice)
     const double risk_decay = std::exp(-slice / cfg.riskTau);
     const double inv_nominal = 1.0 / m.nominalVdd;
     const Seconds drain_capacity = double(m.coresPerChip) * slice;
+    const double window_decay =
+        cfg.health.enabled ? std::exp(-slice / cfg.health.windowTau)
+                           : 1.0;
     const unsigned n = shard.hi - shard.lo;
     if (n == 0)
         return;
 
     // Phase A: counting-sort the shard's chips by quantized margin
     // bucket (round-half-up, matching the probability-LUT convention).
+    // The effective margin includes any correlated-event penalty, so a
+    // rail group in droop pools into its own (stormier) buckets.
     auto &bucket = shard.bucketScratch;
     bucket.resize(n);
     std::int64_t bmin = 0, bmax = 0;
     for (unsigned k = 0; k < n; ++k) {
         const unsigned i = shard.lo + k;
-        const double margin = railMv_[i] - minSafeMv_[i];
+        const double margin = railMv_[i] - minSafeMv_[i] -
+                              (chaos_ ? chaos_->marginPenaltyMv(i)
+                                      : 0.0);
         const std::int64_t b =
             std::int64_t(std::floor(margin / cfg.marginQuantMv + 0.5));
         bucket[k] = b;
@@ -253,15 +439,25 @@ ShardedFleet::advanceShardBatched(Shard &shard, Seconds slice)
     }
 
     // Phase C: the unchanged per-chip state machine, in chip order.
+    // Storm DUEs are additive per chip (racks cut across margin
+    // buckets), so their draws happen here, per member chip, after
+    // the pooled phase — in chip order, deterministically.
     for (unsigned k = 0; k < n; ++k) {
-        applyChipSlice(shard, shard.lo + k, corr_cnt[k], due_cnt[k],
-                       slice, risk_decay, inv_nominal, drain_capacity);
+        const unsigned i = shard.lo + k;
+        std::uint64_t dues = due_cnt[k];
+        if (chaos_) {
+            const double storm = chaos_->dueStormRate(i);
+            if (storm > 0.0)
+                dues += shard.rng.poisson(storm * slice);
+        }
+        applyChipSlice(shard, i, corr_cnt[k], dues, slice, risk_decay,
+                       inv_nominal, drain_capacity, window_decay);
     }
 }
 
-unsigned
-ShardedFleet::chooseChip(const TrafficArrival &arrival,
-                         const JobClass &cls)
+ShardedFleet::PlacementChoice
+ShardedFleet::choosePlacement(const TrafficArrival &arrival,
+                              const JobClass &cls, bool force)
 {
     const ScaleChipModel &m = cfg.chip;
     const unsigned n = cfg.numChips;
@@ -273,15 +469,18 @@ ShardedFleet::chooseChip(const TrafficArrival &arrival,
     const std::uint64_t key =
         mix64(mix64(cfg.seed, 0xAFF1ULL), arrival.session);
 
-    unsigned best = unsigned(mix64(key, 0) % n);
+    PlacementChoice out;
     bool have_best = false;
     double best_score = 0.0;
-    unsigned fallback = best;
+    double second_score = 0.0;
+    unsigned fallback = 0;
     double fallback_score = 0.0;
     bool have_fallback = false;
 
     for (unsigned k = 0; k < num_candidates; ++k) {
         const unsigned c = unsigned(mix64(key, k) % n);
+        if (chipOffline(c))
+            continue; // quarantined capacity is absent, not "busy"
         const bool throttled = governor_.throttled(c);
         const bool risky = cfg.policy == SchedulerPolicy::riskAware &&
                            risk_[c] > cfg.riskThreshold;
@@ -312,14 +511,178 @@ ShardedFleet::chooseChip(const TrafficArrival &arrival,
         if (throttled || risky)
             continue;
         if (!have_best || score > best_score) {
-            best = c;
+            if (have_best && out.best != c) {
+                out.second = out.best;
+                second_score = best_score;
+                out.haveSecond = true;
+            }
+            out.best = c;
             best_score = score;
             have_best = true;
+        } else if (c != out.best &&
+                   (!out.haveSecond || score > second_score)) {
+            out.second = c;
+            second_score = score;
+            out.haveSecond = true;
         }
-        if (cfg.policy == SchedulerPolicy::roundRobin)
+        if (cfg.policy == SchedulerPolicy::roundRobin && have_best &&
+            (!cls.hedge || out.haveSecond))
             break; // home chip admissible: stop probing
     }
-    return have_best ? best : fallback;
+    if (have_best || have_fallback) {
+        out.found = true;
+        if (!have_best)
+            out.best = fallback;
+        return out;
+    }
+    // Every candidate is offline. The watchdog's force-place breaks
+    // session affinity and probes linearly for any open chip; a
+    // regular placement defers instead (never onto quarantine).
+    if (force) {
+        const unsigned home = unsigned(mix64(key, 0) % n);
+        for (unsigned j = 0; j < n; ++j) {
+            const unsigned c = (home + j) % n;
+            if (!chipOffline(c)) {
+                out.found = true;
+                out.best = c;
+                return out;
+            }
+        }
+    }
+    return out;
+}
+
+ShardedFleet::PlaceOutcome
+ShardedFleet::placeOne(const TrafficArrival &arrival, unsigned attempt,
+                       Seconds effective_start, bool force,
+                       Seconds &latency_sum, std::uint64_t &placed)
+{
+    const ScaleChipModel &m = cfg.chip;
+    const JobClass &cls = traffic_.classes().at(arrival.classIndex);
+    const PlacementChoice choice =
+        choosePlacement(arrival, cls, force);
+    if (!choice.found)
+        return PlaceOutcome::noCapacity;
+    unsigned c = choice.best;
+    if (chipOffline(c))
+        ++placementsOnQuarantined_; // invariant counter: never fires
+
+    const Seconds start = std::max(effective_start, arrival.arrival);
+    Seconds wait = backlog_[c] / double(m.coresPerChip);
+
+    // Deadline-aware retry: a placement already predicted to miss its
+    // deadline defers under the class's retry budget (exponential
+    // backoff) instead of queueing work we know will blow the SLA.
+    if (!force && cls.maxRetries > 0 && attempt < cls.maxRetries &&
+        start + wait + arrival.serviceTime > arrival.deadline)
+        return PlaceOutcome::retry;
+
+    // Queue-drain latency model: the job waits behind the chip's
+    // current backlog, then holds one core for its service time.
+    // Same-slice arrivals to the same chip stack up, because the
+    // placement itself grows the backlog.
+    Joule job_energy;
+    if (cls.hedge && choice.haveSecond && choice.second != c) {
+        // Hedged duplicate: both candidates start the request, the
+        // first completion wins and takes the full service; the loser
+        // is cancelled after hedgeLoserFraction of it, but its backlog
+        // occupancy and joules still count.
+        const unsigned c2 = choice.second;
+        const Seconds wait2 = backlog_[c2] / double(m.coresPerChip);
+        const unsigned winner = wait2 < wait ? c2 : c;
+        const unsigned loser = winner == c ? c2 : c;
+        wait = std::min(wait, wait2);
+        backlog_[winner] += arrival.serviceTime;
+        backlog_[loser] +=
+            arrival.serviceTime * cfg.hedgeLoserFraction;
+        job_energy = arrival.serviceTime * m.activePowerPerCore *
+                         sq(railMv_[winner] / m.nominalVdd) +
+                     arrival.serviceTime * cfg.hedgeLoserFraction *
+                         m.activePowerPerCore *
+                         sq(railMv_[loser] / m.nominalVdd);
+        c = winner;
+        ++hedgedJobs_;
+    } else {
+        backlog_[c] += arrival.serviceTime;
+        // Marginal energy attribution at the chip's current operating
+        // point: the deeper the earned rail, the cheaper the joules.
+        job_energy = arrival.serviceTime * m.activePowerPerCore *
+                     sq(railMv_[c] / m.nominalVdd);
+    }
+
+    const Seconds job_latency =
+        (start - arrival.arrival) + wait + arrival.serviceTime;
+    const Seconds completion = arrival.arrival + job_latency;
+
+    latency_sum += job_latency;
+    ++placed;
+
+    if (chaos_ && completion > arrival.deadline) {
+        // Blast-radius attribution: the miss is charged to every
+        // failure domain with an active event over the serving chip.
+        for (unsigned kk = 0; kk < kNumFailureDomainKinds; ++kk) {
+            const auto kind = FailureDomainKind(kk);
+            if (chaos_->eventActive(kind, c))
+                ++domainMisses_[kk][chaos_->domainOf(kind, c)];
+        }
+    }
+
+    if (completion <= cfg.horizon) {
+        Job job;
+        job.id = arrival.id;
+        job.classIndex = arrival.classIndex;
+        job.arrival = arrival.arrival;
+        job.serviceTime = arrival.serviceTime;
+        job.deadline = arrival.deadline;
+        shards[shardOf(c)].metrics.recordCompletion(
+            job, cls, completion, job_energy);
+    } else {
+        ++pendingAtEnd_;
+        if (arrival.deadline < cfg.horizon)
+            ++pendingViolations_;
+    }
+    return PlaceOutcome::placed;
+}
+
+void
+ShardedFleet::processRetries(Seconds &latency_sum,
+                             std::uint64_t &placed)
+{
+    if (retryQueue_.empty())
+        return;
+    std::deque<RetryEntry> keep;
+    while (!retryQueue_.empty()) {
+        RetryEntry entry = retryQueue_.front();
+        retryQueue_.pop_front();
+        if (entry.readyAt > now_) {
+            keep.push_back(entry);
+            continue;
+        }
+        const JobClass &cls =
+            traffic_.classes().at(entry.arrival.classIndex);
+        const bool force =
+            now_ - entry.arrival.arrival >= cfg.retryWatchdog;
+        const PlaceOutcome outcome = placeOne(
+            entry.arrival, entry.attempt, now_, force, latency_sum,
+            placed);
+        if (outcome == PlaceOutcome::placed) {
+            if (force)
+                ++watchdogForced_;
+        } else if (outcome == PlaceOutcome::retry) {
+            ++retries_;
+            ++entry.attempt;
+            entry.readyAt =
+                now_ + cls.retryBackoff *
+                           double(std::uint64_t(1) << entry.attempt);
+            keep.push_back(entry);
+        } else {
+            // No capacity anywhere: try again next slice without
+            // consuming a retry attempt.
+            entry.readyAt = now_ + cfg.slice;
+            keep.push_back(entry);
+        }
+    }
+    retryQueue_ = std::move(keep);
 }
 
 void
@@ -327,44 +690,23 @@ ShardedFleet::placeArrivals()
 {
     Seconds latency_sum = 0.0;
     std::uint64_t placed = 0;
-    const ScaleChipModel &m = cfg.chip;
+
+    // Deferred entries first: they are older than this slice's
+    // arrivals and the watchdog may owe them a forced placement.
+    processRetries(latency_sum, placed);
 
     for (const TrafficArrival &arrival : arrivalBuf) {
-        const JobClass &cls = traffic_.classes().at(arrival.classIndex);
-        const unsigned c = chooseChip(arrival, cls);
-
-        // Queue-drain latency model: the job waits behind the chip's
-        // current backlog, then holds one core for its service time.
-        // Same-slice arrivals to the same chip stack up, because the
-        // placement itself grows the backlog.
-        const Seconds wait = backlog_[c] / double(m.coresPerChip);
-        const Seconds job_latency = wait + arrival.serviceTime;
-        const Seconds completion = arrival.arrival + job_latency;
-        backlog_[c] += arrival.serviceTime;
-
-        // Marginal energy attribution at the chip's current operating
-        // point: the deeper the earned rail, the cheaper the joules.
-        const Joule job_energy = arrival.serviceTime *
-                                 m.activePowerPerCore *
-                                 sq(railMv_[c] / m.nominalVdd);
-
+        const JobClass &cls =
+            traffic_.classes().at(arrival.classIndex);
         ++submitted_;
-        latency_sum += job_latency;
-        ++placed;
-
-        if (completion <= cfg.horizon) {
-            Job job;
-            job.id = arrival.id;
-            job.classIndex = arrival.classIndex;
-            job.arrival = arrival.arrival;
-            job.serviceTime = arrival.serviceTime;
-            job.deadline = arrival.deadline;
-            shards[shardOf(c)].metrics.recordCompletion(
-                job, cls, completion, job_energy);
-        } else {
-            ++pendingAtEnd_;
-            if (arrival.deadline < cfg.horizon)
-                ++pendingViolations_;
+        const PlaceOutcome outcome = placeOne(
+            arrival, 0, arrival.arrival, false, latency_sum, placed);
+        if (outcome == PlaceOutcome::retry) {
+            ++retries_;
+            retryQueue_.push_back(
+                {arrival, 1, now_ + cls.retryBackoff});
+        } else if (outcome == PlaceOutcome::noCapacity) {
+            retryQueue_.push_back({arrival, 0, now_ + cfg.slice});
         }
     }
 
@@ -382,10 +724,104 @@ ShardedFleet::placeArrivals()
 }
 
 void
+ShardedFleet::foldDrained()
+{
+    // Serial phase: collect the work each shard drained out of chips
+    // entering quarantine this slice, then respread it evenly over the
+    // fleet's remaining online chips (the scale-path analogue of the
+    // cold path's requeue). If the whole fleet is offline the backlog
+    // is held until capacity returns.
+    for (Shard &shard : shards) {
+        requeueBacklog_ += shard.sliceDrained;
+        shard.sliceDrained = 0.0;
+    }
+    if (requeueBacklog_ <= 0.0)
+        return;
+    unsigned online = 0;
+    for (unsigned i = 0; i < cfg.numChips; ++i) {
+        if (!chipOffline(i))
+            ++online;
+    }
+    if (online == 0)
+        return;
+    const Seconds share = requeueBacklog_ / double(online);
+    for (unsigned i = 0; i < cfg.numChips; ++i) {
+        if (!chipOffline(i))
+            backlog_[i] += share;
+    }
+    requeueBacklog_ = 0.0;
+}
+
+void
+ShardedFleet::audit()
+{
+    const auto violate = [&](const std::string &what) {
+        if (auditViolations_.size() < 32)
+            auditViolations_.push_back(what);
+    };
+
+    if (placementsOnQuarantined_ > 0)
+        violate("jobs placed onto quarantined chips: " +
+                std::to_string(placementsOnQuarantined_));
+
+    // Conservation: every submitted job is either completed, pending
+    // past the horizon, or parked in the retry queue.
+    const std::uint64_t accounted = mergedMetrics().completed() +
+                                    pendingAtEnd_ +
+                                    retryQueue_.size();
+    if (submitted_ != accounted)
+        violate("job conservation: submitted " +
+                std::to_string(submitted_) + " != accounted " +
+                std::to_string(accounted));
+
+    const ScaleChipModel &m = cfg.chip;
+    const Millivolt rail_hi =
+        m.nominalVdd + cfg.health.selfTestBoostMv + 1e-9;
+    for (unsigned i = 0; i < cfg.numChips; ++i) {
+        if (health_[i] > std::uint8_t(ChipHealth::probation)) {
+            violate("chip " + std::to_string(i) +
+                    " has an invalid health state");
+            break;
+        }
+        if (railMv_[i] < m.floorMv - 1e-9 || railMv_[i] > rail_hi) {
+            violate("chip " + std::to_string(i) + " rail " +
+                    std::to_string(railMv_[i]) + " mV out of range");
+            break;
+        }
+        if (backlog_[i] < 0.0) {
+            violate("chip " + std::to_string(i) +
+                    " has negative backlog");
+            break;
+        }
+        if (dueWindow_[i] < 0.0) {
+            violate("chip " + std::to_string(i) +
+                    " has a negative DUE-rate window");
+            break;
+        }
+        if (energyMark_[i] > energyJ_[i] + 1e-9) {
+            violate("chip " + std::to_string(i) +
+                    " governor energy mark ahead of the integral");
+            break;
+        }
+        if (chipOffline(i) && backlog_[i] != 0.0) {
+            violate("offline chip " + std::to_string(i) +
+                    " still holds backlog");
+            break;
+        }
+    }
+}
+
+void
 ShardedFleet::updateGovernor()
 {
     if (!governor_.enabled())
         return;
+    // Quarantined capacity is absent, not merely idle: the governor
+    // stops tracking its demand and redistributes its cap share.
+    if (cfg.health.enabled) {
+        for (unsigned i = 0; i < cfg.numChips; ++i)
+            governor_.setAbsent(i, chipOffline(i));
+    }
     const Seconds span = now_ - governorMark_;
     if (span + 1e-9 < governor_.config().interval)
         return;
@@ -410,6 +846,11 @@ ShardedFleet::run(Seconds duration, ExperimentPool &pool)
               " is not a whole number of ", cfg.slice, " s slices");
 
     for (std::uint64_t s = 0; s < slices; ++s) {
+        // Serial phase 0: advance the correlated-event clock so every
+        // shard task sees a consistent, already-settled event picture.
+        if (chaos_)
+            chaos_->beginSlice(cfg.slice);
+
         // Serial phase 1: traffic and placement, fed by last slice's
         // latency EWMA.
         arrivalBuf.clear();
@@ -440,8 +881,13 @@ ShardedFleet::run(Seconds duration, ExperimentPool &pool)
         now_ += cfg.slice;
         ++sliceIndex_;
 
-        // Serial phase 2: the governor reads the energy integrals.
+        // Serial phase 2: requeue drained work, then let the governor
+        // read the energy integrals over the surviving capacity.
+        foldDrained();
         updateGovernor();
+        if (cfg.auditEverySlices > 0 &&
+            sliceIndex_ % cfg.auditEverySlices == 0)
+            audit();
     }
 }
 
@@ -461,13 +907,21 @@ ShardedFleet::report() const
     rep.simulated = now_;
     rep.submitted = submitted_;
     rep.requeued = 0;
-    rep.pendingAtEnd = pendingAtEnd_;
+    rep.pendingAtEnd = pendingAtEnd_ + retryQueue_.size();
     rep.runningAtEnd = 0;
+    rep.inRetryAtEnd = retryQueue_.size();
+    rep.retries = retries_;
+    rep.hedgedJobs = hedgedJobs_;
+    rep.watchdogForced = watchdogForced_;
 
     const FleetMetrics merged = mergedMetrics();
     rep.completed = merged.completed();
     rep.completedCritical = merged.completedCritical();
     rep.slaViolations = merged.slaViolations() + pendingViolations_;
+    for (const RetryEntry &entry : retryQueue_) {
+        if (entry.arrival.deadline < now_)
+            ++rep.slaViolations;
+    }
     if (now_ > 0.0)
         rep.throughputPerSec = double(rep.completed) / now_;
     rep.meanLatency = merged.latencyStats().mean();
@@ -484,18 +938,70 @@ ShardedFleet::report() const
         rep.meanFleetPower = fleet_energy / now_;
 
     Seconds lost = 0.0;
+    Seconds offline = 0.0;
     for (const Shard &shard : shards) {
         rep.recoveries += shard.dueRecoveries;
         lost += shard.recoveryLoss;
+        rep.quarantines += shard.quarantines;
+        rep.readmissions += shard.readmissions;
+        rep.drainedCoreSeconds += shard.drainedWork;
+        offline += shard.offlineTime;
     }
     if (now_ > 0.0) {
         const Seconds fleet_core_time =
             double(cfg.numChips) * double(cfg.chip.coresPerChip) * now_;
-        rep.availability =
-            std::clamp(1.0 - lost / fleet_core_time, 0.0, 1.0);
+        rep.availability = std::clamp(
+            1.0 - (lost + offline) / fleet_core_time, 0.0, 1.0);
+    }
+    for (unsigned i = 0; i < cfg.numChips; ++i) {
+        if (chipOffline(i))
+            ++rep.offlineChipsAtEnd;
     }
     rep.abandonedCores = 0;
     rep.throttleEpisodes = governor_.throttleEpisodes();
+
+    // Blast-radius attribution: fold each shard's domain-range spans
+    // back onto fleet-wide domain indices, join with the injector's
+    // onset counts, and emit one row per domain that saw any action.
+    if (chaos_) {
+        for (unsigned kk = 0; kk < kNumFailureDomainKinds; ++kk) {
+            const auto kind = FailureDomainKind(kk);
+            const unsigned domains = chaos_->numDomains(kind);
+            if (domains == 0)
+                continue;
+            std::vector<std::uint64_t> dues(domains, 0);
+            std::vector<std::uint64_t> quarantines(domains, 0);
+            std::vector<Seconds> offline_cs(domains, 0.0);
+            for (const Shard &shard : shards) {
+                const unsigned base = shard.domainBase[kk];
+                for (std::size_t d = 0;
+                     d < shard.domainDues[kk].size(); ++d) {
+                    dues[base + d] += shard.domainDues[kk][d];
+                    quarantines[base + d] +=
+                        shard.domainQuarantines[kk][d];
+                    offline_cs[base + d] += shard.domainOffline[kk][d];
+                }
+            }
+            const std::vector<std::uint64_t> &events =
+                chaos_->domainEvents(kind);
+            for (unsigned d = 0; d < domains; ++d) {
+                const std::uint64_t misses = domainMisses_[kk][d];
+                if (events[d] == 0 && dues[d] == 0 &&
+                    quarantines[d] == 0 && misses == 0 &&
+                    offline_cs[d] == 0.0)
+                    continue;
+                FleetReport::DomainImpact row;
+                row.kind = kind;
+                row.domain = d;
+                row.events = events[d];
+                row.dues = dues[d];
+                row.quarantines = quarantines[d];
+                row.slaMisses = misses;
+                row.offlineCoreSeconds = offline_cs[d];
+                rep.domainImpact.push_back(row);
+            }
+        }
+    }
     return rep;
 }
 
@@ -526,6 +1032,33 @@ ShardedFleet::snapshot(StateWriter &w) const
     w.putBool(latencySeeded_);
     traffic_.saveState(w);
     governor_.saveState(w);
+
+    // Format v4: the robustness layer. Retry/hedge queue state, the
+    // correlated-event injector, and the fleet-level blast-radius
+    // counters live here; per-chip health state rides in the shard
+    // sections below.
+    w.putDouble(requeueBacklog_);
+    w.putU64(retries_);
+    w.putU64(hedgedJobs_);
+    w.putU64(watchdogForced_);
+    w.putU64(placementsOnQuarantined_);
+    w.putU64(retryQueue_.size());
+    for (const RetryEntry &entry : retryQueue_) {
+        w.putU64(entry.arrival.id);
+        w.putU64(entry.arrival.session);
+        w.putU64(entry.arrival.classIndex);
+        w.putDouble(entry.arrival.arrival);
+        w.putDouble(entry.arrival.serviceTime);
+        w.putDouble(entry.arrival.deadline);
+        w.putU64(entry.attempt);
+        w.putDouble(entry.readyAt);
+    }
+    w.putBool(chaos_ != nullptr);
+    if (chaos_) {
+        chaos_->saveState(w);
+        for (unsigned kk = 0; kk < kNumFailureDomainKinds; ++kk)
+            w.putU64Vector(domainMisses_[kk]);
+    }
     w.endSection();
 
     // One self-contained flat section per shard (the container format
@@ -556,6 +1089,26 @@ ShardedFleet::snapshot(StateWriter &w) const
         for (unsigned i = shard.lo; i < shard.hi; ++i)
             hold[i - shard.lo] = holdoff_[i];
         w.putU64Vector(hold);
+
+        // Format v4: per-chip health FSM spans and the shard's
+        // robustness counters.
+        std::vector<std::uint64_t> health(shard.hi - shard.lo);
+        for (unsigned i = shard.lo; i < shard.hi; ++i)
+            health[i - shard.lo] = health_[i];
+        w.putU64Vector(health);
+        span(dueWindow_);
+        span(healthTimer_);
+        w.putU64(shard.quarantines);
+        w.putU64(shard.readmissions);
+        w.putU64(shard.drainEvents);
+        w.putDouble(shard.drainedWork);
+        w.putDouble(shard.offlineTime);
+        w.putDouble(shard.sliceDrained);
+        for (unsigned kk = 0; kk < kNumFailureDomainKinds; ++kk) {
+            w.putU64Vector(shard.domainDues[kk]);
+            w.putU64Vector(shard.domainQuarantines[kk]);
+            w.putDoubleVector(shard.domainOffline[kk]);
+        }
         w.endSection();
     }
 }
@@ -582,6 +1135,41 @@ ShardedFleet::restore(StateReader &r)
     latencySeeded_ = r.getBool();
     traffic_.loadState(r);
     governor_.loadState(r);
+
+    requeueBacklog_ = r.getDouble();
+    retries_ = r.getU64();
+    hedgedJobs_ = r.getU64();
+    watchdogForced_ = r.getU64();
+    placementsOnQuarantined_ = r.getU64();
+    const std::uint64_t retry_depth = r.getU64();
+    retryQueue_.clear();
+    for (std::uint64_t i = 0; i < retry_depth; ++i) {
+        RetryEntry entry;
+        entry.arrival.id = r.getU64();
+        entry.arrival.session = r.getU64();
+        entry.arrival.classIndex = unsigned(r.getU64());
+        entry.arrival.arrival = r.getDouble();
+        entry.arrival.serviceTime = r.getDouble();
+        entry.arrival.deadline = r.getDouble();
+        entry.attempt = unsigned(r.getU64());
+        entry.readyAt = r.getDouble();
+        retryQueue_.push_back(entry);
+    }
+    const bool had_chaos = r.getBool();
+    if (had_chaos != (chaos_ != nullptr))
+        throw SnapshotError(
+            "fleet chaos armament mismatch (snapshot was taken with a "
+            "different correlated-event configuration)");
+    if (chaos_) {
+        chaos_->loadState(r);
+        for (unsigned kk = 0; kk < kNumFailureDomainKinds; ++kk) {
+            const std::vector<std::uint64_t> misses = r.getU64Vector();
+            if (misses.size() != domainMisses_[kk].size())
+                throw SnapshotError(
+                    "fleet blast-radius domain count mismatch");
+            domainMisses_[kk] = misses;
+        }
+    }
     r.endSection();
 
     for (Shard &shard : shards) {
@@ -617,6 +1205,38 @@ ShardedFleet::restore(StateReader &r)
             throw SnapshotError("shard holdoff span size mismatch");
         for (unsigned i = shard.lo; i < shard.hi; ++i)
             holdoff_[i] = std::uint32_t(hold[i - shard.lo]);
+
+        const std::vector<std::uint64_t> health = r.getU64Vector();
+        if (health.size() != shard.hi - shard.lo)
+            throw SnapshotError("shard health span size mismatch");
+        for (unsigned i = shard.lo; i < shard.hi; ++i) {
+            if (health[i - shard.lo] >
+                std::uint64_t(ChipHealth::probation))
+                throw SnapshotError("invalid chip health state in "
+                                    "snapshot");
+            health_[i] = std::uint8_t(health[i - shard.lo]);
+        }
+        span(dueWindow_);
+        span(healthTimer_);
+        shard.quarantines = r.getU64();
+        shard.readmissions = r.getU64();
+        shard.drainEvents = r.getU64();
+        shard.drainedWork = r.getDouble();
+        shard.offlineTime = r.getDouble();
+        shard.sliceDrained = r.getDouble();
+        for (unsigned kk = 0; kk < kNumFailureDomainKinds; ++kk) {
+            const std::vector<std::uint64_t> dd = r.getU64Vector();
+            const std::vector<std::uint64_t> dq = r.getU64Vector();
+            const std::vector<double> doff = r.getDoubleVector();
+            if (dd.size() != shard.domainDues[kk].size() ||
+                dq.size() != shard.domainQuarantines[kk].size() ||
+                doff.size() != shard.domainOffline[kk].size())
+                throw SnapshotError(
+                    "shard blast-radius span size mismatch");
+            shard.domainDues[kk] = dd;
+            shard.domainQuarantines[kk] = dq;
+            shard.domainOffline[kk] = doff;
+        }
         r.endSection();
     }
 }

@@ -65,8 +65,11 @@
 #ifndef VSPEC_FLEET_SHARD_HH
 #define VSPEC_FLEET_SHARD_HH
 
+#include <array>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/rng.hh"
@@ -78,6 +81,7 @@
 #include "fleet/scheduler.hh"
 #include "fleet/traffic.hh"
 #include "platform/experiment_pool.hh"
+#include "resilience/fleet_chaos.hh"
 
 namespace vspec
 {
@@ -179,6 +183,24 @@ struct ScaleFleetConfig
     /** Margin quantization grid of the pooled buckets (mV). */
     Millivolt marginQuantMv = 1.0;
 
+    /** Correlated failure-domain events (rail-group droops, rack DUE
+     *  storms, thermal excursions); inert by default. */
+    FleetChaosConfig chaos;
+    /** Chip health lifecycle: quarantine, elevated-Vdd self-test,
+     *  probationary re-admission. Disabled by default. */
+    HealthConfig health;
+    /**
+     * Retry watchdog: a deferred/retried job stuck in the queue this
+     * long past its arrival is force-placed on the best available chip
+     * (deadline already forfeit, work still owed).
+     */
+    Seconds retryWatchdog = 2.0;
+    /** Fraction of a hedged job's service the losing duplicate runs
+     *  before cancellation; its backlog and joules still count. */
+    double hedgeLoserFraction = 0.5;
+    /** Run the invariant audit every N slices; 0 disables. */
+    unsigned auditEverySlices = 0;
+
     /**
      * Cold-path template for materializeNode(): the full-simulation
      * FleetNode configuration a scale-model chip is promoted to for
@@ -223,6 +245,37 @@ class ShardedFleet
     /** Queued work on the chip (core-seconds). */
     Seconds queueDepth(unsigned chip) const { return backlog_.at(chip); }
     double riskScore(unsigned chip) const { return risk_.at(chip); }
+    /** Health FSM state of one chip. */
+    ChipHealth chipHealth(unsigned chip) const
+    {
+        return ChipHealth(health_.at(chip));
+    }
+    /** Windowed DUE-rate estimate driving the health FSM (1/s). */
+    double dueWindowRate(unsigned chip) const
+    {
+        return dueWindow_.at(chip);
+    }
+    /** The correlated-event injector; null when chaos is inert. */
+    const FleetFaultInjector *chaosInjector() const
+    {
+        return chaos_.get();
+    }
+    /** Jobs deferred into the retry queue right now. */
+    std::size_t retryQueueDepth() const { return retryQueue_.size(); }
+
+    /**
+     * Run the invariant audit now: no placement ever landed on
+     * quarantined capacity, submitted == completed + pending +
+     * in-retry, every rail inside [floor, nominal + self-test boost],
+     * health states valid, backlogs and energy integrals monotone.
+     * Violations (capped at 32) accumulate in auditViolations().
+     * run() calls this automatically every auditEverySlices slices.
+     */
+    void audit();
+    const std::vector<std::string> &auditViolations() const
+    {
+        return auditViolations_;
+    }
 
     const PowerCapGovernor &governor() const { return governor_; }
     const TrafficGenerator &traffic() const { return traffic_; }
@@ -276,6 +329,31 @@ class ShardedFleet
         /** Core-seconds of work lost + replayed in recoveries. */
         Seconds recoveryLoss = 0.0;
 
+        /** Health lifecycle counters (this shard's chips). */
+        std::uint64_t quarantines = 0;
+        std::uint64_t readmissions = 0;
+        std::uint64_t drainEvents = 0;
+        /** Core-seconds drained off quarantining chips (cumulative). */
+        Seconds drainedWork = 0.0;
+        /** Core-seconds of quarantined/self-testing chip time. */
+        Seconds offlineTime = 0.0;
+        /** Work drained this slice; folded serially after advance. */
+        Seconds sliceDrained = 0.0;
+
+        /**
+         * Per-failure-domain blast-radius attribution over this
+         * shard's contiguous domain range (chips are consecutive, so
+         * domain ids are too): index d counts domain domainBase[k]+d.
+         * Credited only while the domain's event is active.
+         */
+        std::array<unsigned, kNumFailureDomainKinds> domainBase{};
+        std::array<std::vector<std::uint64_t>, kNumFailureDomainKinds>
+            domainDues;
+        std::array<std::vector<std::uint64_t>, kNumFailureDomainKinds>
+            domainQuarantines;
+        std::array<std::vector<double>, kNumFailureDomainKinds>
+            domainOffline;
+
         /** Slice-batched scratch (touched only by this shard's task). */
         std::vector<std::int64_t> bucketScratch;
         std::vector<std::uint32_t> histScratch;
@@ -303,8 +381,38 @@ class ShardedFleet
     /** Energy reading at the governor's last measurement. */
     std::vector<double> energyMark_;
     std::vector<std::uint32_t> holdoff_;
+    /** Health FSM state per chip (ChipHealth as u8). */
+    std::vector<std::uint8_t> health_;
+    /** Windowed DUE-rate EWMA per chip (1/s). */
+    std::vector<double> dueWindow_;
+    /** Seconds left in the current quarantine/self-test/probation. */
+    std::vector<double> healthTimer_;
 
     std::vector<Shard> shards;
+
+    /** Correlated-event injector; null when the config is inert. */
+    std::unique_ptr<FleetFaultInjector> chaos_;
+
+    /** One deferred job: awaiting a retry slot or spare capacity. */
+    struct RetryEntry
+    {
+        TrafficArrival arrival;
+        unsigned attempt = 0;
+        /** Earliest slice start the entry may re-place at. */
+        Seconds readyAt = 0.0;
+    };
+    std::deque<RetryEntry> retryQueue_;
+    /** Drained backlog awaiting redistribution (core-seconds). */
+    Seconds requeueBacklog_ = 0.0;
+    std::uint64_t retries_ = 0;
+    std::uint64_t hedgedJobs_ = 0;
+    std::uint64_t watchdogForced_ = 0;
+    /** Invariant counter: placements onto offline chips (must be 0). */
+    std::uint64_t placementsOnQuarantined_ = 0;
+    /** SLA misses attributed to domains with an active event. */
+    std::array<std::vector<std::uint64_t>, kNumFailureDomainKinds>
+        domainMisses_;
+    std::vector<std::string> auditViolations_;
 
     Seconds now_ = 0.0;
     std::uint64_t sliceIndex_ = 0;
@@ -342,11 +450,50 @@ class ShardedFleet
     void applyChipSlice(Shard &shard, unsigned i, std::uint64_t corr,
                         std::uint64_t dues, Seconds slice,
                         double risk_decay, double inv_nominal,
-                        Seconds drain_capacity);
+                        Seconds drain_capacity, double window_decay);
+
+    /** True while the chip takes no placements (health FSM). */
+    bool chipOffline(unsigned chip) const
+    {
+        return !healthSchedulable(ChipHealth(health_[chip]));
+    }
+
+    /** Quarantine entry: drain the backlog into the shard's slice
+     *  buffer, park the rail at nominal, start the hold timer. */
+    void enterQuarantine(Shard &shard, unsigned i);
+
+    /** Credit the per-domain attribution rows of every kind with an
+     *  active event over chip @p i (shard-local, parallel-safe). */
+    void creditDomains(Shard &shard, unsigned i, std::uint64_t dues,
+                       std::uint64_t quarantines, Seconds offline);
+
+    struct PlacementChoice
+    {
+        bool found = false;
+        unsigned best = 0;
+        bool haveSecond = false;
+        unsigned second = 0;
+    };
+    PlacementChoice choosePlacement(const TrafficArrival &arrival,
+                                    const JobClass &cls, bool force);
+
+    enum class PlaceOutcome
+    {
+        placed,
+        /** Predicted deadline miss; defer under the retry budget. */
+        retry,
+        /** No schedulable chip among the candidates. */
+        noCapacity,
+    };
+    PlaceOutcome placeOne(const TrafficArrival &arrival,
+                          unsigned attempt, Seconds effective_start,
+                          bool force, Seconds &latency_sum,
+                          std::uint64_t &placed);
 
     void placeArrivals();
-    unsigned chooseChip(const TrafficArrival &arrival,
-                        const JobClass &cls);
+    void processRetries(Seconds &latency_sum, std::uint64_t &placed);
+    /** Fold per-shard drained work and spread it over healthy chips. */
+    void foldDrained();
     void updateGovernor();
     std::size_t shardOf(unsigned chip) const
     {

@@ -53,9 +53,14 @@ std::uint32_t crc32(const std::uint8_t *data, std::size_t n);
  * rejected rather than decoded against the wrong codec. Version 3
  * added the off-chip memory domains (mem-domain count + state in the
  * chip payload, mem probe/energy accounting in the simulator payload,
- * per-category energy vectors in every EnergyAccount).
+ * per-category energy vectors in every EnergyAccount). Version 4
+ * added the fleet robustness layer (per-chip health FSM state,
+ * windowed DUE-rate estimates, retry/hedge queues, correlated-event
+ * injector state, and per-failure-domain blast-radius counters in
+ * both Fleet and ShardedFleet payloads, plus the governor's
+ * absent-capacity mask).
  */
-constexpr std::uint32_t snapshotFormatVersion = 3;
+constexpr std::uint32_t snapshotFormatVersion = 4;
 
 /**
  * Serializer: open a section, put values, close it, repeat; then
